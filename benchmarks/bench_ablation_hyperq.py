@@ -1,0 +1,58 @@
+"""Ablation — what Hyper-Q itself buys: hardware work-queue width sweep.
+
+Not a paper figure, but the paper's premise: Fermi's single hardware work
+queue falsely serializes independent streams, and Kepler's 32 queues remove
+that.  This bench runs the same 16-application workload with 1, 2, 4, 8, 16
+and 32 hardware queues (same SMX array, so queueing is the only variable)
+and reports the makespan curve — the Hyper-Q benefit and where it
+saturates.
+"""
+
+from conftest import once
+
+from repro.analysis.tables import format_table, write_csv
+from repro.core.runner import RunConfig
+from repro.core.workload import Workload
+from repro.gpu.specs import tesla_k20
+
+QUEUE_WIDTHS = (1, 2, 4, 8, 16, 32)
+NUM_APPS = 16
+
+
+def test_hardware_queue_width_sweep(benchmark, runner, scale, results_dir):
+    workload = Workload.heterogeneous_pair("gaussian", "needle", NUM_APPS, scale=scale)
+
+    def sweep():
+        out = []
+        for width in QUEUE_WIDTHS:
+            spec = tesla_k20().with_hardware_queues(width)
+            run = runner.run(
+                RunConfig(workload=workload, num_streams=NUM_APPS, spec=spec)
+            )
+            out.append((width, run))
+        return out
+
+    results = once(benchmark, sweep)
+    fermi_like = results[0][1]
+    rows = [
+        {
+            "hardware_queues": width,
+            "makespan_ms": run.makespan * 1e3,
+            "speedup_vs_1_queue": fermi_like.makespan / run.makespan,
+            "energy_J": run.energy,
+        }
+        for width, run in results
+    ]
+    write_csv(rows, results_dir / "ablation_hyperq_width.csv")
+    print()
+    print(format_table(
+        rows, title="Ablation — Hyper-Q hardware queue width (Fermi -> Kepler)"
+    ))
+
+    spans = [run.makespan for _, run in results]
+    # More queues never hurt; full Hyper-Q strictly beats the single queue.
+    assert spans[-1] < spans[0]
+    for earlier, later in zip(spans, spans[1:]):
+        assert later <= earlier * 1.02
+    # And the win is material (false serialization is real).
+    assert spans[0] / spans[-1] > 1.1

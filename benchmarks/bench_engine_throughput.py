@@ -1,0 +1,90 @@
+"""Library performance benchmarks: simulator event throughput.
+
+These are genuine pytest-benchmark measurements (multiple rounds) of the
+substrate itself — the numbers to watch when modifying the engine or the
+block scheduler.
+"""
+
+import pytest
+
+from repro.gpu.device import GPUDevice
+from repro.gpu.kernels import Dim3, KernelDescriptor
+from repro.gpu.commands import CopyDirection
+from repro.sim.engine import Environment
+from repro.sim.resources import Resource
+
+
+def test_event_calendar_throughput(benchmark):
+    """Schedule + process 20k timeouts."""
+
+    def run():
+        env = Environment()
+        for i in range(20_000):
+            env.timeout(i % 97 * 1e-6)
+        env.run()
+        return env.now
+
+    assert benchmark(run) > 0
+
+
+def test_process_switch_throughput(benchmark):
+    """10k process resumptions through a shared resource."""
+
+    def run():
+        env = Environment()
+        res = Resource(env, capacity=4)
+
+        def worker():
+            for _ in range(10):
+                req = res.request()
+                yield req
+                yield env.timeout(1e-6)
+                res.release(req)
+
+        for _ in range(1000):
+            env.process(worker())
+        env.run()
+        return env.now
+
+    assert benchmark(run) > 0
+
+
+def test_grid_engine_wave_throughput(benchmark):
+    """A device-filling kernel stream: ~2k scheduling waves."""
+    fan2 = KernelDescriptor(
+        "Fan2", Dim3(32, 32), Dim3(16, 16),
+        registers_per_thread=15, block_duration=4e-6,
+    )
+
+    def run():
+        env = Environment()
+        device = GPUDevice(env)
+        stream = device.create_stream()
+        for _ in range(200):
+            stream.enqueue_kernel(fan2)
+        env.run()
+        return device.grid_engine.grids_completed
+
+    assert benchmark(run) == 200
+
+
+def test_mixed_command_throughput(benchmark):
+    """Transfers + kernels across 8 streams (the harness hot path)."""
+    kd = KernelDescriptor(
+        "k", Dim3(64), Dim3(256), registers_per_thread=16,
+        block_duration=5e-6,
+    )
+
+    def run():
+        env = Environment()
+        device = GPUDevice(env)
+        streams = [device.create_stream() for _ in range(8)]
+        for stream in streams:
+            for _ in range(25):
+                stream.enqueue_memcpy(CopyDirection.HTOD, 1 << 18)
+                stream.enqueue_kernel(kd)
+                stream.enqueue_memcpy(CopyDirection.DTOH, 1 << 18)
+        env.run()
+        return device.commands_issued
+
+    assert benchmark(run) == 8 * 25 * 3

@@ -1,0 +1,62 @@
+"""Figure 3 — the five application launch orders.
+
+Verifies every schedule against the paper's Figure 3 layout (m = n = 4) and
+benchmarks schedule generation itself, which sits on the hot path of the
+larger ordering sweeps.
+"""
+
+from conftest import once
+
+import numpy as np
+
+from repro.analysis.tables import write_csv
+from repro.core.experiments import fig3_orders
+from repro.framework.scheduler import SchedulingOrder, make_schedule
+
+FIGURE_3 = {
+    "naive-fifo": [
+        "AX(1)", "AX(2)", "AX(3)", "AX(4)", "AY(1)", "AY(2)", "AY(3)", "AY(4)",
+    ],
+    "round-robin": [
+        "AX(1)", "AY(1)", "AX(2)", "AY(2)", "AX(3)", "AY(3)", "AX(4)", "AY(4)",
+    ],
+    "reverse-fifo": [
+        "AY(1)", "AY(2)", "AY(3)", "AY(4)", "AX(1)", "AX(2)", "AX(3)", "AX(4)",
+    ],
+    "reverse-round-robin": [
+        "AY(1)", "AX(1)", "AY(2)", "AX(2)", "AY(3)", "AX(3)", "AY(4)", "AX(4)",
+    ],
+}
+
+
+def test_fig3_launch_orders(benchmark, results_dir):
+    orders = once(benchmark, fig3_orders, m=4, n=4, seed=7)
+    rows = [
+        {"order": name, "schedule": " ".join(sig)} for name, sig in orders.items()
+    ]
+    write_csv(rows, results_dir / "fig03_orders.csv")
+    print()
+    for row in rows:
+        print(f"  {row['order']:>22}: {row['schedule']}")
+
+    # The four deterministic panels match Figure 3 exactly.
+    for name, expected in FIGURE_3.items():
+        assert orders[name] == expected, name
+    # The shuffle panel is a permutation with preserved type counts.
+    shuffle = orders["random-shuffle"]
+    assert sorted(shuffle) == sorted(FIGURE_3["naive-fifo"])
+
+
+def test_schedule_generation_throughput(benchmark):
+    """Raw schedule construction speed for a 512-app workload."""
+    types = ["AX"] * 256 + ["AY"] * 256
+    rng = np.random.default_rng(0)
+
+    def build_all():
+        out = []
+        for order in SchedulingOrder:
+            out.append(make_schedule(types, order, rng=rng))
+        return out
+
+    schedules = benchmark(build_all)
+    assert all(sorted(s) == list(range(512)) for s in schedules)

@@ -1,0 +1,79 @@
+"""Figure 4 (a)-(f) — concurrency speedup over serialized execution.
+
+For every heterogeneous pair and increasing workload size NA, measures the
+half-concurrent (NA = 2 NS) and full-concurrent (NA = NS) improvement over
+the serialized (one-stream) baseline under the lazy/LEFTOVER policy.
+
+Paper numbers: up to 56% (avg 23.6%) half-concurrent, up to 59% (avg
+24.8%) full-concurrent.  Shape assertions: every cell improves on serial;
+compute-saturating pairs (with gaussian) improve least; transfer-light
+mixes improve most; maxima land in the tens of percent, not single digits.
+"""
+
+from conftest import once
+
+from repro.analysis.tables import format_table, write_csv
+from repro.core.experiments import fig4_concurrency
+
+NA_VALUES = (8, 16, 32)
+
+
+def test_fig4_concurrency_speedup(benchmark, runner, scale, results_dir):
+    result = once(
+        benchmark,
+        fig4_concurrency,
+        na_values=NA_VALUES,
+        scale=scale,
+        runner=runner,
+    )
+    rows = [
+        {
+            "pair": f"{r.pair[0]}+{r.pair[1]}",
+            "NA": r.num_apps,
+            "scenario": r.scenario,
+            "NS": r.num_streams,
+            "serial_ms": r.serial_makespan * 1e3,
+            "concurrent_ms": r.makespan * 1e3,
+            "improvement_pct": r.improvement_pct,
+        }
+        for r in result.rows
+    ]
+    write_csv(rows, results_dir / "fig04_concurrency_speedup.csv")
+    print()
+    print(format_table(rows, title="Figure 4 — improvement over serialized execution"))
+    max_half, avg_half = result.stats("half")
+    max_full, avg_full = result.stats("full")
+    print(
+        f"\nhalf-concurrent: max {max_half:.1f}% avg {avg_half:.1f}% "
+        f"(paper: 56% / 23.6%)"
+    )
+    print(
+        f"full-concurrent: max {max_full:.1f}% avg {avg_full:.1f}% "
+        f"(paper: 59% / 24.8%)"
+    )
+
+    # Every cell beats serial.
+    assert all(r.improvement_pct > 0 for r in result.rows)
+    # Improvements are substantial but bounded (tens of percent).  The
+    # quantitative band is calibrated at the paper's Table III sizes;
+    # reduced scales only keep the directional checks.
+    if scale == "paper":
+        assert 25.0 < max_full < 85.0
+        assert 10.0 < avg_full < 60.0
+    else:
+        assert max_full > 20.0
+    if scale != "paper":
+        return
+    # Who wins (paper scale): gaussian-saturated pairs improve least; the
+    # best pair is a low-utilization mix.  (At reduced scales gaussian no
+    # longer saturates the device and the ranking legitimately inverts.)
+    by_pair = result.by_pair()
+    gaussian_pairs = [p for p in by_pair if "gaussian" in p]
+    other_pairs = [p for p in by_pair if "gaussian" not in p]
+    best_gaussian = max(
+        r.improvement_pct for p in gaussian_pairs for r in by_pair[p]
+    )
+    best_other = max(
+        r.improvement_pct for p in other_pairs for r in by_pair[p]
+    )
+    assert best_other > best_gaussian

@@ -1,0 +1,55 @@
+"""Figure 5 — kernel overlap under oversubscription (LEFTOVER policy).
+
+Five streams launch the paper's snapshot mix simultaneously: 89 + 88
+blocks of the needle kernels, two single-block Fan1 launches and the
+1024-block Fan2 — 1203 thread blocks against the K20's theoretical
+208-block ceiling.  Under the lazy/LEFTOVER policy all five kernels
+execute concurrently; resource-sum admission control (the symbiosis
+baseline) would have refused to co-schedule them.
+"""
+
+from conftest import once
+
+from repro.analysis.tables import format_table, write_csv
+from repro.core.baselines import symbiosis_admission
+from repro.core.experiments import fig5_oversubscription
+from repro.gpu.specs import tesla_k20
+
+
+def test_fig5_leftover_overlap(benchmark, results_dir):
+    result = once(benchmark, fig5_oversubscription)
+    rows = result.rows()
+    write_csv(rows, results_dir / "fig05_oversubscription.csv")
+    print()
+    print(format_table(rows, title="Figure 5 — five overlapping kernels"))
+    print(
+        f"\nrequested blocks: {result.total_requested_blocks} "
+        f"(ceiling {result.device_block_ceiling}); "
+        f"max concurrency {result.max_kernel_concurrency}; "
+        f"makespan {result.makespan * 1e6:.0f} us vs serialized "
+        f"{result.serialized_makespan * 1e6:.0f} us"
+    )
+
+    # The Figure 5 claims.
+    assert result.total_requested_blocks == 1203
+    assert result.device_block_ceiling == 208
+    assert result.oversubscribed
+    assert result.max_kernel_concurrency == 5
+    assert result.makespan < result.serialized_makespan
+
+
+def test_fig5_symbiosis_would_serialize(benchmark):
+    """The same launch under sum-fits admission control: no overlap."""
+    result = once(
+        benchmark,
+        fig5_oversubscription,
+        admission=symbiosis_admission(tesla_k20()),
+    )
+    print(
+        f"\nsymbiosis admission: max concurrency "
+        f"{result.max_kernel_concurrency}, makespan "
+        f"{result.makespan * 1e6:.0f} us"
+    )
+    leftover = fig5_oversubscription()
+    assert result.max_kernel_concurrency < leftover.max_kernel_concurrency
+    assert result.makespan > leftover.makespan

@@ -1,0 +1,71 @@
+"""Figure 9 — active power under serial / half / full concurrency.
+
+Samples the simulated board sensor (oversampled, as in the paper's 66.7 Hz
+methodology) for a 32-application {gaussian, needle} workload at one, 16
+and 32 streams, then aggregates the full-vs-serial energy reduction across
+every pair.
+
+Paper claims: peak power rises slightly with concurrency, but energy drops
+— 8.5% on average across pairs, up to 22.9% for {needle, srad}.
+"""
+
+from conftest import once
+
+from repro.analysis.tables import format_table, write_csv
+from repro.core.experiments import fig9_power_concurrency
+
+NUM_APPS = 32
+
+
+def test_fig9_power_and_energy(benchmark, runner, scale, results_dir):
+    result = once(
+        benchmark,
+        fig9_power_concurrency,
+        pair=("gaussian", "needle"),
+        num_apps=NUM_APPS,
+        scale=scale,
+        runner=runner,
+        power_interval=5e-3,
+    )
+    rows = [
+        {
+            "scenario": s.label,
+            "NS": s.num_streams,
+            "makespan_ms": s.makespan * 1e3,
+            "energy_J": s.energy,
+            "avg_power_W": s.average_power,
+            "peak_power_W": s.peak_power,
+            "samples": len(s.samples),
+        }
+        for s in result.scenarios
+    ]
+    write_csv(rows, results_dir / "fig09_power_concurrency.csv")
+    energy_rows = [
+        {"pair": f"{p[0]}+{p[1]}", "energy_improvement_pct": v}
+        for p, v in sorted(result.energy_improvement_by_pair.items())
+    ]
+    write_csv(energy_rows, results_dir / "fig09_energy_by_pair.csv")
+    print()
+    print(format_table(rows, title="Figure 9 — power under increasing concurrency"))
+    print(format_table(
+        energy_rows, title="\nFull-concurrent energy reduction per pair"
+    ))
+    best_pair, best = result.best_energy_improvement
+    print(
+        f"\nenergy reduction: avg {result.average_energy_improvement:.1f}% "
+        f"(paper: 8.5%), best {best:.1f}% on {best_pair[0]}+{best_pair[1]} "
+        "(paper: 22.9% on needle+srad)"
+    )
+
+    serial, half, full = result.scenarios
+    # Active power rises with concurrency (sublinearly), never falls.
+    assert full.average_power > serial.average_power
+    assert full.peak_power >= serial.peak_power
+    # Makespan shrinks with added streams (half and full are within noise
+    # of each other on this pair, as in the paper's Figure 4).
+    assert half.makespan <= serial.makespan
+    assert full.makespan <= half.makespan * 1.03
+    # The energy claim: positive reduction for every pair, solid average.
+    assert all(v > 0 for v in result.energy_improvement_by_pair.values())
+    assert result.average_energy_improvement > 4.0
+    assert best > 15.0

@@ -1,0 +1,51 @@
+"""The abstract's headline numbers: paper vs measured, in one table.
+
+Aggregates Figures 4, 7, 8 and 10 into the claims the abstract makes
+("up to 31.8% improvement in performance and 10.4% reduction in energy on
+average ... up to 59% improvement over serialized execution ... up to
+25.4%/25.7% reduction in GPU energy") and writes the comparison that
+EXPERIMENTS.md records.
+"""
+
+from conftest import once
+
+from repro.analysis.tables import format_table, write_csv
+from repro.core.experiments import headline_numbers
+
+NUM_APPS = 32
+
+
+def test_headline_numbers(benchmark, runner, scale, results_dir):
+    result = once(
+        benchmark, headline_numbers, num_apps=NUM_APPS, scale=scale, runner=runner
+    )
+    rows = result.rows()
+    write_csv(rows, results_dir / "headline_numbers.csv")
+    print()
+    print(format_table(rows, title="Headline claims: paper vs measured (%)"))
+
+    # Direction and rough magnitude of every aggregate claim.
+    by_claim = {r["claim"]: r["measured_pct"] for r in rows}
+
+    # Concurrency alone buys tens of percent over serialized execution.
+    assert by_claim["max full-concurrent improvement"] > 25.0
+    if scale == "paper":
+        assert by_claim["max full-concurrent improvement"] < 85.0
+        assert 10.0 < by_claim["avg full-concurrent improvement"] < 60.0
+        assert 25.0 < by_claim["max half-concurrent improvement"] < 85.0
+
+    # Ordering matters more with sync than without (the sync-vs-default
+    # ranking is a paper-scale property).
+    if scale == "paper":
+        assert (
+            by_claim["max ordering improvement (sync)"]
+            >= by_claim["max ordering improvement (default)"]
+        )
+        assert by_claim["max ordering improvement (sync)"] > 8.0
+
+    # Energy: solid average reduction, larger best case.
+    assert by_claim["avg energy reduction (sync)"] > 5.0
+    assert (
+        by_claim["max energy reduction (sync)"]
+        > by_claim["avg energy reduction (sync)"]
+    )

@@ -1,0 +1,56 @@
+"""Homogeneous workload scaling (the paper's Section IV homogeneous case).
+
+Measures, per application type, the gain from running NA copies of the
+*same* application concurrently instead of serialized.  This isolates each
+application's own overlap potential and confirms the utilization spread the
+paper's heterogeneous pairings exploit: underutilizers (needle: <2% thread
+occupancy; nn: transfer-bound) gain most, device-filling applications
+(gaussian dominated by Fan2, srad) least.
+"""
+
+from conftest import once
+
+from repro.analysis.tables import format_table, write_csv
+from repro.core.experiments import homogeneous_scaling
+
+NA_VALUES = (4, 8, 16)
+
+
+def test_homogeneous_scaling(benchmark, runner, scale, results_dir):
+    result = once(
+        benchmark,
+        homogeneous_scaling,
+        na_values=NA_VALUES,
+        scale=scale,
+        runner=runner,
+    )
+    rows = [
+        {
+            "app": r.app,
+            "NA": r.num_apps,
+            "serial_ms": r.serial_makespan * 1e3,
+            "concurrent_ms": r.concurrent_makespan * 1e3,
+            "improvement_pct": r.improvement_pct,
+            "energy_serial_J": r.serial_energy,
+            "energy_concurrent_J": r.concurrent_energy,
+        }
+        for r in result.rows
+    ]
+    write_csv(rows, results_dir / "homogeneous_scaling.csv")
+    print()
+    print(format_table(rows, title="Homogeneous self-concurrency scaling"))
+    best_app, best = result.best_improvement()
+    print(f"\nbest self-concurrency gain: {best:.1f}% ({best_app})")
+
+    # Concurrency never loses, even for device-filling applications
+    # (the LEFTOVER "no worse than serialization" guarantee).
+    assert all(r.improvement_pct > -2.0 for r in result.rows)
+
+    if scale == "paper":
+        by_app = result.by_app()
+        best_per_app = {
+            app: max(r.improvement_pct for r in rows_)
+            for app, rows_ in by_app.items()
+        }
+        # The underutilizer gains far more than the device-filler.
+        assert best_per_app["needle"] > best_per_app["gaussian"]

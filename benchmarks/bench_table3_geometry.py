@@ -1,0 +1,37 @@
+"""Table III — kernel launch geometry of the ported applications.
+
+Regenerates the paper's geometry table from the application profiles and
+verifies every row against the published values.
+"""
+
+from conftest import once
+
+from repro.analysis.tables import format_table, write_csv
+from repro.core.experiments import table3_geometry
+
+#: The paper's Table III, keyed by kernel.
+PAPER_TABLE_3 = {
+    "Fan1": dict(calls=511, block_dim=(512, 1, 1), max_blocks=1, tpb=512),
+    "Fan2": dict(calls=511, block_dim=(16, 16, 1), max_blocks=1024, tpb=256),
+    "needle_cuda_shared_1": dict(calls=16, block_dim=(32, 1, 1), max_blocks=16, tpb=32),
+    "needle_cuda_shared_2": dict(calls=15, block_dim=(32, 1, 1), max_blocks=15, tpb=32),
+    "srad_cuda_1": dict(calls=10, block_dim=(16, 16, 1), max_blocks=1024, tpb=256),
+    "srad_cuda_2": dict(calls=10, block_dim=(16, 16, 1), max_blocks=1024, tpb=256),
+    "euclid": dict(calls=1, block_dim=(256, 1, 1), max_blocks=168, tpb=256),
+}
+
+
+def test_table3_geometry(benchmark, results_dir):
+    rows = once(benchmark, table3_geometry, scale="paper")
+    write_csv(rows, results_dir / "table3_geometry.csv")
+    print()
+    print(format_table(rows, title="Table III — launch geometry (paper scale)"))
+
+    by_kernel = {r["kernel"]: r for r in rows}
+    assert set(by_kernel) == set(PAPER_TABLE_3)
+    for kernel, expected in PAPER_TABLE_3.items():
+        row = by_kernel[kernel]
+        assert row["calls"] == expected["calls"], kernel
+        assert row["block_dim"] == str(expected["block_dim"]), kernel
+        assert row["max_blocks"] == expected["max_blocks"], kernel
+        assert row["threads_per_block"] == expected["tpb"], kernel

@@ -1,0 +1,88 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures at the
+paper's problem sizes (override with ``REPRO_SCALE=small`` for a quick
+pass) and prints the rows the paper reports.  CSV copies land in
+``results/``.
+
+The :class:`~repro.core.runner.ExperimentRunner` is session-scoped so
+serial baselines are computed once and shared across benchmark files.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+# Benchmarks default to the paper's Table III sizes.
+os.environ.setdefault("REPRO_SCALE", "paper")
+
+from repro.core.runner import ExperimentRunner  # noqa: E402
+from repro.core.workload import resolve_scale  # noqa: E402
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    """One runner for the whole benchmark session (baseline caching)."""
+    return ExperimentRunner()
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    """The active problem-size profile."""
+    return resolve_scale()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory where benches drop their CSV/markdown outputs."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    The experiments are deterministic simulations — statistical rounds
+    would triple the wall time without adding information.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """After the run, print every regenerated figure/table from results/.
+
+    pytest captures the benches' in-test prints; this hook runs after
+    capture ends, so ``pytest benchmarks/ --benchmark-only | tee out.txt``
+    records the actual paper tables, not just timings.
+    """
+    import csv
+
+    from repro.analysis.tables import format_table
+
+    if not RESULTS_DIR.exists():
+        return
+    paths = sorted(RESULTS_DIR.glob("*.csv"))
+    if not paths:
+        return
+    tr = terminalreporter
+    tr.section("reproduced figures and tables (results/)")
+    for path in paths:
+        with path.open() as fh:
+            rows = list(csv.DictReader(fh))
+        coerced = []
+        for row in rows:
+            out = {}
+            for key, value in row.items():
+                try:
+                    number = float(value)
+                    out[key] = int(number) if number == int(number) else number
+                except (TypeError, ValueError):
+                    out[key] = value
+            coerced.append(out)
+        tr.write_line("")
+        tr.write_line(format_table(coerced, title=f"[{path.name}]"))

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Extending the framework with a new application (the Table II contract).
+
+The paper's conclusion advertises that the management framework "is readily
+extensible for additional applications ... there is less effort required to
+enable concurrency with new applications."  This example demonstrates the
+contract: port a new workload — a batched matrix-multiply microservice —
+by writing one ``RodiniaApp`` subclass that declares its buffers, launch
+geometry and execution pattern.  No framework or scheduler code changes.
+
+The new application then runs in a *three-way* heterogeneous mix with two
+stock Rodinia applications, something the paper's methodology supports
+("our framework supports the ability to test workloads with a higher
+degree of task heterogeneity").
+
+Run:
+    python examples/custom_application.py
+"""
+
+import numpy as np
+
+from repro.apps import RodiniaApp, register_app
+from repro.core import ExperimentRunner, RunConfig, Workload
+from repro.core.workload import SCALES
+from repro.framework.kernel import AppProfile, Buffer, KernelPhase, TransferPhase
+from repro.gpu.commands import CopyDirection
+from repro.gpu.kernels import Dim3, KernelDescriptor
+
+
+class MatMulApp(RodiniaApp):
+    """Tiled dense matrix multiply: C = A @ B with 16x16 shared-memory tiles.
+
+    A classic device-filling kernel: for n=512 the grid is 32x32 blocks of
+    256 threads (1024 thread blocks — several scheduling waves on a K20),
+    making it a good co-tenant for underutilizing applications.
+    """
+
+    benchmark = "Dense matrix multiply"
+    kernel_names = ("matmul_tiled",)
+
+    TILE = 16
+
+    @classmethod
+    def build_profile(cls, n: int = 512) -> AppProfile:
+        if n % cls.TILE != 0:
+            raise ValueError(f"n must be a multiple of {cls.TILE}")
+        tiles = n // cls.TILE
+        matrix_bytes = n * n * 4
+        kernel = KernelDescriptor(
+            name="matmul_tiled",
+            grid=Dim3(tiles, tiles, 1),
+            block=Dim3(cls.TILE, cls.TILE, 1),
+            registers_per_thread=30,
+            shared_mem_per_block=2 * cls.TILE * cls.TILE * 4,  # A + B tiles
+            block_duration=8e-6,
+        )
+        return AppProfile(
+            name="matmul",
+            data_dim=f"{n} x {n}",
+            host_allocs=(Buffer("A", matrix_bytes), Buffer("B", matrix_bytes),
+                         Buffer("C", matrix_bytes)),
+            device_allocs=(Buffer("dA", matrix_bytes), Buffer("dB", matrix_bytes),
+                           Buffer("dC", matrix_bytes)),
+            phases=(
+                TransferPhase(
+                    CopyDirection.HTOD,
+                    (Buffer("A", matrix_bytes), Buffer("B", matrix_bytes)),
+                ),
+                KernelPhase((kernel,)),
+                TransferPhase(CopyDirection.DTOH, (Buffer("C", matrix_bytes),)),
+            ),
+            init_cost=200e-6,
+        )
+
+    @staticmethod
+    def reference(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """The kernel's arithmetic (trivially, a matmul)."""
+        return a @ b
+
+
+def main() -> None:
+    # A new application is one registration call away.
+    register_app("matmul", MatMulApp)
+    for scale in SCALES.values():
+        scale.setdefault("matmul", {"n": 256})
+
+    # Sanity: the reference computation is real.
+    rng = np.random.default_rng(0)
+    a, b = rng.standard_normal((64, 64)), rng.standard_normal((64, 64))
+    assert np.allclose(MatMulApp.reference(a, b), a @ b)
+    print("matmul registered; reference output validated against numpy.\n")
+
+    # Three-way heterogeneous workload: matmul + needle + nn.
+    workload = Workload.mixed(
+        [("matmul", 4), ("needle", 4), ("nn", 4)], scale="small"
+    )
+    runner = ExperimentRunner()
+    serial = runner.run_serial(workload)
+    concurrent = runner.run(
+        RunConfig(workload=workload, num_streams=workload.size, memory_sync=True)
+    )
+
+    print(f"workload        : {workload.describe()}")
+    print(f"serialized      : {serial.harness.summary()}")
+    print(f"concurrent+sync : {concurrent.harness.summary()}")
+    print(
+        f"\nimprovement: {concurrent.improvement_over(serial):.1f}% "
+        f"makespan, {concurrent.energy_improvement_over(serial):.1f}% energy "
+        "- with zero framework changes for the new application."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""A batch sequence-alignment service on one shared GPU.
+
+Scenario (the paper's motivating use case): many independent small jobs —
+here Needleman-Wunsch alignments, the classic GPU underutilizer (at most 16
+blocks of 32 threads on a device with 26 624 thread slots) — arrive at a
+shared Tesla K20.  Sequential execution wastes almost the whole device;
+Hyper-Q lets the jobs overlap.
+
+The example is end-to-end real: it first *computes* alignments with the
+library's validated NW implementation (scores + traceback), then uses the
+simulator to compare three service policies on a 16-job batch:
+
+1. serialized (one stream),
+2. Hyper-Q concurrent,
+3. Hyper-Q concurrent + transfer mutex (the paper's full technique).
+
+Run:
+    python examples/sequence_alignment_service.py
+"""
+
+import numpy as np
+
+from repro.apps.needle import make_sequences, nw_align, nw_score
+from repro.core import ExperimentRunner, RunConfig, Workload
+
+
+def align_and_report(job_id: int, n: int = 24) -> int:
+    """Run one real alignment and print a compact report line."""
+    rng = np.random.default_rng(job_id)
+    seq1, seq2, blosum = make_sequences(n, rng)
+    score = nw_score(seq1, seq2, blosum, penalty=10)
+    alignment = nw_align(seq1, seq2, blosum, penalty=10)
+    gaps = sum(1 for a, b in alignment if a is None or b is None)
+    print(
+        f"  job {job_id:2d}: length {n} vs {n}, score {score:5d}, "
+        f"alignment length {len(alignment)}, gaps {gaps}"
+    )
+    return score
+
+
+def main() -> None:
+    print("Computing 6 real alignments with the NW reference kernel:")
+    scores = [align_and_report(i) for i in range(6)]
+    assert all(isinstance(s, int) for s in scores)
+
+    print("\nSimulating a 16-job batch on a Tesla K20 "
+          "(paper-scale 512x512 alignments):")
+    batch = Workload.homogeneous("needle", 16, scale="paper")
+    runner = ExperimentRunner()
+
+    serial = runner.run_serial(batch)
+    concurrent = runner.run(RunConfig(workload=batch, num_streams=16))
+    full = runner.run(
+        RunConfig(workload=batch, num_streams=16, memory_sync=True)
+    )
+
+    throughput = lambda r: 16 / r.makespan
+    rows = [
+        ("serialized (1 stream)", serial),
+        ("Hyper-Q (16 streams)", concurrent),
+        ("Hyper-Q + memory sync", full),
+    ]
+    print(f"{'policy':<24} {'makespan':>10} {'jobs/s':>9} {'energy':>9}")
+    for label, run in rows:
+        print(
+            f"{label:<24} {run.makespan * 1e3:8.2f}ms "
+            f"{throughput(run):9.0f} {run.energy:8.3f}J"
+        )
+
+    print(
+        f"\nHyper-Q improves batch latency by "
+        f"{concurrent.improvement_over(serial):.1f}% over serialized; "
+        f"the transfer mutex adds "
+        f"{full.improvement_over(concurrent):.1f}% more "
+        f"and cuts energy by {full.energy_improvement_over(serial):.1f}% "
+        f"overall."
+    )
+
+
+if __name__ == "__main__":
+    main()

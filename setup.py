@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+Kept so that ``pip install -e . --no-build-isolation`` works on offline
+machines whose environments lack the ``wheel`` package (pip falls back to
+``setup.py develop`` when ``--no-use-pep517`` is given).  All project
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

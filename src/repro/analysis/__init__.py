@@ -1,0 +1,40 @@
+"""Reporting: ASCII timelines, tables and summary statistics."""
+
+from .chrome_trace import to_chrome_trace, write_chrome_trace
+from .profile_summary import kernel_summary, stream_summary, transfer_summary
+from .report import SECTIONS, Section, build_report, read_results_csv
+from .stats import (
+    Summary,
+    concurrency_profile,
+    dma_utilization,
+    gpu_utilization,
+    mean_confidence_interval,
+    summarize,
+)
+from .tables import format_markdown, format_table, format_value, write_csv
+from .timeline import GLYPHS, render_timeline, timeline_rows
+
+__all__ = [
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "kernel_summary",
+    "transfer_summary",
+    "stream_summary",
+    "build_report",
+    "Section",
+    "SECTIONS",
+    "read_results_csv",
+    "render_timeline",
+    "timeline_rows",
+    "GLYPHS",
+    "format_table",
+    "format_markdown",
+    "format_value",
+    "write_csv",
+    "Summary",
+    "summarize",
+    "mean_confidence_interval",
+    "gpu_utilization",
+    "dma_utilization",
+    "concurrency_profile",
+]

@@ -1,0 +1,111 @@
+"""Aggregation helpers shared by the experiment reports.
+
+Small, dependency-light statistics used when summarizing sweeps:
+improvement aggregation, utilization computation from traces, and a
+confidence-interval helper for the jittered (nondeterministic-host)
+experiments.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from ..sim.trace import TraceRecorder
+
+__all__ = [
+    "Summary",
+    "summarize",
+    "mean_confidence_interval",
+    "gpu_utilization",
+    "dma_utilization",
+    "concurrency_profile",
+]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.3f} std={self.std:.3f} "
+            f"min={self.minimum:.3f} max={self.maximum:.3f}"
+        )
+
+
+def summarize(values: Iterable[float]) -> Summary:
+    """Summary statistics of ``values`` (ddof=1 std when n > 1)."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return Summary(0, 0.0, 0.0, 0.0, 0.0)
+    std = float(arr.std(ddof=1)) if arr.size > 1 else 0.0
+    return Summary(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        std=std,
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+    )
+
+
+def mean_confidence_interval(
+    values: Sequence[float], z: float = 1.96
+) -> Tuple[float, float, float]:
+    """(mean, lo, hi) normal-approximation CI; degenerate for n < 2."""
+    s = summarize(values)
+    if s.count < 2:
+        return (s.mean, s.mean, s.mean)
+    half = z * s.std / math.sqrt(s.count)
+    return (s.mean, s.mean - half, s.mean + half)
+
+
+def gpu_utilization(trace: TraceRecorder, window: Tuple[float, float] = None) -> float:
+    """Fraction of the window with at least one kernel executing."""
+    if window is None:
+        window = trace.extent()
+    t0, t1 = window
+    if t1 <= t0:
+        return 0.0
+    return min(1.0, trace.total_busy_time("kernel") / (t1 - t0))
+
+
+def dma_utilization(
+    trace: TraceRecorder, direction: str = "htod", window: Tuple[float, float] = None
+) -> float:
+    """Fraction of the window with the given copy engine busy."""
+    if window is None:
+        window = trace.extent()
+    t0, t1 = window
+    if t1 <= t0:
+        return 0.0
+    return min(1.0, trace.total_busy_time(f"dma_{direction}") / (t1 - t0))
+
+
+def concurrency_profile(
+    trace: TraceRecorder, category: str = "kernel", points: int = 200
+) -> List[Tuple[float, int]]:
+    """(time, active span count) sampled over the trace extent.
+
+    Used to plot how many kernels executed concurrently over time (the
+    quantitative version of the Figure 5 snapshot).
+    """
+    t0, t1 = trace.extent()
+    if t1 <= t0:
+        return []
+    spans = [s for s in trace.spans if s.category == category]
+    times = np.linspace(t0, t1, points)
+    out = []
+    for t in times:
+        active = sum(1 for s in spans if s.start <= t < s.end)
+        out.append((float(t), active))
+    return out

@@ -1,0 +1,101 @@
+"""Plain-text / markdown / CSV table rendering for experiment results.
+
+Every experiment driver returns ``rows()`` as a list of dicts; these
+helpers turn those rows into aligned text tables (for the benchmark
+console output), GitHub markdown (for EXPERIMENTS.md) and CSV files (for
+downstream plotting).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+__all__ = ["format_table", "format_markdown", "write_csv", "format_value"]
+
+Row = Dict[str, object]
+
+
+def format_value(value: object, precision: int = 3) -> str:
+    """Render one cell: floats get fixed precision, the rest ``str()``."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def _columns(rows: Sequence[Row], columns: Optional[Sequence[str]]) -> List[str]:
+    if columns is not None:
+        return list(columns)
+    seen: Dict[str, None] = {}
+    for row in rows:
+        for key in row:
+            seen.setdefault(key, None)
+    return list(seen)
+
+
+def format_table(
+    rows: Sequence[Row],
+    columns: Optional[Sequence[str]] = None,
+    precision: int = 3,
+    title: str = "",
+) -> str:
+    """Aligned monospaced table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    cols = _columns(rows, columns)
+    rendered = [
+        [format_value(row.get(c, ""), precision) for c in cols] for row in rows
+    ]
+    widths = [
+        max(len(c), *(len(r[i]) for r in rendered)) for i, c in enumerate(cols)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(c.ljust(w) for c, w in zip(cols, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rendered:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def format_markdown(
+    rows: Sequence[Row],
+    columns: Optional[Sequence[str]] = None,
+    precision: int = 3,
+) -> str:
+    """GitHub-flavoured markdown table."""
+    if not rows:
+        return "(no rows)"
+    cols = _columns(rows, columns)
+    lines = [
+        "| " + " | ".join(cols) + " |",
+        "|" + "|".join("---" for _ in cols) + "|",
+    ]
+    for row in rows:
+        lines.append(
+            "| "
+            + " | ".join(format_value(row.get(c, ""), precision) for c in cols)
+            + " |"
+        )
+    return "\n".join(lines)
+
+
+def write_csv(
+    rows: Sequence[Row],
+    path: Union[str, Path],
+    columns: Optional[Sequence[str]] = None,
+) -> Path:
+    """Write rows to ``path`` (parent directories created); returns path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    cols = _columns(rows, columns)
+    with path.open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=cols, extrasaction="ignore")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({c: row.get(c, "") for c in cols})
+    return path

@@ -1,0 +1,47 @@
+"""Ported Rodinia 3.0 applications (paper Table I / Table III).
+
+Each module carries a validated numpy reference implementation of the
+benchmark's algorithm *and* the declarative simulator workload with the
+exact launch geometry of Table III:
+
+========  =================================  ==========================
+name      benchmark                          kernels
+========  =================================  ==========================
+gaussian  Gaussian Elimination               Fan1, Fan2
+nn        k-Nearest Neighbors                euclid
+needle    Needleman-Wunsch                   needle_cuda_shared_1 / _2
+srad      Speckle reducing anisotropic diff  srad_cuda_1 / _2
+========  =================================  ==========================
+"""
+
+from .base import CALIBRATION, Calibration, RodiniaApp
+from .gaussian import GaussianApp
+from .needle import NeedleApp
+from .nn import NNApp
+from .registry import (
+    APP_CLASSES,
+    TABLE_I,
+    all_pairs,
+    get_app,
+    get_app_class,
+    list_apps,
+    register_app,
+)
+from .srad import SradApp
+
+__all__ = [
+    "RodiniaApp",
+    "Calibration",
+    "CALIBRATION",
+    "GaussianApp",
+    "NNApp",
+    "NeedleApp",
+    "SradApp",
+    "APP_CLASSES",
+    "TABLE_I",
+    "get_app",
+    "get_app_class",
+    "list_apps",
+    "register_app",
+    "all_pairs",
+]

@@ -1,0 +1,110 @@
+"""Common machinery for the ported Rodinia 3.0 applications (Table I).
+
+Each application module provides two things, mirroring how the paper's
+framework "logically groups sections of the benchmark into class methods"
+without modifying the kernels themselves:
+
+1. A **numpy reference implementation** of the benchmark's algorithm,
+   validated against an independent oracle in the test suite.  This keeps
+   the ported applications *real programs*, not just timing stubs.
+2. A :class:`RodiniaApp` subclass whose :meth:`build_profile` produces the
+   declarative :class:`~repro.framework.kernel.AppProfile` — launch
+   geometry exactly as in Table III, buffer sizes from the benchmark's data
+   layout, and per-block durations from the calibrated cost model in
+   :data:`CALIBRATION`.
+
+Scaling: every ``build_profile`` takes the problem size as a parameter with
+the paper's value as default, so tests can run reduced sizes while the
+benchmark harness runs Table III sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..framework.kernel import KernelApp
+
+__all__ = ["RodiniaApp", "Calibration", "CALIBRATION", "FLOAT_BYTES", "INT_BYTES"]
+
+FLOAT_BYTES = 4
+INT_BYTES = 4
+
+
+@dataclass(frozen=True)
+class Calibration:
+    """Per-block kernel durations (seconds) for the cost model.
+
+    Values are calibrated so that each application's *relative* behaviour
+    matches its Rodinia characterization on Kepler-class hardware:
+
+    * ``gaussian`` — long-running and compute-dominant, but alternating a
+      1-block ``Fan1`` (device nearly idle) with a device-filling ``Fan2``.
+    * ``needle`` — tiny grids (at most 16 blocks of 32 threads: under 2% of
+      the K20's thread capacity), the paper's canonical underutilizer.
+    * ``srad`` — device-filling compute in short bursts with a host round
+      trip per iteration.
+    * ``nn`` — a single short kernel; transfer-dominated overall.
+
+    Absolute values are not load-bearing (the paper's own numbers come from
+    one specific testbed); experiments report relative improvements.
+    """
+
+    fan1_block: float = 3.0e-6
+    fan2_block: float = 4.0e-6
+    needle_block: float = 15.0e-6
+    srad1_block: float = 6.0e-6
+    srad2_block: float = 6.0e-6
+    euclid_block: float = 6.0e-6
+
+
+#: Default calibration used by every app factory.
+CALIBRATION = Calibration()
+
+
+class RodiniaApp(KernelApp):
+    """Base class for the four ported benchmarks.
+
+    Adds to :class:`~repro.framework.kernel.KernelApp`:
+
+    * ``benchmark`` / ``kernel_names`` class attributes matching Table I;
+    * :meth:`workload_summary` — the Table III row data for reports.
+    """
+
+    #: Table I "CUDA Benchmark Name".
+    benchmark: str = ""
+    #: Kernel symbols this app launches (Table III "Kernel Name").
+    kernel_names: Tuple[str, ...] = ()
+
+    @classmethod
+    def workload_summary(cls, **kwargs) -> Dict[str, object]:
+        """Table III-style geometry summary for this app's profile."""
+        profile = cls.build_profile(**kwargs)
+        kernels: Dict[str, Dict[str, object]] = {}
+        from ..framework.kernel import KernelPhase
+
+        for phase in profile.phases:
+            if not isinstance(phase, KernelPhase):
+                continue
+            for kd in phase.descriptors:
+                entry = kernels.setdefault(
+                    kd.name,
+                    {
+                        "calls": 0,
+                        "grid_dims": set(),
+                        "block_dim": kd.block.as_tuple(),
+                        "threads_per_block": kd.threads_per_block,
+                        "max_blocks": 0,
+                    },
+                )
+                entry["calls"] += 1
+                entry["grid_dims"].add(kd.grid.as_tuple())
+                entry["max_blocks"] = max(entry["max_blocks"], kd.num_blocks)
+        return {
+            "name": profile.name,
+            "data_dim": profile.data_dim,
+            "htod_bytes": profile.htod_bytes,
+            "dtoh_bytes": profile.dtoh_bytes,
+            "kernel_launches": profile.kernel_launches,
+            "kernels": kernels,
+        }

@@ -1,0 +1,214 @@
+"""Rodinia ``gaussian`` — Gaussian elimination (Table I / Table III).
+
+The benchmark solves a dense linear system ``a x = b`` by forward
+elimination on the GPU followed by back substitution on the host.  Two
+kernels alternate for ``n - 1`` iterations:
+
+* ``Fan1`` — computes the multiplier column ``m[i][t] = a[i][t] / a[t][t]``;
+  launched as a *single* thread block of 512 threads (Table III), leaving
+  the rest of the device idle — this is why gaussian benefits from
+  concurrent co-tenants.
+* ``Fan2`` — rank-1 update of the trailing submatrix; a 32x32 grid of
+  16x16 blocks (1024 blocks of 256 threads) that fills the device for
+  several scheduling waves.
+
+Reference implementation: :func:`forward_eliminate` / :func:`solve`
+replicate the kernels' arithmetic with numpy and are validated against
+``numpy.linalg.solve`` in the tests.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..framework.kernel import (
+    AppProfile,
+    Buffer,
+    KernelPhase,
+    TransferPhase,
+)
+from ..gpu.commands import CopyDirection
+from ..gpu.kernels import Dim3, KernelDescriptor
+from .base import CALIBRATION, FLOAT_BYTES, Calibration, RodiniaApp
+
+__all__ = [
+    "GaussianApp",
+    "forward_eliminate",
+    "back_substitute",
+    "solve",
+    "make_test_system",
+]
+
+#: Paper problem size (Table III: "512 x 512").
+DEFAULT_N = 512
+#: Fan1's one-dimensional block size (Table III: block (512, 1, 1)).
+FAN1_BLOCK = 512
+#: Fan2's tile edge (Table III: block (16, 16, 1)).
+FAN2_TILE = 16
+
+
+# ---------------------------------------------------------------------------
+# Reference implementation (validated against numpy.linalg.solve)
+# ---------------------------------------------------------------------------
+
+def make_test_system(
+    n: int, rng: Optional[np.random.Generator] = None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """A well-conditioned (diagonally dominant) random system.
+
+    Rodinia's generator also produces diagonally dominant matrices so that
+    elimination without pivoting — which is what Fan1/Fan2 implement — is
+    numerically stable.
+    """
+    rng = rng or np.random.default_rng(0)
+    a = rng.uniform(-1.0, 1.0, size=(n, n))
+    a[np.diag_indices(n)] = np.abs(a).sum(axis=1) + 1.0
+    b = rng.uniform(-1.0, 1.0, size=n)
+    return a, b
+
+
+def forward_eliminate(
+    a: np.ndarray, b: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Fan1/Fan2 forward elimination (no pivoting).
+
+    Returns ``(m, a_tri, b_mod)``: the multiplier matrix and the upper
+    triangular system.  Iteration ``t`` performs exactly what one
+    ``Fan1`` + ``Fan2`` launch pair performs on the device.
+    """
+    a = np.array(a, dtype=np.float64, copy=True)
+    b = np.array(b, dtype=np.float64, copy=True)
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        raise ValueError(f"need a square matrix, got {a.shape}")
+    if b.shape != (a.shape[0],):
+        raise ValueError(f"rhs shape {b.shape} does not match {a.shape}")
+    n = a.shape[0]
+    m = np.zeros_like(a)
+    for t in range(n - 1):
+        pivot = a[t, t]
+        if pivot == 0.0:
+            raise ZeroDivisionError(f"zero pivot at step {t} (no pivoting)")
+        # Fan1: multiplier column.
+        m[t + 1 :, t] = a[t + 1 :, t] / pivot
+        # Fan2: rank-1 update of the trailing rows (and the rhs).
+        a[t + 1 :, t:] -= np.outer(m[t + 1 :, t], a[t, t:])
+        b[t + 1 :] -= m[t + 1 :, t] * b[t]
+    return m, a, b
+
+
+def back_substitute(a_tri: np.ndarray, b_mod: np.ndarray) -> np.ndarray:
+    """Host-side back substitution over the triangular system."""
+    n = a_tri.shape[0]
+    x = np.zeros(n, dtype=np.float64)
+    for i in range(n - 1, -1, -1):
+        x[i] = (b_mod[i] - a_tri[i, i + 1 :] @ x[i + 1 :]) / a_tri[i, i]
+    return x
+
+
+def solve(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Full benchmark pipeline: eliminate on 'device', substitute on host."""
+    _, a_tri, b_mod = forward_eliminate(a, b)
+    return back_substitute(a_tri, b_mod)
+
+
+# ---------------------------------------------------------------------------
+# Simulator workload (Table III geometry)
+# ---------------------------------------------------------------------------
+
+class GaussianApp(RodiniaApp):
+    """The ``gaussian`` application instance for the harness."""
+
+    benchmark = "Gaussian Elimination"
+    kernel_names = ("Fan1", "Fan2")
+
+    @staticmethod
+    def run_reference(n: int = 64, seed: int = 0) -> dict:
+        """Execute the real algorithm end to end; verifiable summary.
+
+        Part of the uniform functional API (every application exposes
+        ``run_reference``): proof that the ported applications are real
+        programs, not timing stubs.
+        """
+        rng = np.random.default_rng(seed)
+        a, b = make_test_system(n, rng)
+        x = solve(a, b)
+        residual = float(np.linalg.norm(a @ x - b) / np.linalg.norm(b))
+        return {"n": n, "residual": residual, "x_norm": float(np.linalg.norm(x))}
+
+    @classmethod
+    def build_profile(
+        cls, n: int = DEFAULT_N, calibration: Calibration = CALIBRATION
+    ) -> AppProfile:
+        """Profile for an ``n x n`` system (default: the paper's 512)."""
+        if n < 2:
+            raise ValueError("n must be >= 2")
+        matrix_bytes = n * n * FLOAT_BYTES
+        vector_bytes = n * FLOAT_BYTES
+
+        fan1 = KernelDescriptor(
+            name="Fan1",
+            grid=Dim3(1, 1, 1),
+            block=Dim3(min(FAN1_BLOCK, _ceil_pow2(n)), 1, 1),
+            registers_per_thread=14,
+            shared_mem_per_block=0,
+            block_duration=calibration.fan1_block,
+        )
+        tiles = -(-n // FAN2_TILE)
+        fan2 = KernelDescriptor(
+            name="Fan2",
+            grid=Dim3(tiles, tiles, 1),
+            block=Dim3(FAN2_TILE, FAN2_TILE, 1),
+            registers_per_thread=15,
+            shared_mem_per_block=0,
+            block_duration=calibration.fan2_block,
+        )
+
+        # Rodinia's loop: for t in 0..n-2 { Fan1<<<>>>(t); Fan2<<<>>>(t); }.
+        launches = []
+        for _t in range(n - 1):
+            launches.append(fan1)
+            launches.append(fan2)
+
+        return AppProfile(
+            name="gaussian",
+            data_dim=f"{n} x {n}",
+            host_allocs=(
+                Buffer("a", matrix_bytes),
+                Buffer("b", vector_bytes),
+                Buffer("m", matrix_bytes),
+            ),
+            device_allocs=(
+                Buffer("a_cuda", matrix_bytes),
+                Buffer("b_cuda", vector_bytes),
+                Buffer("m_cuda", matrix_bytes),
+            ),
+            phases=(
+                TransferPhase(
+                    CopyDirection.HTOD,
+                    (
+                        Buffer("a", matrix_bytes),
+                        Buffer("b", vector_bytes),
+                        Buffer("m", matrix_bytes),
+                    ),
+                ),
+                KernelPhase(tuple(launches)),
+                TransferPhase(
+                    CopyDirection.DTOH,
+                    (
+                        Buffer("a", matrix_bytes),
+                        Buffer("b", vector_bytes),
+                    ),
+                ),
+            ),
+            init_cost=250e-6,
+        )
+
+
+def _ceil_pow2(n: int) -> int:
+    """Smallest power of two >= n (Fan1 sizes its block this way)."""
+    p = 1
+    while p < n:
+        p *= 2
+    return p

@@ -1,0 +1,214 @@
+"""Rodinia ``nw`` (needle) — Needleman-Wunsch sequence alignment.
+
+The benchmark fills a ``(n+1) x (n+1)`` dynamic-programming matrix for
+global sequence alignment.  The GPU version processes the matrix in 32x32
+tiles along anti-diagonals: ``needle_cuda_shared_1`` sweeps the upper-left
+triangle of tiles (diagonal ``i`` launches ``i`` blocks, i = 1..16 for the
+paper's 512x512 problem), and ``needle_cuda_shared_2`` sweeps the
+lower-right triangle (i = 15..1) — exactly the ramping grid sizes Table III
+lists as ``(1,1,1) ... (16,1,1)`` and ``(15,1,1) ... (1,1,1)``.
+
+With at most 16 blocks of 32 threads resident (512 threads — under 2% of
+the K20's 26 624-thread capacity), needle is the paper's canonical
+underutilizing application: Hyper-Q can overlap many needle instances at
+nearly no cost, and Figure 5's oversubscription snapshot features its
+kernels.
+
+Reference implementation: :func:`nw_matrix` (anti-diagonal vectorized DP)
+and :func:`nw_align` (traceback), validated against a naive double-loop DP
+in the tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..framework.kernel import AppProfile, Buffer, KernelPhase, TransferPhase
+from ..gpu.commands import CopyDirection
+from ..gpu.kernels import Dim3, KernelDescriptor
+from .base import CALIBRATION, INT_BYTES, Calibration, RodiniaApp
+
+__all__ = ["NeedleApp", "nw_matrix", "nw_score", "nw_align", "make_sequences"]
+
+#: Paper problem size (Table III: "512 x 512").
+DEFAULT_N = 512
+#: Tile edge: BLOCK_SIZE in the CUDA source; Table III block dim (32, 1, 1).
+TILE = 32
+
+
+# ---------------------------------------------------------------------------
+# Reference implementation
+# ---------------------------------------------------------------------------
+
+def make_sequences(
+    n: int, rng: Optional[np.random.Generator] = None, alphabet: int = 23
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Random sequences plus a random substitution (reference) matrix.
+
+    Rodinia seeds the DP matrix's first row/column with random sequence
+    codes and scores matches through a BLOSUM-like table; we reproduce that
+    with a symmetric random integer table over ``alphabet`` symbols.
+    """
+    rng = rng or np.random.default_rng(0)
+    seq1 = rng.integers(1, alphabet, size=n)
+    seq2 = rng.integers(1, alphabet, size=n)
+    blosum = rng.integers(-4, 5, size=(alphabet, alphabet))
+    blosum = np.minimum(blosum, blosum.T)  # symmetric substitution scores
+    return seq1, seq2, blosum
+
+
+def nw_matrix(
+    seq1: np.ndarray,
+    seq2: np.ndarray,
+    blosum: np.ndarray,
+    penalty: int = 10,
+) -> np.ndarray:
+    """Fill the NW DP matrix (anti-diagonal vectorized).
+
+    ``M[i, j] = max(M[i-1, j-1] + ref(i, j), M[i, j-1] - p, M[i-1, j] - p)``
+    with the standard gap initialization of the first row and column —
+    identical cell arithmetic to the CUDA kernels, computed one
+    anti-diagonal at a time (cells on an anti-diagonal are independent,
+    which is also what makes the tiled GPU sweep legal).
+    """
+    seq1 = np.asarray(seq1)
+    seq2 = np.asarray(seq2)
+    if penalty < 0:
+        raise ValueError("penalty is subtracted; pass it positive")
+    rows, cols = len(seq1) + 1, len(seq2) + 1
+    m = np.zeros((rows, cols), dtype=np.int64)
+    m[0, :] = -penalty * np.arange(cols)
+    m[:, 0] = -penalty * np.arange(rows)
+    # Substitution score of cell (i, j): blosum[seq1[i-1], seq2[j-1]].
+    ref = blosum[np.asarray(seq1)[:, None], np.asarray(seq2)[None, :]]
+    for d in range(2, rows + cols - 1):
+        i_lo = max(1, d - (cols - 1))
+        i_hi = min(rows - 1, d - 1)
+        i = np.arange(i_lo, i_hi + 1)
+        j = d - i
+        diag = m[i - 1, j - 1] + ref[i - 1, j - 1]
+        left = m[i, j - 1] - penalty
+        up = m[i - 1, j] - penalty
+        m[i, j] = np.maximum(diag, np.maximum(left, up))
+    return m
+
+
+def nw_score(
+    seq1: np.ndarray, seq2: np.ndarray, blosum: np.ndarray, penalty: int = 10
+) -> int:
+    """Alignment score (bottom-right DP cell)."""
+    return int(nw_matrix(seq1, seq2, blosum, penalty)[-1, -1])
+
+
+def nw_align(
+    seq1: np.ndarray,
+    seq2: np.ndarray,
+    blosum: np.ndarray,
+    penalty: int = 10,
+) -> List[Tuple[Optional[int], Optional[int]]]:
+    """Traceback: aligned index pairs, ``None`` marking gaps.
+
+    Matches Rodinia's host-side traceback (prefer diagonal, then left,
+    then up on ties).
+    """
+    m = nw_matrix(seq1, seq2, blosum, penalty)
+    ref = blosum[np.asarray(seq1)[:, None], np.asarray(seq2)[None, :]]
+    out: List[Tuple[Optional[int], Optional[int]]] = []
+    i, j = len(seq1), len(seq2)
+    while i > 0 or j > 0:
+        if i > 0 and j > 0 and m[i, j] == m[i - 1, j - 1] + ref[i - 1, j - 1]:
+            out.append((i - 1, j - 1))
+            i, j = i - 1, j - 1
+        elif j > 0 and m[i, j] == m[i, j - 1] - penalty:
+            out.append((None, j - 1))
+            j -= 1
+        else:
+            out.append((i - 1, None))
+            i -= 1
+    out.reverse()
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Simulator workload
+# ---------------------------------------------------------------------------
+
+class NeedleApp(RodiniaApp):
+    """The ``needle`` application instance for the harness."""
+
+    benchmark = "Needleman-Wunsch"
+    kernel_names = ("needle_cuda_shared_1", "needle_cuda_shared_2")
+
+    @staticmethod
+    def run_reference(n: int = 48, penalty: int = 10, seed: int = 0) -> dict:
+        """Execute the real alignment end to end; verifiable summary."""
+        rng = np.random.default_rng(seed)
+        seq1, seq2, blosum = make_sequences(n, rng)
+        score = nw_score(seq1, seq2, blosum, penalty=penalty)
+        alignment = nw_align(seq1, seq2, blosum, penalty=penalty)
+        gaps = sum(1 for a, b in alignment if a is None or b is None)
+        return {
+            "n": n,
+            "score": score,
+            "alignment_length": len(alignment),
+            "gaps": gaps,
+        }
+
+    @classmethod
+    def build_profile(
+        cls, n: int = DEFAULT_N, calibration: Calibration = CALIBRATION
+    ) -> AppProfile:
+        """Profile for an ``n x n`` alignment (default: the paper's 512)."""
+        if n < TILE or n % TILE != 0:
+            raise ValueError(f"n must be a positive multiple of {TILE}")
+        tiles = n // TILE  # 16 for the paper's size
+        matrix_bytes = (n + 1) * (n + 1) * INT_BYTES
+
+        # Shared memory per block: the CUDA kernel stages a (TILE+1)^2 input
+        # tile plus a TILE^2 reference tile.
+        shared = ((TILE + 1) * (TILE + 1) + TILE * TILE) * INT_BYTES
+
+        def launch(name: str, blocks: int) -> KernelDescriptor:
+            return KernelDescriptor(
+                name=name,
+                grid=Dim3(blocks, 1, 1),
+                block=Dim3(TILE, 1, 1),
+                registers_per_thread=24,
+                shared_mem_per_block=shared,
+                block_duration=calibration.needle_block,
+            )
+
+        launches = [
+            launch("needle_cuda_shared_1", i) for i in range(1, tiles + 1)
+        ] + [
+            launch("needle_cuda_shared_2", i) for i in range(tiles - 1, 0, -1)
+        ]
+
+        return AppProfile(
+            name="needle",
+            data_dim=f"{n} x {n}",
+            host_allocs=(
+                Buffer("input_itemsets", matrix_bytes),
+                Buffer("reference", matrix_bytes),
+            ),
+            device_allocs=(
+                Buffer("matrix_cuda", matrix_bytes),
+                Buffer("reference_cuda", matrix_bytes),
+            ),
+            phases=(
+                TransferPhase(
+                    CopyDirection.HTOD,
+                    (
+                        Buffer("reference", matrix_bytes),
+                        Buffer("input_itemsets", matrix_bytes),
+                    ),
+                ),
+                KernelPhase(tuple(launches)),
+                TransferPhase(
+                    CopyDirection.DTOH, (Buffer("input_itemsets", matrix_bytes),)
+                ),
+            ),
+            init_cost=300e-6,
+        )

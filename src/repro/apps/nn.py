@@ -1,0 +1,159 @@
+"""Rodinia ``nn`` — k-Nearest Neighbors (Table I / Table III).
+
+The benchmark streams a database of hurricane records (latitude/longitude
+pairs) to the device, computes the Euclidean distance of every record to a
+target location with a single ``euclid`` kernel launch, copies the distance
+array back, and selects the ``k`` smallest on the host.
+
+With the paper's 42 764 records the kernel is a single launch of 168 blocks
+x 256 threads — two scheduling waves — while the transfers dominate the
+application's wall time: ``nn`` is the workload that makes DMA-engine
+contention visible.
+
+Reference implementation: :func:`euclid_distances` (the kernel body) and
+:func:`find_nearest` (kernel + host selection), validated against a brute
+force oracle and ``scipy.spatial`` in the tests.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..framework.kernel import AppProfile, Buffer, KernelPhase, TransferPhase
+from ..gpu.commands import CopyDirection
+from ..gpu.kernels import Dim3, KernelDescriptor
+from .base import CALIBRATION, FLOAT_BYTES, Calibration, RodiniaApp
+
+__all__ = ["NNApp", "euclid_distances", "find_nearest", "make_records"]
+
+#: Paper problem size (Table III: "42764" records).
+DEFAULT_RECORDS = 42764
+#: Threads per block for ``euclid`` (Table III: block (256, 1, 1)).
+EUCLID_BLOCK = 256
+#: One record on the device: a float2 (latitude, longitude).
+RECORD_BYTES = 2 * FLOAT_BYTES
+
+
+# ---------------------------------------------------------------------------
+# Reference implementation
+# ---------------------------------------------------------------------------
+
+def make_records(
+    count: int, rng: Optional[np.random.Generator] = None
+) -> np.ndarray:
+    """Random (lat, lng) records shaped ``(count, 2)`` (float32).
+
+    Mirrors the value ranges of Rodinia's hurricane database generator
+    (latitude 0..63, longitude 0..127).
+    """
+    rng = rng or np.random.default_rng(0)
+    lat = rng.uniform(0.0, 63.0, size=count)
+    lng = rng.uniform(0.0, 127.0, size=count)
+    return np.stack([lat, lng], axis=1).astype(np.float32)
+
+
+def euclid_distances(
+    records: np.ndarray, target_lat: float, target_lng: float
+) -> np.ndarray:
+    """The ``euclid`` kernel body: distance of every record to the target."""
+    records = np.asarray(records, dtype=np.float32)
+    if records.ndim != 2 or records.shape[1] != 2:
+        raise ValueError(f"records must be (n, 2), got {records.shape}")
+    d_lat = records[:, 0] - np.float32(target_lat)
+    d_lng = records[:, 1] - np.float32(target_lng)
+    return np.sqrt(d_lat * d_lat + d_lng * d_lng)
+
+
+def find_nearest(
+    records: np.ndarray,
+    target_lat: float,
+    target_lng: float,
+    k: int = 10,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Kernel + host selection: indices and distances of the k nearest.
+
+    Results are sorted by ascending distance (ties broken by index, making
+    the output deterministic for the tests).
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    distances = euclid_distances(records, target_lat, target_lng)
+    k = min(k, distances.shape[0])
+    # argpartition (the efficient host-side selection), then exact ordering.
+    candidates = np.argpartition(distances, k - 1)[:k]
+    order = np.lexsort((candidates, distances[candidates]))
+    idx = candidates[order]
+    return idx, distances[idx]
+
+
+# ---------------------------------------------------------------------------
+# Simulator workload
+# ---------------------------------------------------------------------------
+
+class NNApp(RodiniaApp):
+    """The ``nn`` application instance for the harness."""
+
+    benchmark = "k-Nearest Neighbors"
+    kernel_names = ("euclid",)
+
+    @staticmethod
+    def run_reference(
+        records: int = 4096, k: int = 5, seed: int = 0
+    ) -> dict:
+        """Execute the real query end to end; verifiable summary."""
+        rng = np.random.default_rng(seed)
+        data = make_records(records, rng)
+        target = (float(rng.uniform(0, 63)), float(rng.uniform(0, 127)))
+        idx, dist = find_nearest(data, *target, k=k)
+        return {
+            "records": records,
+            "k": int(len(idx)),
+            "nearest_index": int(idx[0]),
+            "nearest_distance": float(dist[0]),
+            "max_returned_distance": float(dist[-1]),
+        }
+
+    @classmethod
+    def build_profile(
+        cls,
+        records: int = DEFAULT_RECORDS,
+        calibration: Calibration = CALIBRATION,
+    ) -> AppProfile:
+        """Profile for a database of ``records`` entries."""
+        if records < 1:
+            raise ValueError("records must be >= 1")
+        blocks = -(-records // EUCLID_BLOCK)
+        euclid = KernelDescriptor(
+            name="euclid",
+            grid=Dim3(blocks, 1, 1),
+            block=Dim3(EUCLID_BLOCK, 1, 1),
+            registers_per_thread=12,
+            shared_mem_per_block=0,
+            block_duration=calibration.euclid_block,
+        )
+        locations_bytes = records * RECORD_BYTES
+        distances_bytes = records * FLOAT_BYTES
+        return AppProfile(
+            name="nn",
+            data_dim=str(records),
+            host_allocs=(
+                Buffer("locations", locations_bytes),
+                Buffer("distances", distances_bytes),
+            ),
+            device_allocs=(
+                Buffer("d_locations", locations_bytes),
+                Buffer("d_distances", distances_bytes),
+            ),
+            phases=(
+                TransferPhase(
+                    CopyDirection.HTOD, (Buffer("locations", locations_bytes),)
+                ),
+                KernelPhase((euclid,)),
+                TransferPhase(
+                    CopyDirection.DTOH, (Buffer("distances", distances_bytes),)
+                ),
+            ),
+            init_cost=400e-6,  # parsing the record database is host-heavy
+        )

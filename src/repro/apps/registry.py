@@ -1,0 +1,80 @@
+"""Application registry: name -> app class (paper Table I).
+
+The harness and experiment layer look applications up by the Table I
+"Kernel Name" strings (``gaussian``, ``nn``, ``needle``, ``srad``).  Third
+party applications can register through :func:`register_app`, which is the
+extensibility story the paper's conclusion advertises ("readily extensible
+for additional applications").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple, Type
+
+from .base import RodiniaApp
+from .gaussian import GaussianApp
+from .needle import NeedleApp
+from .nn import NNApp
+from .srad import SradApp
+
+__all__ = [
+    "APP_CLASSES",
+    "get_app_class",
+    "get_app",
+    "list_apps",
+    "register_app",
+    "all_pairs",
+    "TABLE_I",
+]
+
+#: Table I — Ported Rodinia 3.0 applications.
+TABLE_I: Tuple[Tuple[str, str], ...] = (
+    ("Gaussian Elimination", "gaussian"),
+    ("k-Nearest Neighbors", "nn"),
+    ("Needleman-Wunsch", "nw"),
+    ("Speckle reducing anisotropic diffusion", "srad_v2"),
+)
+
+APP_CLASSES: Dict[str, Type[RodiniaApp]] = {
+    "gaussian": GaussianApp,
+    "nn": NNApp,
+    "needle": NeedleApp,
+    "srad": SradApp,
+}
+
+
+def register_app(name: str, app_class: Type[RodiniaApp]) -> None:
+    """Add (or replace) an application class under ``name``."""
+    if not issubclass(app_class, RodiniaApp):
+        raise TypeError(f"{app_class!r} is not a RodiniaApp subclass")
+    APP_CLASSES[name] = app_class
+
+
+def get_app_class(name: str) -> Type[RodiniaApp]:
+    """Look up an application class by its Table I kernel name."""
+    try:
+        return APP_CLASSES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown application {name!r}; available: {sorted(APP_CLASSES)}"
+        ) from None
+
+
+def get_app(name: str, instance: int = 0, **kwargs) -> RodiniaApp:
+    """Instantiate application ``name`` with profile options ``kwargs``."""
+    return get_app_class(name).create(instance=instance, **kwargs)
+
+
+def list_apps() -> List[str]:
+    """Registered application names, sorted."""
+    return sorted(APP_CLASSES)
+
+
+def all_pairs() -> List[Tuple[str, str]]:
+    """The six heterogeneous pairings evaluated in Figure 4 (and 7-10)."""
+    names = list_apps()
+    return [
+        (names[i], names[j])
+        for i in range(len(names))
+        for j in range(i + 1, len(names))
+    ]

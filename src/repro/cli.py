@@ -1,0 +1,421 @@
+"""Command-line interface: ``python -m repro <experiment>``.
+
+Runs any of the paper's experiments and prints (and optionally saves) the
+resulting tables and timelines.  Examples::
+
+    python -m repro list
+    python -m repro fig4 --scale small --na 8 16
+    python -m repro fig6 --pair gaussian needle
+    python -m repro timeline --pair gaussian needle --apps 8 --sync
+    python -m repro headline --scale small --out results/
+
+The ``--scale`` flag selects the problem-size profile (``paper`` is the
+Table III default; ``small``/``tiny`` run in seconds).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .analysis.tables import format_table, write_csv
+from .analysis.timeline import render_timeline
+from .apps.registry import all_pairs, list_apps
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (exposed for the docs and tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-hyperq",
+        description=(
+            "Reproduction of 'Effective Utilization of CUDA Hyper-Q for "
+            "Improved Power and Performance Efficiency' on a simulated "
+            "Tesla K20."
+        ),
+    )
+    parser.add_argument(
+        "--scale",
+        default=None,
+        choices=("paper", "small", "tiny"),
+        help="problem-size profile (default: REPRO_SCALE env or 'paper')",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None, help="directory for CSV output"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list applications and experiment names")
+
+    p = sub.add_parser("fig3", help="Figure 3: the five launch orders")
+    p.add_argument("--m", type=int, default=4)
+    p.add_argument("--n", type=int, default=4)
+
+    p = sub.add_parser("fig4", help="Figure 4: concurrency speedup vs serial")
+    p.add_argument("--na", type=int, nargs="+", default=[4, 8, 16, 32])
+    p.add_argument("--pair", nargs=2, default=None, metavar=("X", "Y"))
+
+    sub.add_parser("fig5", help="Figure 5: LEFTOVER oversubscription snapshot")
+
+    p = sub.add_parser("fig6", help="Figure 6: effective transfer latency")
+    p.add_argument("--pair", nargs=2, default=["gaussian", "needle"])
+    p.add_argument("--na", type=int, nargs="+", default=[8, 16, 32])
+
+    p = sub.add_parser("fig7", help="Figure 7: ordering effect (default memory)")
+    p.add_argument("--apps", type=int, default=32)
+
+    p = sub.add_parser("fig8", help="Figure 8: ordering effect (memory sync)")
+    p.add_argument("--apps", type=int, default=32)
+
+    p = sub.add_parser("fig9", help="Figure 9: power serial/half/full")
+    p.add_argument("--pair", nargs=2, default=["gaussian", "needle"])
+    p.add_argument("--apps", type=int, default=32)
+
+    p = sub.add_parser("fig10", help="Figure 10: power default vs sync")
+    p.add_argument("--pair", nargs=2, default=["gaussian", "needle"])
+    p.add_argument("--apps", type=int, default=32)
+
+    p = sub.add_parser("timeline", help="Figures 1/2: render copy timelines")
+    p.add_argument("--pair", nargs=2, default=["gaussian", "needle"])
+    p.add_argument("--apps", type=int, default=8)
+    p.add_argument("--sync", action="store_true", help="enable the transfer mutex")
+    p.add_argument("--width", type=int, default=100)
+
+    sub.add_parser("table3", help="Table III: launch geometry")
+
+    p = sub.add_parser("headline", help="the abstract's aggregate numbers")
+    p.add_argument("--apps", type=int, default=32)
+
+    p = sub.add_parser("homog", help="homogeneous self-concurrency scaling")
+    p.add_argument("--apps", nargs="+", default=None, metavar="APP")
+    p.add_argument("--na", type=int, nargs="+", default=[4, 8, 16])
+
+    p = sub.add_parser(
+        "autotune",
+        help="search launch orders beyond the five named policies",
+    )
+    p.add_argument("--pair", nargs=2, default=["nn", "srad"])
+    p.add_argument("--apps", type=int, default=16)
+    p.add_argument("--objective", default="makespan",
+                   choices=("makespan", "energy", "edp"))
+    p.add_argument("--restarts", type=int, default=2)
+    p.add_argument("--swaps", type=int, default=15)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser(
+        "streaming",
+        help="online dispatch of a Poisson job stream (future-work demo)",
+    )
+    p.add_argument("--rate", type=float, default=12000.0)
+    p.add_argument("--duration", type=float, default=0.006)
+    p.add_argument("--streams", type=int, default=16)
+    p.add_argument("--power-cap", type=float, default=70.0)
+
+    p = sub.add_parser(
+        "report",
+        help="assemble EXPERIMENTS-style markdown from results/ CSVs",
+    )
+    p.add_argument(
+        "--results", type=Path, default=Path("results"),
+        help="directory with the benchmark CSVs",
+    )
+    p.add_argument(
+        "--write", type=Path, default=None,
+        help="write the report to this file instead of stdout",
+    )
+
+    return parser
+
+
+def _emit(rows: List[dict], title: str, out: Optional[Path], name: str) -> None:
+    print(format_table(rows, title=title))
+    if out is not None:
+        path = write_csv(rows, out / f"{name}.csv")
+        print(f"(wrote {path})")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    scale = args.scale
+    out = args.out
+
+    if args.command == "list":
+        print("applications:", ", ".join(list_apps()))
+        print("pairs:", ", ".join(f"{x}+{y}" for x, y in all_pairs()))
+        print(
+            "experiments: fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 "
+            "timeline table3 headline homog autotune streaming report"
+        )
+        return 0
+
+    # Import lazily: experiment modules pull in the whole stack.
+    from .core import experiments as ex
+
+    if args.command == "fig3":
+        orders = ex.fig3_orders(m=args.m, n=args.n)
+        for name, signature in orders.items():
+            print(f"{name:>22}: {' '.join(signature)}")
+        return 0
+
+    if args.command == "fig4":
+        pairs = [tuple(args.pair)] if args.pair else None
+        result = ex.fig4_concurrency(pairs=pairs, na_values=args.na, scale=scale)
+        rows = [
+            {
+                "pair": f"{r.pair[0]}+{r.pair[1]}",
+                "NA": r.num_apps,
+                "scenario": r.scenario,
+                "NS": r.num_streams,
+                "serial_ms": r.serial_makespan * 1e3,
+                "concurrent_ms": r.makespan * 1e3,
+                "improvement_pct": r.improvement_pct,
+            }
+            for r in result.rows
+        ]
+        _emit(rows, "Figure 4 — concurrency speedup vs serial", out, "fig4")
+        for scenario in ("half", "full"):
+            mx, avg = result.stats(scenario)
+            print(f"{scenario}: max {mx:.1f}%  avg {avg:.1f}%")
+        return 0
+
+    if args.command == "fig5":
+        result = ex.fig5_oversubscription()
+        _emit(result.rows(), "Figure 5 — LEFTOVER oversubscription", out, "fig5")
+        print(
+            f"requested {result.total_requested_blocks} thread blocks vs "
+            f"ceiling {result.device_block_ceiling}; "
+            f"max kernel concurrency {result.max_kernel_concurrency}; "
+            f"makespan {result.makespan * 1e6:.0f} us "
+            f"(serialized {result.serialized_makespan * 1e6:.0f} us)"
+        )
+        return 0
+
+    if args.command == "fig6":
+        result = ex.fig6_effective_latency(
+            pair=tuple(args.pair), na_values=args.na, scale=scale
+        )
+        rows = [
+            {
+                "NA": r.num_apps,
+                "expected_ms": r.expected_ms,
+                "default_ms": r.default_ms,
+                "default_x": r.default_ratio,
+                "sync_ms": r.sync_ms,
+                "sync_x": r.sync_ratio,
+            }
+            for r in result.rows
+        ]
+        _emit(rows, "Figure 6 — effective HtoD transfer latency", out, "fig6")
+        return 0
+
+    if args.command in ("fig7", "fig8"):
+        fn = ex.fig7_ordering_default if args.command == "fig7" else ex.fig8_ordering_sync
+        result = fn(num_apps=args.apps, scale=scale)
+        rows = [
+            {
+                "pair": f"{r.pair[0]}+{r.pair[1]}",
+                "order": str(r.order),
+                "makespan_ms": r.makespan * 1e3,
+                "normalized_perf": r.normalized_performance,
+            }
+            for r in result.rows
+        ]
+        label = "default memory" if args.command == "fig7" else "memory sync"
+        _emit(rows, f"Figure {args.command[3:]} — ordering effect ({label})", out, args.command)
+        mx, avg = result.stats()
+        print(f"ordering spread: max {mx:.1f}%  avg {avg:.1f}%")
+        return 0
+
+    if args.command == "fig9":
+        result = ex.fig9_power_concurrency(
+            pair=tuple(args.pair), num_apps=args.apps, scale=scale
+        )
+        rows = [
+            {
+                "scenario": s.label,
+                "NS": s.num_streams,
+                "makespan_ms": s.makespan * 1e3,
+                "energy_J": s.energy,
+                "avg_power_W": s.average_power,
+                "peak_power_W": s.peak_power,
+            }
+            for s in result.scenarios
+        ]
+        _emit(rows, "Figure 9 — power under increasing concurrency", out, "fig9")
+        pair, best = result.best_energy_improvement
+        print(
+            f"energy reduction (full vs serial): avg "
+            f"{result.average_energy_improvement:.1f}%, best {best:.1f}% "
+            f"({pair[0]}+{pair[1]})"
+        )
+        return 0
+
+    if args.command == "fig10":
+        result = ex.fig10_power_sync(
+            pair=tuple(args.pair), num_apps=args.apps, scale=scale
+        )
+        rows = [
+            {
+                "scenario": s.label,
+                "makespan_ms": s.makespan * 1e3,
+                "energy_J": s.energy,
+                "avg_power_W": s.average_power,
+                "peak_power_W": s.peak_power,
+            }
+            for s in result.scenarios
+        ]
+        _emit(rows, "Figure 10 — power: default vs memory sync", out, "fig10")
+        pair, best = result.best_energy_improvement
+        print(
+            f"power delta (sync vs default): {result.power_delta_pct:+.1f}%; "
+            f"energy reduction vs serial: avg "
+            f"{result.average_energy_improvement:.1f}%, best {best:.1f}% "
+            f"({pair[0]}+{pair[1]})"
+        )
+        return 0
+
+    if args.command == "timeline":
+        from .core.runner import quick_run
+
+        run = quick_run(
+            pair=tuple(args.pair),
+            num_apps=args.apps,
+            num_streams=args.apps,
+            memory_sync=args.sync,
+            scale=scale,
+            record_trace=True,
+        )
+        label = "Figure 2 (memory sync)" if args.sync else "Figure 1 (default)"
+        print(render_timeline(run.harness.trace, width=args.width, title=label))
+        print(run.summary())
+        from .analysis.profile_summary import kernel_summary, transfer_summary
+
+        print()
+        print(format_table(
+            kernel_summary(run.harness.trace), title="Kernel summary"
+        ))
+        print()
+        print(format_table(
+            transfer_summary(run.harness.trace), title="Transfer summary"
+        ))
+        return 0
+
+    if args.command == "table3":
+        rows = ex.table3_geometry(scale=scale)
+        _emit(rows, "Table III — kernel launch geometry", out, "table3")
+        return 0
+
+    if args.command == "headline":
+        result = ex.headline_numbers(num_apps=args.apps, scale=scale)
+        _emit(result.rows(), "Headline numbers (paper vs measured)", out, "headline")
+        return 0
+
+    if args.command == "homog":
+        result = ex.homogeneous_scaling(
+            apps=args.apps, na_values=args.na, scale=scale
+        )
+        rows = [
+            {
+                "app": r.app,
+                "NA": r.num_apps,
+                "serial_ms": r.serial_makespan * 1e3,
+                "concurrent_ms": r.concurrent_makespan * 1e3,
+                "improvement_pct": r.improvement_pct,
+            }
+            for r in result.rows
+        ]
+        _emit(rows, "Homogeneous self-concurrency scaling", out, "homog")
+        app, best = result.best_improvement()
+        print(f"best: {best:.1f}% ({app})")
+        return 0
+
+    if args.command == "autotune":
+        from .core.autotune import OrderSearch
+        from .core.workload import Workload
+        from .framework.scheduler import schedule_signature
+
+        workload = Workload.heterogeneous_pair(*args.pair, args.apps, scale=scale)
+        search = OrderSearch(
+            workload,
+            num_streams=args.apps,
+            objective=args.objective,
+            seed=args.seed,
+        )
+        result = search.search(restarts=args.restarts, swaps_per_climb=args.swaps)
+        rows = [
+            {"seed_policy": name, args.objective: value}
+            for name, value in sorted(result.seed_values.items(), key=lambda kv: kv[1])
+        ]
+        _emit(rows, f"Seed policies ({args.objective})", out, "autotune_seeds")
+        print(
+            f"\nbest after search: {result.best_value:.6g} "
+            f"({result.evaluations} harness runs)"
+        )
+        print(
+            f"vs best named policy : {result.improvement_over_best_seed_pct:+.2f}%"
+        )
+        print(
+            f"vs worst named policy: {result.improvement_over_worst_seed_pct:+.2f}%"
+        )
+        signature = schedule_signature(workload.types, result.best_schedule)
+        print("best schedule:", " ".join(signature))
+        return 0
+
+    if args.command == "report":
+        from .analysis.report import build_report
+
+        report = build_report(args.results)
+        if args.write is not None:
+            args.write.write_text(report)
+            print(f"wrote {args.write}")
+        else:
+            print(report)
+        return 0
+
+    if args.command == "streaming":
+        from .core.streaming import (
+            ConcurrencyCapDispatcher,
+            GreedyDispatcher,
+            PowerCapDispatcher,
+            poisson_arrivals,
+            run_streaming,
+        )
+
+        arrivals = poisson_arrivals(
+            rate=args.rate,
+            duration=args.duration,
+            type_mix=[("nn", 2), ("needle", 1)],
+            seed=7,
+        )
+        rows = []
+        for dispatcher in (
+            GreedyDispatcher(),
+            ConcurrencyCapDispatcher(1),
+            PowerCapDispatcher(args.power_cap),
+        ):
+            result = run_streaming(
+                arrivals, dispatcher, num_streams=args.streams, scale=scale
+            )
+            rows.append(
+                {
+                    "policy": result.dispatcher,
+                    "jobs": result.jobs,
+                    "mean_sojourn_ms": result.mean_sojourn * 1e3,
+                    "p95_sojourn_ms": result.p95_sojourn * 1e3,
+                    "jobs_per_s": result.throughput,
+                    "avg_power_W": result.average_power,
+                    "energy_J": result.energy,
+                }
+            )
+        _emit(rows, f"Streaming dispatch ({len(arrivals)} arrivals)", out, "streaming")
+        return 0
+
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

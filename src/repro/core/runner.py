@@ -1,0 +1,208 @@
+"""Experiment runner: configure, execute and compare harness runs.
+
+The paper's evaluation always reports *relative* numbers: improvement over
+serialized execution (Figure 4), latency relative to the homogeneous
+expectation (Figure 6), performance relative to the slowest launch order
+(Figures 7/8), energy relative to the serial baseline (Figures 9/10).
+:class:`ExperimentRunner` provides exactly those comparisons, caching the
+(expensive) serial baselines so sweep experiments don't recompute them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..framework.harness import HarnessConfig, HarnessResult, TestHarness
+from ..framework.metrics import improvement_pct
+from ..framework.scheduler import SchedulingOrder
+from ..gpu.specs import DeviceSpec
+from .workload import Workload
+
+__all__ = ["RunConfig", "RunResult", "ExperimentRunner", "quick_run"]
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """One experiment cell: workload x streams x order x policies."""
+
+    workload: Workload
+    num_streams: int
+    order: SchedulingOrder = SchedulingOrder.NAIVE_FIFO
+    memory_sync: bool = False
+    copy_policy: str = "interleave"
+    spec: Optional[DeviceSpec] = None
+    seed: int = 0
+    record_trace: bool = False
+    power_interval: float = 15e-3
+    spawn_jitter: float = 0.0
+    admission: object = None
+
+    @property
+    def num_apps(self) -> int:
+        """NA."""
+        return self.workload.size
+
+    def label(self) -> str:
+        """Short cell id for tables and logs."""
+        sync = "sync" if self.memory_sync else "default"
+        return (
+            f"{self.workload.describe()} | NS={self.num_streams} "
+            f"| {self.order} | {sync}"
+        )
+
+
+@dataclass
+class RunResult:
+    """A harness result annotated with its configuration."""
+
+    config: RunConfig
+    harness: HarnessResult
+
+    @property
+    def makespan(self) -> float:
+        """Wall time of the whole schedule (s)."""
+        return self.harness.makespan
+
+    @property
+    def energy(self) -> float:
+        """Exact GPU energy over the run window (J)."""
+        return self.harness.energy
+
+    @property
+    def average_power(self) -> float:
+        """Energy / makespan (W)."""
+        return self.harness.average_power
+
+    @property
+    def peak_power(self) -> float:
+        """Peak instantaneous model power (W)."""
+        return self.harness.peak_power
+
+    def improvement_over(self, baseline: "RunResult") -> float:
+        """Makespan improvement vs ``baseline`` in percent (positive=faster)."""
+        return improvement_pct(baseline.makespan, self.makespan)
+
+    def energy_improvement_over(self, baseline: "RunResult") -> float:
+        """Energy reduction vs ``baseline`` in percent (positive=less energy)."""
+        return improvement_pct(baseline.energy, self.energy)
+
+    def summary(self) -> str:
+        """Configuration + measurements in one line."""
+        return f"[{self.config.label()}] {self.harness.summary()}"
+
+
+class ExperimentRunner:
+    """Executes :class:`RunConfig` cells with serial-baseline caching."""
+
+    def __init__(self, default_spec: Optional[DeviceSpec] = None) -> None:
+        self.default_spec = default_spec
+        self._serial_cache: Dict[tuple, RunResult] = {}
+        self.runs_executed: int = 0
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self, config: RunConfig) -> RunResult:
+        """Execute one cell in a fresh simulation."""
+        rng = np.random.default_rng(config.seed)
+        schedule = config.workload.schedule(config.order, rng=rng)
+        apps = config.workload.instantiate(schedule)
+        spec = config.spec or self.default_spec
+        harness_config = HarnessConfig(
+            apps=apps,
+            num_streams=config.num_streams,
+            memory_sync=config.memory_sync,
+            spec=spec,
+            copy_policy=config.copy_policy,
+            record_trace=config.record_trace,
+            power_interval=config.power_interval,
+            spawn_jitter=config.spawn_jitter,
+            seed=config.seed,
+            admission=config.admission,
+        )
+        result = TestHarness(harness_config).run()
+        self.runs_executed += 1
+        return RunResult(config=config, harness=result)
+
+    def run_serial(self, workload: Workload, **kwargs) -> RunResult:
+        """The serialized baseline: the whole workload on one stream.
+
+        Order is Naive FIFO (order cannot matter when everything
+        serializes through a single stream's host lock) and memory sync is
+        off (a single stream never contends with itself).  Results are
+        cached per workload.
+        """
+        key = (workload.entries, tuple(sorted(kwargs.items())))
+        cached = self._serial_cache.get(key)
+        if cached is not None:
+            return cached
+        config = RunConfig(
+            workload=workload,
+            num_streams=1,
+            order=SchedulingOrder.NAIVE_FIFO,
+            memory_sync=False,
+            **kwargs,
+        )
+        result = self.run(config)
+        self._serial_cache[key] = result
+        return result
+
+    # -- comparisons ------------------------------------------------------------
+
+    def improvement_vs_serial(self, config: RunConfig) -> Tuple[float, RunResult, RunResult]:
+        """(improvement %, run, serial baseline) for one cell."""
+        serial = self.run_serial(
+            config.workload,
+            copy_policy=config.copy_policy,
+            spec=config.spec,
+        )
+        result = self.run(config)
+        return result.improvement_over(serial), result, serial
+
+    def ordering_matrix(
+        self,
+        workload: Workload,
+        num_streams: int,
+        memory_sync: bool,
+        orders: Optional[Sequence[SchedulingOrder]] = None,
+        seed: int = 0,
+        **kwargs,
+    ) -> Dict[SchedulingOrder, RunResult]:
+        """Run every launch order on one workload (Figures 7/8 cells)."""
+        from ..framework.scheduler import all_orders
+
+        results = {}
+        for order in orders or all_orders():
+            config = RunConfig(
+                workload=workload,
+                num_streams=num_streams,
+                order=order,
+                memory_sync=memory_sync,
+                seed=seed,
+                **kwargs,
+            )
+            results[order] = self.run(config)
+        return results
+
+
+def quick_run(
+    pair: Tuple[str, str] = ("gaussian", "needle"),
+    num_apps: int = 8,
+    num_streams: int = 8,
+    memory_sync: bool = False,
+    order: SchedulingOrder = SchedulingOrder.NAIVE_FIFO,
+    scale: Optional[str] = None,
+    **kwargs,
+) -> RunResult:
+    """One-call convenience API used by the README quickstart."""
+    workload = Workload.heterogeneous_pair(pair[0], pair[1], num_apps, scale=scale)
+    config = RunConfig(
+        workload=workload,
+        num_streams=num_streams,
+        order=order,
+        memory_sync=memory_sync,
+        **kwargs,
+    )
+    return ExperimentRunner().run(config)

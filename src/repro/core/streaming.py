@@ -1,0 +1,318 @@
+"""Streaming (open-loop) workloads and online dispatch policies.
+
+The paper's conclusion: "We envision designing intelligent scheduler
+algorithms to support energy efficient execution or manage streaming
+workloads, rather than a finite set."  This module implements that
+extension: applications *arrive over time* (a seeded Poisson process over a
+type mix) and an online :class:`Dispatcher` policy decides when to admit
+each arrival to a stream:
+
+* :class:`GreedyDispatcher` — admit immediately on the next stream
+  (round-robin); maximum concurrency, the throughput-first policy.
+* :class:`ConcurrencyCapDispatcher` — admit only while fewer than ``cap``
+  applications are in flight; queue otherwise (FIFO).  ``cap=1`` recovers
+  serialized execution, ``cap=NS`` the greedy policy.
+* :class:`PowerCapDispatcher` — admit only while the board's sampled power
+  is below a wattage budget; the "energy efficient execution" objective.
+
+:func:`run_streaming` executes one arrival trace under a dispatcher and
+returns per-job latency (sojourn) statistics plus power/energy, so policies
+are comparable on a throughput-latency-power frontier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..apps.registry import get_app_class
+from ..framework.app_thread import AppThread
+from ..framework.metrics import AppRecord
+from ..framework.power_monitor import PowerMonitor
+from ..framework.stream_manager import StreamManager
+from ..framework.sync import make_synchronizer
+from ..gpu.device import GPUDevice
+from ..gpu.specs import DeviceSpec, tesla_k20
+from ..sim.engine import Environment
+from ..sim.events import AllOf, Event
+from ..sim.resources import Store
+from .workload import SCALES, resolve_scale
+
+__all__ = [
+    "Arrival",
+    "poisson_arrivals",
+    "Dispatcher",
+    "GreedyDispatcher",
+    "ConcurrencyCapDispatcher",
+    "PowerCapDispatcher",
+    "StreamingResult",
+    "run_streaming",
+]
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One job of a streaming trace."""
+
+    index: int
+    time: float
+    type_name: str
+
+
+def poisson_arrivals(
+    rate: float,
+    duration: float,
+    type_mix: Sequence[Tuple[str, float]],
+    seed: int = 0,
+) -> List[Arrival]:
+    """A seeded Poisson arrival trace over a weighted type mix.
+
+    Parameters
+    ----------
+    rate:
+        Mean arrivals per second.
+    duration:
+        Trace length in (simulated) seconds.
+    type_mix:
+        ``[(type_name, weight), ...]``; weights are normalized.
+    """
+    if rate <= 0 or duration <= 0:
+        raise ValueError("rate and duration must be positive")
+    names = [n for n, _ in type_mix]
+    weights = np.array([w for _, w in type_mix], dtype=float)
+    if weights.sum() <= 0:
+        raise ValueError("type mix weights must sum to > 0")
+    weights = weights / weights.sum()
+    rng = np.random.default_rng(seed)
+    arrivals: List[Arrival] = []
+    t = 0.0
+    index = 0
+    while True:
+        t += rng.exponential(1.0 / rate)
+        if t >= duration:
+            break
+        name = names[rng.choice(len(names), p=weights)]
+        arrivals.append(Arrival(index=index, time=t, type_name=name))
+        index += 1
+    return arrivals
+
+
+class Dispatcher:
+    """Base class for online admission policies.
+
+    Subclasses implement :meth:`may_admit`, consulted whenever a job is at
+    the head of the queue; the streaming engine re-consults after every
+    completion (and, for power capping, every sensor sample).
+    """
+
+    name = "dispatcher"
+
+    def may_admit(self, in_flight: int, power_watts: float) -> bool:  # pragma: no cover
+        """Whether the head-of-queue job may start now."""
+        raise NotImplementedError
+
+
+class GreedyDispatcher(Dispatcher):
+    """Admit everything immediately (throughput-first)."""
+
+    name = "greedy"
+
+    def may_admit(self, in_flight: int, power_watts: float) -> bool:
+        return True
+
+
+class ConcurrencyCapDispatcher(Dispatcher):
+    """At most ``cap`` applications in flight."""
+
+    def __init__(self, cap: int) -> None:
+        if cap < 1:
+            raise ValueError("cap must be >= 1")
+        self.cap = cap
+        self.name = f"cap-{cap}"
+
+    def may_admit(self, in_flight: int, power_watts: float) -> bool:
+        return in_flight < self.cap
+
+
+class PowerCapDispatcher(Dispatcher):
+    """Admit only while sampled board power is under ``watts``."""
+
+    def __init__(self, watts: float) -> None:
+        if watts <= 0:
+            raise ValueError("watts must be positive")
+        self.watts = watts
+        self.name = f"power-cap-{watts:.0f}W"
+
+    def may_admit(self, in_flight: int, power_watts: float) -> bool:
+        return in_flight == 0 or power_watts < self.watts
+
+
+@dataclass
+class StreamingResult:
+    """Measurements of one streaming run."""
+
+    dispatcher: str
+    jobs: int
+    completion_time: float          # last job completion (s)
+    records: List[AppRecord]
+    sojourn_times: List[float]      # arrival -> completion per job
+    queue_delays: List[float]       # arrival -> admission per job
+    energy: float
+    average_power: float
+    peak_power: float
+    peak_in_flight: int
+
+    @property
+    def throughput(self) -> float:
+        """Completed jobs per second of makespan."""
+        return self.jobs / self.completion_time if self.completion_time else 0.0
+
+    @property
+    def mean_sojourn(self) -> float:
+        """Mean time from arrival to completion."""
+        return float(np.mean(self.sojourn_times)) if self.sojourn_times else 0.0
+
+    @property
+    def p95_sojourn(self) -> float:
+        """95th-percentile sojourn time."""
+        if not self.sojourn_times:
+            return 0.0
+        return float(np.percentile(self.sojourn_times, 95))
+
+    def summary(self) -> str:
+        """One-line digest for reports."""
+        return (
+            f"{self.dispatcher}: {self.jobs} jobs in "
+            f"{self.completion_time * 1e3:.1f} ms "
+            f"({self.throughput:.0f} jobs/s), mean sojourn "
+            f"{self.mean_sojourn * 1e3:.2f} ms, p95 "
+            f"{self.p95_sojourn * 1e3:.2f} ms, avg power "
+            f"{self.average_power:.0f} W, energy {self.energy:.3f} J"
+        )
+
+
+def run_streaming(
+    arrivals: Sequence[Arrival],
+    dispatcher: Dispatcher,
+    num_streams: int = 32,
+    memory_sync: bool = True,
+    scale: Optional[str] = None,
+    spec: Optional[DeviceSpec] = None,
+    power_interval: float = 1e-3,
+) -> StreamingResult:
+    """Execute an arrival trace under an online dispatch policy."""
+    if not arrivals:
+        raise ValueError("empty arrival trace")
+    scale_name = resolve_scale(scale)
+    spec = spec or tesla_k20()
+    env = Environment()
+    device = GPUDevice(env, spec=spec)
+    manager = StreamManager(env, device, num_streams)
+    synchronizer = make_synchronizer(env, memory_sync)
+    monitor = PowerMonitor(env, device, interval=power_interval)
+
+    records: List[AppRecord] = []
+    sojourns: List[float] = []
+    queue_delays: List[float] = []
+    state = {"in_flight": 0, "peak": 0}
+    queue: Store = Store(env, name="admission-queue")
+    admit_poke = {"event": None}
+
+    instance_counters: Dict[str, int] = {}
+
+    def make_thread(arrival: Arrival) -> AppThread:
+        count = instance_counters.get(arrival.type_name, 0)
+        instance_counters[arrival.type_name] = count + 1
+        kwargs = SCALES[scale_name].get(arrival.type_name, {})
+        app = get_app_class(arrival.type_name).create(instance=count, **kwargs)
+        record = AppRecord(
+            app_id=app.app_id,
+            type_name=arrival.type_name,
+            instance=count,
+            stream_index=-1,
+            launch_index=arrival.index,
+        )
+        records.append(record)
+        return AppThread(env, device, app, synchronizer, record)
+
+    def poke() -> None:
+        evt = admit_poke["event"]
+        if evt is not None and not evt.triggered:
+            evt.succeed()
+
+    def job_body(thread: AppThread, arrival_time: float):
+        yield from thread.run()
+        state["in_flight"] -= 1
+        sojourns.append(env.now - arrival_time)
+        poke()
+
+    def arrival_body(arrival: Arrival):
+        # Per-job host thread: allocate/initialize concurrently with other
+        # arrivals, then join the admission queue.
+        thread = make_thread(arrival)
+        yield from thread.prepare()
+        queue.put((thread, arrival.time))
+        poke()
+
+    def source():
+        now = 0.0
+        for arrival in arrivals:
+            yield env.timeout(arrival.time - now)
+            now = arrival.time
+            env.process(arrival_body(arrival), name=f"arrival-{arrival.index}")
+
+    completions: List[Event] = []
+
+    def admitter():
+        served = 0
+        while served < len(arrivals):
+            get = queue.get()
+            item = yield get
+            thread, arrival_time = item
+            # Wait for the dispatcher's admission condition.
+            while not dispatcher.may_admit(
+                state["in_flight"], device.power.current_power
+            ):
+                gate = Event(env)
+                admit_poke["event"] = gate
+                # Re-evaluate on every completion or sensor tick.
+                tick = env.timeout(power_interval)
+                yield env.any_of([gate, tick])
+                admit_poke["event"] = None
+            queue_delays.append(env.now - arrival_time)
+            stream = manager.acquire(thread.app.app_id)
+            thread.assign_stream(stream)
+            thread.record.stream_index = stream.index
+            thread.record.spawn_time = env.now
+            state["in_flight"] += 1
+            state["peak"] = max(state["peak"], state["in_flight"])
+            completions.append(
+                env.process(job_body(thread, arrival_time), name=thread.app.app_id)
+            )
+            served += 1
+        if completions:
+            yield AllOf(env, completions)
+        monitor.stop()
+
+    monitor.start()
+    env.process(source(), name="arrival-source")
+    done = env.process(admitter(), name="admitter")
+    env.run(until=done)
+    env.run()
+
+    completion_time = max((r.complete_time for r in records), default=0.0)
+    energy = device.power.energy(completion_time)
+    return StreamingResult(
+        dispatcher=dispatcher.name,
+        jobs=len(arrivals),
+        completion_time=completion_time,
+        records=records,
+        sojourn_times=sojourns,
+        queue_delays=queue_delays,
+        energy=energy,
+        average_power=energy / completion_time if completion_time else 0.0,
+        peak_power=device.power.peak_power,
+        peak_in_flight=state["peak"],
+    )

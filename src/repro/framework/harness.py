@@ -1,0 +1,235 @@
+"""The modular test harness (paper Section IV).
+
+Execution flow, mirroring the paper's description: the harness loads an
+application scheduling order, instantiates a class object for each
+application, starts the power-monitor thread, launches each application on
+its own child thread (in schedule order, separated by the thread-spawn
+cost — which is what lets launch order prejudice execution order), waits
+for all children, then tears everything down.
+
+:class:`HarnessConfig` captures one experimental cell (schedule, NS, memory
+sync on/off, device, copy policy); :meth:`TestHarness.run` executes it in a
+fresh simulation environment and returns a :class:`HarnessResult` with the
+per-application records, makespan, energy and the optional trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..gpu.device import GPUDevice
+from ..gpu.specs import DeviceSpec, tesla_k20
+from ..sim.engine import Environment
+from ..sim.events import AllOf
+from ..sim.trace import TraceRecorder
+from .app_thread import AppThread
+from .kernel import KernelApp
+from .metrics import AppRecord, average_effective_latency, makespan
+from .power_monitor import DEFAULT_INTERVAL, PowerMonitor
+from .stream_manager import StreamManager
+from .sync import make_synchronizer
+
+__all__ = ["HarnessConfig", "HarnessResult", "TestHarness"]
+
+
+@dataclass
+class HarnessConfig:
+    """One experimental configuration.
+
+    Attributes
+    ----------
+    apps:
+        Application instances in *launch order* (the scheduling policies of
+        Section III-C are applied upstream, in :mod:`repro.core`).
+    num_streams:
+        NS.  ``1`` is the paper's serialized baseline; ``len(apps)`` is the
+        full-concurrent scenario.
+    memory_sync:
+        Enable the Section III-B transfer mutex.
+    spec:
+        Device description (default Tesla K20).
+    copy_policy:
+        DMA service discipline (``"interleave"`` default).
+    record_trace:
+        Keep a full timeline (needed for Figures 1/2/5; off for sweeps).
+    power_interval:
+        Power sensor sampling period (paper: 15 ms; 66.7 Hz for Fig 9/10).
+    spawn_jitter:
+        Std-dev (seconds) of gaussian jitter added to thread spawn times,
+        modelling OS nondeterminism.  0 = fully deterministic.
+    seed:
+        Seed for the jitter RNG.
+    """
+
+    apps: Sequence[KernelApp]
+    num_streams: int
+    memory_sync: bool = False
+    spec: Optional[DeviceSpec] = None
+    copy_policy: str = "interleave"
+    record_trace: bool = False
+    power_interval: float = DEFAULT_INTERVAL
+    monitor_power: bool = True
+    spawn_jitter: float = 0.0
+    seed: int = 0
+    stream_policy: str = "round-robin"
+    #: Optional grid-engine admission hook (symbiosis baseline); None = LEFTOVER.
+    admission: object = None
+
+    def __post_init__(self) -> None:
+        if not self.apps:
+            raise ValueError("empty schedule")
+        if self.num_streams < 1:
+            raise ValueError("num_streams must be >= 1")
+        if self.spec is None:
+            self.spec = tesla_k20()
+
+
+@dataclass
+class HarnessResult:
+    """Everything measured in one harness run."""
+
+    config: HarnessConfig
+    records: List[AppRecord]
+    makespan: float              # first spawn -> last completion (s)
+    total_time: float            # simulated clock at teardown (s)
+    energy: float                # exact integral over the makespan window (J)
+    average_power: float         # energy / makespan (W)
+    peak_power: float            # model peak over the run (W)
+    sampled_average_power: float  # the paper's sensor-sampled estimate (W)
+    power_samples: List[Tuple[float, float]]
+    trace: Optional[TraceRecorder]
+    stream_assignments: Dict[int, int]
+
+    # -- summary helpers -------------------------------------------------------
+
+    def effective_latency(self, direction=None) -> float:
+        """Two-level average Le (paper Figure 6 metric), HtoD by default."""
+        from ..gpu.commands import CopyDirection
+
+        return average_effective_latency(
+            self.records, direction or CopyDirection.HTOD
+        )
+
+    def per_type_wall_times(self) -> Dict[str, List[float]]:
+        """GPU-section durations grouped by application type."""
+        out: Dict[str, List[float]] = {}
+        for r in self.records:
+            out.setdefault(r.type_name, []).append(r.wall_time)
+        return out
+
+    def summary(self) -> str:
+        """One-paragraph human-readable digest."""
+        cfg = self.config
+        kinds = sorted({r.type_name for r in self.records})
+        return (
+            f"{len(self.records)} apps ({'+'.join(kinds)}) on "
+            f"{cfg.num_streams} streams, sync={'on' if cfg.memory_sync else 'off'}: "
+            f"makespan {self.makespan * 1e3:.2f} ms, energy {self.energy:.3f} J, "
+            f"avg power {self.average_power:.1f} W, peak {self.peak_power:.1f} W"
+        )
+
+
+class TestHarness:
+    """Executes one :class:`HarnessConfig` in a fresh environment."""
+
+    # Not a pytest test class, despite the (paper-given) name.
+    __test__ = False
+
+    def __init__(self, config: HarnessConfig) -> None:
+        self.config = config
+
+    def run(self) -> HarnessResult:
+        """Build the world, run the schedule to completion, measure."""
+        cfg = self.config
+        env = Environment()
+        trace = TraceRecorder() if cfg.record_trace else None
+        device = GPUDevice(
+            env,
+            spec=cfg.spec,
+            trace=trace,
+            copy_policy=cfg.copy_policy,
+            admission=cfg.admission,
+        )
+        manager = StreamManager(
+            env, device, cfg.num_streams, policy=cfg.stream_policy
+        )
+        synchronizer = make_synchronizer(env, cfg.memory_sync)
+        monitor = PowerMonitor(env, device, interval=cfg.power_interval)
+        records: List[AppRecord] = []
+        rng = np.random.default_rng(cfg.seed)
+
+        def parent():
+            # Paper flow: instantiate + allocate + initialize every
+            # application on the parent thread, sequentially, up front.
+            threads = []
+            for launch_index, app in enumerate(cfg.apps):
+                record = AppRecord(
+                    app_id=app.app_id,
+                    type_name=app.profile.name,
+                    instance=app.instance,
+                    stream_index=-1,
+                    launch_index=launch_index,
+                )
+                records.append(record)
+                thread = AppThread(env, device, app, synchronizer, record)
+                threads.append(thread)
+                yield from thread.prepare()
+
+            # Then start the power-monitor thread and launch each
+            # application on its own child thread, in schedule order.
+            if cfg.monitor_power:
+                monitor.start()
+            children = []
+            for thread in threads:
+                # std::thread creation cost staggers the children; optional
+                # jitter models OS scheduling nondeterminism.
+                delay = cfg.spec.host.thread_spawn_cost
+                if cfg.spawn_jitter > 0:
+                    delay += float(abs(rng.normal(0.0, cfg.spawn_jitter)))
+                yield env.timeout(delay)
+                stream = manager.acquire(thread.app.app_id)
+                thread.assign_stream(stream)
+                thread.record.stream_index = stream.index
+                thread.record.spawn_time = env.now
+                children.append(
+                    env.process(thread.run(), name=f"thread-{thread.app.app_id}")
+                )
+            if children:
+                yield AllOf(env, children)
+            monitor.stop()
+
+            # Teardown: parent frees all memory and destroys the streams.
+            for thread in threads:
+                yield from thread.cleanup()
+            manager.destroy_all()
+
+        done = env.process(parent(), name="harness-parent")
+        env.run(until=done)
+        # Let any same-time trailing events (power segment closes) settle.
+        env.run()
+
+        assignments: Dict[int, int] = {}
+        for record in records:
+            assignments[record.stream_index] = (
+                assignments.get(record.stream_index, 0) + 1
+            )
+        span = makespan(records)
+        t0 = min(r.spawn_time for r in records)
+        t1 = max(r.complete_time for r in records)
+        energy = device.power.energy(t1) - device.power.energy(t0)
+        return HarnessResult(
+            config=cfg,
+            records=records,
+            makespan=span,
+            total_time=env.now,
+            energy=energy,
+            average_power=energy / span if span > 0 else 0.0,
+            peak_power=device.power.peak_power,
+            sampled_average_power=monitor.average_power(),
+            power_samples=[(s.time, s.watts) for s in monitor.samples],
+            trace=trace,
+            stream_assignments=assignments,
+        )

@@ -1,0 +1,159 @@
+"""Metrics: effective memory transfer latency (Eqs. 1-2) and derived stats.
+
+The paper defines, for an application ``Ai`` whose operation sequence is
+``{mHD..., k..., mDH...}`` (Eq. 1), the *effective memory transfer latency*
+
+    Le(*) = Tend(last m*) - Tstart(first m*)        (Eq. 2)
+
+per transfer direction: the wall time from the start of the application's
+first copy to the completion of its last, *including* any time other
+applications' copies held the DMA engine in between.  The aggregate
+reported in Figure 6 averages Le per application over the applications of
+each stream, then averages across the NS streams; both steps are
+implemented verbatim here.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..gpu.commands import CopyDirection
+
+__all__ = [
+    "TransferEvent",
+    "KernelEvent",
+    "AppRecord",
+    "effective_latency",
+    "average_effective_latency",
+    "improvement_pct",
+    "makespan",
+]
+
+
+@dataclass(frozen=True)
+class TransferEvent:
+    """One completed memcpy command of an application."""
+
+    direction: CopyDirection
+    nbytes: int
+    buffer: str
+    enqueued: float
+    started: float
+    completed: float
+
+    @property
+    def service_time(self) -> float:
+        """Time the DMA engine actually spent on this copy."""
+        return self.completed - self.started
+
+    @property
+    def queueing_delay(self) -> float:
+        """Time between enqueue and service start."""
+        return self.started - self.enqueued
+
+
+@dataclass(frozen=True)
+class KernelEvent:
+    """One completed kernel launch of an application."""
+
+    name: str
+    num_blocks: int
+    enqueued: float
+    started: float
+    completed: float
+    waves: int
+
+    @property
+    def execution_time(self) -> float:
+        """First block placed -> last block retired."""
+        return self.completed - self.started
+
+
+@dataclass
+class AppRecord:
+    """Everything measured about one application instance in one run."""
+
+    app_id: str
+    type_name: str
+    instance: int
+    stream_index: int
+    launch_index: int            # position in the launch schedule
+    spawn_time: float = 0.0      # host thread creation
+    gpu_start: float = 0.0       # stream occupied (GPU section begins)
+    complete_time: float = 0.0   # GPU section ends (after final sync + frees)
+    transfers: List[TransferEvent] = field(default_factory=list)
+    kernels: List[KernelEvent] = field(default_factory=list)
+
+    @property
+    def wall_time(self) -> float:
+        """GPU-section duration of this instance."""
+        return self.complete_time - self.gpu_start
+
+    def transfer_events(self, direction: CopyDirection) -> List[TransferEvent]:
+        """This app's copies in ``direction``, in completion order."""
+        return [t for t in self.transfers if t.direction is direction]
+
+    def effective_latency(self, direction: CopyDirection) -> Optional[float]:
+        """Eq. 2 for this application, or ``None`` if no such transfers."""
+        events = self.transfer_events(direction)
+        if not events:
+            return None
+        return max(t.completed for t in events) - min(t.started for t in events)
+
+    def pure_transfer_time(self, direction: CopyDirection) -> float:
+        """Sum of DMA service times (the no-contention lower bound)."""
+        return sum(t.service_time for t in self.transfer_events(direction))
+
+    @property
+    def kernel_busy_time(self) -> float:
+        """Sum of kernel execution intervals (may double-count overlap)."""
+        return sum(k.execution_time for k in self.kernels)
+
+
+def effective_latency(
+    record: AppRecord, direction: CopyDirection = CopyDirection.HTOD
+) -> Optional[float]:
+    """Function form of :meth:`AppRecord.effective_latency`."""
+    return record.effective_latency(direction)
+
+
+def average_effective_latency(
+    records: Sequence[AppRecord],
+    direction: CopyDirection = CopyDirection.HTOD,
+) -> float:
+    """The paper's two-level average of Le.
+
+    "We calculate the average effective memory transfer latency by summing
+    Le for each application Ai on stream sj, and dividing by the number of
+    applications executed on that stream.  The overall average is then
+    taken across all NS streams."
+    """
+    per_stream: Dict[int, List[float]] = defaultdict(list)
+    for record in records:
+        le = record.effective_latency(direction)
+        if le is not None:
+            per_stream[record.stream_index].append(le)
+    if not per_stream:
+        return 0.0
+    stream_means = [sum(v) / len(v) for v in per_stream.values()]
+    return sum(stream_means) / len(stream_means)
+
+
+def improvement_pct(baseline: float, value: float) -> float:
+    """Relative improvement of ``value`` over ``baseline``, in percent.
+
+    Positive when ``value`` is better (smaller); this is how every
+    "improvement over serialized execution" number in the paper is defined.
+    """
+    if baseline <= 0:
+        raise ValueError(f"non-positive baseline {baseline!r}")
+    return (baseline - value) / baseline * 100.0
+
+
+def makespan(records: Sequence[AppRecord]) -> float:
+    """Wall time from the first spawn to the last completion."""
+    if not records:
+        return 0.0
+    return max(r.complete_time for r in records) - min(r.spawn_time for r in records)

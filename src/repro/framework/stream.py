@@ -1,0 +1,74 @@
+"""The framework's ``Stream`` class (paper Section III-E).
+
+A thin abstraction over the device stream that adds what the paper's C++
+``Stream`` class adds over the raw CUDA handle: identity, bookkeeping of the
+applications that executed on it, and a host-side occupancy lock so that
+applications *sharing* a stream run back-to-back rather than interleaving
+their command sequences.
+
+The host lock is what creates the paper's "serialization dependency of
+application tasks within a particular hardware execution queue" when the
+number of applications exceeds the number of streams (NA > NS): apps mapped
+to the same stream serialize in launch order.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from ..gpu.device import DeviceStream
+from ..sim.resources import Mutex
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.engine import Environment
+
+__all__ = ["Stream"]
+
+
+class Stream:
+    """One framework-managed CUDA stream."""
+
+    def __init__(self, env: "Environment", device_stream: DeviceStream, index: int) -> None:
+        self.env = env
+        self.device_stream = device_stream
+        self.index = index
+        #: Host-side lock: one application at a time owns the stream.
+        self.host_lock = Mutex(env, name=f"stream-{index}-lock")
+        #: app_ids that have completed on this stream, in completion order.
+        self.completed_apps: List[str] = []
+        self._current_app: Optional[str] = None
+
+    def __repr__(self) -> str:
+        return (
+            f"<Stream {self.index} device_sid={self.device_stream.sid} "
+            f"current={self._current_app!r}>"
+        )
+
+    @property
+    def sid(self) -> int:
+        """The underlying device stream id."""
+        return self.device_stream.sid
+
+    @property
+    def current_app(self) -> Optional[str]:
+        """The app currently holding the stream, if any."""
+        return self._current_app
+
+    @property
+    def apps_executed(self) -> int:
+        """Number of applications that have completed on this stream."""
+        return len(self.completed_apps)
+
+    # -- occupancy protocol (used by AppThread) -----------------------------
+
+    def occupy(self, app_id: str):
+        """Acquire the host lock; ``yield from`` inside a process."""
+        request = yield from self.host_lock.hold()
+        self._current_app = app_id
+        return request
+
+    def vacate(self, app_id: str, request) -> None:
+        """Release the host lock after the app's GPU section completes."""
+        self.completed_apps.append(app_id)
+        self._current_app = None
+        self.host_lock.unlock(request)

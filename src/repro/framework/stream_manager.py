@@ -1,0 +1,100 @@
+"""The framework's ``StreamManager`` (paper Section III-E).
+
+Creates, destroys and hands out :class:`~repro.framework.stream.Stream`
+objects.  The paper stresses that their harness "dynamically assigns GPU
+streams to [application] threads as they are needed"; the manager implements
+that with a deterministic round-robin over the stream pool in *request
+order* — the application launched first gets stream 0, the second stream 1,
+and so on, wrapping when NA > NS.  Because launch order is exactly what the
+scheduling policies of Section III-C permute, the assignment ties the
+schedule to the hardware queues the paper reasons about.
+
+An alternative ``"least-loaded"`` policy (fewest assignments so far, ties by
+index) is provided for ablations.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List
+
+from ..gpu.device import GPUDevice
+from .stream import Stream
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.engine import Environment
+
+__all__ = ["StreamManager", "ASSIGNMENT_POLICIES"]
+
+ASSIGNMENT_POLICIES = ("round-robin", "least-loaded")
+
+
+class StreamManager:
+    """Pool of framework streams over one device.
+
+    Parameters
+    ----------
+    env, device:
+        Simulation environment and the GPU the streams belong to.
+    num_streams:
+        NS — the paper sweeps this from 1 (serialized) to 32 (fully
+        parallel, one Hyper-Q queue per stream).
+    policy:
+        Assignment policy (see module docstring).
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        device: GPUDevice,
+        num_streams: int,
+        policy: str = "round-robin",
+    ) -> None:
+        if num_streams < 1:
+            raise ValueError("need at least one stream")
+        if policy not in ASSIGNMENT_POLICIES:
+            raise ValueError(
+                f"unknown policy {policy!r}; expected one of {ASSIGNMENT_POLICIES}"
+            )
+        self.env = env
+        self.device = device
+        self.policy = policy
+        self.streams: List[Stream] = [
+            Stream(env, device.create_stream(), i) for i in range(num_streams)
+        ]
+        self._assignments: Dict[int, int] = {s.index: 0 for s in self.streams}
+        self._next = 0
+
+    def __repr__(self) -> str:
+        return f"<StreamManager {len(self.streams)} streams ({self.policy})>"
+
+    @property
+    def num_streams(self) -> int:
+        """NS — size of the stream pool."""
+        return len(self.streams)
+
+    # -- assignment ----------------------------------------------------------
+
+    def acquire(self, app_id: str) -> Stream:
+        """Assign a stream to an application (called once per app thread)."""
+        if self.policy == "round-robin":
+            stream = self.streams[self._next % len(self.streams)]
+            self._next += 1
+        else:  # least-loaded
+            stream = min(
+                self.streams, key=lambda s: (self._assignments[s.index], s.index)
+            )
+        self._assignments[stream.index] += 1
+        return stream
+
+    def assignment_counts(self) -> Dict[int, int]:
+        """stream index -> number of apps assigned (diagnostics)."""
+        return dict(self._assignments)
+
+    # -- teardown ------------------------------------------------------------
+
+    def destroy_all(self) -> None:
+        """Destroy every managed stream (host must have synchronized)."""
+        for stream in self.streams:
+            self.device.destroy_stream(stream.device_stream)
+        self.streams.clear()
+        self._assignments.clear()

@@ -1,0 +1,81 @@
+"""Kepler-class GPU hardware model (the paper's Tesla K20, simulated).
+
+Substrate layers:
+
+* :mod:`~repro.gpu.specs` — device descriptions (K20, Fermi ablation).
+* :mod:`~repro.gpu.kernels` — kernel launch descriptors + cost model.
+* :mod:`~repro.gpu.occupancy` — CUDA occupancy arithmetic.
+* :mod:`~repro.gpu.smx` / :mod:`~repro.gpu.block_scheduler` — SMX resources
+  and the LEFTOVER thread-block scheduler.
+* :mod:`~repro.gpu.dma` — the per-direction DMA engines whose contention the
+  paper studies.
+* :mod:`~repro.gpu.hyperq` — hardware work queues (Hyper-Q vs Fermi).
+* :mod:`~repro.gpu.power` — board power model with exact energy integral.
+* :mod:`~repro.gpu.memory` — device memory allocator.
+* :mod:`~repro.gpu.device` — :class:`GPUDevice` tying it all together.
+"""
+
+from .block_scheduler import GridEngine, GridState
+from .commands import (
+    Command,
+    CopyDirection,
+    KernelLaunchCommand,
+    MarkerCommand,
+    MemcpyCommand,
+)
+from .device import DeviceStream, GPUDevice
+from .dma import COPY_POLICIES, CopyEngine
+from .hyperq import HardwareQueue, QueueFabric
+from .kernels import Dim3, KernelDescriptor
+from .memory import Allocation, GpuOutOfMemory, MemoryAllocator
+from .occupancy import OccupancyResult, blocks_per_smx, device_wide_blocks, occupancy
+from .power import PowerModel, PowerState
+from .smx import Placement, SMXArray, SMXState
+from .specs import (
+    DeviceSpec,
+    DMASpec,
+    HostSpec,
+    PowerSpec,
+    SMXSpec,
+    fermi_c2050,
+    get_preset,
+    tesla_k20,
+)
+
+__all__ = [
+    "GPUDevice",
+    "DeviceStream",
+    "DeviceSpec",
+    "SMXSpec",
+    "DMASpec",
+    "HostSpec",
+    "PowerSpec",
+    "tesla_k20",
+    "fermi_c2050",
+    "get_preset",
+    "Dim3",
+    "KernelDescriptor",
+    "occupancy",
+    "OccupancyResult",
+    "blocks_per_smx",
+    "device_wide_blocks",
+    "SMXArray",
+    "SMXState",
+    "Placement",
+    "GridEngine",
+    "GridState",
+    "CopyEngine",
+    "COPY_POLICIES",
+    "QueueFabric",
+    "HardwareQueue",
+    "PowerModel",
+    "PowerState",
+    "MemoryAllocator",
+    "Allocation",
+    "GpuOutOfMemory",
+    "Command",
+    "MemcpyCommand",
+    "KernelLaunchCommand",
+    "MarkerCommand",
+    "CopyDirection",
+]

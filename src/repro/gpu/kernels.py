@@ -1,0 +1,145 @@
+"""Kernel launch descriptors and the per-block cost model.
+
+A :class:`KernelDescriptor` captures everything the simulator needs about
+one CUDA kernel launch: the launch geometry (grid and block dimensions from
+the paper's Table III), the per-block resource footprint (threads, shared
+memory, registers) and the per-block execution duration.
+
+The duration is the *cost model*: how long one thread block occupies its
+SMX slot.  Absolute values are calibrated to K20-era measurements of the
+Rodinia applications (see :mod:`repro.apps`); the paper's conclusions only
+depend on the relative magnitudes (which applications are compute-heavy vs
+transfer-heavy) and on the resource footprints that drive occupancy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["Dim3", "KernelDescriptor"]
+
+
+@dataclass(frozen=True)
+class Dim3:
+    """A CUDA ``dim3`` — x/y/z extents, all >= 1."""
+
+    x: int = 1
+    y: int = 1
+    z: int = 1
+
+    def __post_init__(self) -> None:
+        if min(self.x, self.y, self.z) < 1:
+            raise ValueError(f"dim3 components must be >= 1, got {self}")
+
+    @property
+    def count(self) -> int:
+        """Total number of elements (x * y * z)."""
+        return self.x * self.y * self.z
+
+    def as_tuple(self) -> Tuple[int, int, int]:
+        """The (x, y, z) tuple."""
+        return (self.x, self.y, self.z)
+
+    def __str__(self) -> str:
+        return f"({self.x}, {self.y}, {self.z})"
+
+
+@dataclass(frozen=True)
+class KernelDescriptor:
+    """Static description of one kernel launch.
+
+    Attributes
+    ----------
+    name:
+        Kernel symbol name (e.g. ``"Fan2"`` — matches Table III).
+    grid, block:
+        Launch geometry.  ``grid.count`` thread blocks of ``block.count``
+        threads each.
+    registers_per_thread:
+        Register footprint; with ``block.count`` this bounds blocks/SMX.
+    shared_mem_per_block:
+        Static + dynamic shared memory per block, in bytes.
+    block_duration:
+        Seconds one thread block keeps its SMX resources busy.
+    flops_per_block:
+        Optional bookkeeping for utilization reports (not used for timing).
+    """
+
+    name: str
+    grid: Dim3
+    block: Dim3
+    registers_per_thread: int = 32
+    shared_mem_per_block: int = 0
+    block_duration: float = 10e-6
+    flops_per_block: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.block.count > 1024:
+            raise ValueError(
+                f"{self.name}: {self.block.count} threads/block exceeds the "
+                "CUDA limit of 1024"
+            )
+        if self.registers_per_thread < 0 or self.shared_mem_per_block < 0:
+            raise ValueError(f"{self.name}: negative resource footprint")
+        if self.block_duration <= 0:
+            raise ValueError(f"{self.name}: block_duration must be positive")
+        # Hot-path caches: the block scheduler reads these once per
+        # placement attempt, so precompute instead of re-deriving.
+        object.__setattr__(self, "_num_blocks", self.grid.count)
+        object.__setattr__(self, "_threads_per_block", self.block.count)
+        object.__setattr__(
+            self,
+            "_registers_per_block",
+            self.registers_per_thread * self.block.count,
+        )
+
+    # -- derived ----------------------------------------------------------
+
+    @property
+    def num_blocks(self) -> int:
+        """Total thread blocks in the launch (``#TB`` in Table III)."""
+        return self._num_blocks
+
+    @property
+    def threads_per_block(self) -> int:
+        """Threads per block (``#TPB`` in Table III)."""
+        return self._threads_per_block
+
+    @property
+    def total_threads(self) -> int:
+        """Total threads across the whole grid."""
+        return self._num_blocks * self._threads_per_block
+
+    @property
+    def registers_per_block(self) -> int:
+        """Register footprint of one resident block."""
+        return self._registers_per_block
+
+    def serial_duration(self, concurrent_blocks: int) -> float:
+        """Lower-bound duration if ``concurrent_blocks`` run per wave.
+
+        Convenience for tests and analysis: ``ceil(num_blocks / width) *
+        block_duration``, i.e. the kernel's makespan when the device grants
+        it a fixed number of block slots.
+        """
+        if concurrent_blocks <= 0:
+            raise ValueError("concurrent_blocks must be positive")
+        waves = -(-self.num_blocks // concurrent_blocks)
+        return waves * self.block_duration
+
+    def scaled(self, duration_factor: float) -> "KernelDescriptor":
+        """A copy with the per-block duration multiplied by ``factor``."""
+        from dataclasses import replace
+
+        if duration_factor <= 0:
+            raise ValueError("duration_factor must be positive")
+        return replace(
+            self, block_duration=self.block_duration * duration_factor
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}<<<{self.grid}, {self.block}>>> "
+            f"[{self.num_blocks} TB x {self.threads_per_block} TPB]"
+        )

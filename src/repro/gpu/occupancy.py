@@ -1,0 +1,105 @@
+"""CUDA occupancy arithmetic for the simulated device.
+
+Given a kernel's per-block footprint and an :class:`~repro.gpu.specs.SMXSpec`,
+compute how many blocks of that kernel one SMX can host simultaneously.
+This is the same min-over-limits rule the CUDA occupancy calculator uses:
+
+* block-count limit (``max_blocks`` per SMX),
+* thread limit (``max_threads // threads_per_block``),
+* shared-memory limit,
+* register limit.
+
+Simplifications vs real hardware (documented, not load-bearing for the
+paper's claims): register allocation granularity (warp-level, 256-register
+quanta on Kepler) and shared-memory bank configuration are ignored — both
+shift occupancy by at most one block for the Table III kernels and do not
+change any serialization behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .kernels import KernelDescriptor
+from .specs import DeviceSpec, SMXSpec
+
+__all__ = ["OccupancyResult", "blocks_per_smx", "occupancy", "device_wide_blocks"]
+
+
+@dataclass(frozen=True)
+class OccupancyResult:
+    """Breakdown of the occupancy computation for one kernel.
+
+    ``limiter`` names which resource clamps the block count — useful in
+    reports explaining *why* a kernel cannot fill the device.
+    """
+
+    kernel: str
+    blocks_per_smx: int
+    limit_blocks: int
+    limit_threads: int
+    limit_shared_mem: int
+    limit_registers: int
+    limiter: str
+    thread_occupancy: float  # resident threads / max threads, one SMX
+
+    def __str__(self) -> str:
+        return (
+            f"{self.kernel}: {self.blocks_per_smx} blocks/SMX "
+            f"(limited by {self.limiter}), "
+            f"{self.thread_occupancy:.1%} thread occupancy"
+        )
+
+
+def blocks_per_smx(kernel: KernelDescriptor, smx: SMXSpec) -> int:
+    """Maximum resident blocks of ``kernel`` on one SMX (may be 0 if the
+    kernel cannot run at all, e.g. it wants more shared memory than exists).
+    """
+    limits = _limits(kernel, smx)
+    return min(limits.values())
+
+
+def _limits(kernel: KernelDescriptor, smx: SMXSpec) -> dict:
+    tpb = kernel.threads_per_block
+    limits = {
+        "blocks": smx.max_blocks,
+        "threads": smx.max_threads // tpb,
+    }
+    if kernel.shared_mem_per_block > 0:
+        limits["shared_mem"] = smx.shared_memory // kernel.shared_mem_per_block
+    else:
+        limits["shared_mem"] = smx.max_blocks
+    regs = kernel.registers_per_block
+    if regs > 0:
+        limits["registers"] = smx.registers // regs
+    else:
+        limits["registers"] = smx.max_blocks
+    return limits
+
+
+def occupancy(kernel: KernelDescriptor, smx: SMXSpec) -> OccupancyResult:
+    """Full occupancy breakdown for ``kernel`` on one SMX."""
+    limits = _limits(kernel, smx)
+    blocks = min(limits.values())
+    # Name the binding constraint; prefer the conventional reporting order.
+    limiter = "blocks"
+    for key in ("blocks", "threads", "shared_mem", "registers"):
+        if limits[key] == blocks:
+            limiter = key
+            break
+    resident_threads = blocks * kernel.threads_per_block
+    return OccupancyResult(
+        kernel=kernel.name,
+        blocks_per_smx=blocks,
+        limit_blocks=limits["blocks"],
+        limit_threads=limits["threads"],
+        limit_shared_mem=limits["shared_mem"],
+        limit_registers=limits["registers"],
+        limiter=limiter,
+        thread_occupancy=resident_threads / smx.max_threads,
+    )
+
+
+def device_wide_blocks(kernel: KernelDescriptor, spec: DeviceSpec) -> int:
+    """Maximum resident blocks of ``kernel`` across the whole device."""
+    return blocks_per_smx(kernel, spec.smx) * spec.num_smx

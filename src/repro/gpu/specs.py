@@ -1,0 +1,223 @@
+"""Device specifications for the simulated GPU.
+
+The paper's testbed is an NVIDIA Tesla K20 (Kepler GK110, compute
+capability 3.5).  :func:`tesla_k20` builds the spec used by every
+experiment; :func:`fermi_c2050` builds a Fermi-generation spec (single
+hardware work queue) used for the Hyper-Q ablation — the paper motivates
+Hyper-Q by Fermi's false serialization, so the ablation quantifies what the
+32 hardware queues buy.
+
+All sizes are bytes, times are seconds, rates are bytes/second.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+__all__ = [
+    "SMXSpec",
+    "DMASpec",
+    "HostSpec",
+    "PowerSpec",
+    "DeviceSpec",
+    "tesla_k20",
+    "fermi_c2050",
+    "PRESETS",
+    "get_preset",
+]
+
+KIB = 1024
+MIB = 1024 * 1024
+GIB = 1024 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class SMXSpec:
+    """Per-multiprocessor resource limits (one SMX on Kepler).
+
+    These four limits are exactly the quantities the CUDA occupancy rules
+    minimize over; :mod:`repro.gpu.occupancy` uses them directly.
+    """
+
+    max_blocks: int = 16          # resident thread blocks per SMX (CC 3.5)
+    max_threads: int = 2048       # resident threads per SMX
+    registers: int = 65536        # 32-bit registers per SMX
+    shared_memory: int = 48 * KIB  # bytes of shared memory per SMX
+    cores: int = 192              # CUDA cores (reporting only)
+
+    def __post_init__(self) -> None:
+        if min(self.max_blocks, self.max_threads, self.registers) <= 0:
+            raise ValueError("SMX limits must be positive")
+
+
+@dataclass(frozen=True)
+class DMASpec:
+    """One copy engine (a single PCIe transfer direction).
+
+    ``latency`` models the fixed per-``cudaMemcpyAsync`` cost (driver launch
+    plus PCIe round trip); ``bandwidth`` the asymptotic streaming rate.
+    Transfer time for ``n`` bytes is ``latency + n / bandwidth``, the
+    standard affine model (transfer time scales linearly past ~8 KB, which
+    the paper verified for the K20 citing Boyer's measurements).
+
+    The default bandwidth is the *effective* rate for the paper's workload
+    regime — many pinned transfers in the 100 KB - 1 MB range issued from
+    concurrent host threads — which sits well below the PCIe gen2 x16
+    streaming peak (~6 GB/s) on K20-era systems.
+    """
+
+    bandwidth: float = 3.0 * GIB   # effective rate for ~1 MB pinned copies
+    latency: float = 12e-6         # fixed overhead per transfer command
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Seconds to move ``nbytes`` in one command."""
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size {nbytes}")
+        return self.latency + nbytes / self.bandwidth
+
+
+@dataclass(frozen=True)
+class HostSpec:
+    """Host-side cost model for API calls and threading.
+
+    The paper's harness uses ``std::thread`` per application; thread spawn
+    cost staggers the order in which applications reach the GPU, which is
+    precisely the lever the reordering study (Section III-C) pulls.
+    """
+
+    api_call_overhead: float = 4e-6      # cudaMemcpyAsync / kernel<<<>>> enqueue
+    kernel_launch_overhead: float = 6e-6  # device-side launch latency
+    thread_spawn_cost: float = 25e-6     # std::thread creation + start
+    malloc_host_per_byte: float = 2.5e-10  # cudaMallocHost (pinned) cost/byte
+    malloc_host_base: float = 150e-6
+    malloc_device_base: float = 80e-6
+    free_base: float = 40e-6
+
+
+@dataclass(frozen=True)
+class PowerSpec:
+    """Board-level power model parameters (see :mod:`repro.gpu.power`).
+
+    Calibrated against public Tesla K20 characteristics: ~17 W idle, 225 W
+    TDP, with realistic compute kernels drawing 100-150 W.  The exponent
+    ``concurrency_exponent`` (< 1) encodes the paper's observation that
+    power grows *sublinearly* with the number of concurrent streams.
+    """
+
+    idle: float = 17.0              # W, device powered but quiescent
+    context_active: float = 28.0    # W, added while any work is in flight
+    smx_dynamic_max: float = 150.0  # W, added at 100% thread occupancy
+    concurrency_exponent: float = 0.4  # occupancy -> dynamic power shape
+    dma_active: float = 11.0        # W per busy copy engine
+    stream_active: float = 0.6      # W per stream with work in flight
+    tdp: float = 225.0              # W, sanity upper bound
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Complete description of one simulated GPU."""
+
+    name: str
+    compute_capability: str
+    num_smx: int
+    smx: SMXSpec
+    hardware_queues: int            # 32 on Kepler (Hyper-Q), 1 on Fermi
+    copy_engines_per_direction: int  # 1 on both generations studied
+    global_memory: int
+    dma_htod: DMASpec = field(default_factory=DMASpec)
+    dma_dtoh: DMASpec = field(default_factory=DMASpec)
+    host: HostSpec = field(default_factory=HostSpec)
+    power: PowerSpec = field(default_factory=PowerSpec)
+
+    def __post_init__(self) -> None:
+        if self.num_smx <= 0:
+            raise ValueError("num_smx must be positive")
+        if self.hardware_queues <= 0:
+            raise ValueError("hardware_queues must be positive")
+        if self.global_memory <= 0:
+            raise ValueError("global_memory must be positive")
+
+    # -- derived quantities ----------------------------------------------
+
+    @property
+    def max_resident_blocks(self) -> int:
+        """Device-wide resident thread-block ceiling.
+
+        For the K20 this is 13 SMX x 16 blocks = 208, the "theoretical
+        maximum number of thread blocks" the paper quotes when arguing that
+        the Figure 5 workload (1203 requested blocks) oversubscribes the
+        device.
+        """
+        return self.num_smx * self.smx.max_blocks
+
+    @property
+    def max_resident_threads(self) -> int:
+        """Device-wide resident thread ceiling (26624 on the K20)."""
+        return self.num_smx * self.smx.max_threads
+
+    @property
+    def total_cores(self) -> int:
+        """Total CUDA cores (2496 on the K20)."""
+        return self.num_smx * self.smx.cores
+
+    def with_hardware_queues(self, n: int) -> "DeviceSpec":
+        """A copy of this spec with a different Hyper-Q width."""
+        return replace(self, hardware_queues=n)
+
+
+def tesla_k20() -> DeviceSpec:
+    """The paper's testbed: Tesla K20, CC 3.5, Hyper-Q with 32 queues."""
+    return DeviceSpec(
+        name="Tesla K20",
+        compute_capability="3.5",
+        num_smx=13,
+        smx=SMXSpec(),
+        hardware_queues=32,
+        copy_engines_per_direction=1,
+        global_memory=5 * GIB - 256 * MIB,  # 4.75 GiB usable of 5 GB board
+    )
+
+
+def fermi_c2050() -> DeviceSpec:
+    """A Fermi-generation device: one hardware work queue (no Hyper-Q).
+
+    Used only by the ablation benchmarks; block/thread limits follow
+    compute capability 2.0.
+    """
+    return DeviceSpec(
+        name="Tesla C2050",
+        compute_capability="2.0",
+        num_smx=14,
+        smx=SMXSpec(
+            max_blocks=8,
+            max_threads=1536,
+            registers=32768,
+            shared_memory=48 * KIB,
+            cores=32,
+        ),
+        hardware_queues=1,
+        copy_engines_per_direction=1,
+        global_memory=3 * GIB,
+    )
+
+
+PRESETS: Dict[str, "DeviceSpec"] = {}
+
+
+def _register(name: str, factory) -> None:
+    PRESETS[name] = factory()
+
+
+_register("k20", tesla_k20)
+_register("fermi", fermi_c2050)
+
+
+def get_preset(name: str) -> DeviceSpec:
+    """Look up a named device preset (``"k20"`` or ``"fermi"``)."""
+    try:
+        return PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown device preset {name!r}; available: {sorted(PRESETS)}"
+        ) from None

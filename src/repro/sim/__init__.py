@@ -1,0 +1,52 @@
+"""Self-contained discrete-event simulation substrate.
+
+This package provides the event engine the GPU model is built on: an
+:class:`Environment` with a deterministic event calendar, generator-based
+:class:`Process` coroutines, FIFO :class:`Resource`/:class:`Mutex`/
+:class:`Store` primitives, and a :class:`TraceRecorder` that plays the role
+of the NVIDIA Visual Profiler for the reproduced timelines.
+
+The API intentionally mirrors SimPy (``env.process``, ``env.timeout``,
+``yield event``) so the model code reads like standard DES Python, but the
+implementation is local — no third-party simulation dependency.
+"""
+
+from .engine import Environment, Infinity
+from .errors import (
+    EventError,
+    Interrupt,
+    ScheduleError,
+    SimulationError,
+    StopSimulation,
+)
+from .events import NORMAL, URGENT, AllOf, AnyOf, Condition, ConditionValue, Event, Timeout
+from .process import Process
+from .resources import Mutex, Request, Resource, Store
+from .trace import Instant, Span, SpanHandle, TraceRecorder
+
+__all__ = [
+    "Environment",
+    "Infinity",
+    "Event",
+    "Timeout",
+    "Condition",
+    "ConditionValue",
+    "AllOf",
+    "AnyOf",
+    "Process",
+    "Resource",
+    "Request",
+    "Mutex",
+    "Store",
+    "TraceRecorder",
+    "Span",
+    "SpanHandle",
+    "Instant",
+    "SimulationError",
+    "EventError",
+    "ScheduleError",
+    "StopSimulation",
+    "Interrupt",
+    "URGENT",
+    "NORMAL",
+]

@@ -1,0 +1,71 @@
+"""Exception types used by the :mod:`repro.sim` discrete-event engine.
+
+The engine deliberately keeps its exception hierarchy small: everything a
+user can mishandle derives from :class:`SimulationError`, while
+:class:`Interrupt` is the *control-flow* exception delivered into a process
+coroutine when another process interrupts it (mirroring SimPy semantics).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SimulationError",
+    "EventError",
+    "ScheduleError",
+    "StopSimulation",
+    "Interrupt",
+]
+
+
+class SimulationError(Exception):
+    """Base class for all errors raised by the simulation engine."""
+
+
+class EventError(SimulationError):
+    """An event was used in an illegal state.
+
+    Raised for example when ``succeed``/``fail`` is called on an event that
+    has already been triggered, or when a value is read from an event that
+    has not been processed yet.
+    """
+
+
+class ScheduleError(SimulationError):
+    """An attempt was made to schedule work at an invalid time.
+
+    The engine enforces a non-decreasing clock: scheduling an event with a
+    negative delay is a programming error and raises this exception
+    immediately rather than corrupting the event heap.
+    """
+
+
+class StopSimulation(Exception):
+    """Internal control-flow exception that stops :meth:`Environment.run`.
+
+    Raised by the environment itself when the ``until`` event triggers.  It
+    intentionally derives from :class:`Exception` (not
+    :class:`SimulationError`) because it is not an error condition.
+    """
+
+    def __init__(self, value: object) -> None:
+        super().__init__(value)
+        self.value = value
+
+
+class Interrupt(Exception):
+    """Delivered into a process when :meth:`Process.interrupt` is called.
+
+    Parameters
+    ----------
+    cause:
+        Arbitrary object describing why the interrupt happened.  Available
+        as :attr:`cause` inside the interrupted process.
+    """
+
+    def __init__(self, cause: object = None) -> None:
+        super().__init__(cause)
+
+    @property
+    def cause(self) -> object:
+        """The cause passed to :meth:`Process.interrupt`."""
+        return self.args[0]

@@ -1,0 +1,236 @@
+"""Shared-resource primitives built on the event engine.
+
+Three primitives cover everything the GPU model needs:
+
+:class:`Resource`
+    A counted semaphore with a strict FIFO wait queue.  Used for DMA
+    engines (capacity 1 per direction) and host-side worker pools.
+:class:`Mutex`
+    A capacity-1 :class:`Resource` with a generator-friendly
+    ``hold()`` protocol.  This is the paper's host-side transfer
+    synchronization object (Section III-B).
+:class:`Store`
+    An unbounded FIFO of Python objects with blocking ``get``.  Used for
+    command queues between streams and device engines.
+
+All wait queues are strictly FIFO: the engine is deterministic, and queue
+fairness is asserted by property-based tests.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Deque, Generator, List, Optional
+
+from .errors import SimulationError
+from .events import Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import Environment
+
+__all__ = ["Request", "Resource", "Mutex", "Store", "StorePut", "StoreGet"]
+
+
+class Request(Event):
+    """Pending acquisition of a :class:`Resource` slot.
+
+    Triggers (with the request itself as value) once the resource grants
+    the slot.  Must be paired with :meth:`Resource.release`.
+    """
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource") -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+
+    def cancel(self) -> None:
+        """Withdraw an ungranted request from the resource's wait queue."""
+        self.resource._cancel(self)
+
+
+class Resource:
+    """Counted resource with FIFO granting.
+
+    Parameters
+    ----------
+    env:
+        Owning environment.
+    capacity:
+        Number of slots that may be held concurrently.  Must be >= 1.
+    name:
+        Optional label used in diagnostics and traces.
+    """
+
+    def __init__(
+        self, env: "Environment", capacity: int = 1, name: str = ""
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = int(capacity)
+        self.name = name
+        self._users: List[Request] = []
+        self._waiters: Deque[Request] = deque()
+        # Statistics for contention analysis.
+        self.total_requests: int = 0
+        self.peak_queue_length: int = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"<Resource {self.name!r} {len(self._users)}/{self.capacity} "
+            f"({len(self._waiters)} waiting)>"
+        )
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._waiters)
+
+    # -- protocol --------------------------------------------------------
+
+    def request(self) -> Request:
+        """Ask for a slot; the returned event triggers when granted."""
+        req = Request(self)
+        self.total_requests += 1
+        if len(self._users) < self.capacity and not self._waiters:
+            self._users.append(req)
+            req.succeed(req)
+        else:
+            self._waiters.append(req)
+            self.peak_queue_length = max(
+                self.peak_queue_length, len(self._waiters)
+            )
+        return req
+
+    def release(self, request: Request) -> None:
+        """Return a previously granted slot and wake the next waiter."""
+        try:
+            self._users.remove(request)
+        except ValueError:
+            raise SimulationError(
+                f"release of {request!r} that does not hold {self!r}"
+            ) from None
+        if self._waiters and len(self._users) < self.capacity:
+            nxt = self._waiters.popleft()
+            self._users.append(nxt)
+            nxt.succeed(nxt)
+
+    def _cancel(self, request: Request) -> None:
+        if request in self._users:
+            raise SimulationError("cannot cancel an already granted request")
+        try:
+            self._waiters.remove(request)
+        except ValueError:
+            raise SimulationError(
+                f"{request!r} is not queued on {self!r}"
+            ) from None
+
+
+class Mutex(Resource):
+    """Mutual-exclusion lock (capacity-1 resource) with ``hold()`` sugar.
+
+    The paper's memory-transfer synchronization wraps each application's
+    HtoD phase in a mutex; model code does::
+
+        with_lock = yield from mutex.hold()   # acquire
+        try:
+            ...                               # critical section (may yield)
+        finally:
+            mutex.unlock(with_lock)
+
+    ``hold`` is a sub-generator so it composes with process coroutines.
+    """
+
+    def __init__(self, env: "Environment", name: str = "mutex") -> None:
+        super().__init__(env, capacity=1, name=name)
+
+    def hold(self) -> Generator[Event, Any, Request]:
+        """Acquire the mutex from inside a process (``yield from``)."""
+        req = self.request()
+        yield req
+        return req
+
+    def unlock(self, request: Request) -> None:
+        """Release the mutex acquired through :meth:`hold`."""
+        self.release(request)
+
+    @property
+    def locked(self) -> bool:
+        """Whether the mutex is currently held."""
+        return bool(self._users)
+
+
+class StorePut(Event):
+    """Completed immediately; exists for symmetry and tracing hooks."""
+
+    __slots__ = ("item",)
+
+    def __init__(self, store: "Store", item: Any) -> None:
+        super().__init__(store.env)
+        self.item = item
+
+
+class StoreGet(Event):
+    """Pending retrieval from a :class:`Store`; value is the item."""
+
+    __slots__ = ()
+
+
+class Store:
+    """Unbounded FIFO buffer of arbitrary items with blocking ``get``.
+
+    ``put`` never blocks (the device-side hardware queues in this model are
+    deep enough that CUDA's queue-full stalls never occur for the paper's
+    workloads; the command *ordering*, not queue depth, is what matters).
+    """
+
+    def __init__(self, env: "Environment", name: str = "") -> None:
+        self.env = env
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[StoreGet] = deque()
+        self.total_puts: int = 0
+
+    def __repr__(self) -> str:
+        return f"<Store {self.name!r} depth={len(self._items)}>"
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> tuple:
+        """Snapshot of buffered items (oldest first)."""
+        return tuple(self._items)
+
+    def put(self, item: Any) -> StorePut:
+        """Append ``item``; wakes the oldest blocked getter if any."""
+        self.total_puts += 1
+        evt = StorePut(self, item)
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(item)
+        else:
+            self._items.append(item)
+        evt.succeed(item)
+        return evt
+
+    def get(self) -> StoreGet:
+        """Return an event that triggers with the next item."""
+        evt = StoreGet(self.env)
+        if self._items:
+            evt.succeed(self._items.popleft())
+        else:
+            self._getters.append(evt)
+        return evt
+
+    def peek(self) -> Optional[Any]:
+        """Oldest buffered item without removing it, or ``None``."""
+        return self._items[0] if self._items else None

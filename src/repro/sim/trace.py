@@ -1,0 +1,254 @@
+"""Structured trace recording — the simulator's "Visual Profiler".
+
+The paper's Figures 1, 2 and 5 are NVIDIA Visual Profiler timelines.  The
+simulator records the same information as *spans* (an activity with a start
+and an end on a named track, e.g. ``Stream 35 / HtoD memcpy``) and
+*instants* (point events such as a kernel launch submission).  The
+:mod:`repro.analysis.timeline` module renders these traces as ASCII charts
+and CSV rows.
+
+Spans are deliberately plain dataclasses; everything downstream (metrics,
+timeline rendering, tests) works on these rows rather than reaching into
+the simulator's internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["Span", "Instant", "TraceRecorder", "SpanHandle"]
+
+
+@dataclass(frozen=True)
+class Span:
+    """A completed activity on a timeline track.
+
+    Attributes
+    ----------
+    track:
+        Row label, e.g. ``"stream-3"`` or ``"dma-htod"``.
+    category:
+        Activity class: ``"memcpy_htod"``, ``"memcpy_dtoh"``, ``"kernel"``,
+        ``"alloc"``, ``"mutex"`` ... used for filtering and colouring.
+    name:
+        Human-readable label, e.g. the kernel name ``"Fan2"``.
+    start, end:
+        Simulated times in seconds.
+    meta:
+        Free-form details (bytes moved, thread-block counts, app id ...).
+    """
+
+    track: str
+    category: str
+    name: str
+    start: float
+    end: float
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Span length in seconds."""
+        return self.end - self.start
+
+    def overlaps(self, other: "Span") -> bool:
+        """Whether two spans overlap in time (open intervals)."""
+        return self.start < other.end and other.start < self.end
+
+
+@dataclass(frozen=True)
+class Instant:
+    """A point event on a timeline track."""
+
+    track: str
+    category: str
+    name: str
+    time: float
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+
+class SpanHandle:
+    """An open span returned by :meth:`TraceRecorder.begin`.
+
+    Call :meth:`close` (usually from the same simulated process) to commit
+    the completed :class:`Span` to the recorder.
+    """
+
+    __slots__ = ("_recorder", "track", "category", "name", "start", "meta")
+
+    def __init__(
+        self,
+        recorder: "TraceRecorder",
+        track: str,
+        category: str,
+        name: str,
+        start: float,
+        meta: Dict[str, Any],
+    ) -> None:
+        self._recorder = recorder
+        self.track = track
+        self.category = category
+        self.name = name
+        self.start = start
+        self.meta = meta
+
+    def close(self, end: float, **extra: Any) -> Span:
+        """Finish the span at time ``end`` and record it."""
+        meta = dict(self.meta)
+        meta.update(extra)
+        span = Span(
+            track=self.track,
+            category=self.category,
+            name=self.name,
+            start=self.start,
+            end=end,
+            meta=meta,
+        )
+        self._recorder.add_span(span)
+        return span
+
+
+class TraceRecorder:
+    """Accumulates spans and instants for one simulation run.
+
+    The recorder is optional everywhere in the GPU model: components accept
+    ``trace=None`` and skip recording, so production-sized sweeps can run
+    without the memory overhead.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.spans: List[Span] = []
+        self.instants: List[Instant] = []
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    # -- recording -------------------------------------------------------
+
+    def add_span(self, span: Span) -> None:
+        """Append a completed span (no-op when disabled)."""
+        if self.enabled:
+            self.spans.append(span)
+
+    def begin(
+        self,
+        track: str,
+        category: str,
+        name: str,
+        start: float,
+        **meta: Any,
+    ) -> SpanHandle:
+        """Open a span; commit it later with :meth:`SpanHandle.close`."""
+        return SpanHandle(self, track, category, name, start, meta)
+
+    def record(
+        self,
+        track: str,
+        category: str,
+        name: str,
+        start: float,
+        end: float,
+        **meta: Any,
+    ) -> Optional[Span]:
+        """Record a completed span in one call."""
+        if not self.enabled:
+            return None
+        span = Span(track, category, name, start, end, dict(meta))
+        self.spans.append(span)
+        return span
+
+    def mark(
+        self, track: str, category: str, name: str, time: float, **meta: Any
+    ) -> None:
+        """Record an instant."""
+        if self.enabled:
+            self.instants.append(Instant(track, category, name, time, dict(meta)))
+
+    # -- queries ---------------------------------------------------------
+
+    def filter(
+        self,
+        category: Optional[str] = None,
+        track: Optional[str] = None,
+        name: Optional[str] = None,
+        predicate: Optional[Callable[[Span], bool]] = None,
+    ) -> List[Span]:
+        """Spans matching all given criteria, in recording order."""
+        out = []
+        for s in self.spans:
+            if category is not None and s.category != category:
+                continue
+            if track is not None and s.track != track:
+                continue
+            if name is not None and s.name != name:
+                continue
+            if predicate is not None and not predicate(s):
+                continue
+            out.append(s)
+        return out
+
+    def tracks(self) -> List[str]:
+        """Distinct track names in first-seen order."""
+        seen: Dict[str, None] = {}
+        for s in self.spans:
+            seen.setdefault(s.track, None)
+        for i in self.instants:
+            seen.setdefault(i.track, None)
+        return list(seen)
+
+    def extent(self) -> Tuple[float, float]:
+        """(min start, max end) over all spans; (0, 0) when empty."""
+        if not self.spans:
+            return (0.0, 0.0)
+        return (
+            min(s.start for s in self.spans),
+            max(s.end for s in self.spans),
+        )
+
+    def iter_sorted(self) -> Iterator[Span]:
+        """Spans ordered by start time (stable)."""
+        return iter(sorted(self.spans, key=lambda s: (s.start, s.end)))
+
+    def max_concurrency(self, category: str) -> int:
+        """Peak number of simultaneously open spans of ``category``.
+
+        Used by tests to assert that kernels really overlapped (Figure 5)
+        or that copies never did (single DMA engine invariant).
+        """
+        points: List[Tuple[float, int]] = []
+        for s in self.spans:
+            if s.category != category or s.duration <= 0:
+                continue
+            points.append((s.start, 1))
+            points.append((s.end, -1))
+        # Process ends before starts at identical times: back-to-back spans
+        # do not count as overlapping.
+        points.sort(key=lambda p: (p[0], p[1]))
+        level = peak = 0
+        for _, delta in points:
+            level += delta
+            peak = max(peak, level)
+        return peak
+
+    def total_busy_time(self, category: str) -> float:
+        """Union length of all spans of ``category`` (merged intervals)."""
+        ivals = sorted(
+            (s.start, s.end)
+            for s in self.spans
+            if s.category == category and s.duration > 0
+        )
+        total = 0.0
+        cur_start: Optional[float] = None
+        cur_end = 0.0
+        for a, b in ivals:
+            if cur_start is None:
+                cur_start, cur_end = a, b
+            elif a <= cur_end:
+                cur_end = max(cur_end, b)
+            else:
+                total += cur_end - cur_start
+                cur_start, cur_end = a, b
+        if cur_start is not None:
+            total += cur_end - cur_start
+        return total

@@ -1,0 +1,88 @@
+"""Tests for the Chrome Trace Event exporter."""
+
+import json
+
+import pytest
+
+from repro.analysis.chrome_trace import GPU_PID, to_chrome_trace, write_chrome_trace
+from repro.sim.trace import TraceRecorder
+
+
+@pytest.fixture
+def trace():
+    t = TraceRecorder()
+    t.record("stream-1", "kernel", "Fan2", 1e-3, 2e-3, blocks=1024)
+    t.record("stream-0", "memcpy_htod", "a", 0.0, 1e-3, bytes=4096)
+    t.mark("stream-0", "launch", "submit", 5e-4)
+    return t
+
+
+class TestConversion:
+    def test_span_events(self, trace):
+        doc = to_chrome_trace(trace)
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(spans) == 2
+        fan2 = next(e for e in spans if e["name"] == "Fan2")
+        assert fan2["ts"] == pytest.approx(1000.0)   # us
+        assert fan2["dur"] == pytest.approx(1000.0)
+        assert fan2["cat"] == "kernel"
+        assert fan2["args"]["blocks"] == 1024
+        assert fan2["pid"] == GPU_PID
+
+    def test_instant_events(self, trace):
+        doc = to_chrome_trace(trace)
+        instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert len(instants) == 1
+        assert instants[0]["ts"] == pytest.approx(500.0)
+
+    def test_thread_metadata_natural_order(self, trace):
+        doc = to_chrome_trace(trace, process_name="Test GPU")
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        names = [
+            e["args"]["name"] for e in meta if e["name"] == "thread_name"
+        ]
+        assert names == ["stream-0", "stream-1"]
+        proc = next(e for e in meta if e["name"] == "process_name")
+        assert proc["args"]["name"] == "Test GPU"
+
+    def test_spans_reference_valid_tids(self, trace):
+        doc = to_chrome_trace(trace)
+        tids = {
+            e["tid"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        for event in doc["traceEvents"]:
+            if event["ph"] in ("X", "i"):
+                assert event["tid"] in tids
+
+
+class TestWrite:
+    def test_roundtrip_json(self, trace, tmp_path):
+        path = write_chrome_trace(trace, tmp_path / "sub" / "trace.json")
+        assert path.exists()
+        loaded = json.loads(path.read_text())
+        assert loaded["displayTimeUnit"] == "ms"
+        assert any(e["ph"] == "X" for e in loaded["traceEvents"])
+
+    def test_empty_trace(self, tmp_path):
+        path = write_chrome_trace(TraceRecorder(), tmp_path / "empty.json")
+        loaded = json.loads(path.read_text())
+        assert [e for e in loaded["traceEvents"] if e["ph"] == "X"] == []
+
+
+class TestEndToEnd:
+    def test_harness_trace_exports(self, tmp_path):
+        from repro.core.runner import quick_run
+
+        run = quick_run(
+            pair=("nn", "needle"), num_apps=4, num_streams=4,
+            scale="tiny", record_trace=True,
+        )
+        path = write_chrome_trace(run.harness.trace, tmp_path / "run.json")
+        loaded = json.loads(path.read_text())
+        kernels = [
+            e for e in loaded["traceEvents"]
+            if e["ph"] == "X" and e["cat"] == "kernel"
+        ]
+        assert kernels

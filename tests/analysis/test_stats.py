@@ -1,0 +1,77 @@
+"""Tests for the statistics helpers."""
+
+import pytest
+
+from repro.analysis.stats import (
+    concurrency_profile,
+    dma_utilization,
+    gpu_utilization,
+    mean_confidence_interval,
+    summarize,
+)
+from repro.sim.trace import TraceRecorder
+
+
+class TestSummary:
+    def test_basic_stats(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.count == 4
+        assert s.mean == pytest.approx(2.5)
+        assert s.minimum == 1.0
+        assert s.maximum == 4.0
+        assert s.std == pytest.approx(1.29099, rel=1e-4)
+
+    def test_single_value(self):
+        s = summarize([5.0])
+        assert s.std == 0.0
+
+    def test_empty(self):
+        assert summarize([]).count == 0
+
+    def test_str(self):
+        assert "mean=" in str(summarize([1.0, 2.0]))
+
+
+class TestConfidenceInterval:
+    def test_interval_brackets_mean(self):
+        mean, lo, hi = mean_confidence_interval([10.0, 12.0, 11.0, 13.0])
+        assert lo < mean < hi
+
+    def test_degenerate_for_small_samples(self):
+        mean, lo, hi = mean_confidence_interval([7.0])
+        assert mean == lo == hi == 7.0
+
+
+class TestUtilization:
+    def make_trace(self):
+        trace = TraceRecorder()
+        trace.record("s0", "kernel", "k", 0.0, 4.0)
+        trace.record("s1", "kernel", "k", 2.0, 6.0)
+        trace.record("dma-htod", "dma_htod", "", 0.0, 2.0)
+        return trace
+
+    def test_gpu_utilization(self):
+        trace = self.make_trace()
+        # Kernels cover [0, 6] of the [0, 6] extent.
+        assert gpu_utilization(trace) == pytest.approx(1.0)
+        assert gpu_utilization(trace, window=(0.0, 12.0)) == pytest.approx(0.5)
+
+    def test_dma_utilization(self):
+        trace = self.make_trace()
+        assert dma_utilization(trace, "htod") == pytest.approx(2.0 / 6.0)
+        assert dma_utilization(trace, "dtoh") == 0.0
+
+    def test_empty_trace(self):
+        assert gpu_utilization(TraceRecorder()) == 0.0
+
+    def test_concurrency_profile(self):
+        trace = self.make_trace()
+        profile = concurrency_profile(trace, points=13)
+        assert len(profile) == 13
+        # At t=3 both kernels are active.
+        mid = [count for t, count in profile if 2.0 < t < 4.0]
+        assert max(mid) == 2
+        assert profile[0][1] >= 1
+
+    def test_concurrency_profile_empty(self):
+        assert concurrency_profile(TraceRecorder()) == []

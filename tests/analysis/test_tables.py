@@ -1,0 +1,71 @@
+"""Tests for table formatting and CSV export."""
+
+import csv
+
+import pytest
+
+from repro.analysis.tables import format_markdown, format_table, format_value, write_csv
+
+ROWS = [
+    {"pair": "gaussian+nn", "improvement": 23.456789, "ok": True},
+    {"pair": "needle+srad", "improvement": 7.1, "ok": False},
+]
+
+
+class TestFormatValue:
+    def test_float_precision(self):
+        assert format_value(3.14159, precision=2) == "3.14"
+
+    def test_bool(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+
+    def test_passthrough(self):
+        assert format_value("x") == "x"
+        assert format_value(42) == "42"
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        text = format_table(ROWS, title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "pair" in lines[1] and "improvement" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert "23.457" in text
+        # Columns align: every line has equal length or longer header.
+        assert "gaussian+nn" in lines[3]
+
+    def test_column_selection(self):
+        text = format_table(ROWS, columns=["pair"])
+        assert "improvement" not in text
+
+    def test_missing_keys_blank(self):
+        text = format_table([{"a": 1}, {"b": 2}])
+        assert "a" in text and "b" in text
+
+    def test_empty(self):
+        assert "(no rows)" in format_table([])
+
+
+class TestMarkdown:
+    def test_github_table_shape(self):
+        text = format_markdown(ROWS)
+        lines = text.splitlines()
+        assert lines[0].startswith("| pair")
+        assert lines[1].startswith("|---")
+        assert len(lines) == 2 + len(ROWS)
+
+    def test_empty(self):
+        assert format_markdown([]) == "(no rows)"
+
+
+class TestCsv:
+    def test_roundtrip(self, tmp_path):
+        path = write_csv(ROWS, tmp_path / "sub" / "out.csv")
+        assert path.exists()
+        with path.open() as fh:
+            rows = list(csv.DictReader(fh))
+        assert rows[0]["pair"] == "gaussian+nn"
+        assert float(rows[0]["improvement"]) == pytest.approx(23.456789)
+        assert len(rows) == 2

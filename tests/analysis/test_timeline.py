@@ -1,0 +1,71 @@
+"""Tests for the ASCII timeline renderer."""
+
+import pytest
+
+from repro.analysis.timeline import GLYPHS, render_timeline, timeline_rows
+from repro.sim.trace import TraceRecorder
+
+
+@pytest.fixture
+def sample_trace():
+    trace = TraceRecorder()
+    trace.record("stream-0", "memcpy_htod", "a", 0.0, 1.0)
+    trace.record("stream-0", "kernel", "k", 1.0, 3.0)
+    trace.record("stream-1", "memcpy_htod", "b", 1.0, 2.0)
+    trace.record("stream-1", "kernel", "k", 2.0, 4.0)
+    trace.record("stream-1", "memcpy_dtoh", "out", 4.0, 4.5)
+    return trace
+
+
+class TestRows:
+    def test_rows_per_stream_track(self, sample_trace):
+        rows = timeline_rows(sample_trace, width=45)
+        assert [track for track, _ in rows] == ["stream-0", "stream-1"]
+        assert all(len(row) == 45 for _, row in rows)
+
+    def test_glyph_placement(self, sample_trace):
+        rows = dict(timeline_rows(sample_trace, width=45))
+        s0 = rows["stream-0"]
+        # First 10 columns (0..1 s of 4.5 s over 45 chars) are copies.
+        assert s0[0] == GLYPHS["memcpy_htod"]
+        assert GLYPHS["kernel"] in s0
+        s1 = rows["stream-1"]
+        assert GLYPHS["memcpy_dtoh"] in s1
+
+    def test_idle_fill(self, sample_trace):
+        rows = dict(timeline_rows(sample_trace, width=45))
+        assert "." in rows["stream-0"]  # idle after its kernel ends at 3.0
+
+    def test_natural_track_order(self):
+        trace = TraceRecorder()
+        for sid in (10, 2, 1):
+            trace.record(f"stream-{sid}", "kernel", "k", 0, 1)
+        rows = timeline_rows(trace, width=10)
+        assert [t for t, _ in rows] == ["stream-1", "stream-2", "stream-10"]
+
+    def test_window_clipping(self, sample_trace):
+        rows = dict(timeline_rows(sample_trace, width=10, window=(0.0, 1.0)))
+        # Only the first copy is inside the window on stream-0.
+        assert set(rows["stream-0"]) == {GLYPHS["memcpy_htod"]}
+
+    def test_empty_trace(self):
+        assert timeline_rows(TraceRecorder(), width=10) == []
+
+    def test_minimum_one_cell_per_span(self):
+        trace = TraceRecorder()
+        trace.record("stream-0", "kernel", "long", 0.0, 100.0)
+        trace.record("stream-0", "memcpy_htod", "tiny", 100.0, 100.001)
+        rows = dict(timeline_rows(trace, width=50))
+        assert GLYPHS["memcpy_htod"] in rows["stream-0"]
+
+
+class TestRender:
+    def test_full_render(self, sample_trace):
+        text = render_timeline(sample_trace, width=40, title="Figure 1")
+        assert "Figure 1" in text
+        assert "stream-0" in text
+        assert "legend" in text
+        assert "[ms]" in text
+
+    def test_empty(self):
+        assert render_timeline(TraceRecorder()) == "(empty trace)"

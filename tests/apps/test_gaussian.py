@@ -1,0 +1,110 @@
+"""Tests for the gaussian application: numerics + workload profile."""
+
+import numpy as np
+import pytest
+
+from repro.apps.gaussian import (
+    GaussianApp,
+    back_substitute,
+    forward_eliminate,
+    make_test_system,
+    solve,
+)
+from repro.framework.kernel import KernelPhase, TransferPhase
+from repro.gpu.commands import CopyDirection
+
+
+class TestNumerics:
+    """The Fan1/Fan2 arithmetic must solve linear systems correctly."""
+
+    @pytest.mark.parametrize("n", [2, 3, 8, 33, 64])
+    def test_matches_numpy_solve(self, n):
+        a, b = make_test_system(n, np.random.default_rng(n))
+        x = solve(a, b)
+        np.testing.assert_allclose(x, np.linalg.solve(a, b), rtol=1e-8)
+
+    def test_elimination_produces_upper_triangular(self):
+        a, b = make_test_system(16)
+        _, a_tri, _ = forward_eliminate(a, b)
+        lower = np.tril(a_tri, k=-1)
+        np.testing.assert_allclose(lower, np.zeros_like(lower), atol=1e-9)
+
+    def test_multipliers_reproduce_elimination(self):
+        """m is exactly the lower factor: (I + L) @ a_tri == a (LU)."""
+        a, b = make_test_system(12)
+        m, a_tri, _ = forward_eliminate(a, b)
+        reconstructed = (np.eye(12) + m) @ a_tri
+        np.testing.assert_allclose(reconstructed, a, rtol=1e-8, atol=1e-8)
+
+    def test_back_substitute_identity(self):
+        x = back_substitute(np.eye(4), np.array([1.0, 2.0, 3.0, 4.0]))
+        np.testing.assert_allclose(x, [1, 2, 3, 4])
+
+    def test_zero_pivot_detected(self):
+        a = np.array([[0.0, 1.0], [1.0, 0.0]])
+        with pytest.raises(ZeroDivisionError):
+            forward_eliminate(a, np.ones(2))
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            forward_eliminate(np.ones((2, 3)), np.ones(2))
+        with pytest.raises(ValueError):
+            forward_eliminate(np.ones((2, 2)), np.ones(3))
+
+    def test_test_system_is_diagonally_dominant(self):
+        a, _ = make_test_system(32)
+        off_diag = np.abs(a).sum(axis=1) - np.abs(np.diag(a))
+        assert np.all(np.abs(np.diag(a)) > off_diag)
+
+
+class TestProfile:
+    """Launch geometry must match Table III."""
+
+    def test_paper_geometry(self):
+        profile = GaussianApp.build_profile(n=512)
+        kernel_phase = next(p for p in profile.phases if isinstance(p, KernelPhase))
+        fan1 = [k for k in kernel_phase.descriptors if k.name == "Fan1"]
+        fan2 = [k for k in kernel_phase.descriptors if k.name == "Fan2"]
+        # Table III: 511 calls each.
+        assert len(fan1) == 511
+        assert len(fan2) == 511
+        # Fan1: grid (1,1,1), block (512,1,1) -> 1 TB x 512 TPB.
+        assert fan1[0].grid.as_tuple() == (1, 1, 1)
+        assert fan1[0].block.as_tuple() == (512, 1, 1)
+        # Fan2: grid (32,32,1), block (16,16,1) -> 1024 TB x 256 TPB.
+        assert fan2[0].grid.as_tuple() == (32, 32, 1)
+        assert fan2[0].block.as_tuple() == (16, 16, 1)
+        assert fan2[0].num_blocks == 1024
+        assert fan2[0].threads_per_block == 256
+
+    def test_launch_order_alternates(self):
+        profile = GaussianApp.build_profile(n=64)
+        kernel_phase = next(p for p in profile.phases if isinstance(p, KernelPhase))
+        names = [k.name for k in kernel_phase.descriptors]
+        assert names[:4] == ["Fan1", "Fan2", "Fan1", "Fan2"]
+        assert len(names) == 2 * 63
+
+    def test_transfer_sizes(self):
+        profile = GaussianApp.build_profile(n=512)
+        matrix = 512 * 512 * 4
+        # HtoD: a + b + m.
+        assert profile.htod_bytes == 2 * matrix + 512 * 4
+        # DtoH: a + b.
+        assert profile.dtoh_bytes == matrix + 512 * 4
+        assert profile.htod_bytes > 8 * 1024  # paper: all apps exceed 8 KB
+
+    def test_phase_structure(self):
+        profile = GaussianApp.build_profile(n=64)
+        kinds = [type(p).__name__ for p in profile.phases]
+        assert kinds == ["TransferPhase", "KernelPhase", "TransferPhase"]
+        assert profile.phases[0].direction is CopyDirection.HTOD
+        assert profile.phases[-1].direction is CopyDirection.DTOH
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            GaussianApp.build_profile(n=1)
+
+    def test_create_sets_identity(self):
+        app = GaussianApp.create(instance=3, n=64)
+        assert app.app_id == "gaussian#3"
+        assert app.profile.name == "gaussian"

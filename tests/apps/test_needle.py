@@ -1,0 +1,122 @@
+"""Tests for the needle (Needleman-Wunsch) application."""
+
+import numpy as np
+import pytest
+
+from repro.apps.needle import (
+    NeedleApp,
+    make_sequences,
+    nw_align,
+    nw_matrix,
+    nw_score,
+)
+from repro.framework.kernel import KernelPhase
+
+
+def naive_nw(seq1, seq2, blosum, penalty):
+    """Straightforward double-loop DP as the oracle."""
+    rows, cols = len(seq1) + 1, len(seq2) + 1
+    m = np.zeros((rows, cols), dtype=np.int64)
+    m[0, :] = -penalty * np.arange(cols)
+    m[:, 0] = -penalty * np.arange(rows)
+    for i in range(1, rows):
+        for j in range(1, cols):
+            m[i, j] = max(
+                m[i - 1, j - 1] + blosum[seq1[i - 1], seq2[j - 1]],
+                m[i, j - 1] - penalty,
+                m[i - 1, j] - penalty,
+            )
+    return m
+
+
+class TestNumerics:
+    @pytest.mark.parametrize("n,seed", [(4, 0), (7, 1), (16, 2), (33, 3)])
+    def test_matches_naive_dp(self, n, seed):
+        rng = np.random.default_rng(seed)
+        seq1, seq2, blosum = make_sequences(n, rng)
+        np.testing.assert_array_equal(
+            nw_matrix(seq1, seq2, blosum, penalty=10),
+            naive_nw(seq1, seq2, blosum, 10),
+        )
+
+    def test_rectangular_sequences(self):
+        rng = np.random.default_rng(4)
+        seq1 = rng.integers(1, 23, size=5)
+        seq2 = rng.integers(1, 23, size=12)
+        _, _, blosum = make_sequences(4, rng)
+        np.testing.assert_array_equal(
+            nw_matrix(seq1, seq2, blosum, 5), naive_nw(seq1, seq2, blosum, 5)
+        )
+
+    def test_identical_sequences_score_highest(self):
+        rng = np.random.default_rng(5)
+        seq, _, blosum = make_sequences(20, rng)
+        self_score = nw_score(seq, seq, blosum)
+        other = (seq + 1) % 22 + 1
+        assert self_score >= nw_score(seq, other, blosum)
+
+    def test_alignment_traceback_consistent(self):
+        """Traceback length and gap count must reconcile with the DP."""
+        rng = np.random.default_rng(6)
+        seq1, seq2, blosum = make_sequences(12, rng)
+        alignment = nw_align(seq1, seq2, blosum, penalty=10)
+        used1 = [a for a, _ in alignment if a is not None]
+        used2 = [b for _, b in alignment if b is not None]
+        assert used1 == list(range(len(seq1)))  # every symbol consumed once
+        assert used2 == list(range(len(seq2)))
+        # Recompute the score along the traceback.
+        score = 0
+        for a, b in alignment:
+            if a is not None and b is not None:
+                score += blosum[seq1[a], seq2[b]]
+            else:
+                score -= 10
+        assert score == nw_score(seq1, seq2, blosum, penalty=10)
+
+    def test_negative_penalty_rejected(self):
+        seq1, seq2, blosum = make_sequences(4)
+        with pytest.raises(ValueError):
+            nw_matrix(seq1, seq2, blosum, penalty=-1)
+
+    def test_gap_only_alignment(self):
+        """Empty vs non-empty sequence: pure gap penalties."""
+        _, _, blosum = make_sequences(4)
+        m = nw_matrix(np.array([], dtype=int), np.array([1, 2, 3]), blosum, 10)
+        np.testing.assert_array_equal(m[0], [0, -10, -20, -30])
+
+
+class TestProfile:
+    def test_paper_geometry(self):
+        """Table III: shared_1 grids (1,1,1)...(16,1,1), shared_2
+        (15,1,1)...(1,1,1), block (32,1,1)."""
+        profile = NeedleApp.build_profile(n=512)
+        phase = next(p for p in profile.phases if isinstance(p, KernelPhase))
+        k1 = [k for k in phase.descriptors if k.name == "needle_cuda_shared_1"]
+        k2 = [k for k in phase.descriptors if k.name == "needle_cuda_shared_2"]
+        assert len(k1) == 16 and len(k2) == 15
+        assert [k.grid.x for k in k1] == list(range(1, 17))
+        assert [k.grid.x for k in k2] == list(range(15, 0, -1))
+        assert all(k.block.as_tuple() == (32, 1, 1) for k in k1 + k2)
+        assert max(k.num_blocks for k in k1) == 16
+        assert all(k.threads_per_block == 32 for k in k1 + k2)
+
+    def test_underutilization(self):
+        """needle never exceeds 2% of the K20's thread capacity."""
+        from repro.gpu.specs import tesla_k20
+
+        profile = NeedleApp.build_profile(n=512)
+        phase = next(p for p in profile.phases if isinstance(p, KernelPhase))
+        peak_threads = max(k.total_threads for k in phase.descriptors)
+        assert peak_threads / tesla_k20().max_resident_threads < 0.02
+
+    def test_transfer_sizes(self):
+        profile = NeedleApp.build_profile(n=512)
+        matrix = 513 * 513 * 4
+        assert profile.htod_bytes == 2 * matrix
+        assert profile.dtoh_bytes == matrix
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NeedleApp.build_profile(n=100)  # not a multiple of 32
+        with pytest.raises(ValueError):
+            NeedleApp.build_profile(n=0)

@@ -1,0 +1,94 @@
+"""Tests for the nn application: numerics + workload profile."""
+
+import numpy as np
+import pytest
+
+from repro.apps.nn import NNApp, euclid_distances, find_nearest, make_records
+from repro.framework.kernel import KernelPhase
+
+
+class TestNumerics:
+    def test_euclid_matches_brute_force(self):
+        rng = np.random.default_rng(1)
+        records = make_records(500, rng)
+        d = euclid_distances(records, 30.0, 60.0)
+        expected = np.sqrt(((records - np.array([30.0, 60.0], dtype=np.float32)) ** 2).sum(axis=1))
+        np.testing.assert_allclose(d, expected, rtol=1e-6)
+
+    def test_find_nearest_matches_argsort(self):
+        rng = np.random.default_rng(2)
+        records = make_records(1000, rng)
+        idx, dist = find_nearest(records, 10.0, 20.0, k=10)
+        d_all = euclid_distances(records, 10.0, 20.0)
+        expected = np.argsort(d_all, kind="stable")[:10]
+        # Same distance set (ordering of exact ties may vary by index rule).
+        np.testing.assert_allclose(np.sort(dist), np.sort(d_all[expected]), rtol=1e-6)
+        assert np.all(np.diff(dist) >= 0)  # sorted ascending
+
+    def test_find_nearest_matches_scipy(self):
+        scipy_spatial = pytest.importorskip("scipy.spatial")
+        rng = np.random.default_rng(3)
+        records = make_records(2000, rng).astype(np.float64)
+        tree = scipy_spatial.cKDTree(records)
+        dist_scipy, idx_scipy = tree.query([25.0, 50.0], k=5)
+        idx, dist = find_nearest(records, 25.0, 50.0, k=5)
+        np.testing.assert_allclose(np.sort(dist), np.sort(dist_scipy), rtol=1e-5)
+
+    def test_k_clamped_to_record_count(self):
+        records = make_records(3)
+        idx, dist = find_nearest(records, 0, 0, k=10)
+        assert len(idx) == 3
+
+    def test_exact_match_distance_zero(self):
+        records = make_records(10)
+        idx, dist = find_nearest(records, records[4, 0], records[4, 1], k=1)
+        assert idx[0] == 4
+        assert dist[0] == pytest.approx(0.0, abs=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            find_nearest(make_records(5), 0, 0, k=0)
+        with pytest.raises(ValueError):
+            euclid_distances(np.ones((3, 3)), 0, 0)
+
+    def test_record_ranges(self):
+        records = make_records(10000)
+        assert records.dtype == np.float32
+        assert records[:, 0].min() >= 0 and records[:, 0].max() <= 63
+        assert records[:, 1].min() >= 0 and records[:, 1].max() <= 127
+
+
+class TestProfile:
+    def test_paper_geometry(self):
+        """Table III: euclid, 42764 records, 1 call, grid (168,1,1),
+        block (256,1,1) -> 168 TB x 256 TPB."""
+        profile = NNApp.build_profile(records=42764)
+        phase = next(p for p in profile.phases if isinstance(p, KernelPhase))
+        (euclid,) = phase.descriptors
+        assert euclid.name == "euclid"
+        assert euclid.grid.as_tuple() == (168, 1, 1)
+        assert euclid.block.as_tuple() == (256, 1, 1)
+        assert euclid.num_blocks == 168
+        assert profile.kernel_launches == 1
+
+    def test_transfer_sizes(self):
+        profile = NNApp.build_profile(records=42764)
+        assert profile.htod_bytes == 42764 * 8   # float2 per record
+        assert profile.dtoh_bytes == 42764 * 4   # one float distance back
+
+    def test_transfer_dominates_compute(self):
+        """nn is the transfer-bound application of the mix."""
+        from repro.gpu.occupancy import device_wide_blocks
+        from repro.gpu.specs import tesla_k20
+
+        spec = tesla_k20()
+        profile = NNApp.build_profile(records=42764)
+        phase = next(p for p in profile.phases if isinstance(p, KernelPhase))
+        (euclid,) = phase.descriptors
+        compute = euclid.serial_duration(device_wide_blocks(euclid, spec))
+        transfer = spec.dma_htod.transfer_time(profile.htod_bytes)
+        assert transfer > 2 * compute
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NNApp.build_profile(records=0)

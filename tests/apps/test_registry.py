@@ -1,0 +1,80 @@
+"""Tests for the application registry (paper Table I)."""
+
+import pytest
+
+from repro.apps.base import RodiniaApp
+from repro.apps.registry import (
+    TABLE_I,
+    all_pairs,
+    get_app,
+    get_app_class,
+    list_apps,
+    register_app,
+)
+
+
+class TestTableI:
+    def test_all_four_rodinia_apps_ported(self):
+        assert list_apps() == ["gaussian", "needle", "nn", "srad"]
+
+    def test_table1_contents(self):
+        benchmarks = {b for b, _ in TABLE_I}
+        assert "Gaussian Elimination" in benchmarks
+        assert "k-Nearest Neighbors" in benchmarks
+        assert "Needleman-Wunsch" in benchmarks
+        assert "Speckle reducing anisotropic diffusion" in benchmarks
+
+    def test_six_heterogeneous_pairs(self):
+        """C(4, 2) = 6 pairs — Figure 4 has subplots (a) through (f)."""
+        pairs = all_pairs()
+        assert len(pairs) == 6
+        assert all(x < y for x, y in pairs)
+        assert len(set(pairs)) == 6
+
+
+class TestLookup:
+    def test_get_app_class(self):
+        assert issubclass(get_app_class("gaussian"), RodiniaApp)
+
+    def test_get_app_builds_instance(self):
+        app = get_app("nn", instance=2, records=512)
+        assert app.app_id == "nn#2"
+        assert app.profile.data_dim == "512"
+
+    def test_unknown_app(self):
+        with pytest.raises(KeyError, match="available"):
+            get_app_class("hotspot")
+
+
+class TestRegistration:
+    def test_register_custom_app(self):
+        class CustomApp(RodiniaApp):
+            @classmethod
+            def build_profile(cls, **kwargs):
+                from repro.apps.nn import NNApp
+
+                return NNApp.build_profile(records=64)
+
+        register_app("custom", CustomApp)
+        try:
+            assert "custom" in list_apps()
+            assert get_app("custom").profile is not None
+        finally:
+            from repro.apps.registry import APP_CLASSES
+
+            APP_CLASSES.pop("custom", None)
+
+    def test_register_rejects_non_app(self):
+        with pytest.raises(TypeError):
+            register_app("bad", dict)
+
+
+class TestWorkloadSummary:
+    def test_summary_has_table3_columns(self):
+        summary = get_app_class("srad").workload_summary(n=64, iterations=2)
+        assert summary["name"] == "srad"
+        assert summary["data_dim"] == "64 x 64"
+        for kernel_info in summary["kernels"].values():
+            assert {"calls", "grid_dims", "block_dim", "threads_per_block"} <= set(
+                kernel_info
+            )

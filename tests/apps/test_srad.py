@@ -1,0 +1,141 @@
+"""Tests for the srad application: numerics + workload profile."""
+
+import numpy as np
+import pytest
+
+from repro.apps.srad import SradApp, make_image, srad, srad_step
+from repro.framework.kernel import (
+    HostComputePhase,
+    KernelPhase,
+    SyncPhase,
+    TransferPhase,
+)
+from repro.gpu.commands import CopyDirection
+
+
+def naive_srad_step(j, q0sqr, lam):
+    """Per-pixel loop oracle mirroring the CUDA kernels."""
+    rows, cols = j.shape
+    out = j.copy()
+    dn = np.zeros_like(j)
+    ds = np.zeros_like(j)
+    dw = np.zeros_like(j)
+    de = np.zeros_like(j)
+    c = np.zeros_like(j)
+    for i in range(rows):
+        for k in range(cols):
+            n_i = max(i - 1, 0)
+            s_i = min(i + 1, rows - 1)
+            w_k = max(k - 1, 0)
+            e_k = min(k + 1, cols - 1)
+            dn[i, k] = j[n_i, k] - j[i, k]
+            ds[i, k] = j[s_i, k] - j[i, k]
+            dw[i, k] = j[i, w_k] - j[i, k]
+            de[i, k] = j[i, e_k] - j[i, k]
+            g2 = (dn[i, k] ** 2 + ds[i, k] ** 2 + dw[i, k] ** 2 + de[i, k] ** 2) / j[i, k] ** 2
+            l = (dn[i, k] + ds[i, k] + dw[i, k] + de[i, k]) / j[i, k]
+            num = 0.5 * g2 - 0.0625 * l * l
+            den = (1 + 0.25 * l) ** 2
+            qsqr = num / den
+            cv = 1.0 / (1.0 + (qsqr - q0sqr) / (q0sqr * (1 + q0sqr)))
+            c[i, k] = min(max(cv, 0.0), 1.0)
+    for i in range(rows):
+        for k in range(cols):
+            s_i = min(i + 1, rows - 1)
+            e_k = min(k + 1, cols - 1)
+            d = (
+                c[i, k] * dn[i, k]
+                + c[s_i, k] * ds[i, k]
+                + c[i, k] * dw[i, k]
+                + c[i, e_k] * de[i, k]
+            )
+            out[i, k] = j[i, k] + 0.25 * lam * d
+    return out
+
+
+class TestNumerics:
+    def test_matches_naive_loop(self):
+        rng = np.random.default_rng(0)
+        j = make_image((8, 9), rng)
+        expected = naive_srad_step(j, q0sqr=0.3, lam=0.5)
+        np.testing.assert_allclose(srad_step(j, 0.3, 0.5), expected, rtol=1e-12)
+
+    def test_smooths_speckle(self):
+        """After diffusion, local variation of a noisy flat image drops."""
+        rng = np.random.default_rng(1)
+        noisy = np.clip(rng.normal(1.0, 0.2, size=(64, 64)), 0.05, None)
+        filtered = srad(noisy, lam=0.5, iterations=20)
+        def roughness(img):
+            return float(np.abs(np.diff(img, axis=0)).mean()
+                         + np.abs(np.diff(img, axis=1)).mean())
+        assert roughness(filtered) < 0.5 * roughness(noisy)
+
+    def test_homogeneous_image_is_fixed_point(self):
+        flat = np.full((16, 16), 3.0)
+        np.testing.assert_allclose(srad(flat, iterations=5), flat)
+
+    def test_output_stays_finite_and_positive_scale(self):
+        img = make_image((32, 32))
+        out = srad(img, lam=0.25, iterations=10)
+        assert np.all(np.isfinite(out))
+        assert out.mean() == pytest.approx(img.mean(), rel=0.15)
+
+    def test_zero_iterations_identity(self):
+        img = make_image((8, 8))
+        np.testing.assert_array_equal(srad(img, iterations=0), img)
+
+    def test_nonpositive_image_rejected(self):
+        with pytest.raises(ValueError):
+            srad_step(np.zeros((4, 4)), 0.5, 0.5)
+
+    def test_negative_iterations_rejected(self):
+        with pytest.raises(ValueError):
+            srad(make_image((8, 8)), iterations=-1)
+
+    def test_roi_argument(self):
+        img = make_image((32, 32))
+        out = srad(img, iterations=3, roi=(slice(0, 8), slice(0, 8)))
+        assert np.all(np.isfinite(out))
+
+
+class TestProfile:
+    def test_paper_geometry(self):
+        """Table III: srad_cuda_1/2, 10 calls, grid (32,32,1), block
+        (16,16,1) -> 1024 TB x 256 TPB."""
+        profile = SradApp.build_profile(n=512, iterations=10)
+        phases = [p for p in profile.phases if isinstance(p, KernelPhase)]
+        assert len(phases) == 10  # one per iteration
+        for phase in phases:
+            k1, k2 = phase.descriptors
+            assert (k1.name, k2.name) == ("srad_cuda_1", "srad_cuda_2")
+            assert k1.grid.as_tuple() == (32, 32, 1)
+            assert k1.block.as_tuple() == (16, 16, 1)
+            assert k1.num_blocks == 1024
+            assert k1.threads_per_block == 256
+
+    def test_in_loop_transfer_pattern(self):
+        """srad has the Section III-C shape: DtoH + sync inside the loop."""
+        profile = SradApp.build_profile(n=64, iterations=3)
+        kinds = [type(p).__name__ for p in profile.phases]
+        # HtoD, then 3 x (kernels, DtoH, sync, host), then final DtoH.
+        assert kinds[0] == "TransferPhase"
+        assert kinds[1:5] == [
+            "KernelPhase",
+            "TransferPhase",
+            "SyncPhase",
+            "HostComputePhase",
+        ]
+        assert kinds[-1] == "TransferPhase"
+        in_loop_dtoh = [
+            p
+            for p in profile.phases
+            if isinstance(p, TransferPhase)
+            and p.direction is CopyDirection.DTOH
+        ]
+        assert len(in_loop_dtoh) == 4  # 3 per-iteration sums + final image
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SradApp.build_profile(n=8)
+        with pytest.raises(ValueError):
+            SradApp.build_profile(n=64, iterations=0)

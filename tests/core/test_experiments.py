@@ -1,0 +1,223 @@
+"""Tests for the per-figure experiment drivers (tiny/small scale).
+
+These check the *structure* of every driver plus the cheap shape
+assertions; the full paper-scale shape reproduction lives in the benchmark
+suite (``benchmarks/``) and EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.core import experiments as ex
+from repro.core.baselines import symbiosis_admission
+from repro.core.runner import ExperimentRunner
+from repro.gpu.specs import tesla_k20
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner()
+
+
+class TestFig1Fig2:
+    def test_sync_reduces_interleaving(self, runner):
+        study = ex.fig1_fig2_timelines(
+            pair=("nn", "needle"), num_apps=6, scale="small", runner=runner
+        )
+        default_switches = study.interleaving_switches(study.default_trace)
+        sync_switches = study.interleaving_switches(study.sync_trace)
+        assert sync_switches < default_switches
+        # With the mutex, handovers = one per app boundary at most.
+        assert sync_switches <= 6
+
+    def test_rows_structure(self, runner):
+        study = ex.fig1_fig2_timelines(
+            pair=("nn", "needle"), num_apps=4, scale="tiny", runner=runner
+        )
+        rows = study.rows()
+        assert [r["scenario"] for r in rows] == ["default", "sync"]
+        assert all(r["makespan_ms"] > 0 for r in rows)
+
+
+class TestFig3:
+    def test_all_five_orders_present(self):
+        orders = ex.fig3_orders(m=4, n=4)
+        assert len(orders) == 5
+        assert orders["naive-fifo"][0] == "AX(1)"
+        assert orders["reverse-fifo"][0] == "AY(1)"
+        assert all(len(sig) == 8 for sig in orders.values())
+
+
+class TestFig4:
+    def test_structure_and_positive_improvement(self, runner):
+        result = ex.fig4_concurrency(
+            pairs=[("nn", "needle")], na_values=(4, 8), scale="tiny",
+            runner=runner,
+        )
+        assert len(result.rows) == 4  # 2 NA x {half, full}
+        for row in result.rows:
+            assert row.improvement_pct > 0  # concurrency helps
+            assert row.serial_makespan > row.makespan
+        by_pair = result.by_pair()
+        assert list(by_pair) == [("nn", "needle")]
+
+    def test_full_beats_or_matches_half(self, runner):
+        result = ex.fig4_concurrency(
+            pairs=[("nn", "srad")], na_values=(8,), scale="tiny", runner=runner
+        )
+        half = next(r for r in result.rows if r.scenario == "half")
+        full = next(r for r in result.rows if r.scenario == "full")
+        assert full.improvement_pct >= half.improvement_pct - 3.0
+
+    def test_stats(self, runner):
+        result = ex.fig4_concurrency(
+            pairs=[("nn", "needle")], na_values=(4,), scale="tiny", runner=runner
+        )
+        mx, avg = result.stats("full")
+        assert mx >= avg > 0
+        assert result.stats("bogus") == (0.0, 0.0)
+
+
+class TestFig5:
+    def test_leftover_overlaps_oversubscribed(self):
+        result = ex.fig5_oversubscription()
+        assert result.total_requested_blocks == 1203
+        assert result.device_block_ceiling == 208
+        assert result.oversubscribed
+        assert result.max_kernel_concurrency == 5
+        assert result.makespan < result.serialized_makespan
+        assert len(result.rows()) == 5
+
+    def test_symbiosis_admission_serializes(self):
+        leftover = ex.fig5_oversubscription()
+        symbiosis = ex.fig5_oversubscription(
+            admission=symbiosis_admission(tesla_k20())
+        )
+        assert symbiosis.max_kernel_concurrency < leftover.max_kernel_concurrency
+        assert symbiosis.makespan > leftover.makespan
+
+
+class TestFig6:
+    def test_stretch_and_recovery(self, runner):
+        result = ex.fig6_effective_latency(
+            pair=("nn", "needle"), na_values=(8, 16), scale="small",
+            runner=runner,
+        )
+        assert len(result.rows) == 2
+        for row in result.rows:
+            # Default concurrency stretches Le well past expectation...
+            assert row.default_ratio > 1.5
+            # ...the mutex brings it back near the uncontended expectation.
+            assert row.sync_ratio < 1.3
+        # Stretch grows with concurrency.
+        assert result.rows[1].default_ratio > result.rows[0].default_ratio
+        assert result.worst_default_ratio == result.rows[1].default_ratio
+
+
+class TestFig7Fig8:
+    def test_ordering_study_structure(self, runner):
+        result = ex.fig7_ordering_default(
+            pairs=[("nn", "needle")], num_apps=8, scale="tiny", runner=runner
+        )
+        assert not result.memory_sync
+        rows = result.by_pair()[("nn", "needle")]
+        assert len(rows) == 5
+        # Exactly one worst order with normalized performance 1.0.
+        normalized = sorted(r.normalized_performance for r in rows)
+        assert normalized[0] == pytest.approx(1.0)
+        assert all(n >= 1.0 for n in normalized)
+
+    def test_spread_stats(self, runner):
+        result = ex.fig8_ordering_sync(
+            pairs=[("nn", "needle")], num_apps=8, scale="tiny", runner=runner
+        )
+        assert result.memory_sync
+        mx, avg = result.stats()
+        assert mx >= avg >= 0
+
+
+class TestFig9Fig10:
+    def test_power_concurrency_scenarios(self, runner):
+        result = ex.fig9_power_concurrency(
+            pair=("nn", "needle"),
+            num_apps=8,
+            pairs_for_stats=[("nn", "needle")],
+            scale="tiny",
+            runner=runner,
+            power_interval=50e-6,
+        )
+        labels = [s.label for s in result.scenarios]
+        assert labels == ["serial", "half-concurrent", "full-concurrent"]
+        serial, half, full = result.scenarios
+        # Makespan shrinks with concurrency; peak power does not decrease.
+        assert full.makespan < serial.makespan
+        assert full.peak_power >= serial.peak_power - 1.0
+        # Energy improves (the headline energy claim).
+        assert full.energy < serial.energy
+        assert result.average_energy_improvement > 0
+        pair, best = result.best_energy_improvement
+        assert best >= result.average_energy_improvement
+
+    def test_power_sync_scenarios(self, runner):
+        result = ex.fig10_power_sync(
+            pair=("nn", "needle"),
+            num_apps=8,
+            pairs_for_stats=[("nn", "needle")],
+            scale="tiny",
+            runner=runner,
+            power_interval=50e-6,
+        )
+        labels = [(s.label, s.memory_sync) for s in result.scenarios]
+        assert labels == [("default", False), ("memory-sync", True)]
+        # The paper: sync "does not impose any significant power consumption".
+        assert abs(result.power_delta_pct) < 30.0
+        assert ("nn", "needle") in result.energy_improvement_by_pair
+
+
+class TestTable3:
+    def test_paper_scale_rows(self):
+        rows = ex.table3_geometry(scale="paper")
+        by_kernel = {r["kernel"]: r for r in rows}
+        assert by_kernel["Fan1"]["calls"] == 511
+        assert by_kernel["Fan2"]["grid_dim"] == "(32, 32, 1)"
+        assert by_kernel["euclid"]["max_blocks"] == 168
+        assert by_kernel["needle_cuda_shared_1"]["calls"] == 16
+        assert by_kernel["needle_cuda_shared_2"]["calls"] == 15
+        assert by_kernel["srad_cuda_1"]["calls"] == 10
+        assert by_kernel["needle_cuda_shared_1"]["grid_dim"].startswith("(1, 1, 1)")
+
+    def test_tiny_scale_rows_exist(self):
+        assert len(ex.table3_geometry(scale="tiny")) == 7  # 7 kernels total
+
+
+class TestHomogeneous:
+    def test_structure(self, runner):
+        from repro.core.experiments import homogeneous_scaling
+
+        result = homogeneous_scaling(
+            apps=["nn", "needle"], na_values=(4, 8), scale="tiny", runner=runner
+        )
+        assert len(result.rows) == 4
+        assert set(result.by_app()) == {"nn", "needle"}
+        for row in result.rows:
+            assert row.serial_makespan > 0
+            assert row.concurrent_makespan > 0
+        app, best = result.best_improvement()
+        assert best == max(r.improvement_pct for r in result.rows)
+
+    def test_self_concurrency_helps_underutilizers(self, runner):
+        from repro.core.experiments import homogeneous_scaling
+
+        result = homogeneous_scaling(
+            apps=["needle"], na_values=(8,), scale="small", runner=runner
+        )
+        assert result.rows[0].improvement_pct > 20.0
+
+
+class TestHeadline:
+    def test_headline_rows_cover_all_claims(self, runner):
+        result = ex.headline_numbers(num_apps=4, scale="tiny", runner=runner)
+        rows = result.rows()
+        assert len(rows) == 10
+        claims = {r["claim"] for r in rows}
+        assert "max full-concurrent improvement" in claims
+        assert all("paper_pct" in r and "measured_pct" in r for r in rows)

@@ -1,0 +1,69 @@
+"""Tests for the PowerMonitor (NVML-style sampling)."""
+
+import pytest
+
+from repro.framework.power_monitor import DEFAULT_INTERVAL, PowerMonitor
+from repro.gpu.commands import CopyDirection
+from repro.gpu.kernels import Dim3, KernelDescriptor
+
+
+class TestSampling:
+    def test_paper_default_interval(self):
+        """The methodology samples at 15 ms."""
+        assert DEFAULT_INTERVAL == pytest.approx(15e-3)
+
+    def test_sample_cadence(self, env, device):
+        monitor = PowerMonitor(env, device, interval=1e-3)
+        monitor.start()
+        env.timeout(10.5e-3)
+        env.run(until=10.5e-3)
+        monitor.stop()
+        times, watts = monitor.as_arrays()
+        assert monitor.sample_count == 11  # t = 0, 1, ..., 10 ms
+        assert times[1] - times[0] == pytest.approx(1e-3)
+
+    def test_idle_readings(self, env, device):
+        monitor = PowerMonitor(env, device, interval=1e-3)
+        monitor.start()
+        env.run(until=5e-3)
+        assert monitor.average_power() == pytest.approx(device.spec.power.idle)
+        assert monitor.peak_power() == pytest.approx(device.spec.power.idle)
+
+    def test_start_idempotent(self, env, device):
+        monitor = PowerMonitor(env, device, interval=1e-3)
+        monitor.start()
+        monitor.start()
+        env.run(until=3.5e-3)
+        assert monitor.sample_count == 4
+
+    def test_interval_validation(self, env, device):
+        with pytest.raises(ValueError):
+            PowerMonitor(env, device, interval=0)
+
+    def test_empty_monitor_stats(self, env, device):
+        monitor = PowerMonitor(env, device)
+        assert monitor.average_power() == 0.0
+        assert monitor.peak_power() == 0.0
+        assert monitor.energy_estimate() == 0.0
+
+
+class TestEnergyEstimate:
+    def test_sampled_energy_close_to_exact(self, env, device):
+        """The paper's Riemann-sum estimate must track the true integral."""
+        kd = KernelDescriptor("k", Dim3(104), Dim3(256),
+                              registers_per_thread=0, block_duration=2e-3)
+        monitor = PowerMonitor(env, device, interval=0.1e-3)
+        monitor.start()
+        s = device.create_stream()
+        s.enqueue_memcpy(CopyDirection.HTOD, 10**7)
+        s.enqueue_kernel(kd)
+
+        def stopper():
+            yield s.synchronize_event()
+            monitor.stop()
+
+        env.process(stopper())
+        env.run()
+        exact = device.power.energy()
+        sampled = monitor.energy_estimate()
+        assert sampled == pytest.approx(exact, rel=0.15)

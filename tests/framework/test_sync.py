@@ -1,0 +1,77 @@
+"""Tests for the transfer synchronizer (paper Section III-B)."""
+
+import pytest
+
+from repro.framework.sync import (
+    NullSynchronizer,
+    TransferSynchronizer,
+    make_synchronizer,
+)
+
+
+class TestTransferSynchronizer:
+    def test_exclusive_holds(self, env):
+        sync = TransferSynchronizer(env)
+        order = []
+
+        def app(name, hold):
+            token = yield from sync.acquire(name)
+            order.append(("in", name, env.now))
+            yield env.timeout(hold)
+            order.append(("out", name, env.now))
+            sync.release(name, token)
+
+        env.process(app("a", 3))
+        env.process(app("b", 2))
+        env.process(app("c", 1))
+        env.run()
+        assert order == [
+            ("in", "a", 0), ("out", "a", 3),
+            ("in", "b", 3), ("out", "b", 5),
+            ("in", "c", 5), ("out", "c", 6),
+        ]
+        assert sync.total_holds == 3
+        assert sync.max_wait_queue == 2
+
+    def test_hold_intervals_disjoint(self, env):
+        sync = TransferSynchronizer(env)
+
+        def app(name, hold):
+            token = yield from sync.acquire(name)
+            yield env.timeout(hold)
+            sync.release(name, token)
+
+        for i in range(5):
+            env.process(app(f"app{i}", 1.5))
+        env.run()
+        intervals = sorted(sync.hold_intervals())
+        assert len(intervals) == 5
+        for (s1, e1), (s2, _) in zip(intervals, intervals[1:]):
+            assert e1 <= s2
+
+    def test_enabled_flag(self, env):
+        assert TransferSynchronizer(env).enabled is True
+        assert NullSynchronizer(env).enabled is False
+
+
+class TestNullSynchronizer:
+    def test_never_blocks(self, env):
+        sync = NullSynchronizer(env)
+        times = []
+
+        def app(name):
+            token = yield from sync.acquire(name)
+            times.append(env.now)
+            yield env.timeout(10)
+            sync.release(name, token)
+
+        env.process(app("a"))
+        env.process(app("b"))
+        env.run()
+        assert times == [0, 0]  # both entered immediately
+
+
+class TestFactory:
+    def test_make_synchronizer(self, env):
+        assert isinstance(make_synchronizer(env, True), TransferSynchronizer)
+        assert isinstance(make_synchronizer(env, False), NullSynchronizer)

@@ -1,0 +1,165 @@
+"""Integration tests for :class:`repro.gpu.device.GPUDevice`."""
+
+import pytest
+
+from repro.gpu.commands import CopyDirection
+from repro.gpu.device import GPUDevice
+from repro.gpu.kernels import Dim3, KernelDescriptor
+from repro.gpu.specs import fermi_c2050, tesla_k20
+from repro.sim.engine import Environment
+from repro.sim.trace import TraceRecorder
+
+
+def kd(blocks=8, tpb=256, duration=10e-6, name="k"):
+    return KernelDescriptor(
+        name=name,
+        grid=Dim3(blocks, 1, 1),
+        block=Dim3(tpb, 1, 1),
+        registers_per_thread=0,
+        block_duration=duration,
+    )
+
+
+class TestStreamOrdering:
+    def test_in_stream_fifo(self, env, device):
+        """memcpy -> kernel -> memcpy execute strictly in order."""
+        s = device.create_stream()
+        c1 = s.enqueue_memcpy(CopyDirection.HTOD, 10**6, buffer="in")
+        k = s.enqueue_kernel(kd())
+        c2 = s.enqueue_memcpy(CopyDirection.DTOH, 10**6, buffer="out")
+        env.run()
+        assert c1.done.value <= k.started.value
+        assert k.done.value <= c2.started.value
+
+    def test_independent_streams_overlap_kernels(self, env, device, trace):
+        """Two streams' kernels overlap (Hyper-Q works)."""
+        s1, s2 = device.create_stream(), device.create_stream()
+        s1.enqueue_kernel(kd(blocks=8, duration=100e-6, name="a"))
+        s2.enqueue_kernel(kd(blocks=8, duration=100e-6, name="b"))
+        env.run()
+        assert trace.max_concurrency("kernel") == 2
+
+    def test_marker_completes_in_order(self, env, device):
+        s = device.create_stream()
+        c = s.enqueue_memcpy(CopyDirection.HTOD, 10**6)
+        m = s.enqueue_marker("after-copy")
+        env.run()
+        assert m.done.value == pytest.approx(c.done.value)
+
+    def test_synchronize_event(self, env, device):
+        s = device.create_stream()
+        s.enqueue_memcpy(CopyDirection.HTOD, 10**6)
+        s.enqueue_kernel(kd())
+        done_at = []
+
+        def waiter():
+            yield s.synchronize_event()
+            done_at.append(env.now)
+
+        env.process(waiter())
+        env.run()
+        assert done_at and done_at[0] == env.now
+
+    def test_synchronize_empty_stream_immediate(self, env, device):
+        s = device.create_stream()
+        evt = s.synchronize_event()
+        assert evt.triggered
+
+    def test_device_synchronize(self, env, device):
+        s1, s2 = device.create_stream(), device.create_stream()
+        k1 = s1.enqueue_kernel(kd(duration=10e-6))
+        k2 = s2.enqueue_kernel(kd(duration=30e-6))
+        waited = []
+
+        def waiter():
+            yield device.synchronize_event()
+            waited.append(env.now)
+
+        env.process(waiter())
+        env.run()
+        assert waited[0] >= max(k1.done.value, k2.done.value)
+
+
+class TestFermiFalseSerialization:
+    """The ablation the paper motivates Hyper-Q with."""
+
+    def test_single_queue_serializes_independent_streams(self):
+        env = Environment()
+        trace = TraceRecorder()
+        device = GPUDevice(env, spec=fermi_c2050(), trace=trace)
+        for _ in range(3):
+            device.create_stream().enqueue_kernel(kd(blocks=4, duration=50e-6))
+        env.run()
+        assert trace.max_concurrency("kernel") == 1
+
+    def test_kepler_removes_false_serialization(self):
+        env = Environment()
+        trace = TraceRecorder()
+        device = GPUDevice(env, spec=tesla_k20(), trace=trace)
+        for _ in range(3):
+            device.create_stream().enqueue_kernel(kd(blocks=4, duration=50e-6))
+        env.run()
+        assert trace.max_concurrency("kernel") == 3
+
+    def test_queue_aliasing_with_many_streams(self):
+        """More streams than hardware queues -> some pairs serialize."""
+        env = Environment()
+        trace = TraceRecorder()
+        device = GPUDevice(env, spec=tesla_k20().with_hardware_queues(2), trace=trace)
+        for _ in range(4):
+            device.create_stream().enqueue_kernel(kd(blocks=1, duration=50e-6))
+        env.run()
+        # 4 streams on 2 queues: at most 2 run concurrently.
+        assert trace.max_concurrency("kernel") == 2
+
+
+class TestDmaIntegration:
+    def test_copies_route_to_direction_engines(self, env, device):
+        s = device.create_stream()
+        up = s.enqueue_memcpy(CopyDirection.HTOD, 10**6)
+        down = s.enqueue_memcpy(CopyDirection.DTOH, 10**6)
+        env.run()
+        assert device.dma[CopyDirection.HTOD].commands_served == 1
+        assert device.dma[CopyDirection.DTOH].commands_served == 1
+
+    def test_opposite_directions_overlap(self, env, device, trace):
+        """HtoD and DtoH engines run in parallel (two DMA engines)."""
+        s1, s2 = device.create_stream(), device.create_stream()
+        up = s1.enqueue_memcpy(CopyDirection.HTOD, 10**7)
+        down = s2.enqueue_memcpy(CopyDirection.DTOH, 10**7)
+        env.run()
+        assert up.started.value == down.started.value == pytest.approx(0.0)
+
+    def test_same_direction_serializes(self, env, device, trace):
+        s1, s2 = device.create_stream(), device.create_stream()
+        s1.enqueue_memcpy(CopyDirection.HTOD, 10**6)
+        s2.enqueue_memcpy(CopyDirection.HTOD, 10**6)
+        env.run()
+        assert trace.max_concurrency("memcpy_htod") == 1
+
+
+class TestPowerAccounting:
+    def test_energy_accumulates_with_activity(self, env, device):
+        s = device.create_stream()
+        s.enqueue_kernel(kd(blocks=104, duration=100e-6))
+        env.run()
+        active_energy = device.power.energy()
+        idle_energy = device.spec.power.idle * env.now
+        assert active_energy > idle_energy
+
+    def test_power_returns_to_idle(self, env, device):
+        s = device.create_stream()
+        s.enqueue_kernel(kd())
+        env.run()
+        assert device.power.current_power == pytest.approx(device.spec.power.idle)
+
+
+class TestStreamManagement:
+    def test_stream_ids_unique(self, env, device):
+        ids = {device.create_stream().sid for _ in range(10)}
+        assert len(ids) == 10
+
+    def test_destroy_stream(self, env, device):
+        s = device.create_stream()
+        device.destroy_stream(s)
+        assert s.sid not in device.streams

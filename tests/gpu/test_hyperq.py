@@ -1,0 +1,52 @@
+"""Unit tests for the hardware work queues (:mod:`repro.gpu.hyperq`)."""
+
+import pytest
+
+from repro.gpu.commands import MarkerCommand
+from repro.gpu.hyperq import HardwareQueue, QueueFabric
+from repro.sim.engine import Environment
+
+
+class TestQueueFabric:
+    def test_needs_one_queue(self, env):
+        with pytest.raises(ValueError):
+            QueueFabric(env, 0)
+
+    def test_kepler_streams_get_distinct_queues(self, env):
+        fabric = QueueFabric(env, 32)
+        queues = {fabric.queue_for_stream(s).index for s in range(32)}
+        assert len(queues) == 32
+
+    def test_mapping_is_stable(self, env):
+        fabric = QueueFabric(env, 32)
+        q1 = fabric.queue_for_stream(5)
+        q2 = fabric.queue_for_stream(5)
+        assert q1 is q2
+
+    def test_aliasing_beyond_queue_count(self, env):
+        """Stream 33 shares a queue with stream 1 (mod 32) — the
+        CUDA_DEVICE_MAX_CONNECTIONS aliasing behaviour."""
+        fabric = QueueFabric(env, 32)
+        assert fabric.queue_for_stream(1) is fabric.queue_for_stream(33)
+        assert 33 in fabric.aliased_streams(1)
+        assert 1 in fabric.aliased_streams(33)
+
+    def test_fermi_single_queue(self, env):
+        fabric = QueueFabric(env, 1)
+        assert fabric.queue_for_stream(0) is fabric.queue_for_stream(7)
+
+    def test_no_aliases_when_wide(self, env):
+        fabric = QueueFabric(env, 32)
+        for s in range(32):
+            fabric.queue_for_stream(s)
+        assert fabric.aliased_streams(3) == []
+
+
+class TestHardwareQueue:
+    def test_chain_dependencies(self, env):
+        queue = HardwareQueue(env, 0)
+        c1 = MarkerCommand(env)
+        c2 = MarkerCommand(env)
+        assert queue.push(c1) is None
+        assert queue.push(c2) is c1.done
+        assert queue.depth_total == 2

@@ -1,0 +1,76 @@
+"""Unit tests for :mod:`repro.gpu.kernels`."""
+
+import pytest
+
+from repro.gpu.kernels import Dim3, KernelDescriptor
+
+
+class TestDim3:
+    def test_count(self):
+        assert Dim3(32, 32, 1).count == 1024
+        assert Dim3().count == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Dim3(0, 1, 1)
+
+    def test_as_tuple_and_str(self):
+        d = Dim3(16, 16)
+        assert d.as_tuple() == (16, 16, 1)
+        assert str(d) == "(16, 16, 1)"
+
+
+class TestKernelDescriptor:
+    def make(self, **kw):
+        defaults = dict(
+            name="Fan2",
+            grid=Dim3(32, 32),
+            block=Dim3(16, 16),
+            registers_per_thread=15,
+            block_duration=4e-6,
+        )
+        defaults.update(kw)
+        return KernelDescriptor(**defaults)
+
+    def test_table3_fan2_geometry(self):
+        """Table III row: Fan2 grid (32,32,1) block (16,16,1) -> 1024 TB, 256 TPB."""
+        kd = self.make()
+        assert kd.num_blocks == 1024
+        assert kd.threads_per_block == 256
+        assert kd.total_threads == 1024 * 256
+
+    def test_registers_per_block(self):
+        assert self.make().registers_per_block == 15 * 256
+
+    def test_cuda_block_limit(self):
+        with pytest.raises(ValueError):
+            self.make(block=Dim3(1025, 1, 1))
+
+    def test_positive_duration_required(self):
+        with pytest.raises(ValueError):
+            self.make(block_duration=0)
+
+    def test_negative_footprint_rejected(self):
+        with pytest.raises(ValueError):
+            self.make(registers_per_thread=-1)
+
+    def test_serial_duration_waves(self):
+        kd = self.make(block_duration=1e-6)
+        # 1024 blocks at 104 per wave -> 10 waves.
+        assert kd.serial_duration(104) == pytest.approx(10e-6)
+        assert kd.serial_duration(1024) == pytest.approx(1e-6)
+        with pytest.raises(ValueError):
+            kd.serial_duration(0)
+
+    def test_scaled(self):
+        kd = self.make(block_duration=2e-6)
+        assert kd.scaled(3.0).block_duration == pytest.approx(6e-6)
+        assert kd.scaled(3.0).name == kd.name
+        with pytest.raises(ValueError):
+            kd.scaled(0)
+
+    def test_str_rendering(self):
+        text = str(self.make())
+        assert "Fan2" in text
+        assert "1024 TB" in text
+        assert "256 TPB" in text

@@ -1,0 +1,119 @@
+"""Unit and property tests for the device memory allocator."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.gpu.memory import ALIGNMENT, Allocation, GpuOutOfMemory, MemoryAllocator
+
+
+class TestBasics:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            MemoryAllocator(0)
+
+    def test_alloc_free_roundtrip(self):
+        alloc = MemoryAllocator(1 << 20)
+        a = alloc.alloc(1000)
+        assert a.size == 1024  # aligned to 256
+        assert a.requested == 1000
+        assert alloc.in_use == 1024
+        alloc.free(a)
+        assert alloc.in_use == 0
+        assert alloc.available == 1 << 20
+
+    def test_alignment(self):
+        alloc = MemoryAllocator(1 << 20)
+        for req in (1, 255, 256, 257, 4096):
+            a = alloc.alloc(req)
+            assert a.offset % ALIGNMENT == 0
+            assert a.size % ALIGNMENT == 0
+            assert a.size >= req
+
+    def test_zero_alloc_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryAllocator(1024).alloc(0)
+
+    def test_oom(self):
+        alloc = MemoryAllocator(1024)
+        alloc.alloc(1024)
+        with pytest.raises(GpuOutOfMemory):
+            alloc.alloc(1)
+        assert alloc.failed_allocs == 1
+
+    def test_double_free_detected(self):
+        alloc = MemoryAllocator(1 << 20)
+        a = alloc.alloc(256)
+        alloc.free(a)
+        with pytest.raises(ValueError):
+            alloc.free(a)
+
+    def test_peak_tracking(self):
+        alloc = MemoryAllocator(1 << 20)
+        a = alloc.alloc(1024)
+        b = alloc.alloc(2048)
+        alloc.free(a)
+        assert alloc.peak_in_use == 1024 + 2048
+
+
+class TestCoalescing:
+    def test_free_neighbours_merge(self):
+        alloc = MemoryAllocator(4096)
+        a = alloc.alloc(1024)
+        b = alloc.alloc(1024)
+        c = alloc.alloc(1024)
+        alloc.free(a)
+        alloc.free(c)
+        assert alloc.largest_free_block == 2048  # tail + c merged
+        alloc.free(b)
+        assert alloc.largest_free_block == 4096
+        assert alloc.fragmentation() == 0.0
+        alloc.check_invariants()
+
+    def test_fragmentation_metric(self):
+        alloc = MemoryAllocator(4096)
+        blocks = [alloc.alloc(1024) for _ in range(4)]
+        alloc.free(blocks[0])
+        alloc.free(blocks[2])
+        # 2 KiB free in two 1 KiB holes -> fragmentation 0.5.
+        assert alloc.fragmentation() == pytest.approx(0.5)
+
+    def test_reuse_of_freed_hole(self):
+        alloc = MemoryAllocator(2048)
+        a = alloc.alloc(1024)
+        b = alloc.alloc(1024)
+        alloc.free(a)
+        c = alloc.alloc(512)
+        assert c.offset == 0  # first fit reuses the hole
+        alloc.check_invariants()
+
+
+@given(
+    ops=st.lists(
+        st.one_of(
+            st.tuples(st.just("alloc"), st.integers(min_value=1, max_value=64 * 1024)),
+            st.tuples(st.just("free"), st.integers(min_value=0, max_value=100)),
+        ),
+        max_size=80,
+    )
+)
+def test_allocator_invariants_under_random_ops(ops):
+    """Property: arbitrary alloc/free sequences preserve all invariants."""
+    alloc = MemoryAllocator(1 << 20)
+    live = []
+    for op, arg in ops:
+        if op == "alloc":
+            try:
+                live.append(alloc.alloc(arg))
+            except GpuOutOfMemory:
+                pass
+        elif live:
+            live_idx = arg % len(live)
+            alloc.free(live.pop(live_idx))
+        alloc.check_invariants()
+        assert alloc.in_use == sum(a.size for a in live)
+    for a in live:
+        alloc.free(a)
+    alloc.check_invariants()
+    assert alloc.in_use == 0
+    assert alloc.largest_free_block == 1 << 20

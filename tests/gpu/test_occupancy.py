@@ -1,0 +1,88 @@
+"""Unit tests for :mod:`repro.gpu.occupancy` against CUDA occupancy rules."""
+
+import pytest
+
+from repro.gpu.kernels import Dim3, KernelDescriptor
+from repro.gpu.occupancy import blocks_per_smx, device_wide_blocks, occupancy
+from repro.gpu.specs import SMXSpec, tesla_k20
+
+
+def kd(name="k", grid=(1, 1, 1), block=(256, 1, 1), regs=16, smem=0):
+    return KernelDescriptor(
+        name=name,
+        grid=Dim3(*grid),
+        block=Dim3(*block),
+        registers_per_thread=regs,
+        shared_mem_per_block=smem,
+        block_duration=1e-6,
+    )
+
+
+class TestLimits:
+    smx = SMXSpec()  # CC 3.5: 16 blocks, 2048 threads, 64K regs, 48K smem
+
+    def test_thread_limited(self):
+        # 256 threads/block -> 2048/256 = 8 < 16 block limit.
+        result = occupancy(kd(block=(256, 1, 1), regs=0), self.smx)
+        assert result.blocks_per_smx == 8
+        assert result.limiter == "threads"
+
+    def test_block_limited(self):
+        # 64 threads/block -> thread limit 32, clamped by 16 blocks/SMX.
+        result = occupancy(kd(block=(64, 1, 1), regs=0), self.smx)
+        assert result.blocks_per_smx == 16
+        assert result.limiter == "blocks"
+
+    def test_register_limited(self):
+        # 128 regs/thread * 512 threads = 65536 regs -> exactly 1 block.
+        result = occupancy(kd(block=(512, 1, 1), regs=128), self.smx)
+        assert result.blocks_per_smx == 1
+        assert result.limiter == "registers"
+
+    def test_shared_memory_limited(self):
+        # 20 KB smem/block -> floor(48/20) = 2 blocks.
+        result = occupancy(kd(block=(64, 1, 1), regs=0, smem=20 * 1024), self.smx)
+        assert result.blocks_per_smx == 2
+        assert result.limiter == "shared_mem"
+
+    def test_impossible_kernel_gets_zero(self):
+        result = occupancy(kd(smem=64 * 1024), self.smx)
+        assert result.blocks_per_smx == 0
+
+    def test_thread_occupancy_fraction(self):
+        result = occupancy(kd(block=(256, 1, 1), regs=0), self.smx)
+        assert result.thread_occupancy == pytest.approx(1.0)  # 8 * 256 = 2048
+        result = occupancy(kd(block=(32, 1, 1), regs=0), self.smx)
+        assert result.thread_occupancy == pytest.approx(16 * 32 / 2048)
+
+    def test_str(self):
+        text = str(occupancy(kd(), self.smx))
+        assert "blocks/SMX" in text
+
+
+class TestPaperKernels:
+    """Occupancy of the Table III kernels drives the paper's arguments."""
+
+    spec = tesla_k20()
+
+    def test_fan2_fills_device_over_waves(self):
+        fan2 = kd("Fan2", grid=(32, 32, 1), block=(16, 16, 1), regs=15)
+        per_smx = blocks_per_smx(fan2, self.spec.smx)
+        assert per_smx == 8  # 2048 / 256 threads
+        assert device_wide_blocks(fan2, self.spec) == 104
+        # 1024 blocks / 104 resident -> multiple execution rounds, as the
+        # paper notes for Fan2.
+        assert fan2.num_blocks > device_wide_blocks(fan2, self.spec)
+
+    def test_needle_underutilizes(self):
+        needle = kd("needle", grid=(16, 1, 1), block=(32, 1, 1), regs=24)
+        # All 16 blocks fit on a fraction of one SMX's thread capacity.
+        assert blocks_per_smx(needle, self.spec.smx) == 16
+        total_threads = 16 * 32
+        assert total_threads / self.spec.max_resident_threads < 0.02
+
+    def test_euclid_needs_two_waves(self):
+        euclid = kd("euclid", grid=(168, 1, 1), block=(256, 1, 1), regs=12)
+        resident = device_wide_blocks(euclid, self.spec)
+        assert resident == 104
+        assert 1 < euclid.num_blocks / resident <= 2

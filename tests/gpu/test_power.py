@@ -1,0 +1,132 @@
+"""Unit tests for the power model (:mod:`repro.gpu.power`)."""
+
+import pytest
+
+from repro.gpu.power import PowerModel, PowerState
+from repro.gpu.specs import PowerSpec
+from repro.sim.engine import Environment
+
+
+def idle_state():
+    return PowerState(occupancy=0.0, dma_busy=0, any_active=False)
+
+
+def busy_state(occ=1.0, dma=0):
+    return PowerState(occupancy=occ, dma_busy=dma, any_active=True)
+
+
+class TestFormula:
+    spec = PowerSpec()
+
+    def model(self):
+        return PowerModel(Environment(), self.spec)
+
+    def test_idle_power(self):
+        assert self.model().evaluate(idle_state()) == pytest.approx(self.spec.idle)
+
+    def test_full_occupancy_power(self):
+        expected = self.spec.idle + self.spec.context_active + self.spec.smx_dynamic_max
+        assert self.model().evaluate(busy_state(1.0)) == pytest.approx(expected)
+
+    def test_tdp_clamp(self):
+        spec = PowerSpec(smx_dynamic_max=1000.0, tdp=225.0)
+        model = PowerModel(Environment(), spec)
+        assert model.evaluate(busy_state(1.0)) == 225.0
+
+    def test_dma_contribution(self):
+        with_dma = self.model().evaluate(busy_state(0.0, dma=2))
+        without = self.model().evaluate(busy_state(0.0, dma=0))
+        assert with_dma - without == pytest.approx(2 * self.spec.dma_active)
+
+    def test_sublinear_concurrency_scaling(self):
+        """Doubling occupancy must raise dynamic power by less than 2x —
+        the paper's central energy observation."""
+        model = self.model()
+        base = model.evaluate(busy_state(0.0))
+        p1 = model.evaluate(busy_state(0.4)) - base
+        p2 = model.evaluate(busy_state(0.8)) - base
+        assert p2 < 2 * p1
+        assert p2 > p1  # but still monotone
+
+    def test_invalid_states(self):
+        with pytest.raises(ValueError):
+            PowerState(occupancy=1.5, dma_busy=0, any_active=True)
+        with pytest.raises(ValueError):
+            PowerState(occupancy=0.5, dma_busy=-1, any_active=True)
+
+
+class TestIntegration:
+    def test_energy_of_constant_power(self):
+        env = Environment()
+        model = PowerModel(env, PowerSpec())
+        env.timeout(10.0)
+        env.run()
+        assert model.energy() == pytest.approx(PowerSpec().idle * 10.0)
+
+    def test_piecewise_integration(self):
+        env = Environment()
+        spec = PowerSpec()
+        model = PowerModel(env, spec)
+
+        def driver():
+            yield env.timeout(5.0)       # 5 s idle
+            model.update(busy_state(1.0))
+            yield env.timeout(2.0)       # 2 s at full tilt
+            model.update(idle_state())
+            yield env.timeout(3.0)       # 3 s idle again
+
+        env.process(driver())
+        env.run()
+        full = spec.idle + spec.context_active + spec.smx_dynamic_max
+        expected = spec.idle * 5 + full * 2 + spec.idle * 3
+        assert model.energy() == pytest.approx(expected)
+
+    def test_energy_until_midpoint(self):
+        env = Environment()
+        spec = PowerSpec()
+        model = PowerModel(env, spec)
+
+        def driver():
+            yield env.timeout(4.0)
+            model.update(busy_state(1.0))
+            yield env.timeout(4.0)
+
+        env.process(driver())
+        env.run()
+        # Energy in the first half only.
+        assert model.energy(until=4.0) == pytest.approx(spec.idle * 4.0)
+        # Energy window inside the busy half.
+        full = spec.idle + spec.context_active + spec.smx_dynamic_max
+        assert model.energy(until=6.0) - model.energy(until=4.0) == pytest.approx(
+            full * 2.0
+        )
+
+    def test_average_power(self):
+        env = Environment()
+        spec = PowerSpec()
+        model = PowerModel(env, spec)
+
+        def driver():
+            model.update(busy_state(1.0))
+            yield env.timeout(2.0)
+            model.update(idle_state())
+            yield env.timeout(2.0)
+
+        env.process(driver())
+        env.run()
+        full = spec.idle + spec.context_active + spec.smx_dynamic_max
+        assert model.average_power(0.0, 4.0) == pytest.approx((full + spec.idle) / 2)
+
+    def test_peak_power_tracked(self):
+        env = Environment()
+        model = PowerModel(env, PowerSpec())
+        model.update(busy_state(0.5))
+        model.update(idle_state())
+        assert model.peak_power > PowerSpec().idle
+
+    def test_no_op_update_adds_no_segment(self):
+        env = Environment()
+        model = PowerModel(env, PowerSpec())
+        before = len(model.segments())
+        model.update(idle_state())  # same power as initial
+        assert len(model.segments()) == before

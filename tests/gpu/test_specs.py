@@ -1,0 +1,99 @@
+"""Unit tests for :mod:`repro.gpu.specs`."""
+
+import pytest
+
+from repro.gpu.specs import (
+    DMASpec,
+    DeviceSpec,
+    SMXSpec,
+    fermi_c2050,
+    get_preset,
+    tesla_k20,
+)
+
+
+class TestK20:
+    """The paper's testbed numbers must match the K20 datasheet."""
+
+    def test_paper_block_ceiling(self):
+        # The paper: "the theoretical maximum number of thread blocks of 208".
+        assert tesla_k20().max_resident_blocks == 208
+
+    def test_smx_count_and_cores(self):
+        spec = tesla_k20()
+        assert spec.num_smx == 13
+        assert spec.total_cores == 2496  # "thousands of CUDA cores"
+
+    def test_thread_capacity(self):
+        assert tesla_k20().max_resident_threads == 13 * 2048
+
+    def test_hyperq_width(self):
+        assert tesla_k20().hardware_queues == 32
+
+    def test_one_copy_engine_per_direction(self):
+        assert tesla_k20().copy_engines_per_direction == 1
+
+    def test_compute_capability(self):
+        assert tesla_k20().compute_capability == "3.5"
+
+
+class TestFermi:
+    def test_single_hardware_queue(self):
+        assert fermi_c2050().hardware_queues == 1
+
+    def test_cc20_limits(self):
+        spec = fermi_c2050()
+        assert spec.smx.max_blocks == 8
+        assert spec.smx.max_threads == 1536
+
+
+class TestDMASpec:
+    def test_transfer_time_affine(self):
+        dma = DMASpec(bandwidth=1e9, latency=10e-6)
+        assert dma.transfer_time(0) == pytest.approx(10e-6)
+        assert dma.transfer_time(10**9) == pytest.approx(1.0 + 10e-6)
+
+    def test_linear_scaling_beyond_8kb(self):
+        """The paper cites memory transfer time scaling linearly at 8 KB."""
+        dma = DMASpec()
+        t8k = dma.transfer_time(8 * 1024)
+        t16k = dma.transfer_time(16 * 1024)
+        t32k = dma.transfer_time(32 * 1024)
+        assert (t32k - t16k) == pytest.approx(2 * (t16k - t8k), rel=1e-9)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            DMASpec().transfer_time(-1)
+
+
+class TestValidation:
+    def test_bad_smx_spec(self):
+        with pytest.raises(ValueError):
+            SMXSpec(max_blocks=0)
+
+    def test_bad_device_spec(self):
+        with pytest.raises(ValueError):
+            DeviceSpec(
+                name="x",
+                compute_capability="0",
+                num_smx=0,
+                smx=SMXSpec(),
+                hardware_queues=1,
+                copy_engines_per_direction=1,
+                global_memory=1,
+            )
+
+    def test_with_hardware_queues(self):
+        narrowed = tesla_k20().with_hardware_queues(4)
+        assert narrowed.hardware_queues == 4
+        assert narrowed.num_smx == 13  # everything else preserved
+
+
+class TestPresets:
+    def test_lookup(self):
+        assert get_preset("k20").name == "Tesla K20"
+        assert get_preset("fermi").hardware_queues == 1
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            get_preset("volta")

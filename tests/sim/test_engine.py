@@ -1,0 +1,125 @@
+"""Unit tests for :mod:`repro.sim.engine`."""
+
+import pytest
+
+from repro.sim.engine import Environment, Infinity
+from repro.sim.errors import EventError, ScheduleError, SimulationError
+from repro.sim.events import NORMAL, URGENT, Event
+
+
+class TestClock:
+    def test_starts_at_initial_time(self):
+        assert Environment().now == 0.0
+        assert Environment(initial_time=10.0).now == 10.0
+
+    def test_peek_empty(self, env):
+        assert env.peek() == Infinity
+
+    def test_peek_returns_next_event_time(self, env):
+        env.timeout(3.0)
+        env.timeout(1.0)
+        assert env.peek() == 1.0
+
+    def test_clock_is_monotone(self, env):
+        times = []
+
+        def proc():
+            for delay in (1.0, 0.5, 2.0, 0.0):
+                yield env.timeout(delay)
+                times.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert times == sorted(times)
+        assert times == [1.0, 1.5, 3.5, 3.5]
+
+    def test_run_until_number(self, env):
+        fired = []
+
+        def proc():
+            while True:
+                yield env.timeout(1.0)
+                fired.append(env.now)
+
+        env.process(proc())
+        env.run(until=3.5)
+        assert fired == [1.0, 2.0, 3.0]
+        assert env.now == 3.5
+
+    def test_run_until_past_raises(self, env):
+        env.timeout(5.0)
+        env.run()
+        assert env.now == 5.0
+        with pytest.raises(ScheduleError):
+            env.run(until=1.0)
+
+    def test_run_until_pending_event_never_fires(self, env):
+        evt = Event(env)  # never triggered
+        with pytest.raises(SimulationError):
+            env.run(until=evt)
+
+    def test_step_on_empty_queue(self, env):
+        with pytest.raises(EventError):
+            env.step()
+
+
+class TestOrdering:
+    def test_same_time_fifo(self, env):
+        order = []
+        for i in range(5):
+            evt = Event(env)
+            evt.callbacks.append(lambda e, i=i: order.append(i))
+            evt.succeed()
+        env.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_urgent_before_normal(self, env):
+        order = []
+        normal = Event(env)
+        normal.callbacks.append(lambda e: order.append("normal"))
+        normal._ok = True
+        normal._value = None
+        env.schedule(normal, priority=NORMAL)
+        urgent = Event(env)
+        urgent.callbacks.append(lambda e: order.append("urgent"))
+        urgent._ok = True
+        urgent._value = None
+        env.schedule(urgent, priority=URGENT)
+        env.run()
+        assert order == ["urgent", "normal"]
+
+    def test_negative_delay_rejected(self, env):
+        evt = Event(env)
+        with pytest.raises(ScheduleError):
+            env.schedule(evt, delay=-0.1)
+
+    def test_double_schedule_detected(self, env):
+        evt = Event(env)
+        evt._ok = True
+        evt._value = None
+        env.schedule(evt)
+        env.schedule(evt)
+        env.step()
+        with pytest.raises(EventError, match="scheduled twice"):
+            env.step()
+
+
+class TestRunReturn:
+    def test_returns_until_event_value(self, env):
+        assert env.run(until=env.timeout(1, value="v")) == "v"
+
+    def test_returns_none_without_until(self, env):
+        env.timeout(1)
+        assert env.run() is None
+
+    def test_until_already_processed_event(self, env):
+        evt = env.timeout(0, value=7)
+        env.run()
+        assert env.run(until=evt) == 7
+
+    def test_until_failed_event_raises(self, env):
+        evt = Event(env)
+        evt.fail(KeyError("k"))
+        evt.defuse()
+        with pytest.raises(KeyError):
+            env.run(until=evt)

@@ -1,0 +1,166 @@
+"""Unit tests for :mod:`repro.sim.process`."""
+
+import pytest
+
+from repro.sim.errors import Interrupt, SimulationError
+from repro.sim.events import Event
+
+
+class TestLifecycle:
+    def test_return_value_becomes_event_value(self, env):
+        def proc():
+            yield env.timeout(1)
+            return "result"
+
+        assert env.run(until=env.process(proc())) == "result"
+
+    def test_process_is_alive_until_done(self, env):
+        def proc():
+            yield env.timeout(5)
+
+        p = env.process(proc())
+        assert p.is_alive
+        env.run()
+        assert not p.is_alive
+
+    def test_processes_wait_on_each_other(self, env):
+        def worker():
+            yield env.timeout(3)
+            return 21
+
+        def parent():
+            value = yield env.process(worker())
+            return value * 2
+
+        assert env.run(until=env.process(parent())) == 42
+        assert env.now == 3
+
+    def test_exception_propagates_to_waiter(self, env):
+        def worker():
+            yield env.timeout(1)
+            raise ValueError("inner")
+
+        def parent():
+            try:
+                yield env.process(worker())
+            except ValueError as exc:
+                return f"caught {exc}"
+
+        assert env.run(until=env.process(parent())) == "caught inner"
+
+    def test_unhandled_process_exception_aborts_run(self, env):
+        def worker():
+            yield env.timeout(1)
+            raise RuntimeError("unhandled")
+
+        env.process(worker())
+        with pytest.raises(RuntimeError, match="unhandled"):
+            env.run()
+
+    def test_yielding_non_event_fails_process(self, env):
+        def bad():
+            yield 42
+
+        with pytest.raises(SimulationError, match="non-event"):
+            env.run(until=env.process(bad()))
+
+    def test_non_generator_rejected(self, env):
+        with pytest.raises(TypeError):
+            env.process(lambda: None)
+
+    def test_already_processed_event_resumes_immediately(self, env):
+        done = env.timeout(0, value="x")
+        env.run()
+
+        def proc():
+            value = yield done
+            return value
+
+        assert env.run(until=env.process(proc())) == "x"
+        assert env.now == 0
+
+    def test_active_process_visible_inside_body(self, env):
+        seen = []
+
+        def proc():
+            seen.append(env.active_process)
+            yield env.timeout(0)
+
+        p = env.process(proc())
+        env.run()
+        assert seen == [p]
+        assert env.active_process is None
+
+    def test_name_defaults_to_generator_name(self, env):
+        def my_worker():
+            yield env.timeout(0)
+
+        assert env.process(my_worker()).name == "my_worker"
+        assert env.process(my_worker(), name="custom").name == "custom"
+
+
+class TestInterrupt:
+    def test_interrupt_delivers_cause(self, env):
+        def victim():
+            try:
+                yield env.timeout(100)
+            except Interrupt as exc:
+                return ("interrupted", exc.cause)
+
+        def attacker(p):
+            yield env.timeout(1)
+            p.interrupt(cause="because")
+
+        p = env.process(victim())
+        env.process(attacker(p))
+        assert env.run(until=p) == ("interrupted", "because")
+        assert env.now == 1
+
+    def test_interrupted_process_leaves_target_queue(self, env):
+        """After an interrupt, the old target must not resume the process."""
+
+        def victim():
+            try:
+                yield env.timeout(10)
+            except Interrupt:
+                yield env.timeout(5)
+                return "recovered"
+
+        def attacker(p):
+            yield env.timeout(1)
+            p.interrupt()
+
+        p = env.process(victim())
+        env.process(attacker(p))
+        assert env.run(until=p) == "recovered"
+        assert env.now == 6  # 1 (interrupt) + 5, not 10
+
+    def test_cannot_interrupt_terminated(self, env):
+        def quick():
+            yield env.timeout(0)
+
+        p = env.process(quick())
+        env.run()
+        with pytest.raises(SimulationError):
+            p.interrupt()
+
+    def test_cannot_interrupt_self(self, env):
+        def selfish():
+            env.active_process.interrupt()
+            yield env.timeout(0)
+
+        with pytest.raises(SimulationError):
+            env.run(until=env.process(selfish()))
+
+    def test_unhandled_interrupt_fails_process(self, env):
+        def victim():
+            yield env.timeout(100)
+
+        def attacker(p):
+            yield env.timeout(1)
+            p.interrupt()
+
+        p = env.process(victim())
+        env.process(attacker(p))
+        with pytest.raises(Interrupt):
+            env.run(until=p)

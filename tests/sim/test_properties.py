@@ -1,0 +1,137 @@
+"""Property-based tests of the engine's core invariants (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Environment
+from repro.sim.resources import Mutex, Resource, Store
+
+
+@given(delays=st.lists(st.floats(min_value=0, max_value=1e6,
+                                 allow_nan=False, allow_infinity=False),
+                       min_size=1, max_size=50))
+def test_clock_never_goes_backwards(delays):
+    """Whatever the timeout mix, observed times are non-decreasing."""
+    env = Environment()
+    observed = []
+
+    def proc(d):
+        yield env.timeout(d)
+        observed.append(env.now)
+
+    for d in delays:
+        env.process(proc(d))
+    env.run()
+    assert observed == sorted(observed)
+    assert len(observed) == len(delays)
+
+
+@given(delays=st.lists(st.floats(min_value=0, max_value=100,
+                                 allow_nan=False, allow_infinity=False),
+                       min_size=2, max_size=30))
+def test_same_time_events_fire_in_schedule_order(delays):
+    """Ties are broken deterministically by scheduling order."""
+    env = Environment()
+    order = []
+
+    def proc(i, d):
+        yield env.timeout(d)
+        order.append(i)
+
+    for i, d in enumerate(delays):
+        env.process(proc(i, d))
+    env.run()
+    expected = [i for _, i in sorted(zip(delays, range(len(delays))),
+                                     key=lambda p: (p[0], p[1]))]
+    assert order == expected
+
+
+@given(
+    capacity=st.integers(min_value=1, max_value=5),
+    hold_times=st.lists(
+        st.floats(min_value=0.001, max_value=10,
+                  allow_nan=False, allow_infinity=False),
+        min_size=1, max_size=25,
+    ),
+)
+def test_resource_never_exceeds_capacity(capacity, hold_times):
+    """At no instant do more than `capacity` processes hold the resource,
+    and grants are FIFO."""
+    env = Environment()
+    res = Resource(env, capacity=capacity)
+    active = [0]
+    peak = [0]
+    grant_order = []
+
+    def proc(i, hold):
+        req = res.request()
+        yield req
+        grant_order.append(i)
+        active[0] += 1
+        peak[0] = max(peak[0], active[0])
+        assert active[0] <= capacity
+        yield env.timeout(hold)
+        active[0] -= 1
+        res.release(req)
+
+    for i, h in enumerate(hold_times):
+        env.process(proc(i, h))
+    env.run()
+    assert peak[0] <= capacity
+    # All processes requested at t=0 in creation order -> FIFO grants.
+    assert grant_order == list(range(len(hold_times)))
+
+
+@given(hold_times=st.lists(
+    st.floats(min_value=0.001, max_value=5,
+              allow_nan=False, allow_infinity=False),
+    min_size=1, max_size=20,
+))
+def test_mutex_critical_sections_are_disjoint(hold_times):
+    """hold()/unlock() sections never overlap in simulated time."""
+    env = Environment()
+    mutex = Mutex(env)
+    sections = []
+
+    def proc(hold):
+        req = yield from mutex.hold()
+        start = env.now
+        yield env.timeout(hold)
+        sections.append((start, env.now))
+        mutex.unlock(req)
+
+    for h in hold_times:
+        env.process(proc(h))
+    env.run()
+    sections.sort()
+    for (s1, e1), (s2, _e2) in zip(sections, sections[1:]):
+        assert e1 <= s2
+
+
+@given(items=st.lists(st.integers(), min_size=0, max_size=40),
+       consumers=st.integers(min_value=1, max_value=10))
+def test_store_preserves_fifo_and_loses_nothing(items, consumers):
+    """Every put item is consumed exactly once, in order per consumer wave."""
+    env = Environment()
+    store = Store(env)
+    consumed = []
+
+    def consumer():
+        while True:
+            item = yield store.get()
+            if item is None:
+                return
+            consumed.append(item)
+
+    procs = [env.process(consumer()) for _ in range(consumers)]
+
+    def producer():
+        for item in items:
+            yield env.timeout(1)
+            store.put(item)
+        for _ in range(consumers):
+            store.put(None)  # poison pills
+
+    env.process(producer())
+    env.run()
+    assert consumed == items

@@ -1,0 +1,147 @@
+"""Unit tests for :mod:`repro.sim.resources`."""
+
+import pytest
+
+from repro.sim.errors import SimulationError
+from repro.sim.resources import Mutex, Resource, Store
+
+
+class TestResource:
+    def test_capacity_validation(self, env):
+        with pytest.raises(ValueError):
+            Resource(env, capacity=0)
+
+    def test_grant_within_capacity(self, env):
+        res = Resource(env, capacity=2)
+        r1, r2 = res.request(), res.request()
+        assert r1.triggered and r2.triggered
+        assert res.count == 2
+
+    def test_excess_requests_queue(self, env):
+        res = Resource(env, capacity=1)
+        r1 = res.request()
+        r2 = res.request()
+        assert r1.triggered and not r2.triggered
+        assert res.queue_length == 1
+        res.release(r1)
+        assert r2.triggered
+        assert res.count == 1
+
+    def test_fifo_grant_order(self, env):
+        res = Resource(env, capacity=1)
+        first = res.request()
+        waiters = [res.request() for _ in range(5)]
+        res.release(first)
+        # Exactly the oldest waiter is granted, and so on.
+        for i, req in enumerate(waiters):
+            assert req.triggered
+            for later in waiters[i + 1 :]:
+                assert not later.triggered
+            res.release(req)
+
+    def test_release_of_nonholder_rejected(self, env):
+        res = Resource(env, capacity=1)
+        res.request()
+        stranger = res.request()  # queued, not granted
+        with pytest.raises(SimulationError):
+            res.release(stranger)
+
+    def test_cancel_queued_request(self, env):
+        res = Resource(env, capacity=1)
+        r1 = res.request()
+        r2 = res.request()
+        r2.cancel()
+        assert res.queue_length == 0
+        res.release(r1)
+        assert not r2.triggered
+
+    def test_cancel_granted_request_rejected(self, env):
+        res = Resource(env, capacity=1)
+        r1 = res.request()
+        with pytest.raises(SimulationError):
+            r1.cancel()
+
+    def test_statistics(self, env):
+        res = Resource(env, capacity=1)
+        r = res.request()
+        res.request()
+        res.request()
+        assert res.total_requests == 3
+        assert res.peak_queue_length == 2
+
+
+class TestMutex:
+    def test_hold_unlock_protocol(self, env):
+        mutex = Mutex(env)
+        log = []
+
+        def worker(name, work):
+            req = yield from mutex.hold()
+            log.append(("enter", name, env.now))
+            yield env.timeout(work)
+            log.append(("exit", name, env.now))
+            mutex.unlock(req)
+
+        env.process(worker("a", 2))
+        env.process(worker("b", 3))
+        env.run()
+        # Critical sections are disjoint and FIFO-ordered.
+        assert log == [
+            ("enter", "a", 0),
+            ("exit", "a", 2),
+            ("enter", "b", 2),
+            ("exit", "b", 5),
+        ]
+
+    def test_locked_property(self, env):
+        mutex = Mutex(env)
+        assert not mutex.locked
+        req = mutex.request()
+        assert mutex.locked
+        mutex.release(req)
+        assert not mutex.locked
+
+
+class TestStore:
+    def test_put_then_get(self, env):
+        store = Store(env)
+        store.put("a")
+        store.put("b")
+        g = store.get()
+        assert g.triggered and g.value == "a"
+        assert len(store) == 1
+        assert store.peek() == "b"
+
+    def test_get_blocks_until_put(self, env):
+        store = Store(env)
+        results = []
+
+        def consumer():
+            item = yield store.get()
+            results.append((item, env.now))
+
+        def producer():
+            yield env.timeout(4)
+            store.put("late")
+
+        env.process(consumer())
+        env.process(producer())
+        env.run()
+        assert results == [("late", 4)]
+
+    def test_fifo_getters(self, env):
+        store = Store(env)
+        g1, g2 = store.get(), store.get()
+        store.put(1)
+        store.put(2)
+        assert g1.value == 1 and g2.value == 2
+
+    def test_items_snapshot(self, env):
+        store = Store(env)
+        for i in range(3):
+            store.put(i)
+        assert store.items == (0, 1, 2)
+        assert store.total_puts == 3
+
+    def test_peek_empty(self, env):
+        assert Store(env).peek() is None

@@ -1,0 +1,134 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        sub = next(
+            a for a in parser._actions if a.dest == "command"
+        )
+        assert set(sub.choices) == {
+            "list", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+            "fig9", "fig10", "timeline", "table3", "headline",
+            "autotune", "streaming", "report", "homog",
+        }
+
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "gaussian" in out
+        assert "fig4" in out
+
+    def test_fig3(self, capsys):
+        assert main(["fig3", "--m", "2", "--n", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "naive-fifo" in out
+        assert "AX(1)" in out
+
+    def test_fig5(self, capsys):
+        assert main(["fig5"]) == 0
+        out = capsys.readouterr().out
+        assert "1203" in out
+        assert "208" in out
+
+    def test_table3(self, capsys):
+        assert main(["--scale", "tiny", "table3"]) == 0
+        out = capsys.readouterr().out
+        assert "Fan1" in out
+        assert "euclid" in out
+
+    def test_fig4_tiny_with_csv(self, tmp_path, capsys):
+        code = main([
+            "--scale", "tiny", "--out", str(tmp_path),
+            "fig4", "--na", "4", "--pair", "nn", "needle",
+        ])
+        assert code == 0
+        assert (tmp_path / "fig4.csv").exists()
+        out = capsys.readouterr().out
+        assert "improvement_pct" in out
+        assert "full:" in out
+
+    def test_fig6_tiny(self, capsys):
+        assert main([
+            "--scale", "tiny", "fig6", "--pair", "nn", "needle", "--na", "4",
+        ]) == 0
+        assert "default_x" in capsys.readouterr().out
+
+    def test_timeline(self, capsys):
+        assert main([
+            "--scale", "tiny", "timeline", "--pair", "nn", "needle",
+            "--apps", "4", "--width", "60",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "stream-" in out
+        assert "legend" in out
+
+    def test_timeline_sync_flag(self, capsys):
+        assert main([
+            "--scale", "tiny", "timeline", "--apps", "4", "--sync",
+        ]) == 0
+        assert "Figure 2" in capsys.readouterr().out
+
+    def test_autotune_tiny(self, capsys):
+        code = main([
+            "--scale", "tiny", "autotune", "--pair", "nn", "needle",
+            "--apps", "4", "--restarts", "0", "--swaps", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "best after search" in out
+        assert "best schedule:" in out
+
+    def test_streaming_tiny(self, capsys):
+        code = main([
+            "--scale", "tiny", "streaming", "--rate", "6000",
+            "--duration", "0.003", "--streams", "8",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "greedy" in out
+        assert "mean_sojourn_ms" in out
+
+    def test_homog_tiny(self, capsys):
+        code = main(["--scale", "tiny", "homog", "--apps", "nn", "--na", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "improvement_pct" in out
+        assert "best:" in out
+
+    def test_report_missing_sections(self, tmp_path, capsys):
+        code = main(["report", "--results", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out
+        assert "Not yet generated" in out
+
+    def test_report_write_with_csv(self, tmp_path, capsys):
+        (tmp_path / "fig03_orders.csv").write_text(
+            "order,schedule\nnaive-fifo,AX(1) AY(1)\n"
+        )
+        target = tmp_path / "report.md"
+        code = main(["report", "--results", str(tmp_path), "--write", str(target)])
+        assert code == 0
+        text = target.read_text()
+        assert "naive-fifo" in text
+        assert "| order | schedule |" in text
+
+    def test_fig9_tiny(self, capsys):
+        assert main([
+            "--scale", "tiny", "fig9", "--apps", "4",
+            "--pair", "nn", "needle",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "serial" in out
+        assert "energy reduction" in out

@@ -1,0 +1,72 @@
+"""Smoke tests: every example script runs end to end (tiny/small sizes)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(monkeypatch, capsys, name, argv=()):
+    monkeypatch.setattr(sys, "argv", [name, *argv])
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(monkeypatch, capsys):
+    out = run_example(
+        monkeypatch, capsys, "quickstart.py", ["--scale", "tiny", "--apps", "4"]
+    )
+    assert "serialized" in out
+    assert "full-concurrent" in out
+    assert "concurrency improvement" in out
+    assert "legend" in out  # the timeline rendered
+
+
+def test_sequence_alignment_service(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "sequence_alignment_service.py")
+    assert "score" in out
+    assert "Hyper-Q improves batch latency" in out
+
+
+def test_image_denoising_pipeline(monkeypatch, capsys):
+    out = run_example(
+        monkeypatch, capsys, "image_denoising_pipeline.py",
+        ["--scale", "tiny", "--apps", "8"],
+    )
+    assert "roughness before" in out
+    assert "best order" in out
+
+
+def test_power_aware_scheduling(monkeypatch, capsys):
+    out = run_example(
+        monkeypatch, capsys, "power_aware_scheduling.py",
+        ["--scale", "tiny", "--apps", "8"],
+    )
+    assert "serial" in out
+    assert "energy drops" in out
+
+
+def test_custom_application(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "custom_application.py")
+    assert "matmul registered" in out
+    assert "improvement" in out
+    # The example registers globally; undo so other tests see a clean
+    # registry (the paper's four applications only).
+    from repro.apps.registry import APP_CLASSES
+    from repro.core.workload import SCALES
+
+    APP_CLASSES.pop("matmul", None)
+    for scale in SCALES.values():
+        scale.pop("matmul", None)
+
+
+def test_streaming_service(monkeypatch, capsys):
+    out = run_example(
+        monkeypatch, capsys, "streaming_service.py",
+        ["--rate", "8000", "--duration", "0.003", "--scale", "tiny"],
+    )
+    assert "greedy" in out
+    assert "power-cap" in out
