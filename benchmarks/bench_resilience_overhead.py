@@ -1,0 +1,90 @@
+"""Resilience hook overhead — disabled faults must cost (almost) nothing.
+
+The resilience subsystem threads hooks through the event loop, the grid
+engine, both DMA engines and the power monitor.  This bench guards the
+bargain those hooks were written under: with resilience *enabled but no
+faults planned*, a Figure 4-style sweep must produce identical results
+(same makespans, same energies — the simulated timeline is untouched) at
+a wall-clock overhead under 2%.
+
+The comparison deliberately runs the clean pass first and the hooked pass
+second (warm caches favour the *hooked* side, so a regression cannot hide
+behind warm-up noise) and takes the minimum of several timed repetitions
+of each, the standard way to de-noise a wall-clock ratio.
+"""
+
+import time
+
+import pytest
+from conftest import once
+
+from repro.analysis.tables import format_table, write_csv
+from repro.core.runner import ExperimentRunner, RunConfig
+from repro.core.workload import Workload
+from repro.resilience import FaultPlan, ResilienceConfig
+
+NA_VALUES = (8, 16)
+PAIR = ("gaussian", "needle")
+REPEATS = 3
+
+
+def _sweep(resilience):
+    """One fig4-style full-concurrency sweep; returns per-cell metrics."""
+    runner = ExperimentRunner()
+    cells = []
+    for na in NA_VALUES:
+        workload = Workload.heterogeneous_pair(*PAIR, na)
+        config = RunConfig(
+            workload=workload, num_streams=na, resilience=resilience
+        )
+        result = runner.run(config)
+        cells.append(
+            {
+                "NA": na,
+                "makespan": result.makespan,
+                "energy": result.energy,
+                "peak_power": result.peak_power,
+            }
+        )
+    return cells
+
+
+def _timed_sweeps(resilience):
+    """(best wall seconds, last metrics) over REPEATS sweeps."""
+    best = float("inf")
+    metrics = None
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        metrics = _sweep(resilience)
+        best = min(best, time.perf_counter() - t0)
+    return best, metrics
+
+
+@pytest.mark.resilience
+def test_resilience_hook_overhead(benchmark, results_dir):
+    clean_s, clean_metrics = _timed_sweeps(None)
+    hooked_resil = ResilienceConfig(plan=FaultPlan())
+    hooked_s, hooked_metrics = once(benchmark, _timed_sweeps, hooked_resil)
+
+    # The simulated results must be *identical*: an empty plan arms
+    # nothing, so every event fires at exactly the same simulated time.
+    assert hooked_metrics == clean_metrics
+
+    overhead_pct = (hooked_s - clean_s) / clean_s * 100.0
+    rows = [
+        {
+            "sweep": f"{PAIR[0]}+{PAIR[1]} NA={','.join(map(str, NA_VALUES))}",
+            "clean_s": clean_s,
+            "hooked_s": hooked_s,
+            "overhead_pct": overhead_pct,
+            "results_identical": True,
+        }
+    ]
+    write_csv(rows, results_dir / "resilience_overhead.csv")
+    print()
+    print(format_table(rows, title="Resilience — no-fault hook overhead"))
+
+    assert overhead_pct < 2.0, (
+        f"resilience hooks cost {overhead_pct:.2f}% with no faults planned "
+        "(budget: 2%)"
+    )

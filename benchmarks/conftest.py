@@ -11,8 +11,11 @@ serial baselines are computed once and shared across benchmark files.
 
 from __future__ import annotations
 
+import json
 import os
+import traceback
 from pathlib import Path
+from typing import List
 
 import pytest
 
@@ -44,13 +47,39 @@ def results_dir() -> Path:
     return RESULTS_DIR
 
 
+#: Cells that crashed this session; dumped to results/partial_failures.json
+#: so an aborted sweep still leaves a machine-readable account of what ran.
+_FAILED_CELLS: List[dict] = []
+
+
 def once(benchmark, fn, *args, **kwargs):
     """Run ``fn`` exactly once under pytest-benchmark timing.
 
     The experiments are deterministic simulations — statistical rounds
     would triple the wall time without adding information.
+
+    A crashing cell is recorded as a failure entry (and the partial
+    results written so far are preserved in ``results/``) before the
+    exception is re-raised; pytest then fails this bench and continues
+    the sweep with the remaining cells instead of losing the session.
     """
-    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    try:
+        return benchmark.pedantic(
+            fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+    except Exception as exc:
+        _FAILED_CELLS.append(
+            {
+                "bench": getattr(fn, "__qualname__", repr(fn)),
+                "error": f"{type(exc).__name__}: {exc}",
+                "traceback": traceback.format_exc(),
+            }
+        )
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / "partial_failures.json").write_text(
+            json.dumps(_FAILED_CELLS, indent=2) + "\n"
+        )
+        raise
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
@@ -72,17 +101,31 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
     tr = terminalreporter
     tr.section("reproduced figures and tables (results/)")
     for path in paths:
-        with path.open() as fh:
-            rows = list(csv.DictReader(fh))
-        coerced = []
-        for row in rows:
-            out = {}
-            for key, value in row.items():
-                try:
-                    number = float(value)
-                    out[key] = int(number) if number == int(number) else number
-                except (TypeError, ValueError):
-                    out[key] = value
-            coerced.append(out)
+        # A half-written CSV from a crashed cell must not take down the
+        # whole summary: report it and move on.
+        try:
+            with path.open() as fh:
+                rows = list(csv.DictReader(fh))
+            coerced = []
+            for row in rows:
+                out = {}
+                for key, value in row.items():
+                    try:
+                        number = float(value)
+                        out[key] = (
+                            int(number) if number == int(number) else number
+                        )
+                    except (TypeError, ValueError):
+                        out[key] = value
+                coerced.append(out)
+            table = format_table(coerced, title=f"[{path.name}]")
+        except Exception as exc:
+            table = f"[{path.name}] unreadable: {type(exc).__name__}: {exc}"
         tr.write_line("")
-        tr.write_line(format_table(coerced, title=f"[{path.name}]"))
+        tr.write_line(table)
+    if _FAILED_CELLS:
+        tr.write_line("")
+        tr.write_line(
+            f"{len(_FAILED_CELLS)} benchmark cell(s) crashed — see "
+            "results/partial_failures.json"
+        )

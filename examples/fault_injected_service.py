@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Fault-injected serving: surviving hangs, failed launches and stalls.
+
+Runs the same heterogeneous workload twice — once clean, once under a
+deterministic fault plan (a transient launch failure, a 100x kernel hang,
+a DMA stall and a power-sensor dropout) — with the full resilience stack
+enabled: watchdog deadlines at 4x the serial baseline, up to four
+attempts per application with seeded exponential backoff, and a
+concurrency-degradation ladder that halves NS every two detected faults.
+
+The faulted run finishes every application anyway, and the end-of-run
+summary shows exactly what hit, what was detected, and what it cost.
+
+Run:
+    python examples/fault_injected_service.py [--scale tiny|small|paper]
+"""
+
+import argparse
+
+from repro.core import ExperimentRunner, RunConfig, Workload
+from repro.resilience import (
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    ResilienceConfig,
+    RetryPolicy,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale", default="small", choices=("tiny", "small", "paper")
+    )
+    parser.add_argument("--apps", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args()
+
+    workload = Workload.heterogeneous_pair(
+        "gaussian", "needle", args.apps, scale=args.scale
+    )
+    runner = ExperimentRunner()
+
+    print(f"workload: {workload.describe()} (scale={args.scale})\n")
+
+    # 1. Clean full-concurrency run: the healthy-service reference point,
+    #    and the horizon the fault plan is expressed against.
+    clean = runner.run(RunConfig(workload=workload, num_streams=args.apps))
+    print(f"clean   : {clean.harness.summary()}")
+    horizon = clean.makespan
+    spawn0 = min(r.spawn_time for r in clean.harness.records)
+
+    # 2. The same cell under a deterministic fault plan.  Times are
+    #    simulated timestamps; kernel faults stay armed until a matching
+    #    launch consumes them, while the power-dropout *window* expires on
+    #    its own — anchor it to the measured spawn window, when the
+    #    monitor is actually sampling.
+    plan = FaultPlan(
+        [
+            FaultSpec(
+                FaultKind.LAUNCH_FAIL, horizon * 0.05, target="gaussian#0"
+            ),
+            FaultSpec(
+                FaultKind.KERNEL_HANG,
+                horizon * 0.10,
+                target="needle#1",
+                factor=100.0,
+            ),
+            FaultSpec(
+                FaultKind.DMA_STALL,
+                horizon * 0.02,
+                duration=horizon * 0.05,
+                direction="HtoD",
+            ),
+            FaultSpec(
+                FaultKind.POWER_DROPOUT,
+                spawn0 + horizon * 0.2,
+                duration=horizon * 0.4,
+            ),
+        ]
+    )
+    resilience = ResilienceConfig(
+        plan=plan,
+        retry=RetryPolicy(max_attempts=4, base_delay=horizon * 0.1),
+        deadline_factor=4.0,
+        degradation_threshold=2,
+        seed=args.seed,
+    )
+    faulted = runner.run(
+        RunConfig(
+            workload=workload,
+            num_streams=args.apps,
+            resilience=resilience,
+            # Sample densely relative to the horizon so the dropout
+            # window covers sensor readings at every scale.
+            power_interval=horizon * 0.01,
+        )
+    )
+    print(f"faulted : {faulted.harness.summary()}\n")
+
+    summary = faulted.harness.resilience
+    print("resilience summary")
+    for label, value in summary.rows():
+        print(f"  {label:<24}: {value}")
+
+    slowdown = (faulted.makespan / clean.makespan - 1.0) * 100.0
+    print(
+        f"\nall {summary.apps_completed}/{args.apps} applications completed "
+        f"despite {summary.applied_total} injected faults "
+        f"({summary.retries} retries, {summary.deadline_hits} watchdog "
+        f"cancellations); makespan cost {slowdown:.1f}% vs clean"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -115,6 +115,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--power-cap", type=float, default=70.0)
 
     p = sub.add_parser(
+        "resilience",
+        help="fault-injection study: clean vs faulted run of one cell",
+    )
+    p.add_argument("--pair", nargs=2, default=["gaussian", "needle"])
+    p.add_argument("--apps", type=int, default=8)
+    p.add_argument("--streams", type=int, default=None,
+                   help="NS (default: one stream per app)")
+    p.add_argument("--seed", type=int, default=42,
+                   help="seed for the fault plan and retry jitter")
+    p.add_argument("--hangs", type=float, default=1.0,
+                   help="expected kernel hangs over the run")
+    p.add_argument("--launch-fails", type=float, default=1.0,
+                   help="expected transient launch failures")
+    p.add_argument("--dma-stalls", type=float, default=1.0,
+                   help="expected DMA engine stalls")
+    p.add_argument("--dropouts", type=float, default=1.0,
+                   help="expected power-sensor dropouts")
+    p.add_argument("--hang-factor", type=float, default=20.0,
+                   help="slowdown multiplier of a hung kernel")
+    p.add_argument("--deadline-factor", type=float, default=4.0,
+                   help="watchdog deadline as a multiple of serial runtime")
+    p.add_argument("--max-attempts", type=int, default=3)
+    p.add_argument("--degrade-threshold", type=int, default=2,
+                   help="faults per concurrency-halving step (0 disables)")
+
+    p = sub.add_parser(
         "report",
         help="assemble EXPERIMENTS-style markdown from results/ CSVs",
     )
@@ -148,7 +174,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("pairs:", ", ".join(f"{x}+{y}" for x, y in all_pairs()))
         print(
             "experiments: fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 "
-            "timeline table3 headline homog autotune streaming report"
+            "timeline table3 headline homog autotune streaming "
+            "resilience report"
         )
         return 0
 
@@ -363,6 +390,81 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         signature = schedule_signature(workload.types, result.best_schedule)
         print("best schedule:", " ".join(signature))
+        return 0
+
+    if args.command == "resilience":
+        from .core.runner import ExperimentRunner, RunConfig
+        from .core.workload import Workload
+        from .resilience import FaultPlan, ResilienceConfig, RetryPolicy
+
+        streams = args.streams if args.streams is not None else args.apps
+        workload = Workload.heterogeneous_pair(*args.pair, args.apps, scale=scale)
+        runner = ExperimentRunner()
+        clean = runner.run(
+            RunConfig(workload=workload, num_streams=streams, seed=args.seed)
+        )
+        # Faults are planned over the clean run's horizon so the requested
+        # expected counts are scale-independent.
+        horizon = clean.harness.makespan
+        plan = FaultPlan.generate(
+            args.seed,
+            horizon,
+            kernel_hang_rate=args.hangs / horizon,
+            launch_fail_rate=args.launch_fails / horizon,
+            dma_stall_rate=args.dma_stalls / horizon,
+            power_dropout_rate=args.dropouts / horizon,
+            targets=tuple(args.pair),
+            hang_factor=args.hang_factor,
+            stall_duration=horizon * 0.1,
+            dropout_duration=horizon * 0.1,
+        )
+        resil = ResilienceConfig(
+            plan=plan,
+            retry=RetryPolicy(
+                max_attempts=args.max_attempts, base_delay=horizon * 0.01
+            ),
+            deadline_factor=args.deadline_factor,
+            degradation_threshold=args.degrade_threshold,
+            seed=args.seed,
+        )
+        faulted = runner.run(
+            RunConfig(
+                workload=workload,
+                num_streams=streams,
+                seed=args.seed,
+                resilience=resil,
+            )
+        )
+        rows = []
+        for label, run in (("clean", clean), ("faulted", faulted)):
+            summary = run.harness.resilience
+            rows.append(
+                {
+                    "scenario": label,
+                    "makespan_ms": run.makespan * 1e3,
+                    "energy_J": run.energy,
+                    "avg_power_W": run.average_power,
+                    "completed": sum(
+                        1 for r in run.harness.records if not r.failed
+                    ),
+                    "failed": sum(1 for r in run.harness.records if r.failed),
+                    "retries": summary.retries if summary is not None else 0,
+                }
+            )
+        _emit(
+            rows,
+            f"Resilience — {args.pair[0]}+{args.pair[1]} NA={args.apps} "
+            f"NS={streams} ({len(plan)} planned faults)",
+            out,
+            "resilience",
+        )
+        summary = faulted.harness.resilience
+        _emit(
+            [{"metric": k, "value": v} for k, v in summary.rows()],
+            "Resilience summary (faulted run)",
+            out,
+            "resilience_summary",
+        )
         return 0
 
     if args.command == "report":

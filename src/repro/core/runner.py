@@ -10,6 +10,7 @@ expectation (Figure 6), performance relative to the slowest launch order
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
@@ -19,6 +20,7 @@ from ..framework.harness import HarnessConfig, HarnessResult, TestHarness
 from ..framework.metrics import improvement_pct
 from ..framework.scheduler import SchedulingOrder
 from ..gpu.specs import DeviceSpec
+from ..resilience import ResilienceConfig
 from .workload import Workload
 
 __all__ = ["RunConfig", "RunResult", "ExperimentRunner", "quick_run"]
@@ -39,6 +41,10 @@ class RunConfig:
     power_interval: float = 15e-3
     spawn_jitter: float = 0.0
     admission: object = None
+    #: Optional fault-injection / watchdog / retry / degradation setup.
+    #: When its ``deadline_factor`` is set without explicit baselines, the
+    #: runner measures the serial baseline and fills them in (cached).
+    resilience: Optional[ResilienceConfig] = None
 
     @property
     def num_apps(self) -> int:
@@ -110,6 +116,9 @@ class ExperimentRunner:
         schedule = config.workload.schedule(config.order, rng=rng)
         apps = config.workload.instantiate(schedule)
         spec = config.spec or self.default_spec
+        resilience = config.resilience
+        if resilience is not None and resilience.needs_baselines:
+            resilience = self.resolve_baselines(config)
         harness_config = HarnessConfig(
             apps=apps,
             num_streams=config.num_streams,
@@ -121,10 +130,37 @@ class ExperimentRunner:
             spawn_jitter=config.spawn_jitter,
             seed=config.seed,
             admission=config.admission,
+            resilience=resilience,
         )
         result = TestHarness(harness_config).run()
         self.runs_executed += 1
         return RunResult(config=config, harness=result)
+
+    def resolve_baselines(self, config: RunConfig) -> ResilienceConfig:
+        """Fill a resilience config's baseline runtimes from the serial run.
+
+        The watchdog deadline is defined as a multiple of each application
+        type's *serial-baseline* runtime; this measures that baseline (one
+        cached clean run of the workload on one stream, no faults) and
+        returns the config with ``baseline_runtimes`` populated with the
+        worst observed wall time per type.
+        """
+        if config.resilience is None:
+            raise ValueError("config has no resilience settings")
+        serial = self.run_serial(
+            config.workload,
+            copy_policy=config.copy_policy,
+            spec=config.spec,
+        )
+        baselines: Dict[str, float] = {}
+        for record in serial.harness.records:
+            baselines[record.type_name] = max(
+                baselines.get(record.type_name, 0.0), record.wall_time
+            )
+        return dataclasses.replace(
+            config.resilience,
+            baseline_runtimes=tuple(sorted(baselines.items())),
+        )
 
     def run_serial(self, workload: Workload, **kwargs) -> RunResult:
         """The serialized baseline: the whole workload on one stream.

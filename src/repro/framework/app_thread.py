@@ -178,10 +178,38 @@ class AppThread:
 
             # Final cudaStreamSynchronize: wait for everything enqueued.
             yield ctx.stream.synchronize_event()
+            # A failed command that was not the stream tail completes the
+            # sync successfully; surface it the way a CUDA error code
+            # returned by cudaStreamSynchronize would be.
+            self._check_faults()
         finally:
             record.complete_time = env.now
             self._harvest()
             self.stream.vacate(app.app_id, lock_request)
+
+    def reset_for_retry(self) -> None:
+        """Discard one attempt's command/metric state before re-running.
+
+        Called by the resilience supervisor between attempts.  Device and
+        host allocations persist (the retry reuses them, like a server
+        re-issuing the same request); only the enqueued-command bookkeeping
+        and the per-attempt measured events are cleared.
+        """
+        ctx = self.ctx
+        ctx.memcpy_commands.clear()
+        ctx.kernel_commands.clear()
+        ctx._new_transfers.clear()
+        self.record.transfers.clear()
+        self.record.kernels.clear()
+
+    def _check_faults(self) -> None:
+        """Raise the first recorded command failure of this attempt."""
+        for cmd in self.ctx.kernel_commands:
+            if cmd.done.triggered and not cmd.done.ok:
+                raise cmd.done.value
+        for cmd in self.ctx.memcpy_commands:
+            if cmd.done.triggered and not cmd.done.ok:
+                raise cmd.done.value
 
     def _run_transfer_phase(self, phase: TransferPhase):
         """One transfer phase, with or without the paper's mutex."""
@@ -212,7 +240,7 @@ class AppThread:
         """Convert completed commands into metric events."""
         record = self.record
         for cmd in self.ctx.memcpy_commands:
-            if not cmd.done.triggered:
+            if not cmd.done.triggered or not cmd.done.ok:
                 continue  # app failed mid-flight; keep only completed work
             record.transfers.append(
                 TransferEvent(
@@ -225,7 +253,7 @@ class AppThread:
                 )
             )
         for cmd in self.ctx.kernel_commands:
-            if not cmd.done.triggered:
+            if not cmd.done.triggered or not cmd.done.ok:
                 continue
             record.kernels.append(
                 KernelEvent(

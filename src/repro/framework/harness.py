@@ -22,6 +22,15 @@ import numpy as np
 
 from ..gpu.device import GPUDevice
 from ..gpu.specs import DeviceSpec, tesla_k20
+from ..resilience import (
+    AppSupervisor,
+    ConcurrencyLimiter,
+    DegradationController,
+    FaultInjector,
+    ResilienceConfig,
+    ResilienceSummary,
+    Watchdog,
+)
 from ..sim.engine import Environment
 from ..sim.events import AllOf
 from ..sim.trace import TraceRecorder
@@ -62,6 +71,12 @@ class HarnessConfig:
         modelling OS nondeterminism.  0 = fully deterministic.
     seed:
         Seed for the jitter RNG.
+    resilience:
+        Optional :class:`~repro.resilience.ResilienceConfig` enabling
+        fault injection, the watchdog, retries and concurrency
+        degradation.  ``None`` (default) runs the original code paths and
+        produces byte-identical results to a build without the resilience
+        subsystem.
     """
 
     apps: Sequence[KernelApp]
@@ -77,6 +92,7 @@ class HarnessConfig:
     stream_policy: str = "round-robin"
     #: Optional grid-engine admission hook (symbiosis baseline); None = LEFTOVER.
     admission: object = None
+    resilience: Optional[ResilienceConfig] = None
 
     def __post_init__(self) -> None:
         if not self.apps:
@@ -102,6 +118,7 @@ class HarnessResult:
     power_samples: List[Tuple[float, float]]
     trace: Optional[TraceRecorder]
     stream_assignments: Dict[int, int]
+    resilience: Optional[ResilienceSummary] = None
 
     # -- summary helpers -------------------------------------------------------
 
@@ -124,12 +141,15 @@ class HarnessResult:
         """One-paragraph human-readable digest."""
         cfg = self.config
         kinds = sorted({r.type_name for r in self.records})
-        return (
+        text = (
             f"{len(self.records)} apps ({'+'.join(kinds)}) on "
             f"{cfg.num_streams} streams, sync={'on' if cfg.memory_sync else 'off'}: "
             f"makespan {self.makespan * 1e3:.2f} ms, energy {self.energy:.3f} J, "
             f"avg power {self.average_power:.1f} W, peak {self.peak_power:.1f} W"
         )
+        if self.resilience is not None:
+            text += f"; {self.resilience.describe()}"
+        return text
 
 
 class TestHarness:
@@ -146,18 +166,43 @@ class TestHarness:
         cfg = self.config
         env = Environment()
         trace = TraceRecorder() if cfg.record_trace else None
+        resil = cfg.resilience
+        injector: Optional[FaultInjector] = None
+        hot_injector: Optional[FaultInjector] = None
+        watchdog: Optional[Watchdog] = None
+        limiter: Optional[ConcurrencyLimiter] = None
+        controller: Optional[DegradationController] = None
+        if resil is not None:
+            injector = FaultInjector(env, resil.plan, trace=trace)
+            # Only an actual fault plan warrants paying the per-event /
+            # per-command hook costs; with an empty plan the engines stay
+            # on their original code paths (the injector still serves
+            # retry/deadline trace marks).
+            if not injector.plan.empty:
+                hot_injector = injector
+                env.attach_fault_injector(injector)
+            if resil.wants_deadlines:
+                watchdog = Watchdog(env)
+            if resil.degradation_threshold > 0:
+                limiter = ConcurrencyLimiter(env, cfg.num_streams)
+                controller = DegradationController(
+                    limiter, resil.degradation_threshold, injector
+                )
         device = GPUDevice(
             env,
             spec=cfg.spec,
             trace=trace,
             copy_policy=cfg.copy_policy,
             admission=cfg.admission,
+            injector=hot_injector,
         )
         manager = StreamManager(
             env, device, cfg.num_streams, policy=cfg.stream_policy
         )
         synchronizer = make_synchronizer(env, cfg.memory_sync)
-        monitor = PowerMonitor(env, device, interval=cfg.power_interval)
+        monitor = PowerMonitor(
+            env, device, interval=cfg.power_interval, injector=hot_injector
+        )
         records: List[AppRecord] = []
         rng = np.random.default_rng(cfg.seed)
 
@@ -194,9 +239,30 @@ class TestHarness:
                 thread.assign_stream(stream)
                 thread.record.stream_index = stream.index
                 thread.record.spawn_time = env.now
-                children.append(
-                    env.process(thread.run(), name=f"thread-{thread.app.app_id}")
-                )
+                if resil is None:
+                    children.append(
+                        env.process(
+                            thread.run(), name=f"thread-{thread.app.app_id}"
+                        )
+                    )
+                else:
+                    supervisor = AppSupervisor(
+                        env,
+                        thread,
+                        policy=resil.retry,
+                        watchdog=watchdog,
+                        deadline=resil.deadline_for(thread.app.profile.name),
+                        limiter=limiter,
+                        controller=controller,
+                        injector=injector,
+                        seed=resil.seed,
+                    )
+                    children.append(
+                        env.process(
+                            supervisor.run(),
+                            name=f"supervise-{thread.app.app_id}",
+                        )
+                    )
             if children:
                 yield AllOf(env, children)
             monitor.stop()
@@ -220,6 +286,23 @@ class TestHarness:
         t0 = min(r.spawn_time for r in records)
         t1 = max(r.complete_time for r in records)
         energy = device.power.energy(t1) - device.power.energy(t0)
+        summary: Optional[ResilienceSummary] = None
+        if resil is not None:
+            summary = ResilienceSummary(
+                planned_faults=len(resil.plan) if resil.plan is not None else 0,
+                applied_faults=injector.applied_counts(),
+                faults_detected=sum(r.faults_detected for r in records),
+                retries=sum(r.retries for r in records),
+                deadline_hits=sum(r.deadline_hits for r in records),
+                apps_failed=sum(1 for r in records if r.failed),
+                apps_completed=sum(1 for r in records if not r.failed),
+                degradation_steps=(
+                    controller.step_count if controller is not None else 0
+                ),
+                final_concurrency_limit=(
+                    limiter.limit if limiter is not None else cfg.num_streams
+                ),
+            )
         return HarnessResult(
             config=cfg,
             records=records,
@@ -232,4 +315,5 @@ class TestHarness:
             power_samples=[(s.time, s.watts) for s in monitor.samples],
             trace=trace,
             stream_assignments=assignments,
+            resilience=summary,
         )

@@ -85,6 +85,12 @@ class AppRecord:
     complete_time: float = 0.0   # GPU section ends (after final sync + frees)
     transfers: List[TransferEvent] = field(default_factory=list)
     kernels: List[KernelEvent] = field(default_factory=list)
+    # -- resilience accounting (all zero/False in fault-free runs) --------
+    attempts: int = 1            # total attempts, including the first
+    retries: int = 0             # attempts after a detected fault
+    faults_detected: int = 0     # faults that killed an attempt
+    deadline_hits: int = 0       # watchdog cancellations among those
+    failed: bool = False         # gave up after exhausting the retry budget
 
     @property
     def wall_time(self) -> float:

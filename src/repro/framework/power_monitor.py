@@ -47,13 +47,19 @@ class PowerMonitor:
         env: "Environment",
         device: GPUDevice,
         interval: float = DEFAULT_INTERVAL,
+        injector=None,
     ) -> None:
         if interval <= 0:
             raise ValueError("sampling interval must be positive")
         self.env = env
         self.device = device
         self.interval = interval
+        #: Optional fault injector; samples falling inside an armed
+        #: ``power_dropout`` window are dropped (NVML read failure), the
+        #: way a real sensor thread silently loses readings.
+        self.injector = injector
         self.samples: List[PowerSample] = []
+        self.dropped_samples: int = 0
         self._running = False
         self._process: Optional["Process"] = None
 
@@ -72,9 +78,14 @@ class PowerMonitor:
 
     def _sample_loop(self):
         while self._running:
-            self.samples.append(
-                PowerSample(self.env.now, self.device.power.current_power)
-            )
+            if self.injector is not None and self.injector.drop_power_sample(
+                self.env.now
+            ):
+                self.dropped_samples += 1
+            else:
+                self.samples.append(
+                    PowerSample(self.env.now, self.device.power.current_power)
+                )
             yield self.env.timeout(self.interval)
 
     # -- analysis --------------------------------------------------------------

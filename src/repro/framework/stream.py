@@ -62,8 +62,22 @@ class Stream:
     # -- occupancy protocol (used by AppThread) -----------------------------
 
     def occupy(self, app_id: str):
-        """Acquire the host lock; ``yield from`` inside a process."""
-        request = yield from self.host_lock.hold()
+        """Acquire the host lock; ``yield from`` inside a process.
+
+        Interrupt-safe: if the waiting process is cancelled (e.g. by the
+        resilience watchdog) the pending request is withdrawn — or, when
+        the grant raced the cancellation, released — so the lock never
+        leaks to a dead application.
+        """
+        request = self.host_lock.request()
+        try:
+            yield request
+        except BaseException:
+            if self.host_lock.holds(request):
+                self.host_lock.unlock(request)
+            else:
+                request.cancel()
+            raise
         self._current_app = app_id
         return request
 

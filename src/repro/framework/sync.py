@@ -53,8 +53,20 @@ class TransferSynchronizer:
         self._open: dict = {}
 
     def acquire(self, app_id: str) -> Generator:
-        """Acquire the transfer mutex (``yield from`` in a process)."""
-        request = yield from self.mutex.hold()
+        """Acquire the transfer mutex (``yield from`` in a process).
+
+        Interrupt-safe like :meth:`Stream.occupy`: a cancelled waiter
+        withdraws (or releases) its request instead of leaking the mutex.
+        """
+        request = self.mutex.request()
+        try:
+            yield request
+        except BaseException:
+            if self.mutex.holds(request):
+                self.mutex.unlock(request)
+            else:
+                request.cancel()
+            raise
         self._open[app_id] = (request, self.env.now)
         return request
 

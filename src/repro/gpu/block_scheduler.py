@@ -27,7 +27,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
+from ..resilience.faults import FaultInjector, FaultKind
 from ..sim.engine import Environment
+from ..sim.errors import FaultError
 from ..sim.events import NORMAL, Event
 from ..sim.trace import TraceRecorder
 from .commands import KernelLaunchCommand
@@ -46,6 +48,7 @@ class GridState:
     outstanding: int = 0   # blocks currently resident
     waves: int = 0         # scheduling passes that placed >= 1 block
     admitted: bool = True  # admission-control gate (LEFTOVER: always True)
+    hang_factor: float = 1.0  # injected slowdown (1.0 = healthy grid)
 
     @property
     def kernel(self) -> KernelDescriptor:
@@ -75,6 +78,13 @@ class GridEngine:
         Optional ``(GridState, List[GridState]) -> bool`` called before a
         *new* grid may receive blocks while other grids are active.  The
         default (``None``) is the LEFTOVER policy: everything is admitted.
+    injector:
+        Optional :class:`~repro.resilience.faults.FaultInjector` consulted
+        at every launch submission.  An armed ``launch_fail`` fails the
+        command immediately (transient ``cudaLaunchKernel`` error); an
+        armed ``kernel_hang`` inflates the grid's block retirement time by
+        the fault's factor.  ``None`` (the default) keeps the engine
+        byte-identical to a build without fault injection.
     max_concurrent_grids:
         Hardware limit on simultaneously executing grids (32 on CC 3.5).
     retire_quantum:
@@ -95,6 +105,7 @@ class GridEngine:
         trace: Optional[TraceRecorder] = None,
         on_change: Optional[Callable[[], None]] = None,
         admission: Optional[Callable[[GridState, List["GridState"]], bool]] = None,
+        injector: Optional[FaultInjector] = None,
         max_concurrent_grids: int = 32,
         retire_quantum: float = 1e-6,
     ) -> None:
@@ -105,6 +116,7 @@ class GridEngine:
         self.trace = trace
         self.on_change = on_change
         self.admission = admission
+        self.injector = injector
         self.max_concurrent_grids = max_concurrent_grids
         self.retire_quantum = retire_quantum
         self._pending: List[GridState] = []
@@ -115,10 +127,34 @@ class GridEngine:
 
     # -- submission --------------------------------------------------------
 
-    def submit(self, cmd: KernelLaunchCommand) -> GridState:
-        """Accept a ready kernel launch command for scheduling."""
+    def submit(self, cmd: KernelLaunchCommand) -> Optional[GridState]:
+        """Accept a ready kernel launch command for scheduling.
+
+        Returns ``None`` when an injected launch failure rejected the
+        command (its ``done`` event fails with a
+        :class:`~repro.sim.errors.FaultError`; ``started`` never fires).
+        """
+        hang_factor = 1.0
+        if self.injector is not None:
+            fault = self.injector.kernel_fault(cmd.app_id, self.env.now)
+            if fault is not None:
+                if fault.kind is FaultKind.LAUNCH_FAIL:
+                    error = FaultError(
+                        f"injected launch failure for {cmd.descriptor.name} "
+                        f"({cmd.app_id or 'unknown app'})",
+                        kind=FaultKind.LAUNCH_FAIL.value,
+                        target=cmd.app_id,
+                    )
+                    # Defuse: stream/queue gates and retirement callbacks
+                    # still fire on a failed event, but an unwaited failure
+                    # must not abort the engine — the app thread detects it
+                    # at its next synchronize.
+                    cmd.done.fail(error)
+                    cmd.done.defuse()
+                    return None
+                hang_factor = fault.factor
         nblocks = cmd.descriptor.num_blocks
-        grid = GridState(cmd=cmd, to_place=nblocks)
+        grid = GridState(cmd=cmd, to_place=nblocks, hang_factor=hang_factor)
         if self.admission is not None:
             grid.admitted = False
         self._pending.append(grid)
@@ -194,7 +230,7 @@ class GridEngine:
         self, grid: GridState, placements: List[Placement], placed: int
     ) -> None:
         """Arrange for a cohort to retire after the kernel's block duration."""
-        duration = grid.kernel.block_duration
+        duration = grid.kernel.block_duration * grid.hang_factor
         q = self.retire_quantum
         if q > 0:
             # Round the absolute retirement instant up to the quantum so

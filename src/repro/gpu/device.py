@@ -126,6 +126,10 @@ class GPUDevice:
     admission:
         Optional admission-control hook forwarded to the grid engine
         (used by the symbiosis baseline; ``None`` = LEFTOVER policy).
+    injector:
+        Optional :class:`~repro.resilience.faults.FaultInjector` forwarded
+        to the grid engine (launch failures, kernel hangs) and both copy
+        engines (DMA stalls); ``None`` keeps the device fault-free.
     """
 
     def __init__(
@@ -135,18 +139,21 @@ class GPUDevice:
         trace: Optional[TraceRecorder] = None,
         copy_policy: str = "interleave",
         admission=None,
+        injector=None,
     ) -> None:
         self.env = env
         self.spec = spec or tesla_k20()
         self.trace = trace
         self.smx = SMXArray(self.spec.num_smx, self.spec.smx)
         self.power = PowerModel(env, self.spec.power)
+        self.injector = injector
         self.grid_engine = GridEngine(
             env,
             self.smx,
             trace=trace,
             on_change=self._power_changed,
             admission=admission,
+            injector=injector,
         )
         self.dma = {
             CopyDirection.HTOD: CopyEngine(
@@ -156,6 +163,7 @@ class GPUDevice:
                 policy=copy_policy,
                 trace=trace,
                 on_change=self._power_changed,
+                injector=injector,
             ),
             CopyDirection.DTOH: CopyEngine(
                 env,
@@ -164,6 +172,7 @@ class GPUDevice:
                 policy=copy_policy,
                 trace=trace,
                 on_change=self._power_changed,
+                injector=injector,
             ),
         }
         self.fabric = QueueFabric(env, self.spec.hardware_queues)

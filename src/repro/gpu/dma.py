@@ -56,6 +56,11 @@ class CopyEngine:
         ``memcpy_htod``/``memcpy_dtoh``) plus an engine utilization track.
     on_change:
         Power-model hook invoked when the engine goes busy/idle.
+    injector:
+        Optional :class:`~repro.resilience.faults.FaultInjector` consulted
+        before each command is served; armed ``dma_stall`` faults freeze
+        the engine for their duration (PCIe hiccup / stalled copy engine).
+        ``None`` (default) leaves the service loop untouched.
     """
 
     def __init__(
@@ -66,6 +71,7 @@ class CopyEngine:
         policy: str = "interleave",
         trace: Optional[TraceRecorder] = None,
         on_change: Optional[Callable[[], None]] = None,
+        injector=None,
     ) -> None:
         if policy not in COPY_POLICIES:
             raise ValueError(
@@ -77,6 +83,7 @@ class CopyEngine:
         self.policy = policy
         self.trace = trace
         self.on_change = on_change
+        self.injector = injector
         self.busy: bool = False
         # interleave: per-stream FIFOs served round-robin.
         self._per_stream: "OrderedDict[int, Deque[MemcpyCommand]]" = OrderedDict()
@@ -155,6 +162,19 @@ class CopyEngine:
                 yield self._wakeup
                 self._wakeup = None
                 continue
+            if self.injector is not None:
+                stall = self.injector.dma_stall(self.direction.value, env.now)
+                if stall > 0:
+                    stall_start = env.now
+                    yield env.timeout(stall)
+                    if self.trace is not None:
+                        self.trace.record(
+                            track=f"dma-{self.direction.value.lower()}",
+                            category="dma_stall",
+                            name="injected stall",
+                            start=stall_start,
+                            end=env.now,
+                        )
             duration = self.spec.transfer_time(cmd.nbytes)
             start = env.now
             cmd.started.succeed(start)

@@ -1,0 +1,155 @@
+"""Resilience configuration and end-of-run summary types.
+
+:class:`ResilienceConfig` is the single object the harness and runner
+accept to switch resilience features on: a fault plan, a retry policy, a
+watchdog deadline rule and a degradation threshold.  It is frozen and
+hashable, like every other configuration object in this repository, so it
+can ride inside :class:`~repro.core.runner.RunConfig` and participate in
+the serial-baseline cache key.
+
+:class:`ResilienceSummary` is the accounting the harness produces at the
+end of a resilient run — what was planned, what actually hit, what was
+detected, retried, cancelled and degraded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple, Union
+
+from .faults import FaultPlan
+from .retry import RetryPolicy
+
+__all__ = ["ResilienceConfig", "ResilienceSummary"]
+
+BaselineMap = Union[Mapping[str, float], Tuple[Tuple[str, float], ...]]
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Switches and parameters for one resilient run.
+
+    Attributes
+    ----------
+    plan:
+        Fault schedule to inject; ``None`` (or an empty plan) injects
+        nothing — the hooks are live but never fire.
+    retry:
+        Per-application retry policy; ``None`` means one attempt only.
+    deadline_factor:
+        Watchdog deadline as a multiple of each application type's
+        serial-baseline runtime (:attr:`baseline_runtimes`).  ``0``
+        disables baseline-derived deadlines.
+    baseline_runtimes:
+        ``type_name -> seconds`` map of serial wall times.  May be given
+        as a mapping (converted to a sorted tuple of pairs for
+        hashability) or left ``None``, in which case
+        :class:`~repro.core.runner.ExperimentRunner` fills it in from its
+        cached serial baseline.
+    default_deadline:
+        Absolute fallback deadline (seconds) for types without a baseline
+        entry; ``0`` means no fallback.
+    degradation_threshold:
+        Detected faults per concurrency-halving step (see
+        :mod:`repro.resilience.degradation`); ``0`` disables degradation.
+    seed:
+        Seed for retry-jitter randomness (combined with each app id).
+    """
+
+    plan: Optional[FaultPlan] = None
+    retry: Optional[RetryPolicy] = None
+    deadline_factor: float = 0.0
+    baseline_runtimes: Optional[BaselineMap] = None
+    default_deadline: float = 0.0
+    degradation_threshold: int = 0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.deadline_factor < 0:
+            raise ValueError("deadline_factor must be >= 0")
+        if self.default_deadline < 0:
+            raise ValueError("default_deadline must be >= 0")
+        if self.degradation_threshold < 0:
+            raise ValueError("degradation_threshold must be >= 0")
+        if self.baseline_runtimes is not None and not isinstance(
+            self.baseline_runtimes, tuple
+        ):
+            object.__setattr__(
+                self,
+                "baseline_runtimes",
+                tuple(sorted(self.baseline_runtimes.items())),
+            )
+
+    @property
+    def wants_deadlines(self) -> bool:
+        """Whether any watchdog deadline can apply."""
+        return self.deadline_factor > 0 or self.default_deadline > 0
+
+    @property
+    def needs_baselines(self) -> bool:
+        """Whether baseline runtimes must be resolved before running."""
+        return self.deadline_factor > 0 and self.baseline_runtimes is None
+
+    def baseline_map(self) -> Dict[str, float]:
+        """Baseline runtimes as a plain dict (empty when unset)."""
+        if self.baseline_runtimes is None:
+            return {}
+        return dict(self.baseline_runtimes)
+
+    def deadline_for(self, type_name: str) -> Optional[float]:
+        """Watchdog deadline for one application type, or ``None``."""
+        if self.deadline_factor > 0:
+            baseline = self.baseline_map().get(type_name)
+            if baseline is not None and baseline > 0:
+                return self.deadline_factor * baseline
+        if self.default_deadline > 0:
+            return self.default_deadline
+        return None
+
+
+@dataclass
+class ResilienceSummary:
+    """End-of-run fault/retry/degradation accounting."""
+
+    planned_faults: int = 0
+    applied_faults: Dict[str, int] = field(default_factory=dict)
+    faults_detected: int = 0
+    retries: int = 0
+    deadline_hits: int = 0
+    apps_failed: int = 0
+    apps_completed: int = 0
+    degradation_steps: int = 0
+    final_concurrency_limit: int = 0
+
+    @property
+    def applied_total(self) -> int:
+        """Total faults that actually hit a component."""
+        return sum(self.applied_faults.values())
+
+    def rows(self) -> List[Tuple[str, str]]:
+        """``(label, value)`` pairs for tabular/CSV output."""
+        applied = (
+            ", ".join(f"{k}={v}" for k, v in sorted(self.applied_faults.items()))
+            or "none"
+        )
+        return [
+            ("planned faults", str(self.planned_faults)),
+            ("applied faults", f"{self.applied_total} ({applied})"),
+            ("faults detected", str(self.faults_detected)),
+            ("retries", str(self.retries)),
+            ("deadline hits", str(self.deadline_hits)),
+            ("apps failed", str(self.apps_failed)),
+            ("apps completed", str(self.apps_completed)),
+            ("degradation steps", str(self.degradation_steps)),
+            ("final concurrency limit", str(self.final_concurrency_limit)),
+        ]
+
+    def describe(self) -> str:
+        """One-line digest for harness summaries and logs."""
+        return (
+            f"resilience: {self.applied_total}/{self.planned_faults} faults "
+            f"applied, {self.faults_detected} detected, {self.retries} "
+            f"retries, {self.deadline_hits} deadline hits, "
+            f"{self.apps_failed} failed, {self.degradation_steps} "
+            f"degradation steps (limit {self.final_concurrency_limit})"
+        )

@@ -1,0 +1,416 @@
+"""Deterministic fault injection: plans, specs and the runtime injector.
+
+Real shared-GPU serving must survive hung kernels, transient launch
+failures, stalled DMA engines and flaky sensors — exactly the failure
+modes concurrency characterization work shows get amplified when
+independent streams share SMX and copy-engine resources.  This module is
+the *model* of those failures:
+
+* :class:`FaultSpec` — one fault, pinned to a simulated timestamp.
+* :class:`FaultPlan` — an ordered, immutable set of specs.  Plans are
+  either written explicitly (tests, demos) or *generated* from a seed
+  (:meth:`FaultPlan.generate`), and the same seed always produces the
+  same schedule — results under fault injection stay reproducible.
+* :class:`FaultInjector` — the runtime object the engines consult.  It is
+  attached to the :class:`~repro.sim.engine.Environment` event loop
+  (``env.attach_fault_injector``) so time-scheduled faults *arm* exactly
+  when the simulated clock reaches them, and consumed by the hooks in
+  :mod:`repro.gpu.block_scheduler` (kernel hangs / launch failures),
+  :mod:`repro.gpu.dma` (engine stalls) and
+  :mod:`repro.framework.power_monitor` (sample dropouts).
+
+Nothing here imports above :mod:`repro.sim`; the package sits beside
+:mod:`repro.gpu` in the layering so the device model can depend on it
+without cycles.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..sim.trace import TraceRecorder
+
+__all__ = [
+    "FaultKind",
+    "FaultSpec",
+    "FaultRecord",
+    "FaultPlan",
+    "FaultInjector",
+]
+
+#: Trace track that fault/retry instants are recorded on.
+RESILIENCE_TRACK = "resilience"
+
+
+class FaultKind(str, Enum):
+    """The failure modes the injector can model."""
+
+    #: A kernel's thread blocks run ``factor``x slower than specified —
+    #: the grid occupies SMX resources far past its deadline (a hang the
+    #: watchdog is expected to detect; the grid *does* eventually retire,
+    #: so simulations always terminate).
+    KERNEL_HANG = "kernel_hang"
+    #: A transient ``cudaLaunchKernel`` failure: the launch command fails
+    #: immediately and the grid never reaches the device.
+    LAUNCH_FAIL = "launch_fail"
+    #: The DMA engine freezes for ``duration`` seconds before serving its
+    #: next copy command (stalled copy engine / PCIe hiccup).
+    DMA_STALL = "dma_stall"
+    #: The power sensor returns no readings for ``duration`` seconds
+    #: (NVML dropout); the monitor records nothing in the window.
+    POWER_DROPOUT = "power_dropout"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One planned fault.
+
+    Attributes
+    ----------
+    kind:
+        Failure mode.
+    time:
+        Simulated timestamp (seconds) at which the fault arms.  An armed
+        fault applies to the *next* matching activity (kernel launch, DMA
+        service, power sample) at or after this time.
+    target:
+        Restrict kernel faults to one application: either a full app id
+        (``"gaussian#2"``) or a type name (``"gaussian"``, matching every
+        instance).  ``None`` matches any application.  Ignored by DMA and
+        power faults.
+    duration:
+        Stall/dropout length in seconds (DMA_STALL, POWER_DROPOUT).
+    factor:
+        Slowdown multiplier for KERNEL_HANG (how much longer than spec
+        the hung grid's blocks take to retire).
+    direction:
+        ``"HtoD"``/``"DtoH"`` to pin a DMA stall to one engine; ``None``
+        stalls whichever engine serves next.
+    """
+
+    kind: FaultKind
+    time: float
+    target: Optional[str] = None
+    duration: float = 0.0
+    factor: float = 8.0
+    direction: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError(f"fault time {self.time!r} is negative")
+        if self.duration < 0:
+            raise ValueError(f"fault duration {self.duration!r} is negative")
+        if self.kind is FaultKind.KERNEL_HANG and self.factor <= 1.0:
+            raise ValueError("kernel hang factor must exceed 1.0")
+
+    def matches(self, app_id: Optional[str]) -> bool:
+        """Whether this fault applies to ``app_id`` (kernel faults only)."""
+        if self.target is None:
+            return True
+        if app_id is None:
+            return False
+        return app_id == self.target or app_id.split("#", 1)[0] == self.target
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One fault that was actually applied during a run."""
+
+    kind: FaultKind
+    scheduled: float      # the spec's arm time
+    applied: float        # simulated time the fault hit its activity
+    target: Optional[str]  # app id / engine the fault landed on
+    detail: str = ""
+
+
+class FaultPlan:
+    """An immutable, time-ordered set of :class:`FaultSpec` entries.
+
+    Construct explicitly from specs, or deterministically from a seed via
+    :meth:`generate`.  Two plans generated with the same arguments are
+    identical — the injected schedule is part of the experiment's
+    reproducible configuration, not a source of noise.
+    """
+
+    def __init__(self, faults: Sequence[FaultSpec] = ()) -> None:
+        self.faults: Tuple[FaultSpec, ...] = tuple(
+            sorted(faults, key=lambda f: (f.time, f.kind.value, f.target or ""))
+        )
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __iter__(self):
+        return iter(self.faults)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, FaultPlan):
+            return self.faults == other.faults
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.faults)
+
+    def __repr__(self) -> str:
+        counts = Counter(f.kind.value for f in self.faults)
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+        return f"<FaultPlan {len(self.faults)} faults ({inner or 'empty'})>"
+
+    @property
+    def empty(self) -> bool:
+        """Whether the plan injects nothing."""
+        return not self.faults
+
+    def counts(self) -> Dict[str, int]:
+        """Planned faults per kind (kind value -> count)."""
+        return dict(Counter(f.kind.value for f in self.faults))
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        horizon: float,
+        *,
+        kernel_hang_rate: float = 0.0,
+        launch_fail_rate: float = 0.0,
+        dma_stall_rate: float = 0.0,
+        power_dropout_rate: float = 0.0,
+        targets: Optional[Sequence[str]] = None,
+        hang_factor: float = 8.0,
+        stall_duration: float = 1e-3,
+        dropout_duration: float = 50e-3,
+    ) -> "FaultPlan":
+        """Draw a seeded fault schedule over ``[0, horizon)``.
+
+        Rates are expected faults per simulated second; the number of
+        faults of each kind is Poisson(rate * horizon) and arm times are
+        uniform over the horizon.  Everything is drawn from one
+        ``numpy`` generator seeded with ``seed``, in a fixed kind order,
+        so the same arguments always yield the same plan.
+        """
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon!r}")
+        rng = np.random.default_rng(seed)
+        faults: List[FaultSpec] = []
+
+        def pick_target() -> Optional[str]:
+            if not targets:
+                return None
+            return targets[int(rng.integers(len(targets)))]
+
+        def times(rate: float) -> List[float]:
+            n = int(rng.poisson(rate * horizon)) if rate > 0 else 0
+            return sorted(float(t) for t in rng.uniform(0.0, horizon, size=n))
+
+        for t in times(kernel_hang_rate):
+            faults.append(
+                FaultSpec(
+                    FaultKind.KERNEL_HANG,
+                    t,
+                    target=pick_target(),
+                    factor=hang_factor,
+                )
+            )
+        for t in times(launch_fail_rate):
+            faults.append(
+                FaultSpec(FaultKind.LAUNCH_FAIL, t, target=pick_target())
+            )
+        for t in times(dma_stall_rate):
+            direction = "HtoD" if rng.random() < 0.5 else "DtoH"
+            faults.append(
+                FaultSpec(
+                    FaultKind.DMA_STALL,
+                    t,
+                    duration=stall_duration,
+                    direction=direction,
+                )
+            )
+        for t in times(power_dropout_rate):
+            faults.append(
+                FaultSpec(
+                    FaultKind.POWER_DROPOUT, t, duration=dropout_duration
+                )
+            )
+        return cls(faults)
+
+
+class FaultInjector:
+    """Runtime fault state for one simulation run.
+
+    The injector holds the plan's specs in a pending queue ordered by arm
+    time.  ``on_step`` (called by the environment at every event pop)
+    moves due specs into per-kind armed queues; the engine hooks consume
+    armed faults the next time a matching activity occurs.  Every applied
+    fault is appended to :attr:`records` and, when a trace is attached,
+    marked as an instant on the ``resilience`` track so Chrome-trace
+    exports show exactly where faults landed.
+    """
+
+    def __init__(
+        self,
+        env,
+        plan: Optional[FaultPlan] = None,
+        trace: Optional[TraceRecorder] = None,
+    ) -> None:
+        self.env = env
+        self.plan = plan if plan is not None else FaultPlan()
+        self.trace = trace
+        self.records: List[FaultRecord] = []
+        self._pending: Deque[FaultSpec] = deque(self.plan.faults)
+        # Kernel hangs and launch failures share one queue so a submit
+        # consumes the earliest-armed matching kernel fault of either kind.
+        self._armed_kernel: Deque[FaultSpec] = deque()
+        self._armed_stalls: Deque[FaultSpec] = deque()
+        self._dropout_windows: List[FaultSpec] = []
+        self._dropout_noted: set = set()
+
+    def __repr__(self) -> str:
+        return (
+            f"<FaultInjector applied={len(self.records)} "
+            f"pending={len(self._pending)}>"
+        )
+
+    # -- event-loop hook ---------------------------------------------------
+
+    def on_step(self, now: float) -> None:
+        """Arm every pending fault whose time has been reached."""
+        pending = self._pending
+        while pending and pending[0].time <= now:
+            spec = pending.popleft()
+            if spec.kind in (FaultKind.KERNEL_HANG, FaultKind.LAUNCH_FAIL):
+                self._armed_kernel.append(spec)
+            elif spec.kind is FaultKind.DMA_STALL:
+                self._armed_stalls.append(spec)
+            else:
+                self._dropout_windows.append(spec)
+
+    # -- accounting --------------------------------------------------------
+
+    @property
+    def applied_count(self) -> int:
+        """Total faults applied so far."""
+        return len(self.records)
+
+    def applied_counts(self) -> Dict[str, int]:
+        """Applied faults per kind (kind value -> count)."""
+        return dict(Counter(r.kind.value for r in self.records))
+
+    def _record(
+        self,
+        spec: FaultSpec,
+        target: Optional[str],
+        detail: str,
+    ) -> FaultRecord:
+        record = FaultRecord(
+            kind=spec.kind,
+            scheduled=spec.time,
+            applied=self.env.now,
+            target=target,
+            detail=detail,
+        )
+        self.records.append(record)
+        if self.trace is not None:
+            self.trace.mark(
+                track=RESILIENCE_TRACK,
+                category="fault",
+                name=spec.kind.value,
+                time=self.env.now,
+                target=target or "",
+                scheduled=spec.time,
+                detail=detail,
+            )
+        return record
+
+    # -- engine-facing consumption ----------------------------------------
+
+    def kernel_fault(self, app_id: Optional[str], now: float) -> Optional[FaultSpec]:
+        """Armed kernel fault matching ``app_id``, consumed, or ``None``.
+
+        Called by the grid engine once per kernel-launch submission.  The
+        caller applies the returned spec (fail the launch or inflate the
+        grid's block duration) — recording happens here.
+        """
+        self.on_step(now)
+        for i, spec in enumerate(self._armed_kernel):
+            if spec.matches(app_id):
+                del self._armed_kernel[i]
+                detail = (
+                    f"factor={spec.factor:g}"
+                    if spec.kind is FaultKind.KERNEL_HANG
+                    else "transient launch failure"
+                )
+                self._record(spec, app_id, detail)
+                return spec
+        return None
+
+    def dma_stall(self, direction: str, now: float) -> float:
+        """Total armed stall seconds for ``direction``, consumed.
+
+        Called by a copy engine immediately before serving a command;
+        every matching armed stall is applied (summed) and recorded.
+        """
+        self.on_step(now)
+        total = 0.0
+        remaining: Deque[FaultSpec] = deque()
+        for spec in self._armed_stalls:
+            if spec.direction is None or spec.direction == direction:
+                total += spec.duration
+                self._record(spec, f"dma-{direction.lower()}", f"stall={spec.duration:g}s")
+            else:
+                remaining.append(spec)
+        self._armed_stalls = remaining
+        return total
+
+    def drop_power_sample(self, now: float) -> bool:
+        """Whether the power sample at ``now`` falls in a dropout window."""
+        self.on_step(now)
+        active = False
+        keep: List[FaultSpec] = []
+        for spec in self._dropout_windows:
+            if now >= spec.time + spec.duration:
+                continue  # window expired
+            keep.append(spec)
+            if now >= spec.time:
+                active = True
+                if id(spec) not in self._dropout_noted:
+                    self._dropout_noted.add(id(spec))
+                    self._record(
+                        spec, "power-monitor", f"window={spec.duration:g}s"
+                    )
+        self._dropout_windows = keep
+        return active
+
+    # -- framework-facing marks -------------------------------------------
+
+    def mark_retry(self, app_id: str, attempt: int, delay: float) -> None:
+        """Trace-mark a retry decision (no fault accounting)."""
+        if self.trace is not None:
+            self.trace.mark(
+                track=RESILIENCE_TRACK,
+                category="retry",
+                name=f"{app_id} retry#{attempt}",
+                time=self.env.now,
+                app=app_id,
+                attempt=attempt,
+                backoff=delay,
+            )
+
+    def mark_deadline(self, app_id: str, deadline: float) -> None:
+        """Trace-mark a watchdog cancellation."""
+        if self.trace is not None:
+            self.trace.mark(
+                track=RESILIENCE_TRACK,
+                category="deadline",
+                name=f"{app_id} deadline",
+                time=self.env.now,
+                app=app_id,
+                deadline=deadline,
+            )

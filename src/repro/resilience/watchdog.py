@@ -1,0 +1,99 @@
+"""Deadline watchdog: cancel applications that run past their budget.
+
+A hung kernel (see :class:`~repro.resilience.faults.FaultKind.KERNEL_HANG`)
+does not raise anything by itself — it just makes a grid occupy the SMX
+array for far longer than its specification says it should.  The watchdog
+is the detection side: each application attempt is guarded by a deadline
+(typically a configurable multiple of its measured serial-baseline
+runtime); if the attempt is still alive when the deadline fires, the
+watchdog interrupts it with a :class:`~repro.sim.errors.DeadlineExceeded`
+cause, and the supervisor turns that into a retry or a recorded failure.
+
+The guard itself is a tiny process that sleeps for the deadline.  If the
+guarded attempt finishes first, the supervisor disarms the guard by
+interrupting *it*; the guard swallows that interrupt and exits quietly.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+from ..sim.errors import DeadlineExceeded, Interrupt
+from ..sim.process import Process
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim.engine import Environment
+
+__all__ = ["Watchdog", "WatchdogGuard"]
+
+
+class WatchdogGuard:
+    """Handle for one armed deadline.
+
+    ``disarm()`` is idempotent and safe to call whether the guard already
+    fired, was already disarmed, or is still pending.
+    """
+
+    def __init__(
+        self, watchdog: "Watchdog", process: Process, app_id: str, deadline: float
+    ) -> None:
+        self.watchdog = watchdog
+        self.process = process
+        self.app_id = app_id
+        self.deadline = deadline
+        self.fired = False
+        self._timer: Optional[Process] = None
+
+    def disarm(self) -> None:
+        """Cancel the pending deadline (no-op if it already fired)."""
+        timer = self._timer
+        if timer is not None and timer.is_alive:
+            timer.interrupt("disarm")
+        self._timer = None
+
+
+class Watchdog:
+    """Arms per-attempt deadlines and cancels overrunning processes.
+
+    One watchdog instance serves the whole harness run; it keeps counters
+    (:attr:`expirations`) and a log of every cancellation for the final
+    resilience summary.
+    """
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.expirations: int = 0
+        #: ``(app_id, deadline, fired_at)`` for every cancellation.
+        self.log: List[Tuple[str, float, float]] = []
+
+    def guard(
+        self, process: Process, deadline: float, app_id: str
+    ) -> WatchdogGuard:
+        """Arm a deadline of ``deadline`` seconds (from now) over ``process``.
+
+        Returns a :class:`WatchdogGuard`; the caller must ``disarm()`` it
+        when the guarded process completes on its own.
+        """
+        if deadline <= 0:
+            raise ValueError(f"deadline must be positive, got {deadline!r}")
+        guard = WatchdogGuard(self, process, app_id, deadline)
+        guard._timer = self.env.process(
+            self._watch(guard), name=f"watchdog:{app_id}"
+        )
+        return guard
+
+    def _watch(self, guard: WatchdogGuard):
+        start = self.env.now
+        try:
+            yield self.env.timeout(guard.deadline)
+        except Interrupt:
+            return  # Disarmed: the attempt finished inside its budget.
+        process = guard.process
+        if not process.is_alive:
+            return  # Finished at exactly the deadline; nothing to cancel.
+        guard.fired = True
+        self.expirations += 1
+        self.log.append((guard.app_id, guard.deadline, self.env.now))
+        process.interrupt(
+            DeadlineExceeded(guard.app_id, guard.deadline, self.env.now - start)
+        )

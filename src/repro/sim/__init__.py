@@ -13,7 +13,9 @@ implementation is local — no third-party simulation dependency.
 
 from .engine import Environment, Infinity
 from .errors import (
+    DeadlineExceeded,
     EventError,
+    FaultError,
     Interrupt,
     ScheduleError,
     SimulationError,
@@ -45,6 +47,8 @@ __all__ = [
     "SimulationError",
     "EventError",
     "ScheduleError",
+    "FaultError",
+    "DeadlineExceeded",
     "StopSimulation",
     "Interrupt",
     "URGENT",

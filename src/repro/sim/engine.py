@@ -41,6 +41,9 @@ class Environment:
         self._queue: List[Tuple[float, int, int, Event]] = []
         self._eid = count()
         self._active_process: Optional[Process] = None
+        # Optional resilience hook (see repro.resilience.faults).  None in
+        # every ordinary run; the step loop only pays one attribute check.
+        self._fault_injector: Optional[Any] = None
 
     # -- introspection ---------------------------------------------------
 
@@ -62,6 +65,24 @@ class Environment:
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none remain."""
         return self._queue[0][0] if self._queue else Infinity
+
+    @property
+    def fault_injector(self) -> Optional[Any]:
+        """The attached fault injector, if any (see :mod:`repro.resilience`)."""
+        return self._fault_injector
+
+    def attach_fault_injector(self, injector: Any) -> None:
+        """Install a fault injector on the event loop.
+
+        The injector's ``on_step(now)`` is invoked at every event pop so
+        time-scheduled faults arm exactly when the simulated clock reaches
+        them.  Pass ``None`` to detach.  With no injector attached the run
+        loop behaviour (and therefore every result) is byte-identical to an
+        environment that never heard of fault injection.
+        """
+        if injector is not None and not hasattr(injector, "on_step"):
+            raise TypeError(f"{injector!r} has no on_step(now) hook")
+        self._fault_injector = injector
 
     # -- event factories ---------------------------------------------------
 
@@ -111,6 +132,9 @@ class Environment:
             self._now, _, _, event = heapq.heappop(self._queue)
         except IndexError:
             raise EventError("no scheduled events left") from None
+
+        if self._fault_injector is not None:
+            self._fault_injector.on_step(self._now)
 
         callbacks, event.callbacks = event.callbacks, None
         if callbacks is None:

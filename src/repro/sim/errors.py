@@ -4,14 +4,22 @@ The engine deliberately keeps its exception hierarchy small: everything a
 user can mishandle derives from :class:`SimulationError`, while
 :class:`Interrupt` is the *control-flow* exception delivered into a process
 coroutine when another process interrupts it (mirroring SimPy semantics).
+The resilience subsystem adds two members to the hierarchy:
+:class:`FaultError` (an injected or detected hardware-level fault) and
+:class:`DeadlineExceeded` (a watchdog deadline violation, usually delivered
+as the *cause* of an :class:`Interrupt`).
 """
 
 from __future__ import annotations
+
+from typing import Optional
 
 __all__ = [
     "SimulationError",
     "EventError",
     "ScheduleError",
+    "FaultError",
+    "DeadlineExceeded",
     "StopSimulation",
     "Interrupt",
 ]
@@ -37,6 +45,64 @@ class ScheduleError(SimulationError):
     negative delay is a programming error and raises this exception
     immediately rather than corrupting the event heap.
     """
+
+
+class FaultError(SimulationError):
+    """An injected (or detected) fault hit a simulated component.
+
+    Raised into application code when a fault injector fails a command
+    (e.g. a transient kernel-launch failure) or when the framework detects
+    that previously enqueued asynchronous work completed with a fault.
+
+    Parameters
+    ----------
+    message:
+        Human-readable description.
+    kind:
+        Short fault-class tag (e.g. ``"launch_fail"``); ``None`` for
+        detected-but-unclassified faults.
+    target:
+        The application id the fault hit, if known.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        kind: Optional[str] = None,
+        target: Optional[str] = None,
+    ) -> None:
+        super().__init__(message)
+        self.kind = kind
+        self.target = target
+
+
+class DeadlineExceeded(SimulationError):
+    """An application exceeded its watchdog deadline.
+
+    Delivered as the *cause* of an :class:`Interrupt` when the harness
+    watchdog cancels an application thread that has run longer than the
+    configured multiple of its serial-baseline runtime.
+
+    Parameters
+    ----------
+    app_id:
+        The cancelled application instance.
+    deadline:
+        The deadline that was exceeded (seconds of wall time).
+    elapsed:
+        How long the attempt had been running when cancelled.
+    """
+
+    def __init__(
+        self, app_id: str, deadline: float, elapsed: float
+    ) -> None:
+        super().__init__(
+            f"{app_id} exceeded deadline {deadline:.6g}s "
+            f"(elapsed {elapsed:.6g}s)"
+        )
+        self.app_id = app_id
+        self.deadline = deadline
+        self.elapsed = elapsed
 
 
 class StopSimulation(Exception):

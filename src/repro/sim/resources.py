@@ -94,6 +94,15 @@ class Resource:
         """Number of requests waiting for a slot."""
         return len(self._waiters)
 
+    def holds(self, request: Request) -> bool:
+        """Whether ``request`` currently holds a slot (granted, unreleased).
+
+        Interrupt-safe cleanup paths use this to decide between
+        :meth:`release` (slot was granted, possibly before the grant event
+        was even processed) and :meth:`Request.cancel` (still queued).
+        """
+        return request in self._users
+
     # -- protocol --------------------------------------------------------
 
     def request(self) -> Request:

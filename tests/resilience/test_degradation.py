@@ -1,0 +1,152 @@
+"""Unit tests for :mod:`repro.resilience.degradation`."""
+
+import pytest
+
+from repro.resilience.degradation import (
+    ConcurrencyLimiter,
+    DegradationController,
+    ladder_limit,
+)
+from repro.sim.errors import Interrupt
+
+
+class TestLadderLimit:
+    def test_halves_every_threshold_faults(self):
+        limits = [ladder_limit(8, faults, threshold=2) for faults in range(9)]
+        assert limits == [8, 8, 4, 4, 2, 2, 1, 1, 1]
+
+    def test_threshold_zero_disables(self):
+        assert ladder_limit(8, 100, threshold=0) == 8
+
+    def test_floor_is_one(self):
+        assert ladder_limit(1, 50, threshold=1) == 1
+        assert ladder_limit(32, 10_000, threshold=1) == 1
+
+
+class TestConcurrencyLimiter:
+    def _holder(self, env, limiter, held, release_after):
+        yield from limiter.acquire()
+        held.append(env.now)
+        yield env.timeout(release_after)
+        limiter.release()
+
+    def test_admits_up_to_limit(self, env):
+        limiter = ConcurrencyLimiter(env, 2)
+        admitted = []
+        for _ in range(4):
+            env.process(self._holder(env, limiter, admitted, 1.0))
+        env.run()
+        # Two admitted immediately, two after the first wave releases.
+        assert admitted == [0.0, 0.0, 1.0, 1.0]
+
+    def test_fifo_order(self, env):
+        limiter = ConcurrencyLimiter(env, 1)
+        order = []
+
+        def worker(tag):
+            yield from limiter.acquire()
+            order.append(tag)
+            yield env.timeout(0.1)
+            limiter.release()
+
+        for tag in "abcd":
+            env.process(worker(tag))
+        env.run()
+        assert order == list("abcd")
+
+    def test_lowering_limit_never_evicts(self, env):
+        limiter = ConcurrencyLimiter(env, 4)
+        admitted = []
+        for _ in range(6):
+            env.process(self._holder(env, limiter, admitted, 1.0))
+
+        def cut():
+            yield env.timeout(0.5)
+            limiter.set_limit(1)
+
+        env.process(cut())
+        env.run()
+        # Four run immediately; after the cut the remaining two serialize:
+        # active drops 4 -> 0 at t=1 (all four release), then one waiter
+        # is admitted at a time.
+        assert admitted == [0.0, 0.0, 0.0, 0.0, 1.0, 2.0]
+        assert limiter.limit == 1
+        assert limiter.active == 0
+
+    def test_raising_limit_grants_waiters(self, env):
+        limiter = ConcurrencyLimiter(env, 1)
+        admitted = []
+        for _ in range(3):
+            env.process(self._holder(env, limiter, admitted, 10.0))
+
+        def widen():
+            yield env.timeout(1.0)
+            limiter.set_limit(3)
+
+        env.process(widen())
+        env.run()
+        assert admitted == [0.0, 1.0, 1.0]
+
+    def test_interrupted_waiter_withdraws_cleanly(self, env):
+        limiter = ConcurrencyLimiter(env, 1)
+        outcomes = []
+
+        def holder():
+            yield from limiter.acquire()
+            yield env.timeout(5.0)
+            limiter.release()
+
+        def waiter():
+            try:
+                yield from limiter.acquire()
+                outcomes.append("acquired")
+                limiter.release()
+            except Interrupt:
+                outcomes.append("interrupted")
+
+        env.process(holder())
+        victim = env.process(waiter())
+        survivor = env.process(waiter())
+
+        def interrupter():
+            yield env.timeout(1.0)
+            victim.interrupt("cancelled")
+
+        env.process(interrupter())
+        env.run()
+        # The interrupted waiter left the queue without corrupting the
+        # accounting: the survivor is admitted when the holder releases.
+        assert outcomes == ["interrupted", "acquired"]
+        assert limiter.active == 0
+        assert limiter.queue_length == 0
+
+    def test_release_without_acquire_raises(self, env):
+        limiter = ConcurrencyLimiter(env, 1)
+        with pytest.raises(RuntimeError):
+            limiter.release()
+
+    def test_bad_limit_rejected(self, env):
+        with pytest.raises(ValueError):
+            ConcurrencyLimiter(env, 0)
+        with pytest.raises(ValueError):
+            ConcurrencyLimiter(env, 2).set_limit(0)
+
+
+class TestDegradationController:
+    def test_steps_follow_ladder(self, env):
+        limiter = ConcurrencyLimiter(env, 8)
+        controller = DegradationController(limiter, threshold=2)
+        for _ in range(5):
+            controller.note_fault()
+        assert controller.fault_count == 5
+        assert controller.step_count == 2
+        assert [limit for (_, _, limit) in controller.steps] == [4, 2]
+        assert limiter.limit == 2
+
+    def test_threshold_zero_never_degrades(self, env):
+        limiter = ConcurrencyLimiter(env, 8)
+        controller = DegradationController(limiter, threshold=0)
+        for _ in range(10):
+            controller.note_fault()
+        assert controller.step_count == 0
+        assert limiter.limit == 8

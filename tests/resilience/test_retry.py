@@ -1,0 +1,66 @@
+"""Unit tests for :mod:`repro.resilience.retry`."""
+
+import pytest
+
+from repro.resilience.retry import RetryPolicy, app_rng
+
+
+class TestAppRng:
+    def test_stable_across_instances(self):
+        a = app_rng(42, "gaussian#0")
+        b = app_rng(42, "gaussian#0")
+        assert [a.random() for _ in range(4)] == [b.random() for _ in range(4)]
+
+    def test_distinct_per_app(self):
+        a = app_rng(42, "gaussian#0")
+        b = app_rng(42, "gaussian#1")
+        assert a.random() != b.random()
+
+    def test_distinct_per_seed(self):
+        a = app_rng(1, "needle#0")
+        b = app_rng(2, "needle#0")
+        assert a.random() != b.random()
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.0)
+
+    def test_allows_retry(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert policy.allows_retry(1)
+        assert policy.allows_retry(2)
+        assert not policy.allows_retry(3)
+        assert not RetryPolicy(max_attempts=1).allows_retry(1)
+
+    def test_delay_exponential_without_jitter(self):
+        policy = RetryPolicy(base_delay=1e-3, backoff=2.0, jitter=0.0)
+        rng = app_rng(0, "x#0")
+        assert policy.delay(1, rng) == pytest.approx(1e-3)
+        assert policy.delay(2, rng) == pytest.approx(2e-3)
+        assert policy.delay(3, rng) == pytest.approx(4e-3)
+
+    def test_delay_jitter_bounds(self):
+        policy = RetryPolicy(base_delay=1e-3, backoff=2.0, jitter=0.25)
+        rng = app_rng(0, "x#0")
+        for attempt in range(1, 6):
+            base = 1e-3 * 2.0 ** (attempt - 1)
+            delay = policy.delay(attempt, rng)
+            assert base * 0.75 <= delay < base * 1.25
+
+    def test_delay_deterministic_per_generator_state(self):
+        policy = RetryPolicy(jitter=0.1)
+        a = [policy.delay(k, app_rng(7, "srad#2")) for k in (1, 2, 3)]
+        b = [policy.delay(k, app_rng(7, "srad#2")) for k in (1, 2, 3)]
+        assert a == b
+
+    def test_delay_rejects_zero_attempt(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().delay(0, app_rng(0, "x#0"))

@@ -1,0 +1,80 @@
+"""Unit tests for :mod:`repro.resilience.watchdog`."""
+
+import pytest
+
+from repro.resilience.watchdog import Watchdog
+from repro.sim.errors import DeadlineExceeded, Interrupt
+
+
+def sleeper(env, duration):
+    yield env.timeout(duration)
+
+
+class TestWatchdog:
+    def test_deadline_cancels_overrunning_process(self, env):
+        watchdog = Watchdog(env)
+        caught = []
+
+        def slow():
+            try:
+                yield env.timeout(10.0)
+            except Interrupt as exc:
+                caught.append(exc.cause)
+
+        process = env.process(slow(), name="slow")
+        guard = watchdog.guard(process, 1.0, "gaussian#0")
+        env.run()
+
+        assert guard.fired
+        assert watchdog.expirations == 1
+        assert watchdog.log == [("gaussian#0", 1.0, 1.0)]
+        assert len(caught) == 1
+        cause = caught[0]
+        assert isinstance(cause, DeadlineExceeded)
+        assert cause.app_id == "gaussian#0"
+        assert cause.deadline == 1.0
+        assert cause.elapsed == pytest.approx(1.0)
+
+    def test_disarm_prevents_cancellation(self, env):
+        watchdog = Watchdog(env)
+
+        def parent():
+            child = env.process(sleeper(env, 0.5), name="fast")
+            guard = watchdog.guard(child, 2.0, "needle#0")
+            yield child
+            guard.disarm()
+
+        env.process(parent())
+        env.run()
+        assert watchdog.expirations == 0
+        assert watchdog.log == []
+
+    def test_disarm_is_idempotent(self, env):
+        watchdog = Watchdog(env)
+
+        def parent():
+            child = env.process(sleeper(env, 0.1))
+            guard = watchdog.guard(child, 1.0, "a#0")
+            yield child
+            guard.disarm()
+            guard.disarm()  # second call must be a no-op
+
+        env.process(parent())
+        env.run()
+        assert watchdog.expirations == 0
+
+    def test_nonpositive_deadline_rejected(self, env):
+        watchdog = Watchdog(env)
+        process = env.process(sleeper(env, 1.0))
+        with pytest.raises(ValueError):
+            watchdog.guard(process, 0.0, "a#0")
+
+    def test_finished_process_is_not_cancelled(self, env):
+        """A guard left armed past a completed process fires harmlessly."""
+        watchdog = Watchdog(env)
+        process = env.process(sleeper(env, 0.1), name="quick")
+        watchdog.guard(process, 1.0, "a#0")  # never disarmed
+        env.run()
+        # The timer expired but found the process dead: no cancellation.
+        assert watchdog.expirations == 0
+        assert watchdog.log == []

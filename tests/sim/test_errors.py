@@ -1,0 +1,60 @@
+"""Unit tests for the :mod:`repro.sim.errors` hierarchy."""
+
+import pytest
+
+from repro.sim.errors import (
+    DeadlineExceeded,
+    EventError,
+    FaultError,
+    Interrupt,
+    ScheduleError,
+    SimulationError,
+    StopSimulation,
+)
+
+
+class TestHierarchy:
+    def test_engine_errors_derive_from_simulation_error(self):
+        assert issubclass(EventError, SimulationError)
+        assert issubclass(ScheduleError, SimulationError)
+        assert issubclass(FaultError, SimulationError)
+        assert issubclass(DeadlineExceeded, SimulationError)
+
+    def test_control_flow_exceptions_do_not(self):
+        # Interrupt and StopSimulation are control flow, not errors: a
+        # blanket ``except SimulationError`` must never swallow them.
+        assert not issubclass(Interrupt, SimulationError)
+        assert not issubclass(StopSimulation, SimulationError)
+
+
+class TestFaultError:
+    def test_attributes(self):
+        err = FaultError("boom", kind="launch_fail", target="gaussian#0")
+        assert str(err) == "boom"
+        assert err.kind == "launch_fail"
+        assert err.target == "gaussian#0"
+
+    def test_defaults(self):
+        err = FaultError("detected late")
+        assert err.kind is None
+        assert err.target is None
+
+    def test_catchable_as_simulation_error(self):
+        with pytest.raises(SimulationError):
+            raise FaultError("boom")
+
+
+class TestDeadlineExceeded:
+    def test_attributes_and_message(self):
+        err = DeadlineExceeded("needle#1", deadline=0.25, elapsed=0.3)
+        assert err.app_id == "needle#1"
+        assert err.deadline == 0.25
+        assert err.elapsed == 0.3
+        assert "needle#1" in str(err)
+        assert "0.25" in str(err)
+
+    def test_usable_as_interrupt_cause(self):
+        cause = DeadlineExceeded("a#0", 1.0, 1.5)
+        interrupt = Interrupt(cause)
+        assert interrupt.cause is cause
+        assert isinstance(interrupt.cause, DeadlineExceeded)

@@ -14,7 +14,7 @@ class TestParser:
         assert set(sub.choices) == {
             "list", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
             "fig9", "fig10", "timeline", "table3", "headline",
-            "autotune", "streaming", "report", "homog",
+            "autotune", "streaming", "report", "homog", "resilience",
         }
 
     def test_requires_command(self, capsys):
@@ -105,6 +105,19 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "improvement_pct" in out
         assert "best:" in out
+
+    def test_resilience_tiny_with_csv(self, tmp_path, capsys):
+        code = main([
+            "--scale", "tiny", "--out", str(tmp_path),
+            "resilience", "--apps", "4", "--streams", "4", "--seed", "42",
+        ])
+        assert code == 0
+        assert (tmp_path / "resilience.csv").exists()
+        assert (tmp_path / "resilience_summary.csv").exists()
+        out = capsys.readouterr().out
+        assert "clean" in out
+        assert "faulted" in out
+        assert "planned faults" in out
 
     def test_report_missing_sections(self, tmp_path, capsys):
         code = main(["report", "--results", str(tmp_path)])

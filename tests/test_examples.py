@@ -70,3 +70,14 @@ def test_streaming_service(monkeypatch, capsys):
     )
     assert "greedy" in out
     assert "power-cap" in out
+
+
+def test_fault_injected_service(monkeypatch, capsys):
+    out = run_example(
+        monkeypatch, capsys, "fault_injected_service.py",
+        ["--scale", "tiny", "--apps", "8"],
+    )
+    assert "clean" in out
+    assert "faulted" in out
+    assert "resilience summary" in out
+    assert "applications completed despite" in out
