@@ -82,6 +82,22 @@ def once(benchmark, fn, *args, **kwargs):
         raise
 
 
+def checkpoint_rows(rows: List[dict], csv_name: str) -> Path:
+    """Flush partially accumulated benchmark rows to ``results/`` NOW.
+
+    Multi-scenario benches (e.g. the serving overload sweep) call this
+    after every completed scenario, so if a later cell crashes the rows
+    computed so far — goodput, shed rates, tail latencies — are already
+    on disk next to ``partial_failures.json`` instead of dying with the
+    process.  Idempotent: each call rewrites the same CSV with the
+    current row list.
+    """
+    from repro.analysis.tables import write_csv
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return write_csv(rows, RESULTS_DIR / csv_name)
+
+
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
     """After the run, print every regenerated figure/table from results/.
 

@@ -12,7 +12,11 @@ The package layers, bottom-up:
 * :mod:`repro.framework` -- the paper's Hyper-Q Management Framework
   (Stream, StreamManager, Kernel base class, PowerMonitor, scheduling
   orders, transfer synchronization, test harness).
+* :mod:`repro.resilience` -- fault injection, watchdog, retries and
+  graceful concurrency degradation.
 * :mod:`repro.core` -- the experiment layer reproducing every figure.
+* :mod:`repro.serving` -- overload-resilient serving on the streaming
+  dispatcher (bounded admission, SLO shedding, breakers, run journal).
 * :mod:`repro.analysis` -- timelines, tables and statistics.
 
 Quickstart::
@@ -59,4 +63,8 @@ _LAZY = {
     "SchedulingOrder": ("repro.framework", "SchedulingOrder"),
     "make_schedule": ("repro.framework", "make_schedule"),
     "TestHarness": ("repro.framework", "TestHarness"),
+    "ServingConfig": ("repro.serving", "ServingConfig"),
+    "BreakerConfig": ("repro.serving", "BreakerConfig"),
+    "RunJournal": ("repro.serving", "RunJournal"),
+    "run_serving": ("repro.serving", "run_serving"),
 }

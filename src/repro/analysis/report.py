@@ -175,6 +175,16 @@ SECTIONS: List[Section] = [
             "the wall-clock overhead stays under 2%."
         ),
     ),
+    Section(
+        title="Serving — goodput under overload",
+        csv_name="serving_overload.csv",
+        paper_claim=(
+            "(Future-work extension.) Under a 2x-overload arrival stream, "
+            "bounded admission plus deadline-aware shedding achieves higher "
+            "goodput and a bounded p99 sojourn than unbounded greedy "
+            "dispatch, which completes more jobs but lands them late."
+        ),
+    ),
 ]
 
 

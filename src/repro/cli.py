@@ -115,6 +115,47 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--power-cap", type=float, default=70.0)
 
     p = sub.add_parser(
+        "serve",
+        help="overload-resilient serving: bounded admission, SLO shedding, "
+        "breakers, crash-safe journal",
+    )
+    p.add_argument("--rate", type=float, default=12000.0,
+                   help="mean arrivals per second")
+    p.add_argument("--duration", type=float, default=0.006,
+                   help="arrival-trace length (simulated seconds)")
+    p.add_argument("--streams", type=int, default=16)
+    p.add_argument("--cap", type=int, default=4,
+                   help="concurrency cap (0 = greedy/unbounded)")
+    p.add_argument("--qdepth", type=int, default=8,
+                   help="admission queue depth (0 = unbounded)")
+    p.add_argument("--qpolicy", default="shed-oldest",
+                   choices=("block", "reject", "shed-oldest"),
+                   help="backpressure policy when the queue is full")
+    p.add_argument("--slo", type=float, default=4.0,
+                   help="SLO deadline as a multiple of the serial-baseline "
+                   "runtime (0 disables SLOs)")
+    p.add_argument("--slo-jitter", type=float, default=0.1,
+                   help="relative per-job deadline jitter")
+    p.add_argument("--no-shed", action="store_true",
+                   help="keep jobs whose deadline is already unreachable")
+    p.add_argument("--breaker", type=int, default=0,
+                   help="consecutive faults that open an app type's circuit "
+                   "breaker (0 disables breakers)")
+    p.add_argument("--breaker-cooldown", type=float, default=None,
+                   help="seconds an open breaker waits before its half-open "
+                   "probe (default: duration/10)")
+    p.add_argument("--launch-fails", type=float, default=0.0,
+                   help="expected transient launch failures over the run")
+    p.add_argument("--crash-at", type=float, default=None,
+                   help="kill the harness at this simulated time "
+                   "(exercise the journal)")
+    p.add_argument("--journal", type=Path, default=None,
+                   help="crash-safe JSONL outcome journal path")
+    p.add_argument("--resume", action="store_true",
+                   help="resume a crashed run from --journal")
+    p.add_argument("--seed", type=int, default=7)
+
+    p = sub.add_parser(
         "resilience",
         help="fault-injection study: clean vs faulted run of one cell",
     )
@@ -174,7 +215,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("pairs:", ", ".join(f"{x}+{y}" for x, y in all_pairs()))
         print(
             "experiments: fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 "
-            "timeline table3 headline homog autotune streaming "
+            "timeline table3 headline homog autotune streaming serve "
             "resilience report"
         )
         return 0
@@ -514,6 +555,108 @@ def main(argv: Optional[List[str]] = None) -> int:
                 }
             )
         _emit(rows, f"Streaming dispatch ({len(arrivals)} arrivals)", out, "streaming")
+        return 0
+
+    if args.command == "serve":
+        from .core.streaming import (
+            ConcurrencyCapDispatcher,
+            GreedyDispatcher,
+            poisson_arrivals,
+        )
+        from .resilience import FaultPlan
+        from .resilience.faults import FaultKind, FaultSpec
+        from .serving import BreakerConfig, ServingConfig, run_serving
+        from .sim.errors import HarnessCrash
+
+        arrivals = poisson_arrivals(
+            rate=args.rate,
+            duration=args.duration,
+            type_mix=[("nn", 2), ("needle", 1)],
+            seed=args.seed,
+        )
+        faults = []
+        if args.launch_fails > 0:
+            faults.extend(
+                FaultPlan.generate(
+                    args.seed,
+                    args.duration,
+                    launch_fail_rate=args.launch_fails / args.duration,
+                    targets=("nn", "needle"),
+                ).faults
+            )
+        if args.crash_at is not None:
+            faults.append(
+                FaultSpec(kind=FaultKind.HARNESS_CRASH, time=args.crash_at)
+            )
+        breaker = None
+        if args.breaker > 0:
+            breaker = BreakerConfig(
+                threshold=args.breaker,
+                cooldown=args.breaker_cooldown or args.duration / 10,
+            )
+        config = ServingConfig(
+            queue_depth=args.qdepth,
+            queue_policy=args.qpolicy,
+            slo_factor=args.slo,
+            slo_jitter=args.slo_jitter,
+            shed_unreachable=not args.no_shed,
+            breaker=breaker,
+            plan=FaultPlan(faults) if faults else None,
+            seed=args.seed,
+        )
+        dispatcher = (
+            ConcurrencyCapDispatcher(args.cap) if args.cap > 0
+            else GreedyDispatcher()
+        )
+        try:
+            result = run_serving(
+                arrivals,
+                dispatcher,
+                config,
+                num_streams=args.streams,
+                scale=scale,
+                journal_path=args.journal,
+                resume=args.resume,
+            )
+        except HarnessCrash as crash:
+            print(f"harness crashed mid-run: {crash}")
+            if args.journal is not None:
+                print(
+                    f"journal preserved at {args.journal}; rerun with "
+                    "--resume to recover deterministically"
+                )
+            return 3
+        rows = [
+            {
+                "policy": result.dispatcher,
+                "arrivals": result.jobs,
+                "completed": result.completed,
+                "in_slo": result.deadline_met,
+                "shed": result.shed,
+                "failed": result.failed,
+                "goodput_per_s": result.goodput,
+                "throughput_per_s": result.throughput,
+                "p99_sojourn_ms": result.p99_sojourn * 1e3,
+                "avg_power_W": result.average_power,
+            }
+        ]
+        _emit(rows, f"Serving ({len(arrivals)} arrivals)", out, "serving")
+        if result.outcomes:
+            _emit(
+                [
+                    {"outcome": k, "jobs": v}
+                    for k, v in sorted(result.outcomes.items())
+                ],
+                "Outcome breakdown",
+                out,
+                "serving_outcomes",
+            )
+        if result.resumed:
+            print(
+                f"resumed from journal: {result.recovered_entries} entries "
+                "verified against the replay"
+            )
+        print(result.summary())
         return 0
 
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

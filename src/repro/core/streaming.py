@@ -15,15 +15,34 @@ each arrival to a stream:
 * :class:`PowerCapDispatcher` — admit only while the board's sampled power
   is below a wattage budget; the "energy efficient execution" objective.
 
+**Queue fairness.**  Queued arrivals are released *strictly FIFO by
+arrival time*: whenever the dispatcher frees a slot, the queued job with
+the smallest ``(arrival.time, arrival.index)`` key is admitted next, even
+if a later arrival finished its host-side preparation earlier.  Ties in
+arrival time are broken deterministically by arrival index, so two runs of
+the same trace always release jobs in the same order.
+
+**Starvation guard.**  A dispatcher may carry a ``stall_timeout``: if the
+head-of-line job has waited that long without the admission condition ever
+holding (e.g. a power budget the board never gets under), the engine emits
+an :class:`AdmissionStallWarning` and releases the job anyway, so a
+mis-sized budget degrades to slow progress instead of queueing forever.
+
 :func:`run_streaming` executes one arrival trace under a dispatcher and
 returns per-job latency (sojourn) statistics plus power/energy, so policies
-are comparable on a throughput-latency-power frontier.
+are comparable on a throughput-latency-power frontier.  The optional
+``serving`` hooks (:class:`ServingHooks`, driven by :mod:`repro.serving`)
+add bounded admission, deadline-aware load shedding, circuit breaking and
+crash-safe journaling; with the hooks inert the engine executes exactly
+the same event sequence as a plain run — results are byte-identical.
 """
 
 from __future__ import annotations
 
+import heapq
+import warnings
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -36,8 +55,8 @@ from ..framework.sync import make_synchronizer
 from ..gpu.device import GPUDevice
 from ..gpu.specs import DeviceSpec, tesla_k20
 from ..sim.engine import Environment
+from ..sim.errors import FaultError, HarnessCrash
 from ..sim.events import AllOf, Event
-from ..sim.resources import Store
 from .workload import SCALES, resolve_scale
 
 __all__ = [
@@ -47,9 +66,19 @@ __all__ = [
     "GreedyDispatcher",
     "ConcurrencyCapDispatcher",
     "PowerCapDispatcher",
+    "AdmissionStallWarning",
+    "ServingHooks",
     "StreamingResult",
     "run_streaming",
 ]
+
+
+class AdmissionStallWarning(RuntimeWarning):
+    """A dispatcher's admission condition never held within its timeout.
+
+    Emitted by :func:`run_streaming` when a head-of-line job is released
+    by the starvation guard rather than by the dispatcher itself.
+    """
 
 
 @dataclass(frozen=True)
@@ -105,9 +134,14 @@ class Dispatcher:
     Subclasses implement :meth:`may_admit`, consulted whenever a job is at
     the head of the queue; the streaming engine re-consults after every
     completion (and, for power capping, every sensor sample).
+
+    ``stall_timeout`` (seconds, ``None`` = never) bounds how long the
+    head-of-line job may wait for the admission condition; see the module
+    docstring's starvation guard.
     """
 
     name = "dispatcher"
+    stall_timeout: Optional[float] = None
 
     def may_admit(self, in_flight: int, power_watts: float) -> bool:  # pragma: no cover
         """Whether the head-of-queue job may start now."""
@@ -124,7 +158,12 @@ class GreedyDispatcher(Dispatcher):
 
 
 class ConcurrencyCapDispatcher(Dispatcher):
-    """At most ``cap`` applications in flight."""
+    """At most ``cap`` applications in flight.
+
+    Queued arrivals are released strictly FIFO by arrival time with ties
+    broken by arrival index (see the module docstring); the cap bounds
+    *concurrency*, never reorders the queue.
+    """
 
     def __init__(self, cap: int) -> None:
         if cap < 1:
@@ -137,16 +176,86 @@ class ConcurrencyCapDispatcher(Dispatcher):
 
 
 class PowerCapDispatcher(Dispatcher):
-    """Admit only while sampled board power is under ``watts``."""
+    """Admit only while sampled board power is under ``watts``.
 
-    def __init__(self, watts: float) -> None:
+    A budget below the board's active floor would otherwise serialize the
+    queue behind every in-flight drain (the head waits for the device to go
+    fully idle before each admission).  ``stall_timeout`` bounds that wait:
+    after ``stall_timeout`` seconds the head-of-line job is released anyway
+    and an :class:`AdmissionStallWarning` is emitted.  ``None`` (default)
+    preserves the original queue-forever behaviour.
+    """
+
+    def __init__(self, watts: float, stall_timeout: Optional[float] = None) -> None:
         if watts <= 0:
             raise ValueError("watts must be positive")
+        if stall_timeout is not None and stall_timeout <= 0:
+            raise ValueError("stall_timeout must be positive (or None)")
         self.watts = watts
+        self.stall_timeout = stall_timeout
         self.name = f"power-cap-{watts:.0f}W"
 
     def may_admit(self, in_flight: int, power_watts: float) -> bool:
         return in_flight == 0 or power_watts < self.watts
+
+
+@dataclass
+class ServingHooks:
+    """Engine-level switches for the overload-resilient serving layer.
+
+    Built and owned by :mod:`repro.serving` (see
+    :class:`~repro.serving.config.ServingConfig` for the user-facing
+    surface); :func:`run_streaming` only consumes it.  Every field's
+    default is inert: a default-constructed ``ServingHooks`` executes the
+    exact event sequence of a plain run.
+
+    Attributes
+    ----------
+    queue_depth:
+        Maximum jobs waiting for admission; ``0`` = unbounded (the
+        original implicit FIFO).
+    queue_policy:
+        What to do with an arrival that finds the queue full:
+        ``"block"`` (backpressure: the arrival waits for a slot),
+        ``"reject"`` (shed the new arrival) or ``"shed-oldest"`` (evict
+        the queue head to make room).
+    deadlines:
+        Absolute SLO deadline per arrival index (seconds), or ``None``.
+    service_estimates:
+        ``type_name -> seconds`` estimate of one job's service time, used
+        for the deadline-reachability check.
+    shed_unreachable:
+        Shed a job at release time when ``now + estimate`` already
+        overshoots its deadline (deadline-aware load shedding).
+    breaker:
+        Per-app-type circuit breaker panel (``allow`` / ``on_success`` /
+        ``on_failure`` duck type), or ``None``.
+    journal:
+        Crash-safe run journal (``record(entry)`` duck type), or ``None``.
+    crash_at:
+        Simulated time at which to raise
+        :class:`~repro.sim.errors.HarnessCrash` (the ``harness_crash``
+        fault kind), or ``None``.
+    fault_plan:
+        Optional :class:`~repro.resilience.FaultPlan` injected into the
+        device engines for this run.
+    """
+
+    queue_depth: int = 0
+    queue_policy: str = "block"
+    deadlines: Optional[Sequence[float]] = None
+    service_estimates: Optional[Mapping[str, float]] = None
+    shed_unreachable: bool = False
+    breaker: Optional[object] = None
+    journal: Optional[object] = None
+    crash_at: Optional[float] = None
+    fault_plan: Optional[object] = None
+
+    def __post_init__(self) -> None:
+        if self.queue_depth < 0:
+            raise ValueError("queue_depth must be >= 0")
+        if self.queue_policy not in ("block", "reject", "shed-oldest"):
+            raise ValueError(f"unknown queue policy {self.queue_policy!r}")
 
 
 @dataclass
@@ -181,6 +290,13 @@ class StreamingResult:
             return 0.0
         return float(np.percentile(self.sojourn_times, 95))
 
+    @property
+    def p99_sojourn(self) -> float:
+        """99th-percentile sojourn time (the serving layer's tail metric)."""
+        if not self.sojourn_times:
+            return 0.0
+        return float(np.percentile(self.sojourn_times, 99))
+
     def summary(self) -> str:
         """One-line digest for reports."""
         return (
@@ -193,6 +309,10 @@ class StreamingResult:
         )
 
 
+#: Slack for float comparisons on the simulated clock.
+_EPS = 1e-15
+
+
 def run_streaming(
     arrivals: Sequence[Arrival],
     dispatcher: Dispatcher,
@@ -201,24 +321,47 @@ def run_streaming(
     scale: Optional[str] = None,
     spec: Optional[DeviceSpec] = None,
     power_interval: float = 1e-3,
+    serving: Optional[ServingHooks] = None,
 ) -> StreamingResult:
-    """Execute an arrival trace under an online dispatch policy."""
+    """Execute an arrival trace under an online dispatch policy.
+
+    With ``serving`` omitted (or inert) this is the plain open-loop
+    engine; :mod:`repro.serving` passes hooks to enable bounded admission,
+    shedding, circuit breaking and journaling on the same code path.
+    """
     if not arrivals:
         raise ValueError("empty arrival trace")
+    hooks = serving if serving is not None else ServingHooks()
     scale_name = resolve_scale(scale)
     spec = spec or tesla_k20()
     env = Environment()
-    device = GPUDevice(env, spec=spec)
+    injector = None
+    plan = hooks.fault_plan
+    if plan is not None and len(plan):
+        from ..resilience import FaultInjector
+
+        injector = FaultInjector(env, plan)
+        env.attach_fault_injector(injector)
+    device = GPUDevice(env, spec=spec, injector=injector)
     manager = StreamManager(env, device, num_streams)
     synchronizer = make_synchronizer(env, memory_sync)
-    monitor = PowerMonitor(env, device, interval=power_interval)
+    monitor = PowerMonitor(env, device, interval=power_interval, injector=injector)
 
     records: List[AppRecord] = []
     sojourns: List[float] = []
     queue_delays: List[float] = []
-    state = {"in_flight": 0, "peak": 0}
-    queue: Store = Store(env, name="admission-queue")
+    state = {"in_flight": 0, "peak": 0, "settled": 0}
+    #: Jobs ready for admission, ordered by (arrival time, arrival index):
+    #: strict FIFO release by arrival, deterministic tie-break by index.
+    ready: List[Tuple[float, int, AppThread]] = []
+    #: Arrivals back-pressured by a full bounded queue, same ordering.
+    blocked: List[Tuple[float, int, Event]] = []
     admit_poke = {"event": None}
+
+    deadlines = hooks.deadlines
+    estimates = dict(hooks.service_estimates or {})
+    breaker = hooks.breaker
+    journal = hooks.journal
 
     instance_counters: Dict[str, int] = {}
 
@@ -234,6 +377,8 @@ def run_streaming(
             stream_index=-1,
             launch_index=arrival.index,
         )
+        if deadlines is not None:
+            record.slo_deadline = deadlines[arrival.index]
         records.append(record)
         return AppThread(env, device, app, synchronizer, record)
 
@@ -242,10 +387,51 @@ def run_streaming(
         if evt is not None and not evt.triggered:
             evt.succeed()
 
+    def finalize(record: AppRecord, outcome: str, arrival_time: float) -> None:
+        """Stamp a terminal outcome and journal it (host-side only)."""
+        record.outcome = outcome
+        if journal is not None:
+            journal.record(
+                {
+                    "index": record.launch_index,
+                    "app_id": record.app_id,
+                    "type": record.type_name,
+                    "outcome": outcome,
+                    "arrival": arrival_time,
+                    "admit": record.spawn_time if record.spawn_time > 0 else None,
+                    "complete": record.complete_time if record.ran else None,
+                    "deadline": (
+                        record.slo_deadline if record.slo_deadline > 0 else None
+                    ),
+                    "deadline_met": record.deadline_met if record.ran else None,
+                }
+            )
+
+    def shed(record: AppRecord, outcome: str, arrival_time: float) -> None:
+        """Terminal outcome for a job that never starts; unblocks the loop."""
+        finalize(record, outcome, arrival_time)
+        state["settled"] += 1
+        poke()
+
     def job_body(thread: AppThread, arrival_time: float):
-        yield from thread.run()
+        record = thread.record
+        failed = False
+        try:
+            yield from thread.run()
+        except FaultError:
+            failed = True
         state["in_flight"] -= 1
-        sojourns.append(env.now - arrival_time)
+        if failed:
+            record.failed = True
+            if breaker is not None:
+                breaker.on_failure(record.type_name, env.now)
+            finalize(record, "failed", arrival_time)
+        else:
+            sojourns.append(env.now - arrival_time)
+            if breaker is not None:
+                breaker.on_success(record.type_name, env.now)
+            late = 0 < record.slo_deadline < env.now - _EPS
+            finalize(record, "late" if late else "completed", arrival_time)
         poke()
 
     def arrival_body(arrival: Arrival):
@@ -253,7 +439,19 @@ def run_streaming(
         # arrivals, then join the admission queue.
         thread = make_thread(arrival)
         yield from thread.prepare()
-        queue.put((thread, arrival.time))
+        if hooks.queue_depth > 0 and len(ready) >= hooks.queue_depth:
+            if hooks.queue_policy == "reject":
+                shed(thread.record, "shed-reject", arrival.time)
+                return
+            if hooks.queue_policy == "shed-oldest":
+                old_time, _, old_thread = heapq.heappop(ready)
+                shed(old_thread.record, "shed-oldest", old_time)
+            else:  # block: wait (FIFO by arrival) until a slot frees
+                while len(ready) >= hooks.queue_depth:
+                    gate = Event(env)
+                    heapq.heappush(blocked, (arrival.time, arrival.index, gate))
+                    yield gate
+        heapq.heappush(ready, (arrival.time, arrival.index, thread))
         poke()
 
     def source():
@@ -266,21 +464,61 @@ def run_streaming(
     completions: List[Event] = []
 
     def admitter():
-        served = 0
-        while served < len(arrivals):
-            get = queue.get()
-            item = yield get
-            thread, arrival_time = item
-            # Wait for the dispatcher's admission condition.
+        total = len(arrivals)
+        while state["settled"] < total:
+            if not ready:
+                # Wait for an enqueue (or a shed that settles the count).
+                gate = Event(env)
+                admit_poke["event"] = gate
+                yield gate
+                admit_poke["event"] = None
+                continue
+            # Wait for the dispatcher's admission condition (head-of-line).
+            wait_start = env.now
             while not dispatcher.may_admit(
                 state["in_flight"], device.power.current_power
             ):
+                stall = dispatcher.stall_timeout
+                if stall is not None:
+                    remaining = stall - (env.now - wait_start)
+                    if remaining <= _EPS:
+                        warnings.warn(
+                            f"{dispatcher.name}: admission condition not met "
+                            f"after {stall:.6g}s; releasing head-of-line job "
+                            "to avoid starvation",
+                            AdmissionStallWarning,
+                            stacklevel=2,
+                        )
+                        break
+                    tick = env.timeout(min(power_interval, remaining))
+                else:
+                    tick = env.timeout(power_interval)
                 gate = Event(env)
                 admit_poke["event"] = gate
                 # Re-evaluate on every completion or sensor tick.
-                tick = env.timeout(power_interval)
                 yield env.any_of([gate, tick])
                 admit_poke["event"] = None
+            arrival_time, _, thread = heapq.heappop(ready)
+            if blocked:
+                # A queue slot freed: wake the oldest back-pressured arrival.
+                _, _, gate = heapq.heappop(blocked)
+                gate.succeed()
+            record = thread.record
+            # Deadline-aware shedding: drop work whose queueing delay
+            # already makes the SLO unreachable.
+            if (
+                hooks.shed_unreachable
+                and record.slo_deadline > 0
+                and env.now + estimates.get(record.type_name, 0.0)
+                > record.slo_deadline + _EPS
+            ):
+                shed(record, "shed-deadline", arrival_time)
+                continue
+            # Circuit breaker: fail fast while the app type's breaker is open.
+            if breaker is not None and not breaker.allow(record.type_name, env.now):
+                shed(record, "breaker-open", arrival_time)
+                continue
+            state["settled"] += 1
             queue_delays.append(env.now - arrival_time)
             stream = manager.acquire(thread.app.app_id)
             thread.assign_stream(stream)
@@ -291,10 +529,17 @@ def run_streaming(
             completions.append(
                 env.process(job_body(thread, arrival_time), name=thread.app.app_id)
             )
-            served += 1
         if completions:
             yield AllOf(env, completions)
         monitor.stop()
+
+    if hooks.crash_at is not None:
+
+        def crash_body():
+            yield env.timeout(hooks.crash_at)
+            raise HarnessCrash(env.now)
+
+        env.process(crash_body(), name="harness-crash")
 
     monitor.start()
     env.process(source(), name="arrival-source")

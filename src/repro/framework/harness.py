@@ -282,6 +282,9 @@ class TestHarness:
             assignments[record.stream_index] = (
                 assignments.get(record.stream_index, 0) + 1
             )
+            # Terminal outcome in the serving layer's vocabulary, so batch
+            # and streaming records aggregate through the same accounting.
+            record.outcome = "failed" if record.failed else "completed"
         span = makespan(records)
         t0 = min(r.spawn_time for r in records)
         t1 = max(r.complete_time for r in records)

@@ -29,6 +29,8 @@ __all__ = [
     "average_effective_latency",
     "improvement_pct",
     "makespan",
+    "deadline_met_count",
+    "goodput",
 ]
 
 
@@ -91,6 +93,9 @@ class AppRecord:
     faults_detected: int = 0     # faults that killed an attempt
     deadline_hits: int = 0       # watchdog cancellations among those
     failed: bool = False         # gave up after exhausting the retry budget
+    # -- serving accounting (inert outside repro.serving runs) ------------
+    slo_deadline: float = 0.0    # absolute SLO deadline; 0 = no SLO
+    outcome: str = ""            # terminal serving outcome ("" = not set)
 
     @property
     def wall_time(self) -> float:
@@ -116,6 +121,24 @@ class AppRecord:
     def kernel_busy_time(self) -> float:
         """Sum of kernel execution intervals (may double-count overlap)."""
         return sum(k.execution_time for k in self.kernels)
+
+    @property
+    def ran(self) -> bool:
+        """Whether this instance actually executed (vs shed before start)."""
+        return self.complete_time > 0.0
+
+    @property
+    def deadline_met(self) -> bool:
+        """Whether this instance completed within its SLO deadline.
+
+        ``True`` for completed work without an SLO (no deadline to miss);
+        ``False`` for failed or shed instances.
+        """
+        if self.failed or not self.ran:
+            return False
+        if self.slo_deadline <= 0.0:
+            return True
+        return self.complete_time <= self.slo_deadline
 
 
 def effective_latency(
@@ -163,3 +186,20 @@ def makespan(records: Sequence[AppRecord]) -> float:
     if not records:
         return 0.0
     return max(r.complete_time for r in records) - min(r.spawn_time for r in records)
+
+
+def deadline_met_count(records: Sequence[AppRecord]) -> int:
+    """Instances that completed within their SLO deadline."""
+    return sum(1 for r in records if r.deadline_met)
+
+
+def goodput(records: Sequence[AppRecord], horizon: float) -> float:
+    """Deadline-met completions per second of ``horizon``.
+
+    The serving layer's headline metric: raw throughput counts every
+    completion, goodput only the ones that still had value when they
+    landed.  ``horizon`` is usually the run's completion time.
+    """
+    if horizon <= 0:
+        return 0.0
+    return deadline_met_count(records) / horizon

@@ -64,6 +64,11 @@ class FaultKind(str, Enum):
     #: The power sensor returns no readings for ``duration`` seconds
     #: (NVML dropout); the monitor records nothing in the window.
     POWER_DROPOUT = "power_dropout"
+    #: The *harness process itself* dies at ``time``: the serving engine
+    #: raises :class:`~repro.sim.errors.HarnessCrash` out of the run, as
+    #: if the host had been SIGKILLed.  Consumed by ``repro.serving``
+    #: (crash-safe journaling / resume); ignored by the device engines.
+    HARNESS_CRASH = "harness_crash"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
@@ -173,6 +178,12 @@ class FaultPlan:
         """Planned faults per kind (kind value -> count)."""
         return dict(Counter(f.kind.value for f in self.faults))
 
+    def crash_times(self) -> List[float]:
+        """Arm times of every planned harness crash, earliest first."""
+        return [
+            f.time for f in self.faults if f.kind is FaultKind.HARNESS_CRASH
+        ]
+
     @classmethod
     def generate(
         cls,
@@ -271,6 +282,10 @@ class FaultInjector:
         self._armed_stalls: Deque[FaultSpec] = deque()
         self._dropout_windows: List[FaultSpec] = []
         self._dropout_noted: set = set()
+        # Harness crashes are scheduled by the serving engine up front
+        # (they kill the whole run, not one activity); armed specs are
+        # parked here so they never leak into another kind's queue.
+        self._armed_crashes: List[FaultSpec] = []
 
     def __repr__(self) -> str:
         return (
@@ -289,6 +304,8 @@ class FaultInjector:
                 self._armed_kernel.append(spec)
             elif spec.kind is FaultKind.DMA_STALL:
                 self._armed_stalls.append(spec)
+            elif spec.kind is FaultKind.HARNESS_CRASH:
+                self._armed_crashes.append(spec)
             else:
                 self._dropout_windows.append(spec)
 

@@ -1,0 +1,129 @@
+"""Per-app-type circuit breakers for the serving layer.
+
+A breaker watches one application type's terminal outcomes.  After
+``threshold`` *consecutive* failures the breaker **opens**: arrivals of
+that type are failed fast at release time (outcome ``"breaker-open"``)
+instead of occupying a stream that injected faults will just kill again.
+After a seeded-jittered cooldown the breaker goes **half-open** and lets
+exactly one probe job through; a successful probe closes the breaker, a
+failed probe re-opens it with a fresh cooldown draw.
+
+The cooldown jitter is drawn from a per-type generator seeded with
+``(seed, "breaker:<type>")`` via the same CRC-32 convention as
+:func:`repro.resilience.retry.app_rng`, so breaker schedules are
+byte-reproducible across processes and independent across app types.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..resilience.retry import app_rng
+from .config import BreakerConfig
+
+__all__ = ["BreakerState", "CircuitBreakerPanel"]
+
+
+class BreakerState:
+    """The three classic breaker states (string constants)."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+class _TypeBreaker:
+    """State machine for one application type."""
+
+    __slots__ = ("state", "consecutive_failures", "open_until", "probing", "rng")
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self.state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+        self.open_until = 0.0
+        self.probing = False
+        self.rng = rng
+
+
+class CircuitBreakerPanel:
+    """One circuit breaker per application type, lazily created.
+
+    This is the engine-facing duck type consumed by
+    :class:`~repro.core.streaming.ServingHooks`: :meth:`allow` gates
+    release, :meth:`on_success` / :meth:`on_failure` feed outcomes back.
+    """
+
+    def __init__(self, config: BreakerConfig, seed: int = 0) -> None:
+        self.config = config
+        self.seed = seed
+        self._breakers: Dict[str, _TypeBreaker] = {}
+        #: Times any breaker transitioned to OPEN (incl. re-opens).
+        self.trips = 0
+        #: Releases refused because a breaker was open.
+        self.fast_fails = 0
+
+    def _get(self, type_name: str) -> _TypeBreaker:
+        breaker = self._breakers.get(type_name)
+        if breaker is None:
+            breaker = _TypeBreaker(app_rng(self.seed, f"breaker:{type_name}"))
+            self._breakers[type_name] = breaker
+        return breaker
+
+    def _open(self, breaker: _TypeBreaker, now: float) -> None:
+        cfg = self.config
+        u = 2.0 * float(breaker.rng.random()) - 1.0
+        breaker.state = BreakerState.OPEN
+        breaker.open_until = now + cfg.cooldown * (1.0 + cfg.jitter * u)
+        breaker.probing = False
+        self.trips += 1
+
+    # -- engine-facing surface --------------------------------------------
+
+    def allow(self, type_name: str, now: float) -> bool:
+        """Whether a job of ``type_name`` may be released at ``now``."""
+        breaker = self._get(type_name)
+        if breaker.state == BreakerState.CLOSED:
+            return True
+        if breaker.state == BreakerState.OPEN and now >= breaker.open_until:
+            # Cooldown elapsed: half-open, admit exactly one probe.
+            breaker.state = BreakerState.HALF_OPEN
+            breaker.probing = True
+            return True
+        # OPEN within cooldown, or HALF_OPEN with the probe still in
+        # flight: fail fast.
+        self.fast_fails += 1
+        return False
+
+    def on_success(self, type_name: str, now: float) -> None:
+        """A job of ``type_name`` completed cleanly at ``now``."""
+        breaker = self._get(type_name)
+        breaker.consecutive_failures = 0
+        if breaker.state == BreakerState.HALF_OPEN:
+            breaker.state = BreakerState.CLOSED
+            breaker.probing = False
+
+    def on_failure(self, type_name: str, now: float) -> None:
+        """A job of ``type_name`` died with a fault at ``now``."""
+        breaker = self._get(type_name)
+        breaker.consecutive_failures += 1
+        if breaker.state == BreakerState.HALF_OPEN:
+            # The probe itself failed: straight back to OPEN.
+            self._open(breaker, now)
+        elif (
+            breaker.state == BreakerState.CLOSED
+            and breaker.consecutive_failures >= self.config.threshold
+        ):
+            self._open(breaker, now)
+
+    # -- introspection -----------------------------------------------------
+
+    def state(self, type_name: str) -> str:
+        """Current state of ``type_name``'s breaker (CLOSED if unseen)."""
+        breaker = self._breakers.get(type_name)
+        return breaker.state if breaker is not None else BreakerState.CLOSED
+
+    def states(self) -> Dict[str, str]:
+        """Snapshot of every instantiated breaker's state."""
+        return {name: b.state for name, b in sorted(self._breakers.items())}

@@ -1,0 +1,133 @@
+"""User-facing configuration for the overload-resilient serving layer.
+
+:class:`ServingConfig` is the single knob surface for
+:func:`repro.serving.run_serving`: bounded admission, SLO deadlines,
+deadline-aware shedding, circuit breaking and fault injection are all
+declared here, immutably, so a config object fully identifies an
+experiment (it participates in the run journal's fingerprint).
+
+A default-constructed config is *inert*: ``run_serving`` with it produces
+byte-identical results to :func:`repro.core.streaming.run_streaming`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..resilience.faults import FaultPlan
+
+__all__ = ["BreakerConfig", "ServingConfig", "QUEUE_POLICIES"]
+
+#: Valid backpressure policies for a full admission queue.
+QUEUE_POLICIES = ("block", "reject", "shed-oldest")
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Per-app-type circuit breaker tuning.
+
+    Attributes
+    ----------
+    threshold:
+        Consecutive failures of one app type that open its breaker.
+    cooldown:
+        Nominal seconds an open breaker stays open before probing.
+    jitter:
+        Relative cooldown jitter: the actual open window is
+        ``cooldown * (1 + jitter * u)`` with ``u ~ Uniform(-1, 1)`` drawn
+        from a seeded per-type stream, so breakers for different types do
+        not re-probe in lockstep (and the schedule stays reproducible).
+    """
+
+    threshold: int = 3
+    cooldown: float = 50e-3
+    jitter: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.threshold < 1:
+            raise ValueError("breaker threshold must be >= 1")
+        if self.cooldown <= 0:
+            raise ValueError("breaker cooldown must be positive")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("breaker jitter must be in [0, 1)")
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Everything the serving layer adds on top of a streaming run.
+
+    Attributes
+    ----------
+    queue_depth:
+        Maximum jobs waiting for admission; ``0`` = unbounded.
+    queue_policy:
+        Backpressure policy when the queue is full: ``"block"`` (the
+        arrival waits), ``"reject"`` (shed the new arrival) or
+        ``"shed-oldest"`` (evict the queue head to make room).
+    slo_factor:
+        Each job's SLO deadline is ``arrival + slo_factor * baseline``
+        where ``baseline`` is its type's serial-baseline runtime.  ``0``
+        disables SLOs entirely.
+    slo_jitter:
+        Relative deadline jitter, ``Uniform(-jitter, +jitter)`` scaled
+        onto the SLO window per arrival (seeded; reproducible).
+    baseline_runtimes:
+        ``((type_name, seconds), ...)`` serial baselines.  ``None`` means
+        measure them (one cached single-app serial run per type, exactly
+        the watchdog-deadline convention of :mod:`repro.resilience`).
+    shed_unreachable:
+        Shed a job at release time when its queueing delay already makes
+        the deadline unreachable (``now + baseline > deadline``).  Only
+        meaningful with ``slo_factor > 0``.
+    breaker:
+        :class:`BreakerConfig` enabling per-app-type circuit breakers, or
+        ``None``.
+    plan:
+        Optional :class:`~repro.resilience.FaultPlan`.  Device-level
+        faults are injected as in :mod:`repro.resilience`; a
+        ``HARNESS_CRASH`` spec kills the run at its arm time (see the
+        journal / resume workflow in :mod:`repro.serving.journal`).
+    seed:
+        Seed for every serving-side random draw (SLO jitter, breaker
+        cooldown jitter).
+    """
+
+    queue_depth: int = 0
+    queue_policy: str = "block"
+    slo_factor: float = 0.0
+    slo_jitter: float = 0.0
+    baseline_runtimes: Optional[Tuple[Tuple[str, float], ...]] = None
+    shed_unreachable: bool = True
+    breaker: Optional[BreakerConfig] = None
+    plan: Optional[FaultPlan] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.queue_depth < 0:
+            raise ValueError("queue_depth must be >= 0")
+        if self.queue_policy not in QUEUE_POLICIES:
+            raise ValueError(
+                f"unknown queue policy {self.queue_policy!r}; "
+                f"choose from {QUEUE_POLICIES}"
+            )
+        if self.slo_factor < 0:
+            raise ValueError("slo_factor must be >= 0")
+        if not 0.0 <= self.slo_jitter < 1.0:
+            raise ValueError("slo_jitter must be in [0, 1)")
+        if self.baseline_runtimes is not None:
+            object.__setattr__(
+                self,
+                "baseline_runtimes",
+                tuple((str(n), float(t)) for n, t in self.baseline_runtimes),
+            )
+
+    @property
+    def inactive(self) -> bool:
+        """Whether this config changes nothing about a streaming run."""
+        return (
+            self.queue_depth == 0
+            and self.slo_factor == 0.0
+            and self.breaker is None
+            and (self.plan is None or self.plan.empty)
+        )

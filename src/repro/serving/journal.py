@@ -1,0 +1,214 @@
+"""Crash-safe run journaling for the serving layer.
+
+The journal is a JSONL file: one header line identifying the run
+configuration (by fingerprint), then one line per *terminal job outcome*,
+appended in commit order with a flush+fsync per line — so at any crash
+point the file holds a prefix of the run's outcome log plus at most one
+torn trailing line (which recovery discards).
+
+**Resume is replay.**  The simulation is deterministic, so the cheapest
+*and* safest recovery is to re-execute the run from the start and *verify*
+each recomputed outcome against the journaled prefix instead of appending
+it; once the prefix is exhausted, new outcomes append as usual.  The
+resumed run therefore produces byte-identical results to an uninterrupted
+run, and any divergence (changed code, edited journal, wrong config) is
+caught as a :class:`JournalMismatchError` rather than silently corrupting
+the log.  The fingerprint check makes "resumed against the wrong run"
+a first-class error, not a garbage result.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import deque
+from pathlib import Path
+from typing import Deque, Dict, List, Optional, Tuple
+
+__all__ = [
+    "JOURNAL_FORMAT",
+    "JOURNAL_VERSION",
+    "JournalError",
+    "JournalMismatchError",
+    "RunJournal",
+]
+
+JOURNAL_FORMAT = "repro-serving-journal"
+JOURNAL_VERSION = 1
+
+
+class JournalError(Exception):
+    """The journal file is missing, unreadable or structurally invalid."""
+
+
+class JournalMismatchError(JournalError):
+    """A resumed run diverged from (or does not belong to) its journal."""
+
+
+def _canonical(entry: Dict) -> Dict:
+    """Round-trip an entry through JSON so comparisons see what disk sees.
+
+    ``json`` serializes floats with ``repr`` and parses them back exactly,
+    so a recomputed entry equals its journaled form iff the underlying
+    values are bit-identical.
+    """
+    return json.loads(json.dumps(entry, sort_keys=True))
+
+
+class RunJournal:
+    """Append-only JSONL outcome log with replay-verified resume.
+
+    Lifecycle: construct with a path, :meth:`begin` (fresh or resuming),
+    feed every terminal outcome through :meth:`record`, :meth:`close`.
+    The object is the ``journal`` duck type consumed by
+    :class:`~repro.core.streaming.ServingHooks`.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        self._fh = None
+        self._pending: Deque[Dict] = deque()
+        #: Entries recovered from a prior run at :meth:`begin`.
+        self.recovered = 0
+        #: Recovered entries successfully re-verified during replay.
+        self.verified = 0
+        #: New entries appended (and fsynced) this run.
+        self.appended = 0
+
+    # -- setup -------------------------------------------------------------
+
+    def begin(self, fingerprint: str, resume: bool = False) -> int:
+        """Open the journal; returns the number of recovered entries.
+
+        Fresh runs truncate and write the header.  Resumed runs load the
+        existing file, check its fingerprint against this run's
+        configuration, discard a torn trailing line if the crash left
+        one, and queue the intact entries for replay verification.
+        """
+        if resume:
+            header, entries = self._load()
+            if header.get("fingerprint") != fingerprint:
+                raise JournalMismatchError(
+                    f"journal {self.path} was written by a different run "
+                    f"configuration (fingerprint {header.get('fingerprint')!r}"
+                    f" != {fingerprint!r})"
+                )
+            self._pending = deque(entries)
+            self.recovered = len(entries)
+            # Rewrite header + intact entries so the torn line (if any) is
+            # gone before we start appending again.
+            tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+            with open(tmp, "w", encoding="utf-8") as fh:
+                fh.write(json.dumps(header, sort_keys=True) + "\n")
+                for entry in entries:
+                    fh.write(json.dumps(entry, sort_keys=True) + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self.path)
+        else:
+            header = {
+                "format": JOURNAL_FORMAT,
+                "version": JOURNAL_VERSION,
+                "fingerprint": fingerprint,
+            }
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with open(self.path, "w", encoding="utf-8") as fh:
+                fh.write(json.dumps(header, sort_keys=True) + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+        self._fh = open(self.path, "a", encoding="utf-8")
+        return self.recovered
+
+    def _load(self) -> Tuple[Dict, List[Dict]]:
+        """Parse header + entries, tolerating one torn trailing line."""
+        if not self.path.exists():
+            raise JournalError(
+                f"cannot resume: journal {self.path} does not exist"
+            )
+        with open(self.path, "r", encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+        if not lines:
+            raise JournalError(f"journal {self.path} is empty")
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError as exc:
+            raise JournalError(
+                f"journal {self.path} has a corrupt header line"
+            ) from exc
+        if (
+            not isinstance(header, dict)
+            or header.get("format") != JOURNAL_FORMAT
+        ):
+            raise JournalError(f"{self.path} is not a {JOURNAL_FORMAT} file")
+        if header.get("version") != JOURNAL_VERSION:
+            raise JournalError(
+                f"journal {self.path} has unsupported version "
+                f"{header.get('version')!r}"
+            )
+        entries: List[Dict] = []
+        for lineno, line in enumerate(lines[1:], start=2):
+            if not line.strip():
+                continue
+            try:
+                entries.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                if lineno == len(lines):
+                    break  # torn final line from the crash; discard
+                raise JournalError(
+                    f"journal {self.path} is corrupt at line {lineno} "
+                    "(only the final line may be torn)"
+                ) from exc
+        return header, entries
+
+    # -- engine-facing surface --------------------------------------------
+
+    def record(self, entry: Dict) -> None:
+        """Commit one terminal outcome.
+
+        During replay of a resumed run this *verifies* the outcome against
+        the journaled prefix instead of appending; past the prefix it
+        appends one fsynced line.
+        """
+        if self._fh is None:
+            raise JournalError("journal used before begin() / after close()")
+        entry = _canonical(entry)
+        if self._pending:
+            prior = self._pending.popleft()
+            if prior != entry:
+                raise JournalMismatchError(
+                    f"resumed run diverged from journal {self.path} at "
+                    f"recovered entry {self.verified + 1}/{self.recovered}: "
+                    f"journaled {prior!r}, recomputed {entry!r}"
+                )
+            self.verified += 1
+            return
+        self._fh.write(json.dumps(entry, sort_keys=True) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self.appended += 1
+
+    # -- teardown ----------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Recovered entries not yet re-verified by the replay."""
+        return len(self._pending)
+
+    def close(self) -> None:
+        """Flush and release the file handle (idempotent)."""
+        if self._fh is not None:
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+            self._fh.close()
+            self._fh = None
+
+    def entries(self) -> List[Dict]:
+        """Read back every intact entry currently on disk."""
+        _, entries = self._load()
+        return entries
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,374 @@
+"""The serving layer's entry point: :func:`run_serving`.
+
+Wires a :class:`~repro.serving.config.ServingConfig` into the streaming
+engine's :class:`~repro.core.streaming.ServingHooks`:
+
+* computes each arrival's absolute SLO deadline from its type's
+  serial-baseline runtime (plus seeded per-arrival jitter),
+* instantiates the per-type circuit breaker panel,
+* splits the fault plan into device faults (injected as usual) and the
+  first ``HARNESS_CRASH`` (which kills the run at its arm time),
+* opens the crash-safe run journal, fingerprinted by the full run
+  configuration, and
+* aggregates the engine's per-record outcomes into a
+  :class:`ServingResult` with *goodput* (deadline-met completions per
+  second) reported separately from raw throughput.
+
+Crash/resume contract: a run killed by :class:`~repro.sim.errors.\
+HarnessCrash` leaves a valid journal prefix on disk; calling
+:func:`run_serving` again with the same arguments and ``resume=True``
+replays the run deterministically, verifies the prefix, and returns the
+same :class:`ServingResult` an uninterrupted run would have produced —
+byte-identical.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import zlib
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..core.streaming import (
+    Arrival,
+    Dispatcher,
+    GreedyDispatcher,
+    ServingHooks,
+    StreamingResult,
+    run_streaming,
+)
+from ..core.workload import resolve_scale
+from ..framework.metrics import deadline_met_count
+from ..gpu.specs import DeviceSpec
+from ..resilience.faults import FaultKind, FaultPlan
+from ..sim.errors import HarnessCrash
+from .breaker import CircuitBreakerPanel
+from .config import ServingConfig
+from .journal import JournalMismatchError, RunJournal
+
+__all__ = [
+    "ServingResult",
+    "SHED_OUTCOMES",
+    "measure_service_baselines",
+    "run_serving",
+]
+
+#: Terminal outcomes that mean "never ran": shed by admission control.
+SHED_OUTCOMES = ("shed-reject", "shed-oldest", "shed-deadline", "breaker-open")
+
+
+@dataclass
+class ServingResult(StreamingResult):
+    """A :class:`StreamingResult` plus serving-layer accounting.
+
+    ``jobs`` still counts every *arrival*; ``throughput`` is overridden to
+    count only jobs that actually completed, and :attr:`goodput` only the
+    completions that met their SLO deadline.
+    """
+
+    outcomes: Dict[str, int] = field(default_factory=dict)
+    deadline_met: int = 0
+    breaker_trips: int = 0
+    breaker_fast_fails: int = 0
+    recovered_entries: int = 0
+    resumed: bool = False
+    journal_file: Optional[str] = None
+
+    @property
+    def completed(self) -> int:
+        """Jobs that ran to completion (on time or late)."""
+        return self.outcomes.get("completed", 0) + self.outcomes.get("late", 0)
+
+    @property
+    def shed(self) -> int:
+        """Jobs shed by admission control (never dispatched)."""
+        return sum(self.outcomes.get(k, 0) for k in SHED_OUTCOMES)
+
+    @property
+    def failed(self) -> int:
+        """Jobs dispatched but killed by an injected fault."""
+        return self.outcomes.get("failed", 0)
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of arrivals shed before execution."""
+        return self.shed / self.jobs if self.jobs else 0.0
+
+    @property
+    def throughput(self) -> float:
+        """Completed jobs per second of makespan (sheds excluded)."""
+        if not self.completion_time:
+            return 0.0
+        return self.completed / self.completion_time
+
+    @property
+    def goodput(self) -> float:
+        """Deadline-met completions per second of makespan.
+
+        The serving layer's headline metric: raw throughput counts every
+        completion, goodput only the ones that still had value when they
+        landed.
+        """
+        if not self.completion_time:
+            return 0.0
+        return self.deadline_met / self.completion_time
+
+    def summary(self) -> str:
+        """One-line digest for reports."""
+        return (
+            f"{self.dispatcher}: {self.jobs} arrivals -> "
+            f"{self.completed} completed ({self.deadline_met} in-SLO), "
+            f"{self.shed} shed, {self.failed} failed in "
+            f"{self.completion_time * 1e3:.1f} ms; goodput "
+            f"{self.goodput:.0f}/s vs throughput {self.throughput:.0f}/s, "
+            f"p99 sojourn {self.p99_sojourn * 1e3:.2f} ms"
+        )
+
+
+#: Serial-baseline sojourns per (type, scale) on the default device.
+_BASELINE_CACHE: Dict[tuple, float] = {}
+
+
+def measure_service_baselines(
+    type_names: Iterable[str],
+    scale: Optional[str] = None,
+    spec: Optional[DeviceSpec] = None,
+) -> Dict[str, float]:
+    """End-to-end serial-baseline latency (seconds) per application type.
+
+    One single-arrival streaming run per type on an otherwise idle
+    device: the measured sojourn covers host-side preparation *and* the
+    GPU section — the unit an arrival-to-completion SLO has to be scaled
+    from (the resilience watchdog's GPU-section baseline would undershoot
+    by the preparation cost).  Cached per (type, scale) on the default
+    device.
+    """
+    scale_name = resolve_scale(scale)
+    baselines: Dict[str, float] = {}
+    for name in sorted(set(type_names)):
+        key = (name, scale_name)
+        if spec is None and key in _BASELINE_CACHE:
+            baselines[name] = _BASELINE_CACHE[key]
+            continue
+        result = run_streaming(
+            [Arrival(index=0, time=0.0, type_name=name)],
+            GreedyDispatcher(),
+            num_streams=1,
+            scale=scale_name,
+            spec=spec,
+        )
+        value = result.sojourn_times[0]
+        if spec is None:
+            _BASELINE_CACHE[key] = value
+        baselines[name] = value
+    return baselines
+
+
+def _fingerprint(
+    arrivals: Sequence[Arrival],
+    dispatcher: Dispatcher,
+    num_streams: int,
+    memory_sync: bool,
+    scale_name: str,
+    power_interval: float,
+    config: ServingConfig,
+    baselines: Optional[Mapping[str, float]],
+) -> str:
+    """Content hash of everything that determines the run's outcome log."""
+    plan = config.plan
+    payload = {
+        "arrivals": [[a.index, a.time, a.type_name] for a in arrivals],
+        "dispatcher": dispatcher.name,
+        "stall_timeout": dispatcher.stall_timeout,
+        "num_streams": num_streams,
+        "memory_sync": memory_sync,
+        "scale": scale_name,
+        "power_interval": power_interval,
+        "queue_depth": config.queue_depth,
+        "queue_policy": config.queue_policy,
+        "slo_factor": config.slo_factor,
+        "slo_jitter": config.slo_jitter,
+        "shed_unreachable": config.shed_unreachable,
+        "breaker": (
+            [
+                config.breaker.threshold,
+                config.breaker.cooldown,
+                config.breaker.jitter,
+            ]
+            if config.breaker is not None
+            else None
+        ),
+        "plan": (
+            [
+                [
+                    f.kind.value,
+                    f.time,
+                    f.target,
+                    f.duration,
+                    f.factor,
+                    f.direction,
+                ]
+                for f in plan
+            ]
+            if plan is not None
+            else []
+        ),
+        "seed": config.seed,
+        "baselines": sorted((baselines or {}).items()),
+    }
+    blob = json.dumps(payload, sort_keys=True).encode("utf-8")
+    return hashlib.sha1(blob).hexdigest()
+
+
+def _compute_deadlines(
+    arrivals: Sequence[Arrival],
+    baselines: Mapping[str, float],
+    config: ServingConfig,
+) -> List[float]:
+    """Absolute SLO deadline per arrival index.
+
+    ``deadline = arrival + slo_factor * baseline * (1 + jitter_draw)``;
+    jitter draws come from one generator seeded with
+    ``(seed, crc32("slo-jitter"))`` consumed in arrival-index order, so
+    the schedule is reproducible and independent of trace construction.
+    """
+    rng = np.random.default_rng(
+        [config.seed, zlib.crc32(b"slo-jitter")]
+    )
+    deadlines = [0.0] * len(arrivals)
+    for arrival in sorted(arrivals, key=lambda a: a.index):
+        window = config.slo_factor * baselines[arrival.type_name]
+        if config.slo_jitter > 0:
+            window *= 1.0 + config.slo_jitter * (2.0 * float(rng.random()) - 1.0)
+        deadlines[arrival.index] = arrival.time + window
+    return deadlines
+
+
+def run_serving(
+    arrivals: Sequence[Arrival],
+    dispatcher: Dispatcher,
+    config: Optional[ServingConfig] = None,
+    *,
+    num_streams: int = 32,
+    memory_sync: bool = True,
+    scale: Optional[str] = None,
+    spec: Optional[DeviceSpec] = None,
+    power_interval: float = 1e-3,
+    journal_path=None,
+    resume: bool = False,
+) -> ServingResult:
+    """Execute an arrival trace under the overload-resilient serving layer.
+
+    With an inert config and no journal this is exactly
+    :func:`~repro.core.streaming.run_streaming` (byte-identical results).
+    Raises :class:`~repro.sim.errors.HarnessCrash` when the fault plan
+    kills the harness mid-run — the journal keeps everything committed up
+    to that instant; call again with ``resume=True`` to recover.
+    """
+    config = config or ServingConfig()
+    if resume and journal_path is None:
+        raise ValueError("resume=True requires a journal_path")
+    scale_name = resolve_scale(scale)
+
+    deadlines: Optional[List[float]] = None
+    baselines: Optional[Dict[str, float]] = None
+    if config.slo_factor > 0:
+        if config.baseline_runtimes is not None:
+            baselines = dict(config.baseline_runtimes)
+        else:
+            baselines = measure_service_baselines(
+                (a.type_name for a in arrivals), scale=scale_name, spec=spec
+            )
+        deadlines = _compute_deadlines(arrivals, baselines, config)
+
+    # Split the plan: device faults go to the injector, the first
+    # HARNESS_CRASH kills the run (unless we are resuming past it).
+    crash_at: Optional[float] = None
+    device_plan: Optional[FaultPlan] = None
+    if config.plan is not None and not config.plan.empty:
+        rest = FaultPlan(
+            [
+                f
+                for f in config.plan
+                if f.kind is not FaultKind.HARNESS_CRASH
+            ]
+        )
+        if not rest.empty:
+            device_plan = rest
+        crashes = config.plan.crash_times()
+        if crashes and not resume:
+            crash_at = crashes[0]
+
+    journal: Optional[RunJournal] = None
+    recovered = 0
+    if journal_path is not None:
+        journal = RunJournal(journal_path)
+        fingerprint = _fingerprint(
+            arrivals,
+            dispatcher,
+            num_streams,
+            memory_sync,
+            scale_name,
+            power_interval,
+            config,
+            baselines,
+        )
+        recovered = journal.begin(fingerprint, resume=resume)
+
+    panel: Optional[CircuitBreakerPanel] = None
+    if config.breaker is not None:
+        panel = CircuitBreakerPanel(config.breaker, seed=config.seed)
+
+    hooks = ServingHooks(
+        queue_depth=config.queue_depth,
+        queue_policy=config.queue_policy,
+        deadlines=deadlines,
+        service_estimates=baselines,
+        shed_unreachable=config.shed_unreachable and deadlines is not None,
+        breaker=panel,
+        journal=journal,
+        crash_at=crash_at,
+        fault_plan=device_plan,
+    )
+
+    try:
+        base = run_streaming(
+            arrivals,
+            dispatcher,
+            num_streams=num_streams,
+            memory_sync=memory_sync,
+            scale=scale_name,
+            spec=spec,
+            power_interval=power_interval,
+            serving=hooks,
+        )
+    except HarnessCrash:
+        # The journal holds everything committed before the crash; leave
+        # it on disk for the resume.
+        if journal is not None:
+            journal.close()
+        raise
+    if journal is not None:
+        if journal.pending:
+            raise JournalMismatchError(
+                f"resumed run settled only "
+                f"{journal.verified}/{journal.recovered} journaled entries; "
+                "the journal belongs to a longer run"
+            )
+        journal.close()
+
+    outcomes = Counter(r.outcome for r in base.records)
+    return ServingResult(
+        **vars(base),
+        outcomes=dict(outcomes),
+        deadline_met=deadline_met_count(base.records),
+        breaker_trips=panel.trips if panel is not None else 0,
+        breaker_fast_fails=panel.fast_fails if panel is not None else 0,
+        recovered_entries=recovered,
+        resumed=resume,
+        journal_file=str(journal_path) if journal_path is not None else None,
+    )

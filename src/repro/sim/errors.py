@@ -20,6 +20,7 @@ __all__ = [
     "ScheduleError",
     "FaultError",
     "DeadlineExceeded",
+    "HarnessCrash",
     "StopSimulation",
     "Interrupt",
 ]
@@ -103,6 +104,26 @@ class DeadlineExceeded(SimulationError):
         self.app_id = app_id
         self.deadline = deadline
         self.elapsed = elapsed
+
+
+class HarnessCrash(SimulationError):
+    """The serving harness process died mid-run (simulated).
+
+    Raised out of :meth:`Environment.run` when a
+    :class:`~repro.resilience.faults.FaultKind.HARNESS_CRASH` fault fires:
+    the run is abandoned exactly as if the host process had been killed.
+    Anything the run journaled before the crash survives on disk; a
+    restarted run resumes from that journal (see ``repro.serving``).
+
+    Parameters
+    ----------
+    time:
+        Simulated timestamp at which the harness died.
+    """
+
+    def __init__(self, time: float) -> None:
+        super().__init__(f"harness crashed at t={time:.6g}s")
+        self.time = time
 
 
 class StopSimulation(Exception):

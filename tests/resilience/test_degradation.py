@@ -9,6 +9,8 @@ from repro.resilience.degradation import (
 )
 from repro.sim.errors import Interrupt
 
+pytestmark = pytest.mark.resilience
+
 
 class TestLadderLimit:
     def test_halves_every_threshold_faults(self):

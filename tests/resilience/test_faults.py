@@ -9,6 +9,8 @@ from repro.resilience.faults import (
     FaultSpec,
 )
 
+pytestmark = pytest.mark.resilience
+
 
 class TestFaultSpec:
     def test_negative_time_rejected(self):

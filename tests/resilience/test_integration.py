@@ -19,6 +19,8 @@ from repro.resilience import (
     RetryPolicy,
 )
 
+pytestmark = pytest.mark.resilience
+
 NUM_APPS = 8
 NUM_STREAMS = 8
 

@@ -4,6 +4,8 @@ import pytest
 
 from repro.resilience.retry import RetryPolicy, app_rng
 
+pytestmark = pytest.mark.resilience
+
 
 class TestAppRng:
     def test_stable_across_instances(self):

@@ -5,6 +5,8 @@ import pytest
 from repro.resilience.watchdog import Watchdog
 from repro.sim.errors import DeadlineExceeded, Interrupt
 
+pytestmark = pytest.mark.resilience
+
 
 def sleeper(env, duration):
     yield env.timeout(duration)

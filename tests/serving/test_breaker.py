@@ -1,0 +1,139 @@
+"""Circuit breaker state machine and its integration with the engine."""
+
+import pytest
+
+from repro.core.streaming import ConcurrencyCapDispatcher, poisson_arrivals
+from repro.resilience import FaultPlan
+from repro.resilience.faults import FaultKind, FaultSpec
+from repro.serving import (
+    BreakerConfig,
+    BreakerState,
+    CircuitBreakerPanel,
+    ServingConfig,
+    run_serving,
+)
+
+pytestmark = pytest.mark.serving
+
+
+def panel(threshold=2, cooldown=1.0, jitter=0.0, seed=0):
+    return CircuitBreakerPanel(
+        BreakerConfig(threshold=threshold, cooldown=cooldown, jitter=jitter),
+        seed=seed,
+    )
+
+
+class TestStateMachine:
+    def test_closed_by_default(self):
+        p = panel()
+        assert p.state("nn") == BreakerState.CLOSED
+        assert p.allow("nn", 0.0)
+
+    def test_opens_after_consecutive_failures(self):
+        p = panel(threshold=3)
+        for t in (0.1, 0.2):
+            p.on_failure("nn", t)
+            assert p.state("nn") == BreakerState.CLOSED
+        p.on_failure("nn", 0.3)
+        assert p.state("nn") == BreakerState.OPEN
+        assert p.trips == 1
+        assert not p.allow("nn", 0.4)
+        assert p.fast_fails == 1
+
+    def test_success_resets_the_streak(self):
+        p = panel(threshold=2)
+        p.on_failure("nn", 0.1)
+        p.on_success("nn", 0.2)
+        p.on_failure("nn", 0.3)
+        assert p.state("nn") == BreakerState.CLOSED
+
+    def test_half_open_single_probe_then_close(self):
+        p = panel(threshold=1, cooldown=1.0)
+        p.on_failure("nn", 0.0)
+        assert p.state("nn") == BreakerState.OPEN
+        # Cooldown not elapsed yet.
+        assert not p.allow("nn", 0.5)
+        # Past the cooldown: exactly one probe goes through.
+        assert p.allow("nn", 1.5)
+        assert p.state("nn") == BreakerState.HALF_OPEN
+        assert not p.allow("nn", 1.6)
+        p.on_success("nn", 1.7)
+        assert p.state("nn") == BreakerState.CLOSED
+        assert p.allow("nn", 1.8)
+
+    def test_failed_probe_reopens(self):
+        p = panel(threshold=1, cooldown=1.0)
+        p.on_failure("nn", 0.0)
+        assert p.allow("nn", 1.5)
+        p.on_failure("nn", 1.6)
+        assert p.state("nn") == BreakerState.OPEN
+        assert p.trips == 2
+        assert not p.allow("nn", 1.7)
+
+    def test_types_are_independent(self):
+        p = panel(threshold=1)
+        p.on_failure("nn", 0.0)
+        assert not p.allow("nn", 0.1)
+        assert p.allow("needle", 0.1)
+        assert p.states() == {
+            "needle": BreakerState.CLOSED,
+            "nn": BreakerState.OPEN,
+        }
+
+    def test_cooldown_jitter_is_seeded_and_bounded(self):
+        windows = []
+        for _ in range(2):
+            p = CircuitBreakerPanel(
+                BreakerConfig(threshold=1, cooldown=1.0, jitter=0.5), seed=7
+            )
+            p.on_failure("nn", 0.0)
+            windows.append(p._breakers["nn"].open_until)
+        assert windows[0] == windows[1]
+        assert 0.5 <= windows[0] <= 1.5
+
+
+class TestBreakerIntegration:
+    def test_breaker_sheds_doomed_type_under_faults(self):
+        arrivals = poisson_arrivals(
+            800.0, 0.05, [("gaussian", 1), ("nn", 1)], seed=5
+        )
+        faults = [
+            FaultSpec(kind=FaultKind.LAUNCH_FAIL, time=t, target="nn")
+            for t in (0.001, 0.004, 0.007, 0.010, 0.013, 0.016, 0.019, 0.022)
+        ]
+        cfg = ServingConfig(
+            breaker=BreakerConfig(threshold=2, cooldown=0.01, jitter=0.2),
+            plan=FaultPlan(faults),
+            seed=9,
+        )
+        result = run_serving(
+            arrivals, ConcurrencyCapDispatcher(4), cfg, num_streams=8
+        )
+        assert result.outcomes.get("breaker-open", 0) > 0
+        assert result.breaker_trips >= 1
+        assert result.breaker_fast_fails == result.outcomes["breaker-open"]
+        # Only the hammered type is fast-failed.
+        open_types = {
+            r.type_name for r in result.records if r.outcome == "breaker-open"
+        }
+        assert open_types == {"nn"}
+        # The healthy type keeps completing.
+        assert any(
+            r.outcome == "completed" and r.type_name == "gaussian"
+            for r in result.records
+        )
+
+    def test_no_breaker_means_no_fast_fails(self):
+        arrivals = poisson_arrivals(
+            800.0, 0.02, [("gaussian", 1), ("nn", 1)], seed=5
+        )
+        faults = [
+            FaultSpec(kind=FaultKind.LAUNCH_FAIL, time=t, target="nn")
+            for t in (0.001, 0.004)
+        ]
+        cfg = ServingConfig(plan=FaultPlan(faults), seed=9)
+        result = run_serving(
+            arrivals, ConcurrencyCapDispatcher(4), cfg, num_streams=8
+        )
+        assert result.outcomes.get("breaker-open", 0) == 0
+        assert result.failed > 0

@@ -1,0 +1,133 @@
+"""Unit tests for the crash-safe run journal."""
+
+import json
+
+import pytest
+
+from repro.serving import (
+    JOURNAL_FORMAT,
+    JournalError,
+    JournalMismatchError,
+    RunJournal,
+)
+
+pytestmark = pytest.mark.serving
+
+FP = "abc123"
+
+
+def entry(i):
+    return {"index": i, "outcome": "completed", "complete": 0.001 * i + 0.25}
+
+
+class TestFreshJournal:
+    def test_header_written(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        journal = RunJournal(path)
+        journal.begin(FP)
+        journal.close()
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["format"] == JOURNAL_FORMAT
+        assert header["fingerprint"] == FP
+
+    def test_entries_append_one_line_each(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunJournal(path) as journal:
+            journal.begin(FP)
+            for i in range(3):
+                journal.record(entry(i))
+            assert journal.appended == 3
+        lines = path.read_text().splitlines()
+        assert len(lines) == 4
+        assert json.loads(lines[1]) == entry(0)
+
+    def test_fresh_begin_truncates_old_content(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text("garbage\n")
+        journal = RunJournal(path)
+        journal.begin(FP)
+        journal.close()
+        assert len(path.read_text().splitlines()) == 1
+
+    def test_record_before_begin_rejected(self, tmp_path):
+        journal = RunJournal(tmp_path / "run.jsonl")
+        with pytest.raises(JournalError):
+            journal.record(entry(0))
+
+
+class TestResume:
+    def write_journal(self, path, n=3, fingerprint=FP):
+        with RunJournal(path) as journal:
+            journal.begin(fingerprint)
+            for i in range(n):
+                journal.record(entry(i))
+
+    def test_replay_verifies_then_appends(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        self.write_journal(path, n=2)
+        journal = RunJournal(path)
+        assert journal.begin(FP, resume=True) == 2
+        journal.record(entry(0))
+        journal.record(entry(1))
+        assert journal.verified == 2 and journal.pending == 0
+        journal.record(entry(2))
+        journal.close()
+        assert journal.appended == 1
+        assert len(path.read_text().splitlines()) == 4
+
+    def test_divergent_replay_detected(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        self.write_journal(path, n=1)
+        journal = RunJournal(path)
+        journal.begin(FP, resume=True)
+        bad = dict(entry(0), outcome="failed")
+        with pytest.raises(JournalMismatchError):
+            journal.record(bad)
+
+    def test_fingerprint_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        self.write_journal(path, fingerprint="other")
+        with pytest.raises(JournalMismatchError):
+            RunJournal(path).begin(FP, resume=True)
+
+    def test_torn_final_line_discarded(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        self.write_journal(path, n=2)
+        with open(path, "a") as fh:
+            fh.write('{"index": 2, "outco')  # interrupted write
+        journal = RunJournal(path)
+        assert journal.begin(FP, resume=True) == 2
+        journal.close()
+        # The rewrite dropped the torn line from disk.
+        assert len(path.read_text().splitlines()) == 3
+
+    def test_corruption_in_the_middle_is_an_error(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        self.write_journal(path, n=2)
+        lines = path.read_text().splitlines()
+        lines[1] = '{"truncated'
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(JournalError):
+            RunJournal(path).begin(FP, resume=True)
+
+    def test_missing_file_is_an_error(self, tmp_path):
+        with pytest.raises(JournalError):
+            RunJournal(tmp_path / "absent.jsonl").begin(FP, resume=True)
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text('{"format": "something-else"}\n')
+        with pytest.raises(JournalError):
+            RunJournal(path).begin(FP, resume=True)
+
+    def test_float_round_trip_is_exact(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        value = 0.1 + 0.2  # classic repr-sensitive float
+        with RunJournal(path) as journal:
+            journal.begin(FP)
+            journal.record({"index": 0, "complete": value})
+        journal = RunJournal(path)
+        journal.begin(FP, resume=True)
+        journal.record({"index": 0, "complete": value})  # must verify
+        assert journal.verified == 1
+        journal.close()

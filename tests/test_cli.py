@@ -15,6 +15,7 @@ class TestParser:
             "list", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
             "fig9", "fig10", "timeline", "table3", "headline",
             "autotune", "streaming", "report", "homog", "resilience",
+            "serve",
         }
 
     def test_requires_command(self, capsys):
@@ -118,6 +119,32 @@ class TestCommands:
         assert "clean" in out
         assert "faulted" in out
         assert "planned faults" in out
+
+    def test_serve_tiny_with_csv(self, tmp_path, capsys):
+        code = main([
+            "--scale", "tiny", "--out", str(tmp_path),
+            "serve", "--rate", "8000", "--duration", "0.004",
+            "--streams", "8", "--cap", "2", "--qdepth", "4",
+        ])
+        assert code == 0
+        assert (tmp_path / "serving.csv").exists()
+        assert (tmp_path / "serving_outcomes.csv").exists()
+        out = capsys.readouterr().out
+        assert "goodput" in out
+
+    def test_serve_crash_and_resume(self, tmp_path, capsys):
+        journal = tmp_path / "run.jsonl"
+        argv = [
+            "--scale", "tiny", "--out", str(tmp_path),
+            "serve", "--rate", "8000", "--duration", "0.004",
+            "--streams", "8", "--cap", "2", "--qdepth", "4",
+            "--journal", str(journal),
+        ]
+        assert main(argv + ["--crash-at", "0.002"]) == 3
+        assert "harness crashed mid-run" in capsys.readouterr().out
+        assert journal.exists()
+        assert main(argv + ["--crash-at", "0.002", "--resume"]) == 0
+        assert "goodput" in capsys.readouterr().out
 
     def test_report_missing_sections(self, tmp_path, capsys):
         code = main(["report", "--results", str(tmp_path)])

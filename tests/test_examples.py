@@ -81,3 +81,15 @@ def test_fault_injected_service(monkeypatch, capsys):
     assert "faulted" in out
     assert "resilience summary" in out
     assert "applications completed despite" in out
+
+
+def test_overload_shedding_service(monkeypatch, capsys):
+    out = run_example(
+        monkeypatch, capsys, "overload_shedding_service.py",
+        ["--scale", "tiny", "--overload", "12", "--duration", "0.01"],
+    )
+    assert "greedy" in out
+    assert "shed-oldest" in out
+    assert "shedding lifts goodput" in out
+    assert "safely journaled" in out
+    assert "resume matches the uninterrupted run exactly: yes" in out
