@@ -1,0 +1,138 @@
+"""Failover economics: recovery time and goodput dip at 1-of-4 device loss.
+
+Three runs of the same 4-device schedule:
+
+* **clean** — no faults, the goodput ceiling;
+* **failover** — one device lost mid-run, checkpointed migration on;
+* **no-failover** — the same loss with migration disabled, the baseline
+  a fleet without the coordinator degrades to.
+
+The bench reports the recovery timeline (loss -> detection -> resumed),
+the goodput dip versus clean, and asserts the failover bargain: every
+app still completes, and re-executed work stays bounded by one in-flight
+kernel per migrated app — the guarantee the phase-boundary checkpoints
+exist to provide.
+"""
+
+import pytest
+from conftest import once
+
+from repro.analysis.tables import format_table, write_csv
+from repro.apps.registry import get_app
+from repro.fleet import FleetConfig, FleetHarness
+from repro.resilience.faults import FaultKind, FaultPlan, FaultSpec
+
+NUM_APPS = 8
+DEVICES = 4
+STREAMS = 2
+SEED = 0
+
+_PARAMS = {"gaussian": {"n": 48}, "needle": {"n": 64}}
+
+
+def _apps():
+    kinds = ("gaussian", "needle")
+    return [
+        get_app(kinds[i % 2], instance=i, **_PARAMS[kinds[i % 2]])
+        for i in range(NUM_APPS)
+    ]
+
+
+def _fleet(**overrides):
+    base = dict(
+        num_devices=DEVICES,
+        heartbeat_interval=2e-5,
+        detection_latency=5e-5,
+        detection_jitter=1e-5,
+    )
+    base.update(overrides)
+    return FleetConfig(**base)
+
+
+def _run(fleet=None, plan=None):
+    return FleetHarness(
+        _apps(),
+        fleet if fleet is not None else _fleet(),
+        num_streams=STREAMS,
+        seed=SEED,
+        plan=plan,
+    ).run()
+
+
+def _loss_plan(clean):
+    """Loss pinned mid-GPU-section of device 0's longest-running app."""
+    on_dev0 = [r for r in clean.records if r.device_index == 0]
+    target = max(on_dev0, key=lambda r: r.complete_time - r.gpu_start)
+    loss_at = (target.gpu_start + target.complete_time) / 2
+    return FaultPlan([FaultSpec(FaultKind.DEVICE_LOSS, loss_at, device=0)])
+
+
+def _goodput(result):
+    return result.completed / result.makespan if result.makespan > 0 else 0.0
+
+
+@pytest.mark.fleet
+def test_failover_recovery_and_goodput(benchmark, results_dir):
+    clean = _run()
+    plan = _loss_plan(clean)
+
+    failover = once(benchmark, _run, plan=plan)
+    baseline = _run(fleet=_fleet(failover=False), plan=plan)
+
+    # The failover bargain: nothing admitted is lost...
+    assert failover.completed == NUM_APPS
+    assert failover.failed == 0
+    assert failover.migrations >= 1
+    # ...and re-executed work is bounded by one in-flight kernel per
+    # migrated app (sum over apps: <= total migrations).
+    migrated = [r for r in failover.records if r.migrations > 0]
+    assert failover.reexecuted_kernels <= sum(r.migrations for r in migrated)
+    # Without failover the same loss strands work on the dead device.
+    assert baseline.failed >= 1
+    assert baseline.completed < NUM_APPS
+
+    clean_goodput = _goodput(clean)
+    rows = []
+    for label, result in (
+        ("clean", clean),
+        ("failover", failover),
+        ("no-failover", baseline),
+    ):
+        goodput = _goodput(result)
+        rows.append(
+            {
+                "scenario": label,
+                "completed": result.completed,
+                "failed": result.failed,
+                "migrations": result.migrations,
+                "reexecuted_kernels": result.reexecuted_kernels,
+                "makespan_ms": result.makespan * 1e3,
+                "goodput_per_s": goodput,
+                "goodput_dip_pct": (
+                    (clean_goodput - goodput) / clean_goodput * 100.0
+                    if clean_goodput > 0
+                    else 0.0
+                ),
+                "recovery_ms": result.recovery_time * 1e3,
+                "energy_J": result.energy,
+            }
+        )
+    print()
+    print(
+        format_table(
+            rows,
+            title=(
+                f"Failover at 1-of-{DEVICES} device loss "
+                f"(NA={NUM_APPS}, NS={STREAMS}/device)"
+            ),
+        )
+    )
+    recovery = failover.recoveries[0]
+    print(
+        f"timeline: lost t={recovery['lost'] * 1e3:.3f}ms -> detected "
+        f"t={recovery['detected'] * 1e3:.3f}ms -> resumed "
+        f"t={recovery['resumed'] * 1e3:.3f}ms "
+        f"({len(recovery['apps'])} apps migrated, "
+        f"{recovery['reexecuted_kernels']} kernels re-executed)"
+    )
+    write_csv(rows, results_dir / "bench_failover.csv")

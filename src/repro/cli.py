@@ -182,6 +182,46 @@ def build_parser() -> argparse.ArgumentParser:
                    help="faults per concurrency-halving step (0 disables)")
 
     p = sub.add_parser(
+        "fleet",
+        help="multi-device fleet: health-checked failover and checkpointed "
+        "app migration",
+    )
+    p.add_argument("--pair", nargs=2, default=["gaussian", "needle"])
+    p.add_argument("--apps", type=int, default=8)
+    p.add_argument("--devices", type=int, default=4)
+    p.add_argument("--streams", type=int, default=2,
+                   help="streams per device")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--lose", type=int, default=None, metavar="DEV",
+                   help="device index to lose mid-run")
+    p.add_argument("--lose-at", type=float, default=None, metavar="T",
+                   help="absolute simulated time of the loss (default: "
+                   "mid-run, measured from a clean baseline)")
+    p.add_argument("--throttle", type=int, default=None, metavar="DEV",
+                   help="device index to thermally throttle")
+    p.add_argument("--throttle-at", type=float, default=0.0, metavar="T",
+                   help="throttle window start (absolute simulated time)")
+    p.add_argument("--throttle-factor", type=float, default=4.0,
+                   help="slowdown multiplier inside the throttle window")
+    p.add_argument("--throttle-for", type=float, default=2e-3, metavar="S",
+                   help="throttle window length (simulated seconds)")
+    p.add_argument("--heartbeat", type=float, default=None,
+                   help="health heartbeat interval (default: FleetConfig)")
+    p.add_argument("--detect-latency", type=float, default=None,
+                   help="loss detection latency (default: FleetConfig)")
+    p.add_argument("--no-failover", action="store_true",
+                   help="let apps on a lost device fail instead of migrating")
+    p.add_argument("--no-checkpoint", action="store_true",
+                   help="migrate from scratch instead of the last checkpoint")
+    p.add_argument("--crash-at", type=float, default=None,
+                   help="kill the harness at this simulated time "
+                   "(exercise the journal)")
+    p.add_argument("--journal", type=Path, default=None,
+                   help="crash-safe JSONL checkpoint/failover journal path")
+    p.add_argument("--resume", action="store_true",
+                   help="resume a crashed run from --journal")
+
+    p = sub.add_parser(
         "report",
         help="assemble EXPERIMENTS-style markdown from results/ CSVs",
     )
@@ -216,7 +256,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(
             "experiments: fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 "
             "timeline table3 headline homog autotune streaming serve "
-            "resilience report"
+            "resilience fleet report"
         )
         return 0
 
@@ -506,6 +546,144 @@ def main(argv: Optional[List[str]] = None) -> int:
             out,
             "resilience_summary",
         )
+        return 0
+
+    if args.command == "fleet":
+        import numpy as np
+
+        from .core.workload import Workload
+        from .fleet import FleetConfig, FleetHarness
+        from .framework.scheduler import SchedulingOrder
+        from .resilience.faults import FaultKind, FaultPlan, FaultSpec
+        from .sim.errors import HarnessCrash
+
+        workload = Workload.heterogeneous_pair(*args.pair, args.apps, scale=scale)
+
+        def instantiate():
+            rng = np.random.default_rng(args.seed)
+            schedule = workload.schedule(SchedulingOrder.NAIVE_FIFO, rng=rng)
+            return workload.instantiate(schedule)
+
+        fleet_kwargs = dict(
+            num_devices=args.devices,
+            failover=not args.no_failover,
+            checkpoint=not args.no_checkpoint,
+            seed=args.seed,
+        )
+        if args.heartbeat is not None:
+            fleet_kwargs["heartbeat_interval"] = args.heartbeat
+        if args.detect_latency is not None:
+            fleet_kwargs["detection_latency"] = args.detect_latency
+        fleet = FleetConfig(**fleet_kwargs)
+
+        lose_at = args.lose_at
+        if args.lose is not None and lose_at is None:
+            # Measure a clean baseline to place the loss mid-run on the
+            # target device (fault times are absolute simulated seconds,
+            # and the interesting window depends on the schedule).
+            baseline = FleetHarness(
+                instantiate(), fleet,
+                num_streams=args.streams, seed=args.seed,
+            ).run()
+            spans = [
+                r for r in baseline.records
+                if r.device_index == args.lose % args.devices
+            ]
+            if spans:
+                target = max(spans, key=lambda r: r.complete_time - r.gpu_start)
+                lose_at = (target.gpu_start + target.complete_time) / 2
+            else:
+                lose_at = baseline.makespan / 2
+
+        faults = []
+        if args.lose is not None:
+            faults.append(
+                FaultSpec(
+                    kind=FaultKind.DEVICE_LOSS, time=lose_at, device=args.lose
+                )
+            )
+        if args.throttle is not None:
+            faults.append(
+                FaultSpec(
+                    kind=FaultKind.DEVICE_THROTTLE,
+                    time=args.throttle_at,
+                    device=args.throttle,
+                    factor=args.throttle_factor,
+                    duration=args.throttle_for,
+                )
+            )
+        if args.crash_at is not None:
+            faults.append(
+                FaultSpec(kind=FaultKind.HARNESS_CRASH, time=args.crash_at)
+            )
+
+        try:
+            result = FleetHarness(
+                instantiate(),
+                fleet,
+                num_streams=args.streams,
+                plan=FaultPlan(faults) if faults else None,
+                seed=args.seed,
+                journal_path=args.journal,
+                resume=args.resume,
+            ).run()
+        except HarnessCrash as crash:
+            print(f"harness crashed mid-run: {crash}")
+            if args.journal is not None:
+                print(
+                    f"journal preserved at {args.journal}; rerun with "
+                    "--resume to recover deterministically"
+                )
+            return 3
+
+        rows = [
+            {
+                "device": d.index,
+                "state": d.state,
+                "lost_at_ms": (
+                    d.loss_time * 1e3 if d.loss_time is not None else ""
+                ),
+                "detected_ms": (
+                    d.detected_time * 1e3
+                    if d.detected_time is not None else ""
+                ),
+                "apps_completed": d.apps_completed,
+                "goodput_per_s": d.goodput(result.makespan),
+                "energy_J": d.energy,
+                "peak_power_W": d.peak_power,
+            }
+            for d in result.devices
+        ]
+        _emit(
+            rows,
+            f"Fleet — {args.pair[0]}+{args.pair[1]} NA={args.apps} on "
+            f"{args.devices} devices x {args.streams} streams",
+            out,
+            "fleet",
+        )
+        if result.recoveries:
+            _emit(
+                [
+                    {
+                        "device": r["device"],
+                        "lost_ms": r["lost"] * 1e3,
+                        "detected_ms": r["detected"] * 1e3,
+                        "resumed_ms": r["resumed"] * 1e3,
+                        "apps_migrated": len(r["apps"]),
+                        "reexecuted_kernels": r["reexecuted_kernels"],
+                    }
+                    for r in result.recoveries
+                ],
+                "Failover recoveries",
+                out,
+                "fleet_recoveries",
+            )
+        if result.resumed:
+            print(
+                f"resumed from journal: {result.recovered_entries} entries "
+                "verified against the replay"
+            )
+        print(result.summary())
         return 0
 
     if args.command == "report":

@@ -45,6 +45,10 @@ class RunConfig:
     #: When its ``deadline_factor`` is set without explicit baselines, the
     #: runner measures the serial baseline and fills them in (cached).
     resilience: Optional[ResilienceConfig] = None
+    #: Optional :class:`~repro.fleet.FleetConfig`: run the cell on a
+    #: multi-device fleet (with failover) instead of the single-device
+    #: harness.  ``None`` keeps the original pipeline untouched.
+    fleet: object = None
 
     @property
     def num_apps(self) -> int:
@@ -117,6 +121,25 @@ class ExperimentRunner:
         apps = config.workload.instantiate(schedule)
         spec = config.spec or self.default_spec
         resilience = config.resilience
+        if config.fleet is not None:
+            # Multi-device cell: dispatch to the fleet harness.  The fault
+            # plan (if any) rides in on the resilience config; FleetResult
+            # duck-types the HarnessResult surface RunResult reads.
+            from ..fleet import FleetHarness
+
+            fleet_result = FleetHarness(
+                apps,
+                config.fleet,
+                num_streams=config.num_streams,
+                memory_sync=config.memory_sync,
+                spec=spec,
+                copy_policy=config.copy_policy,
+                power_interval=config.power_interval,
+                plan=resilience.plan if resilience is not None else None,
+                seed=config.seed,
+            ).run()
+            self.runs_executed += 1
+            return RunResult(config=config, harness=fleet_result)
         if resilience is not None and resilience.needs_baselines:
             resilience = self.resolve_baselines(config)
         harness_config = HarnessConfig(
@@ -144,6 +167,12 @@ class ExperimentRunner:
         cached clean run of the workload on one stream, no faults) and
         returns the config with ``baseline_runtimes`` populated with the
         worst observed wall time per type.
+
+        A record whose GPU section never ran (zero/negative wall time)
+        contributes nothing: a zero entry would derive a 0s watchdog
+        deadline that fires before the attempt's first event.  Types left
+        without a baseline fall back to the config's ``default_deadline``
+        / ``deadline_floor``.
         """
         if config.resilience is None:
             raise ValueError("config has no resilience settings")
@@ -154,6 +183,8 @@ class ExperimentRunner:
         )
         baselines: Dict[str, float] = {}
         for record in serial.harness.records:
+            if record.wall_time <= 0:
+                continue
             baselines[record.type_name] = max(
                 baselines.get(record.type_name, 0.0), record.wall_time
             )

@@ -239,6 +239,13 @@ class ServingHooks:
     fault_plan:
         Optional :class:`~repro.resilience.FaultPlan` injected into the
         device engines for this run.
+    fleet_gate:
+        Fleet-aware admission gate (``may_admit`` / ``route`` /
+        ``breaker_key`` duck type, see
+        :class:`~repro.serving.fleet_gate.FleetCapacityGate`), or
+        ``None``.  When set, admission is additionally capped by the
+        fleet's surviving capacity, each admitted job is stamped with a
+        device index, and breakers are scoped by the gate's key.
     """
 
     queue_depth: int = 0
@@ -250,6 +257,7 @@ class ServingHooks:
     journal: Optional[object] = None
     crash_at: Optional[float] = None
     fault_plan: Optional[object] = None
+    fleet_gate: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.queue_depth < 0:
@@ -362,6 +370,13 @@ def run_streaming(
     estimates = dict(hooks.service_estimates or {})
     breaker = hooks.breaker
     journal = hooks.journal
+    fleet_gate = hooks.fleet_gate
+
+    def breaker_key(record: AppRecord) -> str:
+        """Breaker scope: per (device, type) with a fleet gate, else type."""
+        if fleet_gate is not None:
+            return fleet_gate.breaker_key(record)
+        return record.type_name
 
     instance_counters: Dict[str, int] = {}
 
@@ -404,6 +419,13 @@ def run_streaming(
                         record.slo_deadline if record.slo_deadline > 0 else None
                     ),
                     "deadline_met": record.deadline_met if record.ran else None,
+                    # The device key exists only in fleet-aware runs, so
+                    # single-device journals stay byte-identical.
+                    **(
+                        {"device": record.device_index}
+                        if fleet_gate is not None
+                        else {}
+                    ),
                 }
             )
 
@@ -424,12 +446,12 @@ def run_streaming(
         if failed:
             record.failed = True
             if breaker is not None:
-                breaker.on_failure(record.type_name, env.now)
+                breaker.on_failure(breaker_key(record), env.now)
             finalize(record, "failed", arrival_time)
         else:
             sojourns.append(env.now - arrival_time)
             if breaker is not None:
-                breaker.on_success(record.type_name, env.now)
+                breaker.on_success(breaker_key(record), env.now)
             late = 0 < record.slo_deadline < env.now - _EPS
             finalize(record, "late" if late else "completed", arrival_time)
         poke()
@@ -473,11 +495,19 @@ def run_streaming(
                 yield gate
                 admit_poke["event"] = None
                 continue
-            # Wait for the dispatcher's admission condition (head-of-line).
+            # Wait for the dispatcher's admission condition (head-of-line),
+            # further capped by the fleet's surviving capacity when a
+            # fleet gate is attached.
+            def may_start() -> bool:
+                return dispatcher.may_admit(
+                    state["in_flight"], device.power.current_power
+                ) and (
+                    fleet_gate is None
+                    or fleet_gate.may_admit(state["in_flight"], env.now)
+                )
+
             wait_start = env.now
-            while not dispatcher.may_admit(
-                state["in_flight"], device.power.current_power
-            ):
+            while not may_start():
                 stall = dispatcher.stall_timeout
                 if stall is not None:
                     remaining = stall - (env.now - wait_start)
@@ -504,6 +534,10 @@ def run_streaming(
                 _, _, gate = heapq.heappop(blocked)
                 gate.succeed()
             record = thread.record
+            if fleet_gate is not None:
+                # Stamp the fleet routing decision before the breaker
+                # check: breaker scope is (device, type).
+                record.device_index = fleet_gate.route(env.now)
             # Deadline-aware shedding: drop work whose queueing delay
             # already makes the SLO unreachable.
             if (
@@ -515,7 +549,7 @@ def run_streaming(
                 shed(record, "shed-deadline", arrival_time)
                 continue
             # Circuit breaker: fail fast while the app type's breaker is open.
-            if breaker is not None and not breaker.allow(record.type_name, env.now):
+            if breaker is not None and not breaker.allow(breaker_key(record), env.now):
                 shed(record, "breaker-open", arrival_time)
                 continue
             state["settled"] += 1

@@ -1,0 +1,48 @@
+"""Multi-device fleet layer: registry, health, checkpointed failover.
+
+Runs the paper's Hyper-Q workloads across a *fleet* of simulated devices
+and keeps them running through device loss:
+
+* :mod:`~repro.fleet.registry` — N :class:`FleetDevice` instances (GPU +
+  streams + synchronizer + power monitor + per-device fault injector) and
+  their ground-truth lifecycle (``DEVICE_LOSS`` faults).
+* :mod:`~repro.fleet.health` — heartbeat polling, seeded detection
+  latency, healthy/degraded/lost classification.
+* :mod:`~repro.fleet.checkpoint` — kernel-granularity
+  :class:`AppCheckpoint` snapshots taken at phase boundaries.
+* :mod:`~repro.fleet.coordinator` — drains a lost device and migrates its
+  checkpointed apps onto healthy devices via the launch-order placement
+  policies.
+* :mod:`~repro.fleet.thread` / :mod:`~repro.fleet.harness` — the
+  checkpointed app thread and the multi-device harness (with crash-safe
+  journaling and deterministic resume).
+
+The whole layer is opt-in: nothing here is imported by the single-device
+paper pipeline, so fleet-off runs stay byte-identical.
+"""
+
+from .checkpoint import AppCheckpoint, CheckpointStore
+from .config import FleetConfig
+from .coordinator import FailoverCoordinator, RecoveryEvent
+from .harness import DeviceSummary, FleetHarness, FleetResult, run_fleet
+from .health import HealthEvent, HealthMonitor
+from .registry import DeviceRegistry, DeviceState, FleetDevice
+from .thread import FleetAppThread
+
+__all__ = [
+    "AppCheckpoint",
+    "CheckpointStore",
+    "FleetConfig",
+    "FailoverCoordinator",
+    "RecoveryEvent",
+    "DeviceSummary",
+    "FleetHarness",
+    "FleetResult",
+    "run_fleet",
+    "HealthEvent",
+    "HealthMonitor",
+    "DeviceRegistry",
+    "DeviceState",
+    "FleetDevice",
+    "FleetAppThread",
+]

@@ -1,0 +1,94 @@
+"""Kernel-granularity application checkpoints.
+
+An :class:`AppCheckpoint` records how far one application's GPU section has
+*provably* progressed: the index of the next phase, the completed-command
+prefix inside the current phase, and the cumulative HtoD payload whose
+device-side effect must be re-uploaded if the app migrates to a fresh
+device.  Progress counters advance from command *completion* callbacks
+(kernel granularity), while :attr:`time` stamps the last durable snapshot —
+taken at phase boundaries, after a ``cudaStreamSynchronize`` proved every
+command of the phase landed.
+
+Because a device stream executes one kernel at a time (FIFO), the gap
+between the checkpoint and the loss instant is at most the one in-flight
+kernel — which bounds re-executed work to one kernel per migration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+__all__ = ["AppCheckpoint", "CheckpointStore"]
+
+
+@dataclass
+class AppCheckpoint:
+    """Restartable progress of one application's GPU section.
+
+    Attributes
+    ----------
+    app_id:
+        The application instance this checkpoint belongs to.
+    device_index:
+        Fleet device the app is (or was last) bound to.
+    stream_index:
+        Framework stream on that device (``-1`` before first binding).
+    phase_index:
+        Index of the next profile phase to run.
+    copy_index / kernel_index:
+        Completed-command prefix *within* the current phase — commands
+        before these indices are never re-issued on restore.
+    completed_copies / completed_kernels:
+        Cumulative completed commands over the whole GPU section.
+    restore_bytes:
+        Total completed HtoD payload; a migration re-uploads this much in
+        one burst to rebuild device-memory state on the new device.
+    time:
+        Simulated time of the last durable (phase-boundary) snapshot.
+    """
+
+    app_id: str
+    device_index: int = 0
+    stream_index: int = -1
+    phase_index: int = 0
+    copy_index: int = 0
+    kernel_index: int = 0
+    completed_copies: int = 0
+    completed_kernels: int = 0
+    restore_bytes: int = 0
+    time: float = 0.0
+
+    def as_entry(self) -> Dict[str, object]:
+        """Flat dict for journaling (stable key order via the journal)."""
+        return {
+            "event": "checkpoint",
+            "app": self.app_id,
+            "device": self.device_index,
+            "phase": self.phase_index,
+            "copies": self.completed_copies,
+            "kernels": self.completed_kernels,
+            "restore_bytes": self.restore_bytes,
+            "t": self.time,
+        }
+
+
+class CheckpointStore:
+    """In-memory checkpoint registry for one fleet run."""
+
+    def __init__(self) -> None:
+        self._by_app: Dict[str, AppCheckpoint] = {}
+        #: Durable snapshots taken (phase boundaries), for accounting.
+        self.snapshots: int = 0
+
+    def __len__(self) -> int:
+        return len(self._by_app)
+
+    def get(self, app_id: str) -> Optional[AppCheckpoint]:
+        """Latest checkpoint for ``app_id``, or ``None``."""
+        return self._by_app.get(app_id)
+
+    def save(self, checkpoint: AppCheckpoint) -> None:
+        """Record a durable snapshot."""
+        self._by_app[checkpoint.app_id] = checkpoint
+        self.snapshots += 1

@@ -1,0 +1,82 @@
+"""Fleet configuration: how many devices, how failure is detected, how
+apps migrate.
+
+:class:`FleetConfig` is frozen and hashable like every other configuration
+object in the repository, so it can ride inside
+:class:`~repro.core.runner.RunConfig` and participate in cache keys.
+Everything defaults to the *safe* single-device behaviour; the fleet layer
+only changes results when a config with ``num_devices > 1`` (or a plan with
+device faults) is supplied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FleetConfig", "PLACEMENT_POLICIES"]
+
+#: App->device placement policies (mirroring the stream-assignment ones).
+PLACEMENT_POLICIES = ("round-robin", "least-loaded")
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Parameters of one multi-device fleet run.
+
+    Attributes
+    ----------
+    num_devices:
+        Number of simulated GPUs in the registry.
+    heartbeat_interval:
+        Health-monitor polling period (seconds).  Every tick the monitor
+        reads each device's heartbeat (alive flag + board power).
+    detection_latency:
+        Base delay between a device loss and the monitor *declaring* it
+        lost (missed-heartbeat budget, seconds).
+    detection_jitter:
+        Amplitude of the seeded per-device jitter added to
+        ``detection_latency`` (uniform in ``[0, detection_jitter)``),
+        modelling monitoring-path nondeterminism reproducibly.
+    failover:
+        When ``False`` a lost device's apps simply fail
+        (``outcome == "device-lost"``) — the no-failover baseline the
+        benchmarks compare against.
+    checkpoint:
+        Take :class:`~repro.fleet.checkpoint.AppCheckpoint` snapshots at
+        phase boundaries (and journal them when a journal is attached).
+        With checkpointing off a migrated app restarts from scratch.
+    max_attempts:
+        Retry budget per app for *fault* failures (device losses do not
+        consume attempts; they are not the app's fault).
+    placement:
+        Initial/failover app->device placement policy.
+    seed:
+        Seed for the detection-jitter randomness.
+    """
+
+    num_devices: int = 2
+    heartbeat_interval: float = 1e-3
+    detection_latency: float = 2e-3
+    detection_jitter: float = 0.5e-3
+    failover: bool = True
+    checkpoint: bool = True
+    max_attempts: int = 3
+    placement: str = "round-robin"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_devices < 1:
+            raise ValueError("num_devices must be >= 1")
+        if self.heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be positive")
+        if self.detection_latency < 0:
+            raise ValueError("detection_latency must be >= 0")
+        if self.detection_jitter < 0:
+            raise ValueError("detection_jitter must be >= 0")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.placement not in PLACEMENT_POLICIES:
+            raise ValueError(
+                f"unknown placement {self.placement!r}; "
+                f"expected one of {PLACEMENT_POLICIES}"
+            )

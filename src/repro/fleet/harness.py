@@ -1,0 +1,464 @@
+"""The multi-device fleet harness: run a schedule across N devices and
+survive losing some of them.
+
+Mirrors :class:`~repro.framework.harness.TestHarness`'s paper flow (parent
+prepares every app up front, then spawns one driver per app, staggered by
+the thread-spawn cost) on top of the fleet machinery:
+
+* apps are placed on devices by the :class:`~repro.fleet.coordinator.
+  FailoverCoordinator` using the configured placement policy;
+* each app runs inside a *driver* loop that retries faults from the last
+  checkpoint and migrates across device losses;
+* an optional crash-safe journal (reusing :class:`~repro.serving.journal.
+  RunJournal`) records checkpoints, device losses, failovers and terminal
+  app outcomes; a run killed by :class:`~repro.sim.errors.HarnessCrash`
+  mid-failover resumes by deterministic replay, verified entry-by-entry.
+
+:class:`FleetResult` aggregates per-device summaries (energy cut off at
+the loss instant, goodput), recovery timelines and migration accounting,
+and duck-types the pieces of :class:`~repro.framework.harness.
+HarnessResult` that :class:`~repro.core.runner.RunResult` reads.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..framework.kernel import KernelApp
+from ..framework.metrics import AppRecord, makespan
+from ..gpu.specs import DeviceSpec
+from ..resilience.faults import FaultPlan
+from ..sim.engine import Environment
+from ..sim.errors import DeviceLost, FaultError, HarnessCrash, Interrupt
+from ..sim.events import AllOf
+from .checkpoint import CheckpointStore
+from .config import FleetConfig
+from .coordinator import FailoverCoordinator, RecoveryEvent
+from .health import HealthEvent, HealthMonitor
+from .registry import DeviceRegistry
+from .thread import FleetAppThread
+
+__all__ = ["DeviceSummary", "FleetResult", "FleetHarness", "run_fleet"]
+
+
+@dataclass
+class DeviceSummary:
+    """End-of-run accounting for one fleet device."""
+
+    index: int
+    state: str
+    loss_time: Optional[float]
+    detected_time: Optional[float]
+    apps_completed: int
+    energy: float
+    peak_power: float
+
+    def goodput(self, span: float) -> float:
+        """Completed apps per second of fleet makespan."""
+        return self.apps_completed / span if span > 0 else 0.0
+
+
+@dataclass
+class FleetResult:
+    """Everything measured in one fleet run."""
+
+    fleet: FleetConfig
+    records: List[AppRecord]
+    makespan: float
+    total_time: float
+    energy: float                 # sum over devices, cut at loss instants
+    average_power: float          # fleet energy / makespan
+    peak_power: float             # max over devices
+    devices: List[DeviceSummary]
+    health_events: List[HealthEvent]
+    recoveries: List[RecoveryEvent]
+    checkpoints: int = 0
+    recovered_entries: int = 0
+    resumed: bool = False
+    journal_file: Optional[str] = None
+
+    @property
+    def completed(self) -> int:
+        """Apps that ran to completion."""
+        return sum(1 for r in self.records if not r.failed)
+
+    @property
+    def failed(self) -> int:
+        """Apps that could not be completed (faults or lost devices)."""
+        return sum(1 for r in self.records if r.failed)
+
+    @property
+    def migrations(self) -> int:
+        """Total device-loss failovers survived."""
+        return sum(r.migrations for r in self.records)
+
+    @property
+    def reexecuted_kernels(self) -> int:
+        """Total kernels re-run because they were in flight at a loss."""
+        return sum(r.reexecuted_kernels for r in self.records)
+
+    @property
+    def devices_lost(self) -> int:
+        """Devices that fell off the bus during the run."""
+        return sum(1 for d in self.devices if d.state == "lost")
+
+    @property
+    def recovery_time(self) -> float:
+        """Worst loss-to-resumed latency across recoveries (seconds)."""
+        if not self.recoveries:
+            return 0.0
+        return max(r["resumed"] - r["lost"] for r in self.recoveries)
+
+    def per_device_goodput(self) -> Dict[int, float]:
+        """device index -> completed apps per second of makespan."""
+        return {d.index: d.goodput(self.makespan) for d in self.devices}
+
+    def summary(self) -> str:
+        """One-paragraph digest (duck-types ``HarnessResult.summary``)."""
+        text = (
+            f"{len(self.records)} apps on {len(self.devices)} devices "
+            f"({self.devices_lost} lost): {self.completed} completed, "
+            f"{self.failed} failed, {self.migrations} migrations, "
+            f"{self.reexecuted_kernels} kernels re-executed; makespan "
+            f"{self.makespan * 1e3:.2f} ms, energy {self.energy:.3f} J, "
+            f"avg power {self.average_power:.1f} W"
+        )
+        if self.recoveries:
+            text += f"; worst recovery {self.recovery_time * 1e3:.2f} ms"
+        return text
+
+
+def _fleet_fingerprint(
+    apps: Sequence[KernelApp],
+    fleet: FleetConfig,
+    num_streams: int,
+    memory_sync: bool,
+    copy_policy: str,
+    spec: Optional[DeviceSpec],
+    power_interval: float,
+    plan: FaultPlan,
+    seed: int,
+) -> str:
+    """Content hash of everything that determines the run's journal."""
+    payload = {
+        "apps": [[a.app_id, a.profile.name] for a in apps],
+        "fleet": [
+            fleet.num_devices,
+            fleet.heartbeat_interval,
+            fleet.detection_latency,
+            fleet.detection_jitter,
+            fleet.failover,
+            fleet.checkpoint,
+            fleet.max_attempts,
+            fleet.placement,
+            fleet.seed,
+        ],
+        "num_streams": num_streams,
+        "memory_sync": memory_sync,
+        "copy_policy": copy_policy,
+        "spec": spec.name if spec is not None else None,
+        "power_interval": power_interval,
+        # HARNESS_CRASH is excluded on purpose: a crash (and the resume
+        # that follows) does not change what the run computes, so a
+        # crashed-and-resumed journal stays byte-identical to the journal
+        # of the same run executed uninterrupted.
+        "plan": [
+            [f.kind.value, f.time, f.target, f.duration, f.factor,
+             f.direction, f.device]
+            for f in plan
+            if f.kind.value != "harness_crash"
+        ],
+        "seed": seed,
+    }
+    blob = json.dumps(payload, sort_keys=True).encode("utf-8")
+    return hashlib.sha1(blob).hexdigest()
+
+
+class FleetHarness:
+    """Executes one schedule on a fleet of devices, with failover."""
+
+    def __init__(
+        self,
+        apps: Sequence[KernelApp],
+        fleet: Optional[FleetConfig] = None,
+        *,
+        num_streams: int = 4,
+        memory_sync: bool = False,
+        spec: Optional[DeviceSpec] = None,
+        copy_policy: str = "interleave",
+        power_interval: float = 15e-3,
+        plan: Optional[FaultPlan] = None,
+        seed: int = 0,
+        journal_path=None,
+        resume: bool = False,
+    ) -> None:
+        if not apps:
+            raise ValueError("empty schedule")
+        if resume and journal_path is None:
+            raise ValueError("resume=True requires a journal_path")
+        self.apps = list(apps)
+        self.fleet = fleet if fleet is not None else FleetConfig()
+        self.num_streams = num_streams
+        self.memory_sync = memory_sync
+        self.spec = spec
+        self.copy_policy = copy_policy
+        self.power_interval = power_interval
+        self.plan = plan if plan is not None else FaultPlan()
+        self.seed = seed
+        self.journal_path = journal_path
+        self.resume = resume
+
+    def run(self) -> FleetResult:
+        """Build the fleet, run the schedule to completion, measure."""
+        from ..serving.journal import JournalMismatchError, RunJournal
+
+        fleet = self.fleet
+        env = Environment()
+        registry = DeviceRegistry(
+            env,
+            fleet,
+            num_streams=self.num_streams,
+            memory_sync=self.memory_sync,
+            spec=self.spec,
+            copy_policy=self.copy_policy,
+            power_interval=self.power_interval,
+            plan=self.plan,
+        )
+        store = CheckpointStore()
+
+        journal = None
+        recovered = 0
+        if self.journal_path is not None:
+            journal = RunJournal(self.journal_path)
+            fingerprint = _fleet_fingerprint(
+                self.apps,
+                fleet,
+                self.num_streams,
+                self.memory_sync,
+                self.copy_policy,
+                registry.spec,
+                self.power_interval,
+                self.plan,
+                self.seed,
+            )
+            recovered = journal.begin(fingerprint, resume=self.resume)
+
+        coordinator = FailoverCoordinator(
+            env, registry, fleet, store, journal=journal
+        )
+        monitor = HealthMonitor(
+            env,
+            registry,
+            interval=fleet.heartbeat_interval,
+            detection_latency=fleet.detection_latency,
+            detection_jitter=fleet.detection_jitter,
+            seed=fleet.seed,
+            on_lost=coordinator.device_detected_lost,
+        )
+
+        # The first planned harness crash kills the run at its arm time —
+        # unless we are resuming past it.
+        crash_at: Optional[float] = None
+        crashes = self.plan.crash_times()
+        if crashes and not self.resume:
+            crash_at = crashes[0]
+
+        records: List[AppRecord] = []
+        spec = registry.spec
+
+        def on_checkpoint(thread: FleetAppThread) -> None:
+            if not fleet.checkpoint:
+                return
+            snapshot = dataclasses.replace(thread.checkpoint)
+            store.save(snapshot)
+            if journal is not None:
+                journal.record(snapshot.as_entry())
+
+        def drive(thread: FleetAppThread, record: AppRecord):
+            app_id = thread.app.app_id
+            fault_failures = 0
+            attempts = 0
+            pending_reexec: Optional[int] = None
+            while True:
+                fdev = yield from coordinator.acquire_device(app_id)
+                if fdev is None:
+                    record.failed = True
+                    record.outcome = "device-lost"
+                    record.complete_time = env.now
+                    break
+                if pending_reexec is not None:
+                    record.migrations += 1
+                    record.reexecuted_kernels += pending_reexec
+                    pending_reexec = None
+                thread.bind(fdev)
+                attempts += 1
+                record.attempts = attempts
+                try:
+                    yield from thread.run_attempt()
+                    record.outcome = "completed"
+                    break
+                except Interrupt as exc:
+                    cause = exc.cause
+                    if not isinstance(cause, DeviceLost):
+                        raise
+                    pending_reexec = thread.note_device_lost(cause)
+                    if not fleet.checkpoint:
+                        pending_reexec += thread.restart_from_scratch()
+                    continue
+                except FaultError:
+                    fault_failures += 1
+                    record.faults_detected += 1
+                    if fault_failures >= fleet.max_attempts:
+                        record.failed = True
+                        record.outcome = "failed"
+                        record.complete_time = env.now
+                        break
+                    record.retries += 1
+                    thread.reset_attempt()
+                    if not fleet.checkpoint:
+                        thread.restart_from_scratch()
+                    continue
+            coordinator.note_done(app_id)
+            if journal is not None:
+                journal.record(
+                    {
+                        "event": "app",
+                        "app": app_id,
+                        "outcome": record.outcome,
+                        "device": record.device_index,
+                        "migrations": record.migrations,
+                        "reexec": record.reexecuted_kernels,
+                        "complete": record.complete_time,
+                    }
+                )
+
+        def parent():
+            threads: List[FleetAppThread] = []
+            for launch_index, app in enumerate(self.apps):
+                record = AppRecord(
+                    app_id=app.app_id,
+                    type_name=app.profile.name,
+                    instance=app.instance,
+                    stream_index=-1,
+                    launch_index=launch_index,
+                )
+                records.append(record)
+                thread = FleetAppThread(
+                    env, app, record,
+                    checkpoint=_fresh_checkpoint(app.app_id),
+                    on_checkpoint=on_checkpoint,
+                )
+                fdev = coordinator.register(thread)
+                thread.bind(fdev)
+                threads.append(thread)
+                yield from thread.prepare()
+
+            registry.start()
+            monitor.start()
+            children = []
+            for thread, record in zip(threads, records):
+                yield env.timeout(spec.host.thread_spawn_cost)
+                record.spawn_time = env.now
+                proc = env.process(
+                    drive(thread, record),
+                    name=f"fleet-drive-{thread.app.app_id}",
+                )
+                coordinator.register_proc(thread.app.app_id, proc)
+                children.append(proc)
+            if children:
+                yield AllOf(env, children)
+            monitor.stop()
+            registry.stop()
+            for thread in threads:
+                yield from thread.cleanup()
+
+        def crash_body():
+            yield env.timeout(crash_at)
+            raise HarnessCrash(env.now)
+
+        done = env.process(parent(), name="fleet-parent")
+        if crash_at is not None:
+            env.process(crash_body(), name="fleet-crash")
+        try:
+            env.run(until=done)
+        except HarnessCrash:
+            if journal is not None:
+                journal.close()
+            raise
+        env.run()  # settle same-time trailing events
+
+        if journal is not None:
+            if journal.pending:
+                raise JournalMismatchError(
+                    f"resumed run settled only "
+                    f"{journal.verified}/{journal.recovered} journaled "
+                    "entries; the journal belongs to a longer run"
+                )
+            journal.close()
+
+        span = makespan(records)
+        t0 = min(r.spawn_time for r in records)
+        t1 = max(r.complete_time for r in records)
+        summaries: List[DeviceSummary] = []
+        total_energy = 0.0
+        peak = 0.0
+        for device in registry:
+            energy = device.energy_between(t0, t1)
+            total_energy += energy
+            peak = max(peak, device.monitor.peak_power())
+            summaries.append(
+                DeviceSummary(
+                    index=device.index,
+                    state=device.state.value,
+                    loss_time=device.loss_time,
+                    detected_time=device.detected_time,
+                    apps_completed=sum(
+                        1
+                        for r in records
+                        if not r.failed and r.device_index == device.index
+                    ),
+                    energy=energy,
+                    peak_power=device.monitor.peak_power(),
+                )
+            )
+        for recovery in coordinator.recoveries:
+            recovery["reexecuted_kernels"] = sum(
+                r.reexecuted_kernels
+                for r in records
+                if r.app_id in recovery["apps"]
+            )
+        return FleetResult(
+            fleet=fleet,
+            records=records,
+            makespan=span,
+            total_time=env.now,
+            energy=total_energy,
+            average_power=total_energy / span if span > 0 else 0.0,
+            peak_power=peak,
+            devices=summaries,
+            health_events=monitor.events,
+            recoveries=coordinator.recoveries,
+            checkpoints=store.snapshots,
+            recovered_entries=recovered,
+            resumed=self.resume,
+            journal_file=(
+                str(self.journal_path)
+                if self.journal_path is not None
+                else None
+            ),
+        )
+
+
+def _fresh_checkpoint(app_id: str):
+    from .checkpoint import AppCheckpoint
+
+    return AppCheckpoint(app_id=app_id)
+
+
+def run_fleet(apps: Sequence[KernelApp], **kwargs) -> FleetResult:
+    """One-call convenience wrapper over :class:`FleetHarness`."""
+    return FleetHarness(apps, **kwargs).run()

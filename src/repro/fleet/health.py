@@ -1,0 +1,169 @@
+"""Health monitoring: heartbeats, seeded detection latency, classification.
+
+The monitor is the fleet's *observability* path, deliberately separate from
+ground truth: the registry knows the instant a device dies, but the system
+only reacts when the monitor's missed-heartbeat budget runs out.  Every
+``heartbeat_interval`` the monitor polls each device's heartbeat (liveness
+flag + board power, the same signals a real fleet scrapes from NVML/DCGM)
+and classifies it:
+
+* **healthy** — alive, no throttle window open;
+* **degraded** — alive but inside a planned ``DEVICE_THROTTLE`` window;
+* **lost** — heartbeats have been missing for at least
+  ``detection_latency + jitter``; the coordinator is notified *once*, at
+  the declaring tick, and failover begins.
+
+The per-device jitter is drawn from a generator seeded with
+``(seed, crc32("fleet-health"), device_index)`` so detection timing is
+reproducible run-to-run and independent of everything else in the
+simulation.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+
+import numpy as np
+
+from .registry import DeviceRegistry, DeviceState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim.engine import Environment
+
+__all__ = ["HealthEvent", "HealthMonitor"]
+
+
+@dataclass(frozen=True)
+class HealthEvent:
+    """One observed state transition."""
+
+    time: float
+    device: int
+    old_state: str
+    new_state: str
+    detail: str = ""
+
+
+class HealthMonitor:
+    """Polls device heartbeats and declares losses after a seeded delay."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        registry: DeviceRegistry,
+        *,
+        interval: float = 1e-3,
+        detection_latency: float = 2e-3,
+        detection_jitter: float = 0.5e-3,
+        seed: int = 0,
+        on_lost: Optional[Callable[[int, float], None]] = None,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("heartbeat interval must be positive")
+        self.env = env
+        self.registry = registry
+        self.interval = interval
+        self.on_lost = on_lost
+        self.events: List[HealthEvent] = []
+        self.heartbeats_read: int = 0
+        self.missed_heartbeats: Dict[int, int] = {}
+        #: Per-device detection delay: base latency + seeded jitter.
+        self.detect_delay: Dict[int, float] = {}
+        for device in registry:
+            rng = np.random.default_rng(
+                [seed, zlib.crc32(b"fleet-health"), device.index]
+            )
+            jitter = (
+                detection_jitter * float(rng.random())
+                if detection_jitter > 0
+                else 0.0
+            )
+            self.detect_delay[device.index] = detection_latency + jitter
+        #: Last classification the monitor *observed* per device.
+        self._observed: Dict[int, DeviceState] = {
+            d.index: DeviceState.HEALTHY for d in registry
+        }
+        self._running = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin polling (idempotent)."""
+        if self._running:
+            return
+        self._running = True
+        self.env.process(self._poll_loop(), name="fleet-health-monitor")
+
+    def stop(self) -> None:
+        """Stop polling after the next tick."""
+        self._running = False
+
+    def observed_state(self, index: int) -> DeviceState:
+        """The monitor's current belief about one device."""
+        return self._observed[index]
+
+    # -- polling -----------------------------------------------------------
+
+    def _poll_loop(self):
+        while self._running:
+            yield self.env.timeout(self.interval)
+            if not self._running:
+                return
+            now = self.env.now
+            for device in self.registry:
+                seen = self._observed[device.index]
+                if seen is DeviceState.LOST:
+                    continue  # terminal; nothing more to observe
+                beat = device.heartbeat(now)
+                self.heartbeats_read += 1
+                if not beat["alive"]:
+                    self.missed_heartbeats[device.index] = (
+                        self.missed_heartbeats.get(device.index, 0) + 1
+                    )
+                    deadline = (
+                        device.loss_time + self.detect_delay[device.index]
+                    )
+                    if now >= deadline:
+                        self._transition(
+                            device.index,
+                            seen,
+                            DeviceState.LOST,
+                            f"no heartbeat since t={device.loss_time:.6g}s",
+                        )
+                        device.detected_time = now
+                        if self.on_lost is not None:
+                            self.on_lost(device.index, now)
+                    continue
+                wanted = (
+                    DeviceState.DEGRADED
+                    if device.throttled_at(now)
+                    else DeviceState.HEALTHY
+                )
+                if wanted is not seen:
+                    self._transition(
+                        device.index,
+                        seen,
+                        wanted,
+                        "throttle window"
+                        if wanted is DeviceState.DEGRADED
+                        else "throttle cleared",
+                    )
+                    # Observed degradation is also the registry's public
+                    # state (the registry owns only the lost/alive truth).
+                    device.state = wanted
+
+    def _transition(
+        self, index: int, old: DeviceState, new: DeviceState, detail: str
+    ) -> None:
+        self._observed[index] = new
+        self.events.append(
+            HealthEvent(
+                time=self.env.now,
+                device=index,
+                old_state=old.value,
+                new_state=new.value,
+                detail=detail,
+            )
+        )

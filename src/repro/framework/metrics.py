@@ -96,6 +96,10 @@ class AppRecord:
     # -- serving accounting (inert outside repro.serving runs) ------------
     slo_deadline: float = 0.0    # absolute SLO deadline; 0 = no SLO
     outcome: str = ""            # terminal serving outcome ("" = not set)
+    # -- fleet accounting (inert outside repro.fleet runs) ----------------
+    device_index: int = 0        # device the app finally ran on
+    migrations: int = 0          # device-loss failovers survived
+    reexecuted_kernels: int = 0  # in-flight kernels re-run after failover
 
     @property
     def wall_time(self) -> float:

@@ -153,6 +153,9 @@ class GridEngine:
                     cmd.done.defuse()
                     return None
                 hang_factor = fault.factor
+            throttle = self.injector.throttle_factor(self.env.now)
+            if throttle != 1.0:
+                hang_factor *= throttle
         nblocks = cmd.descriptor.num_blocks
         grid = GridState(cmd=cmd, to_place=nblocks, hang_factor=hang_factor)
         if self.admission is not None:

@@ -49,6 +49,13 @@ class ResilienceConfig:
     default_deadline:
         Absolute fallback deadline (seconds) for types without a baseline
         entry; ``0`` means no fallback.
+    deadline_floor:
+        Minimum deadline (seconds) any watchdog guard may be armed with.
+        A zero or missing serial baseline would otherwise derive a 0s
+        deadline — one that fires before the attempt's first event — or
+        silently disable the guard; with a positive floor such types fall
+        back to (and every computed deadline is clamped up to) the floor.
+        ``0`` (default) keeps the historical behaviour.
     degradation_threshold:
         Detected faults per concurrency-halving step (see
         :mod:`repro.resilience.degradation`); ``0`` disables degradation.
@@ -61,6 +68,7 @@ class ResilienceConfig:
     deadline_factor: float = 0.0
     baseline_runtimes: Optional[BaselineMap] = None
     default_deadline: float = 0.0
+    deadline_floor: float = 0.0
     degradation_threshold: int = 0
     seed: int = 0
 
@@ -69,6 +77,8 @@ class ResilienceConfig:
             raise ValueError("deadline_factor must be >= 0")
         if self.default_deadline < 0:
             raise ValueError("default_deadline must be >= 0")
+        if self.deadline_floor < 0:
+            raise ValueError("deadline_floor must be >= 0")
         if self.degradation_threshold < 0:
             raise ValueError("degradation_threshold must be >= 0")
         if self.baseline_runtimes is not None and not isinstance(
@@ -97,14 +107,27 @@ class ResilienceConfig:
         return dict(self.baseline_runtimes)
 
     def deadline_for(self, type_name: str) -> Optional[float]:
-        """Watchdog deadline for one application type, or ``None``."""
+        """Watchdog deadline for one application type, or ``None``.
+
+        A zero or missing serial baseline never derives a deadline by
+        itself (``factor * 0 = 0`` would fire before the attempt's first
+        event); such types fall back to :attr:`default_deadline`, then to
+        :attr:`deadline_floor`.  Any derived deadline is clamped up to
+        the floor.  ``None`` means "no guard" — only possible when no
+        fallback is configured.
+        """
+        deadline: Optional[float] = None
         if self.deadline_factor > 0:
             baseline = self.baseline_map().get(type_name)
             if baseline is not None and baseline > 0:
-                return self.deadline_factor * baseline
-        if self.default_deadline > 0:
-            return self.default_deadline
-        return None
+                deadline = self.deadline_factor * baseline
+        if deadline is None and self.default_deadline > 0:
+            deadline = self.default_deadline
+        if deadline is None and self.wants_deadlines and self.deadline_floor > 0:
+            deadline = self.deadline_floor
+        if deadline is not None and self.deadline_floor > 0:
+            deadline = max(deadline, self.deadline_floor)
+        return deadline
 
 
 @dataclass

@@ -69,6 +69,17 @@ class FaultKind(str, Enum):
     #: if the host had been SIGKILLed.  Consumed by ``repro.serving``
     #: (crash-safe journaling / resume); ignored by the device engines.
     HARNESS_CRASH = "harness_crash"
+    #: A whole device falls off the bus at ``time`` (ECC double-bit,
+    #: driver reset, preemption): everything in flight on it is lost.
+    #: Consumed by the fleet layer (:mod:`repro.fleet`), which interrupts
+    #: the apps bound to the device and migrates them from their last
+    #: checkpoint; ignored by the single-device engines.
+    DEVICE_LOSS = "device_loss"
+    #: The device is thermally/power throttled: every grid submitted
+    #: during ``[time, time + duration)`` runs ``factor``x slower.
+    #: Consumed by the grid engine; the fleet health monitor classifies
+    #: the device *degraded* while a throttle window is open.
+    DEVICE_THROTTLE = "device_throttle"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
@@ -99,6 +110,11 @@ class FaultSpec:
     direction:
         ``"HtoD"``/``"DtoH"`` to pin a DMA stall to one engine; ``None``
         stalls whichever engine serves next.
+    device:
+        Fleet device index the fault lands on (DEVICE_LOSS,
+        DEVICE_THROTTLE; also scopes kernel/DMA/power faults when a plan
+        is split per device).  ``None`` means device 0 — single-device
+        plans never need to set it.
     """
 
     kind: FaultKind
@@ -107,6 +123,7 @@ class FaultSpec:
     duration: float = 0.0
     factor: float = 8.0
     direction: Optional[str] = None
+    device: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.time < 0:
@@ -115,6 +132,18 @@ class FaultSpec:
             raise ValueError(f"fault duration {self.duration!r} is negative")
         if self.kind is FaultKind.KERNEL_HANG and self.factor <= 1.0:
             raise ValueError("kernel hang factor must exceed 1.0")
+        if self.kind is FaultKind.DEVICE_THROTTLE:
+            if self.factor <= 1.0:
+                raise ValueError("device throttle factor must exceed 1.0")
+            if self.duration <= 0:
+                raise ValueError("device throttle needs a positive duration")
+        if self.device is not None and self.device < 0:
+            raise ValueError(f"device index {self.device!r} is negative")
+
+    @property
+    def effective_device(self) -> int:
+        """The fleet device index this fault lands on (default 0)."""
+        return self.device if self.device is not None else 0
 
     def matches(self, app_id: Optional[str]) -> bool:
         """Whether this fault applies to ``app_id`` (kernel faults only)."""
@@ -147,7 +176,15 @@ class FaultPlan:
 
     def __init__(self, faults: Sequence[FaultSpec] = ()) -> None:
         self.faults: Tuple[FaultSpec, ...] = tuple(
-            sorted(faults, key=lambda f: (f.time, f.kind.value, f.target or ""))
+            sorted(
+                faults,
+                key=lambda f: (
+                    f.time,
+                    f.kind.value,
+                    f.target or "",
+                    -1 if f.device is None else f.device,
+                ),
+            )
         )
 
     def __len__(self) -> int:
@@ -184,6 +221,36 @@ class FaultPlan:
             f.time for f in self.faults if f.kind is FaultKind.HARNESS_CRASH
         ]
 
+    def device_faults(self) -> List[FaultSpec]:
+        """Every fleet-level fault (DEVICE_LOSS / DEVICE_THROTTLE)."""
+        return [
+            f
+            for f in self.faults
+            if f.kind in (FaultKind.DEVICE_LOSS, FaultKind.DEVICE_THROTTLE)
+        ]
+
+    def loss_specs(self) -> List[FaultSpec]:
+        """Planned device losses, earliest first."""
+        return [f for f in self.faults if f.kind is FaultKind.DEVICE_LOSS]
+
+    def for_device(self, index: int) -> "FaultPlan":
+        """The sub-plan one fleet device's injector should consume.
+
+        Keeps the engine-consumed kinds (kernel, DMA, power-sample and
+        throttle faults) whose :attr:`FaultSpec.effective_device` equals
+        ``index``; drops DEVICE_LOSS (handled by the registry's loss
+        processes) and HARNESS_CRASH (handled by the harness).
+        """
+        return FaultPlan(
+            [
+                f
+                for f in self.faults
+                if f.kind
+                not in (FaultKind.DEVICE_LOSS, FaultKind.HARNESS_CRASH)
+                and f.effective_device == index
+            ]
+        )
+
     @classmethod
     def generate(
         cls,
@@ -198,6 +265,11 @@ class FaultPlan:
         hang_factor: float = 8.0,
         stall_duration: float = 1e-3,
         dropout_duration: float = 50e-3,
+        num_devices: int = 1,
+        device_loss_rate: float = 0.0,
+        device_throttle_rate: float = 0.0,
+        throttle_factor: float = 4.0,
+        throttle_duration: float = 2e-3,
     ) -> "FaultPlan":
         """Draw a seeded fault schedule over ``[0, horizon)``.
 
@@ -206,9 +278,17 @@ class FaultPlan:
         uniform over the horizon.  Everything is drawn from one
         ``numpy`` generator seeded with ``seed``, in a fixed kind order,
         so the same arguments always yield the same plan.
+
+        With ``num_devices > 1`` every fault additionally draws a device
+        index; the fleet kinds (``device_loss_rate`` /
+        ``device_throttle_rate``) are drawn *after* the original four, so
+        plans generated with the pre-fleet arguments are bit-identical to
+        what older seeds produced (a zero rate consumes no draws).
         """
         if horizon <= 0:
             raise ValueError(f"horizon must be positive, got {horizon!r}")
+        if num_devices < 1:
+            raise ValueError(f"num_devices must be >= 1, got {num_devices!r}")
         rng = np.random.default_rng(seed)
         faults: List[FaultSpec] = []
 
@@ -216,6 +296,11 @@ class FaultPlan:
             if not targets:
                 return None
             return targets[int(rng.integers(len(targets)))]
+
+        def pick_device() -> Optional[int]:
+            if num_devices <= 1:
+                return None
+            return int(rng.integers(num_devices))
 
         def times(rate: float) -> List[float]:
             n = int(rng.poisson(rate * horizon)) if rate > 0 else 0
@@ -228,11 +313,17 @@ class FaultPlan:
                     t,
                     target=pick_target(),
                     factor=hang_factor,
+                    device=pick_device(),
                 )
             )
         for t in times(launch_fail_rate):
             faults.append(
-                FaultSpec(FaultKind.LAUNCH_FAIL, t, target=pick_target())
+                FaultSpec(
+                    FaultKind.LAUNCH_FAIL,
+                    t,
+                    target=pick_target(),
+                    device=pick_device(),
+                )
             )
         for t in times(dma_stall_rate):
             direction = "HtoD" if rng.random() < 0.5 else "DtoH"
@@ -242,12 +333,30 @@ class FaultPlan:
                     t,
                     duration=stall_duration,
                     direction=direction,
+                    device=pick_device(),
                 )
             )
         for t in times(power_dropout_rate):
             faults.append(
                 FaultSpec(
-                    FaultKind.POWER_DROPOUT, t, duration=dropout_duration
+                    FaultKind.POWER_DROPOUT,
+                    t,
+                    duration=dropout_duration,
+                    device=pick_device(),
+                )
+            )
+        for t in times(device_loss_rate):
+            faults.append(
+                FaultSpec(FaultKind.DEVICE_LOSS, t, device=pick_device())
+            )
+        for t in times(device_throttle_rate):
+            faults.append(
+                FaultSpec(
+                    FaultKind.DEVICE_THROTTLE,
+                    t,
+                    duration=throttle_duration,
+                    factor=throttle_factor,
+                    device=pick_device(),
                 )
             )
         return cls(faults)
@@ -282,10 +391,15 @@ class FaultInjector:
         self._armed_stalls: Deque[FaultSpec] = deque()
         self._dropout_windows: List[FaultSpec] = []
         self._dropout_noted: set = set()
+        self._throttle_windows: List[FaultSpec] = []
+        self._throttle_noted: set = set()
         # Harness crashes are scheduled by the serving engine up front
         # (they kill the whole run, not one activity); armed specs are
         # parked here so they never leak into another kind's queue.
+        # Device losses are likewise consumed by the fleet registry's own
+        # loss processes, never by an engine hook.
         self._armed_crashes: List[FaultSpec] = []
+        self._armed_losses: List[FaultSpec] = []
 
     def __repr__(self) -> str:
         return (
@@ -306,6 +420,10 @@ class FaultInjector:
                 self._armed_stalls.append(spec)
             elif spec.kind is FaultKind.HARNESS_CRASH:
                 self._armed_crashes.append(spec)
+            elif spec.kind is FaultKind.DEVICE_LOSS:
+                self._armed_losses.append(spec)
+            elif spec.kind is FaultKind.DEVICE_THROTTLE:
+                self._throttle_windows.append(spec)
             else:
                 self._dropout_windows.append(spec)
 
@@ -385,6 +503,45 @@ class FaultInjector:
                 remaining.append(spec)
         self._armed_stalls = remaining
         return total
+
+    def throttle_factor(self, now: float) -> float:
+        """Combined slowdown of every open throttle window at ``now``.
+
+        Called by the grid engine once per kernel-launch submission; the
+        returned factor multiplies the grid's block duration.  ``1.0``
+        when no DEVICE_THROTTLE window is open.  Each window is recorded
+        once, on the first submission it slows down.
+        """
+        self.on_step(now)
+        factor = 1.0
+        keep: List[FaultSpec] = []
+        for spec in self._throttle_windows:
+            if now >= spec.time + spec.duration:
+                continue  # window expired
+            keep.append(spec)
+            if now >= spec.time:
+                factor *= spec.factor
+                if id(spec) not in self._throttle_noted:
+                    self._throttle_noted.add(id(spec))
+                    self._record(
+                        spec,
+                        f"device-{spec.effective_device}",
+                        f"throttle x{spec.factor:g} for {spec.duration:g}s",
+                    )
+        self._throttle_windows = keep
+        return factor
+
+    def throttle_active(self, now: float) -> bool:
+        """Whether any DEVICE_THROTTLE window is open at ``now``.
+
+        A read-only probe for health classification: does *not* record
+        the window as applied (only a slowed-down submission does).
+        """
+        self.on_step(now)
+        return any(
+            spec.time <= now < spec.time + spec.duration
+            for spec in self._throttle_windows
+        )
 
     def drop_power_sample(self, now: float) -> bool:
         """Whether the power sample at ``now`` falls in a dropout window."""

@@ -19,12 +19,24 @@ overload and faults:
   line; a run killed mid-flight (the ``harness_crash`` fault kind)
   resumes by deterministic replay, verified entry-by-entry against the
   journal, reproducing the uninterrupted run byte-for-byte.
+* **Fleet-aware admission** — with a :class:`FleetServingConfig`,
+  admission capacity shrinks when a device loss is detected, jobs are
+  routed round-robin across surviving devices, and circuit breakers are
+  scoped per device (see :class:`FleetCapacityGate` and
+  :mod:`repro.fleet` for the full multi-device harness).
 
-Entry point: :func:`run_serving`.  See ``docs/serving.md``.
+Entry point: :func:`run_serving`.  See ``docs/serving.md`` and
+``docs/fleet.md``.
 """
 
 from .breaker import BreakerState, CircuitBreakerPanel
-from .config import QUEUE_POLICIES, BreakerConfig, ServingConfig
+from .config import (
+    QUEUE_POLICIES,
+    BreakerConfig,
+    FleetServingConfig,
+    ServingConfig,
+)
+from .fleet_gate import FleetCapacityGate
 from .journal import (
     JOURNAL_FORMAT,
     JOURNAL_VERSION,
@@ -43,6 +55,8 @@ __all__ = [
     "BreakerConfig",
     "BreakerState",
     "CircuitBreakerPanel",
+    "FleetCapacityGate",
+    "FleetServingConfig",
     "JOURNAL_FORMAT",
     "JOURNAL_VERSION",
     "JournalError",

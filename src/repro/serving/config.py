@@ -17,7 +17,12 @@ from typing import Optional, Tuple
 
 from ..resilience.faults import FaultPlan
 
-__all__ = ["BreakerConfig", "ServingConfig", "QUEUE_POLICIES"]
+__all__ = [
+    "BreakerConfig",
+    "FleetServingConfig",
+    "ServingConfig",
+    "QUEUE_POLICIES",
+]
 
 #: Valid backpressure policies for a full admission queue.
 QUEUE_POLICIES = ("block", "reject", "shed-oldest")
@@ -51,6 +56,42 @@ class BreakerConfig:
             raise ValueError("breaker cooldown must be positive")
         if not 0.0 <= self.jitter < 1.0:
             raise ValueError("breaker jitter must be in [0, 1)")
+
+
+@dataclass(frozen=True)
+class FleetServingConfig:
+    """Fleet-aware admission for the serving layer.
+
+    Declares that the serving deployment spans ``num_devices`` devices so
+    admission capacity, routing and breaker scoping react to device loss
+    (``DEVICE_LOSS`` specs in the fault plan).  See
+    :class:`~repro.serving.fleet_gate.FleetCapacityGate` for exactly what
+    the model does — it is a capacity/routing layer over the simulated
+    executor, not N executors.
+
+    Attributes
+    ----------
+    num_devices:
+        Devices the serving capacity is spread across.
+    detection_latency:
+        Seconds between a planned device loss and the serving layer
+        *observing* it (capacity shrinks at the detection instant, not
+        the loss instant — mirroring the fleet health monitor).
+    scope_breakers:
+        Scope circuit breakers per ``(device, app type)`` instead of per
+        app type, so one sick device's failures do not open the breaker
+        for the whole fleet.
+    """
+
+    num_devices: int = 1
+    detection_latency: float = 2e-3
+    scope_breakers: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_devices < 1:
+            raise ValueError("num_devices must be >= 1")
+        if self.detection_latency < 0:
+            raise ValueError("detection_latency must be >= 0")
 
 
 @dataclass(frozen=True)
@@ -91,6 +132,10 @@ class ServingConfig:
     seed:
         Seed for every serving-side random draw (SLO jitter, breaker
         cooldown jitter).
+    fleet:
+        Optional :class:`FleetServingConfig` making admission capacity,
+        routing and breaker scoping device-aware.  ``None`` (default)
+        keeps the layer single-device and byte-identical to before.
     """
 
     queue_depth: int = 0
@@ -102,6 +147,7 @@ class ServingConfig:
     breaker: Optional[BreakerConfig] = None
     plan: Optional[FaultPlan] = None
     seed: int = 0
+    fleet: Optional[FleetServingConfig] = None
 
     def __post_init__(self) -> None:
         if self.queue_depth < 0:
@@ -130,4 +176,5 @@ class ServingConfig:
             and self.slo_factor == 0.0
             and self.breaker is None
             and (self.plan is None or self.plan.empty)
+            and self.fleet is None
         )

@@ -1,0 +1,150 @@
+"""Fleet-aware admission capacity, routing and breaker scoping.
+
+The streaming engine simulates *one* executor; a serving deployment spans
+several devices.  :class:`FleetCapacityGate` closes that gap as a pure
+capacity/routing model layered over the engine:
+
+* **capacity** — the deployment's admission capacity is the stream budget
+  spread evenly across devices; when a device loss is *detected* (loss
+  instant + ``detection_latency``, mirroring the fleet health monitor)
+  the in-flight ceiling shrinks proportionally.  Work already running is
+  never killed — the model constrains what is *admitted*, matching how a
+  load balancer reacts to a node dropping out of its healthy set.
+* **routing** — each admitted job is stamped with a device index, drawn
+  round-robin over the devices healthy at admission time, so per-device
+  goodput is attributable in the results and journal.
+* **breaker scoping** — breaker keys become ``dev<i>:<type>`` so one sick
+  device's failures fail fast only on that device, instead of opening
+  the breaker for an app type fleet-wide.
+
+Everything is deterministic: loss/detection instants come from the fault
+plan, and the routing cursor advances in admission order.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional
+
+from ..resilience.faults import FaultKind, FaultPlan
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..framework.metrics import AppRecord
+    from .config import FleetServingConfig
+
+__all__ = ["FleetCapacityGate"]
+
+
+class FleetCapacityGate:
+    """Device-aware admission capacity for the serving layer."""
+
+    def __init__(
+        self,
+        num_devices: int,
+        num_streams: int,
+        *,
+        detection_latency: float = 2e-3,
+        loss_times: Optional[Mapping[int, float]] = None,
+        scope_breakers: bool = True,
+    ) -> None:
+        if num_devices < 1:
+            raise ValueError("num_devices must be >= 1")
+        if num_streams < 1:
+            raise ValueError("num_streams must be >= 1")
+        self.num_devices = num_devices
+        self.num_streams = num_streams
+        self.scope_breakers = scope_breakers
+        #: device index -> absolute instant its loss is *detected*.
+        self.detect_times: Dict[int, float] = {
+            int(dev) % num_devices: t + detection_latency
+            for dev, t in (loss_times or {}).items()
+        }
+        self._cursor = 0
+        self.admitted_per_device: Dict[int, int] = {
+            i: 0 for i in range(num_devices)
+        }
+
+    @classmethod
+    def from_plan(
+        cls,
+        fleet: "FleetServingConfig",
+        num_streams: int,
+        plan: Optional[FaultPlan],
+    ) -> "FleetCapacityGate":
+        """Build a gate from a config plus a fault plan's DEVICE_LOSS specs.
+
+        Only each device's *first* loss matters (a device dies once).
+        """
+        loss_times: Dict[int, float] = {}
+        if plan is not None:
+            for spec in plan:
+                if spec.kind is FaultKind.DEVICE_LOSS:
+                    dev = spec.effective_device % fleet.num_devices
+                    if dev not in loss_times or spec.time < loss_times[dev]:
+                        loss_times[dev] = spec.time
+        return cls(
+            fleet.num_devices,
+            num_streams,
+            detection_latency=fleet.detection_latency,
+            loss_times=loss_times,
+            scope_breakers=fleet.scope_breakers,
+        )
+
+    # -- health ------------------------------------------------------------
+
+    def device_lost(self, index: int, now: float) -> bool:
+        """Whether ``index``'s loss has been detected by ``now``."""
+        detect = self.detect_times.get(index)
+        return detect is not None and now >= detect
+
+    def healthy_devices(self, now: float) -> List[int]:
+        """Devices in the healthy set at ``now`` (detection-based)."""
+        return [
+            i for i in range(self.num_devices) if not self.device_lost(i, now)
+        ]
+
+    def devices_lost(self, now: float) -> int:
+        """Number of devices whose loss has been detected by ``now``."""
+        return self.num_devices - len(self.healthy_devices(now))
+
+    # -- admission ---------------------------------------------------------
+
+    def capacity(self, now: float) -> int:
+        """In-flight ceiling at ``now``: the surviving share of streams.
+
+        Never below 1: even a fleet reduced to its last device keeps
+        serving (matching the degraded-but-alive philosophy of the
+        dispatchers' starvation guard).
+        """
+        healthy = len(self.healthy_devices(now))
+        return max(
+            1, math.ceil(self.num_streams * healthy / self.num_devices)
+        )
+
+    def may_admit(self, in_flight: int, now: float) -> bool:
+        """Whether another job fits under the current fleet capacity."""
+        return in_flight < self.capacity(now)
+
+    def route(self, now: float) -> int:
+        """Pick the device for the job being admitted (round-robin).
+
+        Scans the full index space so the rotation is stable as devices
+        drop out; falls back to device 0 when nothing is healthy (the
+        capacity floor of 1 still admits, like a last-resort node).
+        """
+        for _ in range(self.num_devices):
+            index = self._cursor % self.num_devices
+            self._cursor += 1
+            if not self.device_lost(index, now):
+                self.admitted_per_device[index] += 1
+                return index
+        self.admitted_per_device[0] += 1
+        return 0
+
+    # -- breaker scoping ---------------------------------------------------
+
+    def breaker_key(self, record: "AppRecord") -> str:
+        """Circuit-breaker scope for a routed job."""
+        if self.scope_breakers:
+            return f"dev{record.device_index}:{record.type_name}"
+        return record.type_name

@@ -48,6 +48,7 @@ from ..resilience.faults import FaultKind, FaultPlan
 from ..sim.errors import HarnessCrash
 from .breaker import CircuitBreakerPanel
 from .config import ServingConfig
+from .fleet_gate import FleetCapacityGate
 from .journal import JournalMismatchError, RunJournal
 
 __all__ = [
@@ -77,6 +78,9 @@ class ServingResult(StreamingResult):
     recovered_entries: int = 0
     resumed: bool = False
     journal_file: Optional[str] = None
+    # -- fleet accounting (zero outside fleet-aware runs) -----------------
+    fleet_devices: int = 0       # devices the capacity was spread across
+    devices_lost: int = 0        # losses detected during the run
 
     @property
     def completed(self) -> int:
@@ -220,6 +224,17 @@ def _fingerprint(
         "seed": config.seed,
         "baselines": sorted((baselines or {}).items()),
     }
+    # Fleet-aware runs extend the payload; single-device payloads stay
+    # exactly as before so existing journals keep their fingerprints.
+    if config.fleet is not None:
+        payload["fleet"] = [
+            config.fleet.num_devices,
+            config.fleet.detection_latency,
+            config.fleet.scope_breakers,
+        ]
+        payload["plan_devices"] = (
+            [f.device for f in plan] if plan is not None else []
+        )
     blob = json.dumps(payload, sort_keys=True).encode("utf-8")
     return hashlib.sha1(blob).hexdigest()
 
@@ -323,6 +338,12 @@ def run_serving(
     if config.breaker is not None:
         panel = CircuitBreakerPanel(config.breaker, seed=config.seed)
 
+    gate: Optional[FleetCapacityGate] = None
+    if config.fleet is not None:
+        gate = FleetCapacityGate.from_plan(
+            config.fleet, num_streams, config.plan
+        )
+
     hooks = ServingHooks(
         queue_depth=config.queue_depth,
         queue_policy=config.queue_policy,
@@ -333,6 +354,7 @@ def run_serving(
         journal=journal,
         crash_at=crash_at,
         fault_plan=device_plan,
+        fleet_gate=gate,
     )
 
     try:
@@ -371,4 +393,8 @@ def run_serving(
         recovered_entries=recovered,
         resumed=resume,
         journal_file=str(journal_path) if journal_path is not None else None,
+        fleet_devices=gate.num_devices if gate is not None else 0,
+        devices_lost=(
+            gate.devices_lost(base.completion_time) if gate is not None else 0
+        ),
     )

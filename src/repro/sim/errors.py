@@ -20,6 +20,7 @@ __all__ = [
     "ScheduleError",
     "FaultError",
     "DeadlineExceeded",
+    "DeviceLost",
     "HarnessCrash",
     "StopSimulation",
     "Interrupt",
@@ -104,6 +105,29 @@ class DeadlineExceeded(SimulationError):
         self.app_id = app_id
         self.deadline = deadline
         self.elapsed = elapsed
+
+
+class DeviceLost(SimulationError):
+    """A whole simulated device fell off the bus mid-run.
+
+    Delivered as the *cause* of an :class:`Interrupt` to every application
+    thread bound to the device when a
+    :class:`~repro.resilience.faults.FaultKind.DEVICE_LOSS` fault fires;
+    the fleet layer's failover coordinator migrates the interrupted apps
+    onto healthy devices from their last checkpoint.
+
+    Parameters
+    ----------
+    device:
+        Index of the lost fleet device.
+    time:
+        Simulated timestamp at which the device was lost.
+    """
+
+    def __init__(self, device: int, time: float) -> None:
+        super().__init__(f"device {device} lost at t={time:.6g}s")
+        self.device = device
+        self.time = time
 
 
 class HarnessCrash(SimulationError):

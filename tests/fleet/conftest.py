@@ -1,0 +1,41 @@
+"""Shared helpers for the fleet / failover test suite.
+
+Fleet tests use a *fast* health configuration (tight heartbeat, short
+detection budget) so loss -> detection -> migration all resolve inside the
+tiny-scale schedules the suite runs, and a fresh app list per run (apps
+accumulate state while executing and cannot be reused).
+"""
+
+from __future__ import annotations
+
+from repro.apps.registry import get_app
+from repro.fleet import FleetConfig
+
+#: Health timings small enough for tiny-scale (sub-10ms) runs.
+FAST_HEALTH = dict(
+    heartbeat_interval=2e-5,
+    detection_latency=5e-5,
+    detection_jitter=1e-5,
+)
+
+_DEFAULTS = {
+    "nn": {"records": 2048},
+    "needle": {"n": 64},
+    "gaussian": {"n": 48},
+    "srad": {"n": 64, "iterations": 2},
+}
+
+
+def make_apps(count=8, kinds=("gaussian", "needle")):
+    """A fresh alternating-type app list (apps are single-use)."""
+    return [
+        get_app(kinds[i % len(kinds)], instance=i, **_DEFAULTS[kinds[i % len(kinds)]])
+        for i in range(count)
+    ]
+
+
+def fast_fleet(**overrides) -> FleetConfig:
+    """A FleetConfig with the fast health timings baked in."""
+    base = dict(num_devices=4, **FAST_HEALTH)
+    base.update(overrides)
+    return FleetConfig(**base)

@@ -1,0 +1,99 @@
+"""Seeded chaos soak: random fleet-level fault storms, invariant checks.
+
+Opt-in (``REPRO_SOAK=1``): each seed draws a random fault plan — device
+losses, throttle windows, kernel hangs, launch failures — over a measured
+clean horizon and runs a 3-device fleet through it.  Whatever the storm,
+the run must terminate with every app in a terminal state, bounded
+re-execution, and internally consistent recovery accounting.
+"""
+
+import os
+
+import pytest
+
+from repro.fleet import FleetHarness
+from repro.resilience.faults import FaultPlan
+
+from .conftest import fast_fleet, make_apps
+
+pytestmark = [
+    pytest.mark.fleet,
+    pytest.mark.soak,
+    pytest.mark.skipif(
+        os.environ.get("REPRO_SOAK") != "1",
+        reason="chaos soak is opt-in: set REPRO_SOAK=1",
+    ),
+]
+
+NUM_APPS = 6
+DEVICES = 3
+STREAMS = 2
+
+
+def clean_horizon():
+    result = FleetHarness(
+        make_apps(NUM_APPS),
+        fast_fleet(num_devices=DEVICES),
+        num_streams=STREAMS,
+    ).run()
+    return max(r.complete_time for r in result.records)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_chaos_storm_terminates_with_invariants(seed):
+    horizon = clean_horizon()
+    plan = FaultPlan.generate(
+        seed,
+        horizon,
+        num_devices=DEVICES,
+        device_loss_rate=1.0 / horizon,
+        device_throttle_rate=2.0 / horizon,
+        throttle_factor=3.0,
+        throttle_duration=horizon / 4,
+        kernel_hang_rate=1.0 / horizon,
+        launch_fail_rate=1.0 / horizon,
+        hang_factor=4.0,
+        targets=("gaussian", "needle"),
+    )
+    result = FleetHarness(
+        make_apps(NUM_APPS),
+        fast_fleet(num_devices=DEVICES, seed=seed),
+        num_streams=STREAMS,
+        plan=plan,
+        seed=seed,
+    ).run()
+
+    # Termination: every app reached a terminal state.
+    assert result.completed + result.failed == NUM_APPS
+    for record in result.records:
+        assert record.outcome in ("completed", "failed", "device-lost")
+
+    # Bounded re-execution: at most one in-flight kernel per migration.
+    for record in result.records:
+        assert record.reexecuted_kernels <= record.migrations
+
+    # Recovery accounting is internally consistent.
+    for recovery in result.recoveries:
+        assert recovery["lost"] <= recovery["detected"] <= recovery["resumed"]
+        assert len(recovery["apps"]) + len(recovery["failed_apps"]) >= 0
+    lost_summaries = [d for d in result.devices if d.state == "lost"]
+    assert len(lost_summaries) == result.devices_lost
+    assert result.devices_lost == len(
+        {f.effective_device % DEVICES for f in plan.loss_specs()}
+    )
+
+    # Apps failed only if a loss or repeated faults can explain it.
+    if result.failed:
+        assert not plan.empty
+
+    # Determinism under chaos: the same seed replays identically.
+    again = FleetHarness(
+        make_apps(NUM_APPS),
+        fast_fleet(num_devices=DEVICES, seed=seed),
+        num_streams=STREAMS,
+        plan=plan,
+        seed=seed,
+    ).run()
+    assert [
+        (r.app_id, r.outcome, r.complete_time) for r in again.records
+    ] == [(r.app_id, r.outcome, r.complete_time) for r in result.records]

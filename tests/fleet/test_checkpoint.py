@@ -1,0 +1,58 @@
+"""Unit tests for checkpoints and the in-memory checkpoint store."""
+
+import pytest
+
+from repro.fleet import AppCheckpoint, CheckpointStore
+
+pytestmark = pytest.mark.fleet
+
+
+class TestAppCheckpoint:
+    def test_fresh_checkpoint_is_zeroed(self):
+        ckpt = AppCheckpoint(app_id="nn#0")
+        assert ckpt.phase_index == 0
+        assert ckpt.completed_kernels == 0
+        assert ckpt.restore_bytes == 0
+        assert ckpt.stream_index == -1
+
+    def test_as_entry_is_flat_and_journalable(self):
+        import json
+
+        ckpt = AppCheckpoint(
+            app_id="gaussian#1",
+            device_index=2,
+            phase_index=3,
+            completed_copies=4,
+            completed_kernels=7,
+            restore_bytes=1024,
+            time=1.5e-3,
+        )
+        entry = ckpt.as_entry()
+        assert entry["event"] == "checkpoint"
+        assert entry["app"] == "gaussian#1"
+        assert entry["device"] == 2
+        assert entry["kernels"] == 7
+        assert entry["restore_bytes"] == 1024
+        # Must survive the journal's JSON round-trip unchanged.
+        assert json.loads(json.dumps(entry, sort_keys=True)) == entry
+
+
+class TestCheckpointStore:
+    def test_save_and_get_latest(self):
+        store = CheckpointStore()
+        assert store.get("nn#0") is None
+        first = AppCheckpoint(app_id="nn#0", completed_kernels=1)
+        store.save(first)
+        second = AppCheckpoint(app_id="nn#0", completed_kernels=3)
+        store.save(second)
+        assert store.get("nn#0") is second
+        assert len(store) == 1
+        assert store.snapshots == 2
+
+    def test_store_isolates_apps(self):
+        store = CheckpointStore()
+        store.save(AppCheckpoint(app_id="a#0", completed_kernels=1))
+        store.save(AppCheckpoint(app_id="b#0", completed_kernels=9))
+        assert store.get("a#0").completed_kernels == 1
+        assert store.get("b#0").completed_kernels == 9
+        assert len(store) == 2

@@ -1,0 +1,130 @@
+"""Unit tests for the health monitor: classification and detection latency."""
+
+import pytest
+
+from repro.fleet import DeviceRegistry, DeviceState, HealthMonitor
+from repro.resilience.faults import FaultKind, FaultPlan, FaultSpec
+from repro.sim.engine import Environment
+
+from .conftest import fast_fleet
+
+pytestmark = pytest.mark.fleet
+
+INTERVAL = 2e-5
+LATENCY = 5e-5
+JITTER = 1e-5
+
+
+def build(env, plan=None, devices=3, seed=0, on_lost=None):
+    registry = DeviceRegistry(
+        env, fast_fleet(num_devices=devices), num_streams=2, plan=plan
+    )
+    monitor = HealthMonitor(
+        env,
+        registry,
+        interval=INTERVAL,
+        detection_latency=LATENCY,
+        detection_jitter=JITTER,
+        seed=seed,
+        on_lost=on_lost,
+    )
+    return registry, monitor
+
+
+def run_for(env, registry, monitor, duration):
+    registry.start()
+    monitor.start()
+
+    def body():
+        yield env.timeout(duration)
+
+    env.run(until=env.process(body()))
+    monitor.stop()
+    registry.stop()
+
+
+class TestDetection:
+    def test_loss_declared_within_budget(self):
+        env = Environment()
+        loss_at = 3e-4
+        plan = FaultPlan([FaultSpec(FaultKind.DEVICE_LOSS, loss_at, device=1)])
+        declared = []
+        registry, monitor = build(
+            env, plan=plan, on_lost=lambda i, t: declared.append((i, t))
+        )
+        run_for(env, registry, monitor, 1e-3)
+
+        assert declared and declared[0][0] == 1
+        detected = declared[0][1]
+        # Never before the seeded budget, never later than one full poll
+        # tick past it.
+        assert detected >= loss_at + LATENCY
+        assert detected <= loss_at + LATENCY + JITTER + INTERVAL + 1e-12
+        assert monitor.observed_state(1) is DeviceState.LOST
+        assert registry.devices[1].detected_time == detected
+        assert monitor.missed_heartbeats[1] >= 1
+
+    def test_loss_declared_once(self):
+        env = Environment()
+        plan = FaultPlan([FaultSpec(FaultKind.DEVICE_LOSS, 1e-4, device=0)])
+        declared = []
+        registry, monitor = build(
+            env, plan=plan, on_lost=lambda i, t: declared.append(i)
+        )
+        run_for(env, registry, monitor, 1e-3)
+        assert declared == [0]
+        lost_events = [
+            e for e in monitor.events if e.new_state == "lost"
+        ]
+        assert len(lost_events) == 1
+
+    def test_detection_delay_is_seeded_and_per_device(self):
+        env = Environment()
+        _, a = build(env, seed=7)
+        _, b = build(Environment(), seed=7)
+        _, c = build(Environment(), seed=8)
+        # Same seed -> identical budgets; jitter differs across devices.
+        assert a.detect_delay == b.detect_delay
+        assert a.detect_delay != c.detect_delay
+        assert len(set(a.detect_delay.values())) == len(a.detect_delay)
+        for delay in a.detect_delay.values():
+            assert LATENCY <= delay <= LATENCY + JITTER
+
+    def test_healthy_fleet_reports_nothing(self):
+        env = Environment()
+        registry, monitor = build(env)
+        run_for(env, registry, monitor, 5e-4)
+        assert monitor.events == []
+        assert monitor.heartbeats_read > 0
+        assert all(
+            monitor.observed_state(d.index) is DeviceState.HEALTHY
+            for d in registry
+        )
+
+
+class TestDegradedClassification:
+    def test_throttle_window_classified_degraded_then_clears(self):
+        env = Environment()
+        plan = FaultPlan(
+            [
+                FaultSpec(
+                    FaultKind.DEVICE_THROTTLE,
+                    1e-4,
+                    duration=2e-4,
+                    factor=4.0,
+                    device=2,
+                )
+            ]
+        )
+        registry, monitor = build(env, plan=plan)
+        run_for(env, registry, monitor, 6e-4)
+
+        transitions = [
+            (e.old_state, e.new_state)
+            for e in monitor.events
+            if e.device == 2
+        ]
+        assert ("healthy", "degraded") in transitions
+        assert ("degraded", "healthy") in transitions
+        # Window long closed by the end of the run.
+        assert monitor.observed_state(2) is DeviceState.HEALTHY

@@ -1,0 +1,132 @@
+"""Unit tests for the device registry: ground-truth liveness."""
+
+import pytest
+
+from repro.fleet import DeviceRegistry, DeviceState
+from repro.resilience.faults import FaultKind, FaultPlan, FaultSpec
+from repro.sim.engine import Environment
+
+from .conftest import fast_fleet
+
+pytestmark = pytest.mark.fleet
+
+
+def make_registry(env, plan=None, devices=3, streams=2):
+    return DeviceRegistry(
+        env,
+        fast_fleet(num_devices=devices),
+        num_streams=streams,
+        plan=plan,
+    )
+
+
+class TestConstruction:
+    def test_builds_one_slot_per_device(self, env):
+        registry = make_registry(env, devices=4)
+        assert len(registry) == 4
+        assert [d.index for d in registry] == [0, 1, 2, 3]
+        assert all(d.state is DeviceState.HEALTHY for d in registry)
+        assert all(not d.lost for d in registry)
+
+    def test_per_device_plan_split(self, env):
+        plan = FaultPlan(
+            [
+                FaultSpec(FaultKind.KERNEL_HANG, 1e-3, device=1),
+                FaultSpec(FaultKind.DEVICE_LOSS, 2e-3, device=0),
+                FaultSpec(FaultKind.HARNESS_CRASH, 3e-3),
+            ]
+        )
+        registry = make_registry(env, plan=plan, devices=2)
+        # Engine-level faults reach only their device's injector; losses
+        # and crashes never leak into any injector plan.
+        assert registry.devices[0].injector is None
+        assert registry.devices[1].injector is not None
+        kinds = [f.kind for f in registry.devices[1].injector.plan]
+        assert kinds == [FaultKind.KERNEL_HANG]
+
+
+class TestLoss:
+    def test_mark_lost_sets_ground_truth(self, env):
+        registry = make_registry(env)
+        down = []
+        registry.on_down = lambda index, now: down.append((index, now))
+        registry.mark_lost(1)
+        device = registry.devices[1]
+        assert device.lost
+        assert device.state is DeviceState.LOST
+        assert device.loss_time == env.now
+        assert down == [(1, env.now)]
+        assert [d.index for d in registry.healthy()] == [0, 2]
+        assert registry.lost_devices == [device]
+
+    def test_mark_lost_idempotent(self, env):
+        registry = make_registry(env)
+        down = []
+        registry.on_down = lambda index, now: down.append(index)
+        registry.mark_lost(0)
+        registry.mark_lost(0)
+        assert down == [0]
+
+    def test_planned_loss_fires_at_absolute_time(self, env):
+        plan = FaultPlan([FaultSpec(FaultKind.DEVICE_LOSS, 1.5e-3, device=2)])
+        registry = make_registry(env, plan=plan)
+        registry.start()
+
+        def body():
+            yield env.timeout(2e-3)
+
+        # Power monitors tick forever; run to a deadline, then stop them
+        # so the environment can settle.
+        env.run(until=env.process(body()))
+        registry.stop()
+        device = registry.devices[2]
+        assert device.lost
+        assert device.loss_time == pytest.approx(1.5e-3)
+
+    def test_loss_planned_in_the_past_fires_immediately(self, env):
+        plan = FaultPlan([FaultSpec(FaultKind.DEVICE_LOSS, 1e-3, device=0)])
+        registry = make_registry(env, plan=plan)
+
+        def body():
+            yield env.timeout(5e-3)  # start() reached after the arm time
+            registry.start()
+            yield env.timeout(1e-6)  # let the loss process run
+
+        env.run(until=env.process(body()))
+        registry.stop()
+        assert registry.devices[0].lost
+        assert registry.devices[0].loss_time == pytest.approx(5e-3)
+
+    def test_heartbeat_reflects_liveness(self, env):
+        registry = make_registry(env)
+        device = registry.devices[0]
+        beat = device.heartbeat(0.0)
+        assert beat["alive"] is True
+        assert beat["device"] == 0
+        registry.mark_lost(0)
+        beat = device.heartbeat(0.0)
+        assert beat["alive"] is False
+        assert beat["power"] == 0.0
+
+
+class TestEnergyCutoff:
+    def test_energy_cut_at_loss_instant(self):
+        env = Environment()
+        registry = make_registry(env)
+        registry.start()
+
+        def body():
+            yield env.timeout(2e-3)
+            registry.mark_lost(0)
+            yield env.timeout(2e-3)
+
+        env.run(until=env.process(body()))
+        registry.stop()
+        lost = registry.devices[0]
+        alive = registry.devices[1]
+        # The lost device's integral stops at t=2ms; the survivor's does
+        # not.  Both idle, so energy is idle power x window.
+        idle = registry.spec.power.idle
+        assert lost.energy_between(0.0, 4e-3) == pytest.approx(idle * 2e-3)
+        assert alive.energy_between(0.0, 4e-3) == pytest.approx(idle * 4e-3)
+        assert lost.energy_between(3e-3, 4e-3) == 0.0

@@ -1,0 +1,92 @@
+"""Deadline derivation with zero/missing serial baselines (floor clamp).
+
+A zero or missing baseline must never derive a 0-second watchdog deadline
+(one that fires before the attempt's first event); with a configured
+``deadline_floor`` such types fall back to the floor, and every derived
+deadline is clamped up to it.
+"""
+
+import pytest
+
+from repro.core.runner import ExperimentRunner, RunConfig
+from repro.core.workload import Workload
+from repro.resilience import ResilienceConfig
+
+pytestmark = pytest.mark.resilience
+
+
+class TestDeadlineFor:
+    def test_zero_baseline_never_derives_zero_deadline(self):
+        config = ResilienceConfig(
+            deadline_factor=4.0,
+            baseline_runtimes={"nn": 0.0},
+            deadline_floor=2e-3,
+        )
+        assert config.deadline_for("nn") == 2e-3
+
+    def test_missing_baseline_falls_back_to_floor(self):
+        config = ResilienceConfig(
+            deadline_factor=4.0,
+            baseline_runtimes={"nn": 1e-3},
+            deadline_floor=2e-3,
+        )
+        assert config.deadline_for("needle") == 2e-3
+
+    def test_derived_deadline_clamped_up_to_floor(self):
+        config = ResilienceConfig(
+            deadline_factor=2.0,
+            baseline_runtimes={"nn": 1e-4},   # 2x = 0.2ms, below floor
+            deadline_floor=1e-3,
+        )
+        assert config.deadline_for("nn") == 1e-3
+
+    def test_deadline_above_floor_unclamped(self):
+        config = ResilienceConfig(
+            deadline_factor=4.0,
+            baseline_runtimes={"nn": 1e-3},
+            deadline_floor=1e-4,
+        )
+        assert config.deadline_for("nn") == pytest.approx(4e-3)
+
+    def test_default_deadline_also_clamped(self):
+        config = ResilienceConfig(
+            default_deadline=1e-4, deadline_floor=5e-4
+        )
+        assert config.deadline_for("nn") == 5e-4
+
+    def test_zero_floor_keeps_historical_behaviour(self):
+        config = ResilienceConfig(
+            deadline_factor=4.0, baseline_runtimes={"nn": 0.0}
+        )
+        # No floor, zero baseline, no default: no guard at all — never a
+        # 0-second deadline.
+        assert config.deadline_for("nn") is None
+
+    def test_floor_alone_without_factor_is_inert(self):
+        # A floor only applies when deadlines are wanted at all.
+        config = ResilienceConfig(deadline_floor=1e-3)
+        assert not config.wants_deadlines
+        assert config.deadline_for("nn") is None
+
+    def test_negative_floor_rejected(self):
+        with pytest.raises(ValueError):
+            ResilienceConfig(deadline_floor=-1.0)
+
+
+class TestRunnerBaselineResolution:
+    def test_zero_wall_time_records_skipped(self):
+        runner = ExperimentRunner()
+        workload = Workload.heterogeneous_pair("gaussian", "needle", 2)
+        config = RunConfig(
+            workload=workload,
+            num_streams=2,
+            resilience=ResilienceConfig(
+                deadline_factor=4.0, deadline_floor=1e-3
+            ),
+        )
+        resolved = runner.resolve_baselines(config)
+        # Real runs produce positive baselines for both types; the
+        # zero-skip is about never *storing* a 0 that poisons deadline_for.
+        for _type, baseline in resolved.baseline_runtimes:
+            assert baseline > 0
+        assert resolved.deadline_for("gaussian") >= 1e-3

@@ -1,0 +1,104 @@
+"""Fuzz the journal's torn-tail recovery at every byte offset.
+
+A crash can cut the journal file anywhere inside its final fsynced write.
+The recovery contract is: resume never raises on a torn tail, recovers
+either all ``n`` records or exactly the intact ``n - 1`` prefix, and the
+recovered prefix is byte-for-byte what was journaled.  This test makes
+that contract exhaustive instead of anecdotal by truncating a real
+journal at *every* byte offset of its last record line.
+"""
+
+import json
+
+import pytest
+
+from repro.serving import RunJournal
+
+pytestmark = pytest.mark.serving
+
+FP = "fuzz-fingerprint"
+NUM_RECORDS = 6
+
+
+def _entry(i):
+    # Shaped like the serving layer's terminal outcomes: mixed value
+    # types, floats with long reprs, nested-free flat dict.
+    return {
+        "index": i,
+        "app": f"nn#{i}",
+        "outcome": "completed" if i % 2 == 0 else "failed",
+        "complete": 0.0012345678901234 * (i + 1),
+        "attempts": i % 3 + 1,
+    }
+
+
+@pytest.fixture(scope="module")
+def journal_bytes(tmp_path_factory):
+    """One journal written through the real API, returned as raw bytes."""
+    path = tmp_path_factory.mktemp("fuzz") / "run.jsonl"
+    with RunJournal(path) as journal:
+        journal.begin(FP)
+        for i in range(NUM_RECORDS):
+            journal.record(_entry(i))
+    return path.read_bytes()
+
+
+def _last_line_span(data):
+    """(start, end) byte offsets of the final record line, newline incl."""
+    body = data.rstrip(b"\n")
+    start = body.rfind(b"\n") + 1
+    return start, len(data)
+
+
+def test_fixture_shape(journal_bytes):
+    lines = journal_bytes.decode().splitlines()
+    assert len(lines) == 1 + NUM_RECORDS
+    start, end = _last_line_span(journal_bytes)
+    assert json.loads(journal_bytes[start:end]) == _entry(NUM_RECORDS - 1)
+
+
+# Longest possible record line stays well under this; parametrizing over
+# a fixed range keeps collection independent of the journal's content.
+_MAX_LINE = 120
+
+
+@pytest.mark.parametrize("cut", range(_MAX_LINE))
+def test_truncation_inside_last_record_recovers_prefix(
+    journal_bytes, tmp_path, cut
+):
+    start, end = _last_line_span(journal_bytes)
+    if start + cut > end:
+        pytest.skip("offset past the end of the last record")
+    torn = tmp_path / "torn.jsonl"
+    torn.write_bytes(journal_bytes[: start + cut])
+
+    journal = RunJournal(torn)
+    recovered = journal.begin(FP, resume=True)
+    journal.close()
+
+    # Never raises; recovers the full log or exactly the intact prefix.
+    assert recovered in (NUM_RECORDS - 1, NUM_RECORDS)
+    entries = journal.entries()
+    assert len(entries) == recovered
+    for i, entry in enumerate(entries):
+        assert entry == _entry(i)
+    # The rewritten file must itself be a clean journal (no torn line).
+    assert RunJournal(torn).begin(FP, resume=True) == recovered
+
+
+def test_truncation_at_full_length_recovers_everything(
+    journal_bytes, tmp_path
+):
+    path = tmp_path / "whole.jsonl"
+    path.write_bytes(journal_bytes)
+    assert RunJournal(path).begin(FP, resume=True) == NUM_RECORDS
+
+
+def test_truncation_without_trailing_newline_keeps_record(
+    journal_bytes, tmp_path
+):
+    # The crash cut exactly the final "\n": the record itself is intact
+    # and must not be discarded as torn.
+    path = tmp_path / "nonewline.jsonl"
+    path.write_bytes(journal_bytes[:-1])
+    assert RunJournal(path).begin(FP, resume=True) == NUM_RECORDS

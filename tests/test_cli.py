@@ -15,7 +15,7 @@ class TestParser:
             "list", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
             "fig9", "fig10", "timeline", "table3", "headline",
             "autotune", "streaming", "report", "homog", "resilience",
-            "serve",
+            "serve", "fleet",
         }
 
     def test_requires_command(self, capsys):
@@ -145,6 +145,33 @@ class TestCommands:
         assert journal.exists()
         assert main(argv + ["--crash-at", "0.002", "--resume"]) == 0
         assert "goodput" in capsys.readouterr().out
+
+    def test_fleet_tiny_with_csv(self, tmp_path, capsys):
+        code = main([
+            "--scale", "tiny", "--out", str(tmp_path),
+            "fleet", "--apps", "4", "--devices", "2", "--lose", "0",
+            "--heartbeat", "2e-5", "--detect-latency", "5e-5",
+        ])
+        assert code == 0
+        assert (tmp_path / "fleet.csv").exists()
+        out = capsys.readouterr().out
+        assert "lost" in out
+        assert "migrations" in out
+
+    def test_fleet_crash_and_resume(self, tmp_path, capsys):
+        journal = tmp_path / "fleet.jsonl"
+        argv = [
+            "--scale", "tiny",
+            "fleet", "--apps", "4", "--devices", "2", "--lose", "0",
+            "--heartbeat", "2e-5", "--detect-latency", "5e-5",
+            "--journal", str(journal),
+        ]
+        assert main(argv + ["--crash-at", "6e-3"]) == 3
+        assert "harness crashed mid-run" in capsys.readouterr().out
+        assert journal.exists()
+        assert main(argv + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "resumed from journal" in out
 
     def test_report_missing_sections(self, tmp_path, capsys):
         code = main(["report", "--results", str(tmp_path)])
