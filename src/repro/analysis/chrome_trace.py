@@ -10,6 +10,12 @@ Mapping: each simulator *track* becomes a Chrome "thread" (``tid``) under a
 single "process" (the GPU); spans become complete (``"ph": "X"``) events
 with microsecond timestamps; instants become instant (``"ph": "i"``)
 events.  Categories carry over for Perfetto filtering.
+
+Telemetry counter events (``"ph": "C"`` from
+:func:`repro.telemetry.exporters.snapshots_to_counter_events`) can be
+merged in via ``counter_events``: they land in their own process
+(:data:`~repro.telemetry.exporters.TELEMETRY_PID`) so Perfetto draws the
+metric charts under a separate expandable header below the GPU timeline.
 """
 
 from __future__ import annotations
@@ -17,7 +23,7 @@ from __future__ import annotations
 import json
 import re
 from pathlib import Path
-from typing import Dict, List, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 from ..sim.trace import TraceRecorder
 
@@ -28,19 +34,34 @@ GPU_PID = 1
 
 
 def _track_sort_key(track: str):
+    """Natural-ordering key: digit runs compare numerically, text runs
+    lexically.
+
+    Each piece maps to a *typed* tuple so a digit run never meets a text
+    run in a raw ``int < str`` comparison (which raises TypeError when the
+    numeric split misses, e.g. ``stream-`` next to ``stream-2``); digit
+    pieces sort before text pieces at the same position.
+    """
     parts = re.split(r"(\d+)", track)
-    return [int(p) if p.isdigit() else p for p in parts]
+    return [
+        (0, int(p), "") if p.isdigit() else (1, 0, p) for p in parts if p
+    ]
 
 
 def to_chrome_trace(
-    trace: TraceRecorder, process_name: str = "Simulated GPU"
+    trace: TraceRecorder,
+    process_name: str = "Simulated GPU",
+    counter_events: Optional[Sequence[Dict[str, object]]] = None,
+    telemetry_process_name: str = "Telemetry",
 ) -> Dict[str, object]:
     """Build the Trace Event JSON object (``traceEvents`` + metadata)."""
     events: List[Dict[str, object]] = []
     tracks = sorted(trace.tracks(), key=_track_sort_key)
     tids = {track: i + 1 for i, track in enumerate(tracks)}
 
-    # Metadata: name the process and each track-thread.
+    # Metadata: name the process and each track-thread.  Explicit
+    # process/thread sort indices pin the display order (GPU first, tracks
+    # in natural order) regardless of event arrival order.
     events.append(
         {
             "ph": "M",
@@ -48,6 +69,15 @@ def to_chrome_trace(
             "tid": 0,
             "name": "process_name",
             "args": {"name": process_name},
+        }
+    )
+    events.append(
+        {
+            "ph": "M",
+            "pid": GPU_PID,
+            "tid": 0,
+            "name": "process_sort_index",
+            "args": {"sort_index": GPU_PID},
         }
     )
     for track, tid in tids.items():
@@ -97,6 +127,32 @@ def to_chrome_trace(
             }
         )
 
+    if counter_events:
+        # Counter tracks ride in their own process so the metric charts
+        # group under one header instead of interleaving with streams.
+        telemetry_pid = next(
+            (int(e["pid"]) for e in counter_events if "pid" in e), GPU_PID + 1
+        )
+        events.append(
+            {
+                "ph": "M",
+                "pid": telemetry_pid,
+                "tid": 0,
+                "name": "process_name",
+                "args": {"name": telemetry_process_name},
+            }
+        )
+        events.append(
+            {
+                "ph": "M",
+                "pid": telemetry_pid,
+                "tid": 0,
+                "name": "process_sort_index",
+                "args": {"sort_index": telemetry_pid},
+            }
+        )
+        events.extend(dict(e) for e in counter_events)
+
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",
@@ -108,6 +164,7 @@ def write_chrome_trace(
     trace: TraceRecorder,
     path: Union[str, Path],
     process_name: str = "Simulated GPU",
+    counter_events: Optional[Sequence[Dict[str, object]]] = None,
 ) -> Path:
     """Serialize the trace to ``path`` (JSON); returns the path.
 
@@ -116,5 +173,12 @@ def write_chrome_trace(
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     with path.open("w") as fh:
-        json.dump(to_chrome_trace(trace, process_name=process_name), fh)
+        json.dump(
+            to_chrome_trace(
+                trace,
+                process_name=process_name,
+                counter_events=counter_events,
+            ),
+            fh,
+        )
     return path

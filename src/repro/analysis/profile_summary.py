@@ -22,6 +22,11 @@ __all__ = ["kernel_summary", "transfer_summary", "stream_summary"]
 
 
 def _span_stats(durations: List[float]) -> Dict[str, float]:
+    # An empty duration list must not reach arr.min()/arr.max(), which
+    # raise on zero-size arrays; zeros keep the row shape intact for
+    # callers that tabulate categories with no recorded spans.
+    if len(durations) == 0:
+        return {"total_ms": 0.0, "avg_us": 0.0, "min_us": 0.0, "max_us": 0.0}
     arr = np.asarray(durations, dtype=float)
     return {
         "total_ms": float(arr.sum() * 1e3),

@@ -222,6 +222,29 @@ def build_parser() -> argparse.ArgumentParser:
                    help="resume a crashed run from --journal")
 
     p = sub.add_parser(
+        "telemetry",
+        help="run one cell with live telemetry: metrics table, sparklines, "
+        "optional Prometheus/JSONL dumps",
+    )
+    p.add_argument("--pair", nargs=2, default=["gaussian", "needle"])
+    p.add_argument("--apps", type=int, default=8)
+    p.add_argument("--streams", type=int, default=None,
+                   help="NS (default: one stream per app)")
+    p.add_argument("--sync", action="store_true",
+                   help="enable the transfer mutex (Figure 8 memory mode)")
+    p.add_argument("--interval", type=float, default=None,
+                   help="sample interval in simulated seconds (default: the "
+                   "15 ms sensor rate; use ~makespan/100 for dense lines)")
+    p.add_argument("--filter", default=None, metavar="SUBSTR",
+                   help="only show series whose key contains SUBSTR")
+    p.add_argument("--width", type=int, default=40,
+                   help="sparkline width in columns")
+    p.add_argument("--prom", type=Path, default=None, metavar="FILE",
+                   help="write Prometheus text exposition here")
+    p.add_argument("--jsonl", type=Path, default=None, metavar="FILE",
+                   help="write JSONL metric snapshots here")
+
+    p = sub.add_parser(
         "report",
         help="assemble EXPERIMENTS-style markdown from results/ CSVs",
     )
@@ -256,7 +279,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(
             "experiments: fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 "
             "timeline table3 headline homog autotune streaming serve "
-            "resilience fleet report"
+            "resilience fleet telemetry report"
         )
         return 0
 
@@ -684,6 +707,51 @@ def main(argv: Optional[List[str]] = None) -> int:
                 "verified against the replay"
             )
         print(result.summary())
+        return 0
+
+    if args.command == "telemetry":
+        from .core.runner import quick_run
+        from .telemetry import (
+            DEFAULT_SAMPLE_INTERVAL,
+            Telemetry,
+            generate_latest,
+            metrics_table,
+            write_jsonl,
+        )
+
+        streams = args.streams if args.streams is not None else args.apps
+        interval = (
+            args.interval if args.interval is not None
+            else DEFAULT_SAMPLE_INTERVAL
+        )
+        telemetry = Telemetry(interval=interval)
+        run = quick_run(
+            pair=tuple(args.pair),
+            num_apps=args.apps,
+            num_streams=streams,
+            memory_sync=args.sync,
+            scale=scale,
+            telemetry=telemetry,
+        )
+        rows = metrics_table(
+            telemetry.snapshots, pattern=args.filter, width=args.width
+        )
+        _emit(
+            rows,
+            f"Telemetry — {args.pair[0]}+{args.pair[1]} NA={args.apps} "
+            f"NS={streams} ({len(telemetry.snapshots)} samples)",
+            out,
+            "telemetry",
+        )
+        print(run.summary())
+        if args.prom is not None:
+            args.prom.parent.mkdir(parents=True, exist_ok=True)
+            args.prom.write_text(generate_latest(telemetry.registry))
+            print(f"(wrote {args.prom})")
+        if args.jsonl is not None:
+            args.jsonl.parent.mkdir(parents=True, exist_ok=True)
+            write_jsonl(telemetry.snapshots, args.jsonl)
+            print(f"(wrote {args.jsonl})")
         return 0
 
     if args.command == "report":

@@ -49,6 +49,9 @@ class RunConfig:
     #: multi-device fleet (with failover) instead of the single-device
     #: harness.  ``None`` keeps the original pipeline untouched.
     fleet: object = None
+    #: Optional :class:`~repro.telemetry.Telemetry`: live metrics for the
+    #: run (single-device or fleet).  ``None`` = uninstrumented.
+    telemetry: object = None
 
     @property
     def num_apps(self) -> int:
@@ -137,6 +140,7 @@ class ExperimentRunner:
                 power_interval=config.power_interval,
                 plan=resilience.plan if resilience is not None else None,
                 seed=config.seed,
+                telemetry=config.telemetry,
             ).run()
             self.runs_executed += 1
             return RunResult(config=config, harness=fleet_result)
@@ -154,6 +158,7 @@ class ExperimentRunner:
             seed=config.seed,
             admission=config.admission,
             resilience=resilience,
+            telemetry=config.telemetry,
         )
         result = TestHarness(harness_config).run()
         self.runs_executed += 1

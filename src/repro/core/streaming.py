@@ -330,12 +330,16 @@ def run_streaming(
     spec: Optional[DeviceSpec] = None,
     power_interval: float = 1e-3,
     serving: Optional[ServingHooks] = None,
+    telemetry=None,
 ) -> StreamingResult:
     """Execute an arrival trace under an online dispatch policy.
 
     With ``serving`` omitted (or inert) this is the plain open-loop
     engine; :mod:`repro.serving` passes hooks to enable bounded admission,
     shedding, circuit breaking and journaling on the same code path.
+    ``telemetry`` (a :class:`~repro.telemetry.Telemetry`) additionally
+    samples queue depths, in-flight count, outcome counters and sojourn
+    histograms; ``None`` leaves every code path untouched.
     """
     if not arrivals:
         raise ValueError("empty arrival trace")
@@ -378,6 +382,49 @@ def run_streaming(
             return fleet_gate.breaker_key(record)
         return record.type_name
 
+    outcome_counter = None
+    sojourn_hist = None
+    goodput_counter = None
+    if telemetry is not None:
+        from ..telemetry.probes import (
+            instrument_device,
+            instrument_environment,
+            instrument_injector,
+            instrument_records,
+        )
+
+        telemetry.attach(env)
+        instrument_environment(telemetry, env)
+        instrument_device(telemetry, device)
+        instrument_records(telemetry, records)
+        instrument_injector(telemetry, injector)
+        admission_depth = telemetry.gauge(
+            "repro_serving_admission_queue_depth",
+            "Jobs prepared and waiting for admission",
+        )
+        blocked_depth = telemetry.gauge(
+            "repro_serving_blocked_arrivals",
+            "Arrivals back-pressured by a full bounded queue",
+        )
+        inflight_gauge = telemetry.gauge(
+            "repro_serving_in_flight", "Jobs admitted and not yet settled"
+        )
+        outcome_counter = telemetry.counter(
+            "repro_serving_outcomes_total",
+            "Terminal job outcomes",
+            labelnames=("outcome",),
+        )
+        goodput_counter = telemetry.counter(
+            "repro_serving_goodput_jobs_total",
+            "Jobs completed within their SLO (or with no SLO set)",
+        )
+        sojourn_hist = telemetry.histogram(
+            "repro_serving_sojourn_seconds", "Arrival-to-completion latency"
+        )
+        telemetry.add_probe(lambda: admission_depth.set(len(ready)))
+        telemetry.add_probe(lambda: blocked_depth.set(len(blocked)))
+        telemetry.add_probe(lambda: inflight_gauge.set(state["in_flight"]))
+
     instance_counters: Dict[str, int] = {}
 
     def make_thread(arrival: Arrival) -> AppThread:
@@ -405,6 +452,12 @@ def run_streaming(
     def finalize(record: AppRecord, outcome: str, arrival_time: float) -> None:
         """Stamp a terminal outcome and journal it (host-side only)."""
         record.outcome = outcome
+        if outcome_counter is not None:
+            outcome_counter.inc(outcome=outcome)
+            if outcome == "completed":
+                goodput_counter.inc()
+            if record.ran:
+                sojourn_hist.observe(env.now - arrival_time)
         if journal is not None:
             journal.record(
                 {
@@ -566,6 +619,8 @@ def run_streaming(
         if completions:
             yield AllOf(env, completions)
         monitor.stop()
+        if telemetry is not None:
+            telemetry.stop()
 
     if hooks.crash_at is not None:
 
@@ -576,10 +631,14 @@ def run_streaming(
         env.process(crash_body(), name="harness-crash")
 
     monitor.start()
+    if telemetry is not None:
+        telemetry.start()
     env.process(source(), name="arrival-source")
     done = env.process(admitter(), name="admitter")
     env.run(until=done)
     env.run()
+    if telemetry is not None:
+        telemetry.finalize()
 
     completion_time = max((r.complete_time for r in records), default=0.0)
     energy = device.power.energy(completion_time)

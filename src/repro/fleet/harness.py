@@ -80,6 +80,8 @@ class FleetResult:
     recovered_entries: int = 0
     resumed: bool = False
     journal_file: Optional[str] = None
+    #: The run's telemetry (same object passed to the harness), if enabled.
+    telemetry: object = None
 
     @property
     def completed(self) -> int:
@@ -195,6 +197,7 @@ class FleetHarness:
         seed: int = 0,
         journal_path=None,
         resume: bool = False,
+        telemetry=None,
     ) -> None:
         if not apps:
             raise ValueError("empty schedule")
@@ -211,6 +214,7 @@ class FleetHarness:
         self.seed = seed
         self.journal_path = journal_path
         self.resume = resume
+        self.telemetry = telemetry
 
     def run(self) -> FleetResult:
         """Build the fleet, run the schedule to completion, measure."""
@@ -269,6 +273,24 @@ class FleetHarness:
 
         records: List[AppRecord] = []
         spec = registry.spec
+
+        telemetry = self.telemetry
+        if telemetry is not None:
+            from ..telemetry.probes import (
+                instrument_environment,
+                instrument_failover,
+                instrument_fleet_device,
+                instrument_health_monitor,
+                instrument_records,
+            )
+
+            telemetry.attach(env)
+            instrument_environment(telemetry, env)
+            for fdev in registry:
+                instrument_fleet_device(telemetry, fdev)
+            instrument_health_monitor(telemetry, monitor)
+            instrument_failover(telemetry, coordinator)
+            instrument_records(telemetry, records)
 
         def on_checkpoint(thread: FleetAppThread) -> None:
             if not fleet.checkpoint:
@@ -359,6 +381,8 @@ class FleetHarness:
 
             registry.start()
             monitor.start()
+            if telemetry is not None:
+                telemetry.start()
             children = []
             for thread, record in zip(threads, records):
                 yield env.timeout(spec.host.thread_spawn_cost)
@@ -373,6 +397,8 @@ class FleetHarness:
                 yield AllOf(env, children)
             monitor.stop()
             registry.stop()
+            if telemetry is not None:
+                telemetry.stop()
             for thread in threads:
                 yield from thread.cleanup()
 
@@ -390,6 +416,8 @@ class FleetHarness:
                 journal.close()
             raise
         env.run()  # settle same-time trailing events
+        if telemetry is not None:
+            telemetry.finalize()
 
         if journal is not None:
             if journal.pending:
@@ -450,6 +478,7 @@ class FleetHarness:
                 if self.journal_path is not None
                 else None
             ),
+            telemetry=telemetry,
         )
 
 

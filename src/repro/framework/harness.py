@@ -77,6 +77,13 @@ class HarnessConfig:
         degradation.  ``None`` (default) runs the original code paths and
         produces byte-identical results to a build without the resilience
         subsystem.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry`.  When given, the
+        harness attaches its sampler to the run's environment, wires the
+        standard sim/GPU/resilience probes and drives the sampler's
+        lifecycle alongside the power monitor.  ``None`` (default) keeps
+        every layer on the uninstrumented code paths — byte-identical
+        results, pinned by ``bench_telemetry_overhead.py``.
     """
 
     apps: Sequence[KernelApp]
@@ -93,6 +100,9 @@ class HarnessConfig:
     #: Optional grid-engine admission hook (symbiosis baseline); None = LEFTOVER.
     admission: object = None
     resilience: Optional[ResilienceConfig] = None
+    #: Optional repro.telemetry.Telemetry (kept untyped to avoid importing
+    #: the subsystem on the hot path when disabled).
+    telemetry: object = None
 
     def __post_init__(self) -> None:
         if not self.apps:
@@ -119,6 +129,8 @@ class HarnessResult:
     trace: Optional[TraceRecorder]
     stream_assignments: Dict[int, int]
     resilience: Optional[ResilienceSummary] = None
+    #: The run's telemetry (same object as config.telemetry), if enabled.
+    telemetry: object = None
 
     # -- summary helpers -------------------------------------------------------
 
@@ -206,6 +218,21 @@ class TestHarness:
         records: List[AppRecord] = []
         rng = np.random.default_rng(cfg.seed)
 
+        telemetry = cfg.telemetry
+        if telemetry is not None:
+            from ..telemetry.probes import (
+                instrument_device,
+                instrument_environment,
+                instrument_injector,
+                instrument_records,
+            )
+
+            telemetry.attach(env)
+            instrument_environment(telemetry, env)
+            instrument_device(telemetry, device)
+            instrument_records(telemetry, records)
+            instrument_injector(telemetry, injector)
+
         def parent():
             # Paper flow: instantiate + allocate + initialize every
             # application on the parent thread, sequentially, up front.
@@ -227,6 +254,8 @@ class TestHarness:
             # application on its own child thread, in schedule order.
             if cfg.monitor_power:
                 monitor.start()
+            if telemetry is not None:
+                telemetry.start()
             children = []
             for thread in threads:
                 # std::thread creation cost staggers the children; optional
@@ -266,6 +295,8 @@ class TestHarness:
             if children:
                 yield AllOf(env, children)
             monitor.stop()
+            if telemetry is not None:
+                telemetry.stop()
 
             # Teardown: parent frees all memory and destroys the streams.
             for thread in threads:
@@ -276,6 +307,10 @@ class TestHarness:
         env.run(until=done)
         # Let any same-time trailing events (power segment closes) settle.
         env.run()
+        if telemetry is not None:
+            # Closing snapshot: the final registry state every exporter
+            # agrees on (cross-exporter consistency).
+            telemetry.finalize()
 
         assignments: Dict[int, int] = {}
         for record in records:
@@ -319,4 +354,5 @@ class TestHarness:
             trace=trace,
             stream_assignments=assignments,
             resilience=summary,
+            telemetry=telemetry,
         )

@@ -94,6 +94,12 @@ class CopyEngine:
         # Statistics
         self.commands_served: int = 0
         self.bytes_moved: int = 0
+        #: Accumulated wire time and ready->start queueing delay (seconds).
+        #: Their ratio is the engine's effective-latency stretch: how much
+        #: longer a transfer took end-to-end than its raw wire time
+        #: (Figure 6's per-app metric, aggregated at the engine).
+        self.busy_seconds: float = 0.0
+        self.wait_seconds: float = 0.0
         env.process(self._service(), name=f"dma-{direction.value}")
 
     def __repr__(self) -> str:
@@ -186,6 +192,9 @@ class CopyEngine:
             self.busy = False
             self.commands_served += 1
             self.bytes_moved += cmd.nbytes
+            self.busy_seconds += end - start
+            if cmd.ready.triggered and cmd.ready._value is not None:
+                self.wait_seconds += start - cmd.ready._value
             if self.trace is not None:
                 self.trace.record(
                     track=f"stream-{cmd.stream_id}",

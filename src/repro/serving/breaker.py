@@ -55,7 +55,7 @@ class CircuitBreakerPanel:
     release, :meth:`on_success` / :meth:`on_failure` feed outcomes back.
     """
 
-    def __init__(self, config: BreakerConfig, seed: int = 0) -> None:
+    def __init__(self, config: BreakerConfig, seed: int = 0, telemetry=None) -> None:
         self.config = config
         self.seed = seed
         self._breakers: Dict[str, _TypeBreaker] = {}
@@ -63,6 +63,39 @@ class CircuitBreakerPanel:
         self.trips = 0
         #: Releases refused because a breaker was open.
         self.fast_fails = 0
+        # Optional repro.telemetry.Telemetry: state transitions and fast
+        # fails are cold events, so pushing them costs nothing on the hot
+        # path and nothing at all when telemetry is None.
+        self._transitions = None
+        self._fast_fail_counter = None
+        self._state_gauge = None
+        if telemetry is not None:
+            self._transitions = telemetry.counter(
+                "repro_serving_breaker_transitions_total",
+                "Circuit breaker state transitions",
+                labelnames=("type", "to"),
+            )
+            self._fast_fail_counter = telemetry.counter(
+                "repro_serving_breaker_fast_fails_total",
+                "Releases refused while a breaker was open",
+                labelnames=("type",),
+            )
+            self._state_gauge = telemetry.gauge(
+                "repro_serving_breaker_state",
+                "Breaker state (0 closed / 1 half-open / 2 open)",
+                labelnames=("type",),
+            )
+
+    _STATE_SCORE = {
+        BreakerState.CLOSED: 0.0,
+        BreakerState.HALF_OPEN: 1.0,
+        BreakerState.OPEN: 2.0,
+    }
+
+    def _note_state(self, type_name: str, state: str) -> None:
+        if self._transitions is not None:
+            self._transitions.inc(type=type_name, to=state)
+            self._state_gauge.set(self._STATE_SCORE[state], type=type_name)
 
     def _get(self, type_name: str) -> _TypeBreaker:
         breaker = self._breakers.get(type_name)
@@ -71,13 +104,14 @@ class CircuitBreakerPanel:
             self._breakers[type_name] = breaker
         return breaker
 
-    def _open(self, breaker: _TypeBreaker, now: float) -> None:
+    def _open(self, type_name: str, breaker: _TypeBreaker, now: float) -> None:
         cfg = self.config
         u = 2.0 * float(breaker.rng.random()) - 1.0
         breaker.state = BreakerState.OPEN
         breaker.open_until = now + cfg.cooldown * (1.0 + cfg.jitter * u)
         breaker.probing = False
         self.trips += 1
+        self._note_state(type_name, BreakerState.OPEN)
 
     # -- engine-facing surface --------------------------------------------
 
@@ -90,10 +124,13 @@ class CircuitBreakerPanel:
             # Cooldown elapsed: half-open, admit exactly one probe.
             breaker.state = BreakerState.HALF_OPEN
             breaker.probing = True
+            self._note_state(type_name, BreakerState.HALF_OPEN)
             return True
         # OPEN within cooldown, or HALF_OPEN with the probe still in
         # flight: fail fast.
         self.fast_fails += 1
+        if self._fast_fail_counter is not None:
+            self._fast_fail_counter.inc(type=type_name)
         return False
 
     def on_success(self, type_name: str, now: float) -> None:
@@ -103,6 +140,7 @@ class CircuitBreakerPanel:
         if breaker.state == BreakerState.HALF_OPEN:
             breaker.state = BreakerState.CLOSED
             breaker.probing = False
+            self._note_state(type_name, BreakerState.CLOSED)
 
     def on_failure(self, type_name: str, now: float) -> None:
         """A job of ``type_name`` died with a fault at ``now``."""
@@ -110,12 +148,12 @@ class CircuitBreakerPanel:
         breaker.consecutive_failures += 1
         if breaker.state == BreakerState.HALF_OPEN:
             # The probe itself failed: straight back to OPEN.
-            self._open(breaker, now)
+            self._open(type_name, breaker, now)
         elif (
             breaker.state == BreakerState.CLOSED
             and breaker.consecutive_failures >= self.config.threshold
         ):
-            self._open(breaker, now)
+            self._open(type_name, breaker, now)
 
     # -- introspection -----------------------------------------------------
 

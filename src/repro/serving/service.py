@@ -275,6 +275,7 @@ def run_serving(
     power_interval: float = 1e-3,
     journal_path=None,
     resume: bool = False,
+    telemetry=None,
 ) -> ServingResult:
     """Execute an arrival trace under the overload-resilient serving layer.
 
@@ -336,7 +337,9 @@ def run_serving(
 
     panel: Optional[CircuitBreakerPanel] = None
     if config.breaker is not None:
-        panel = CircuitBreakerPanel(config.breaker, seed=config.seed)
+        panel = CircuitBreakerPanel(
+            config.breaker, seed=config.seed, telemetry=telemetry
+        )
 
     gate: Optional[FleetCapacityGate] = None
     if config.fleet is not None:
@@ -367,6 +370,7 @@ def run_serving(
             spec=spec,
             power_interval=power_interval,
             serving=hooks,
+            telemetry=telemetry,
         )
     except HarnessCrash:
         # The journal holds everything committed before the crash; leave

@@ -41,6 +41,7 @@ class Environment:
         self._queue: List[Tuple[float, int, int, Event]] = []
         self._eid = count()
         self._active_process: Optional[Process] = None
+        self._events_processed: int = 0
         # Optional resilience hook (see repro.resilience.faults).  None in
         # every ordinary run; the step loop only pays one attribute check.
         self._fault_injector: Optional[Any] = None
@@ -61,6 +62,11 @@ class Environment:
     def queue_size(self) -> int:
         """Number of events pending in the calendar (diagnostics only)."""
         return len(self._queue)
+
+    @property
+    def events_processed(self) -> int:
+        """Total events popped from the calendar (diagnostics only)."""
+        return self._events_processed
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none remain."""
@@ -132,6 +138,7 @@ class Environment:
             self._now, _, _, event = heapq.heappop(self._queue)
         except IndexError:
             raise EventError("no scheduled events left") from None
+        self._events_processed += 1
 
         if self._fault_injector is not None:
             self._fault_injector.on_step(self._now)

@@ -1,0 +1,57 @@
+"""Unified telemetry: registry, sampler, probes, exporters, trajectory.
+
+Usage sketch::
+
+    from repro.telemetry import Telemetry
+
+    telemetry = Telemetry()                  # one per run (or shared)
+    result = quick_run(..., telemetry=telemetry)
+    print(generate_latest(telemetry.registry))       # Prometheus text
+    write_jsonl(telemetry.snapshots, "metrics.jsonl")
+
+Every integration point in the simulator takes ``telemetry=None`` and
+skips all instrumentation when it stays ``None`` — disabled runs are
+byte-identical to a build that never heard of this package.
+"""
+
+from .exporters import (
+    TELEMETRY_PID,
+    generate_latest,
+    snapshots_to_counter_events,
+    snapshots_to_jsonl,
+    write_jsonl,
+)
+from .console import metrics_table, sparkline
+from .httpd import CONTENT_TYPE_LATEST, MetricsServer
+from .registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+)
+from .sampler import DEFAULT_SAMPLE_INTERVAL, Sampler, Snapshot, Telemetry
+from .trajectory import load_trajectory, record_trajectory_point
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Sampler",
+    "Snapshot",
+    "Telemetry",
+    "DEFAULT_SAMPLE_INTERVAL",
+    "generate_latest",
+    "snapshots_to_jsonl",
+    "snapshots_to_counter_events",
+    "write_jsonl",
+    "TELEMETRY_PID",
+    "MetricsServer",
+    "CONTENT_TYPE_LATEST",
+    "metrics_table",
+    "sparkline",
+    "record_trajectory_point",
+    "load_trajectory",
+]

@@ -1,0 +1,93 @@
+"""Terminal rendering for telemetry: sparklines and a metrics table.
+
+The ``repro telemetry`` CLI subcommand and the dashboard example both want
+a compact "what happened over the run" view without leaving the terminal:
+one row per exported series with its final value and a block-character
+sparkline of the sampled trajectory.  Everything here is pure formatting
+over :class:`~repro.telemetry.sampler.Snapshot` lists — no registry
+mutation, no wall clock.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .sampler import Snapshot
+
+__all__ = ["sparkline", "metrics_table"]
+
+#: Eight block levels plus a blank for "no data"; the classic spark ramp.
+SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def _resample(values: Sequence[float], width: int) -> List[float]:
+    """Bucket-mean ``values`` down to at most ``width`` points."""
+    if len(values) <= width:
+        return list(values)
+    out = []
+    for i in range(width):
+        lo = i * len(values) // width
+        hi = max(lo + 1, (i + 1) * len(values) // width)
+        chunk = values[lo:hi]
+        out.append(sum(chunk) / len(chunk))
+    return out
+
+
+def sparkline(values: Sequence[float], width: int = 40) -> str:
+    """Render ``values`` as a fixed-height block-character sparkline.
+
+    The series is bucket-averaged down to ``width`` columns and scaled to
+    its own min..max range; a flat series renders as a run of the lowest
+    block so "never moved" is visually distinct from "climbed".
+    """
+    if not values:
+        return ""
+    sampled = _resample(values, max(1, width))
+    lo = min(sampled)
+    hi = max(sampled)
+    if hi <= lo:
+        return SPARK_BLOCKS[0] * len(sampled)
+    span = hi - lo
+    top = len(SPARK_BLOCKS) - 1
+    return "".join(
+        SPARK_BLOCKS[min(top, int((v - lo) / span * top))] for v in sampled
+    )
+
+
+def metrics_table(
+    snapshots: Sequence[Snapshot],
+    pattern: Optional[str] = None,
+    width: int = 40,
+    include_buckets: bool = False,
+) -> List[Dict[str, object]]:
+    """One table row per series: last/min/max values plus a sparkline.
+
+    Series keys come from the flat snapshot map (``name{label="v"}``);
+    ``pattern`` is a plain substring filter on the key.  Histogram
+    ``_bucket`` series are dropped by default (their ``_sum``/``_count``
+    companions still appear) to keep the table readable.  Rows follow the
+    key order of the final snapshot, which is registration order — stable
+    across runs.
+    """
+    if not snapshots:
+        return []
+    final = snapshots[-1]
+    rows: List[Dict[str, object]] = []
+    for key in final.values:
+        if pattern is not None and pattern not in key:
+            continue
+        if not include_buckets and "_bucket{" in key:
+            continue
+        series = [
+            snap.values[key] for snap in snapshots if key in snap.values
+        ]
+        rows.append(
+            {
+                "metric": key,
+                "last": final.values[key],
+                "min": min(series),
+                "max": max(series),
+                "trend": sparkline(series, width=width),
+            }
+        )
+    return rows

@@ -1,0 +1,157 @@
+"""Exporters: Prometheus text exposition, JSONL snapshots, Chrome counters.
+
+All three render the same :class:`~repro.telemetry.registry.MetricRegistry`
+state (directly, or via the sampler's snapshots whose last entry *is* the
+final registry state), so final counter values agree across formats — the
+cross-exporter consistency guarantee pinned by
+``tests/telemetry/test_exporters.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Dict, Iterable, List, Sequence
+
+from .registry import Histogram, MetricRegistry, _format_edge
+from .sampler import Snapshot
+
+__all__ = [
+    "generate_latest",
+    "snapshots_to_jsonl",
+    "write_jsonl",
+    "snapshots_to_counter_events",
+    "TELEMETRY_PID",
+]
+
+#: Chrome trace process id for telemetry counter tracks.  The GPU timeline
+#: from ``analysis/chrome_trace.py`` owns pid 1; counters live in their own
+#: process so Perfetto groups them under a separate expandable header.
+TELEMETRY_PID = 2
+
+_SERIES_RE = re.compile(r'^(?P<name>[^{]+)(\{(?P<labels>.*)\})?$')
+
+
+def generate_latest(registry: MetricRegistry) -> str:
+    """Render the registry in Prometheus text exposition format.
+
+    Output mirrors the official client: ``# HELP``/``# TYPE`` headers per
+    metric, one line per series, histograms expanded to cumulative
+    ``_bucket{le=...}`` lines plus ``_sum`` and ``_count``.
+    """
+    lines: List[str] = []
+    for metric in registry:
+        if metric.help:
+            lines.append(f"# HELP {metric.name} {metric.help}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        if isinstance(metric, Histogram):
+            for key, cumulative, total, count in sorted(
+                metric.snapshot_series(), key=lambda row: row[0]
+            ):
+                base = _label_text(metric.labelnames, key)
+                for edge, n in zip(metric.edges, cumulative):
+                    le = _format_edge(edge)
+                    lines.append(
+                        f"{metric.name}_bucket{{{_join(base, f'le={_q(le)}')}}} {_fmt(n)}"
+                    )
+                lines.append(
+                    f"{metric.name}_bucket{{{_join(base, 'le=' + _q('+Inf'))}}} {_fmt(count)}"
+                )
+                suffix = f"{{{base}}}" if base else ""
+                lines.append(f"{metric.name}_sum{suffix} {_fmt(total)}")
+                lines.append(f"{metric.name}_count{suffix} {_fmt(count)}")
+        else:
+            for key, value in metric.sorted_series():
+                base = _label_text(metric.labelnames, key)
+                suffix = f"{{{base}}}" if base else ""
+                lines.append(f"{metric.name}{suffix} {_fmt(value)}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def _label_text(labelnames: Sequence[str], values: Sequence[str]) -> str:
+    return ",".join(f"{k}={_q(v)}" for k, v in zip(labelnames, values))
+
+
+def _q(value: str) -> str:
+    return '"' + value.replace("\\", "\\\\").replace('"', '\\"') + '"'
+
+
+def _join(base: str, extra: str) -> str:
+    return f"{base},{extra}" if base else extra
+
+
+def _fmt(value: float) -> str:
+    """Prometheus-style number: integers without a trailing ``.0``."""
+    f = float(value)
+    return str(int(f)) if f == int(f) else repr(f)
+
+
+# -- JSONL -----------------------------------------------------------------
+
+
+def snapshots_to_jsonl(snapshots: Iterable[Snapshot]) -> str:
+    """One JSON object per snapshot: ``{"t": sim_time, "values": {...}}``.
+
+    Keys are sorted so the output is byte-stable across runs; values are
+    the flat series map from :meth:`MetricRegistry.snapshot`.
+    """
+    lines = [
+        json.dumps({"t": snap.time, "values": snap.values}, sort_keys=True)
+        for snap in snapshots
+    ]
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def write_jsonl(snapshots: Iterable[Snapshot], path) -> None:
+    """Write :func:`snapshots_to_jsonl` output to ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(snapshots_to_jsonl(snapshots))
+
+
+# -- Chrome trace counters -------------------------------------------------
+
+
+def snapshots_to_counter_events(
+    snapshots: Iterable[Snapshot],
+    include: Sequence[str] = (),
+) -> List[dict]:
+    """Chrome trace ``"ph": "C"`` counter events from sampler snapshots.
+
+    One counter event per metric name per snapshot; each labelled series of
+    the metric becomes one key in ``args`` so Perfetto stacks them on one
+    counter track.  Histogram bucket series are skipped (hundreds of
+    near-static lines swamp the UI) — ``_sum``/``_count`` still chart.
+
+    ``include``, when non-empty, restricts output to metric base names in
+    the sequence.  Timestamps are simulated seconds scaled to microseconds,
+    matching the span events in ``analysis/chrome_trace.py``.
+    """
+    wanted = set(include)
+    events: List[dict] = []
+    for snap in snapshots:
+        grouped: Dict[str, Dict[str, float]] = {}
+        for key in sorted(snap.values):
+            match = _SERIES_RE.match(key)
+            if match is None:  # pragma: no cover - keys are well-formed
+                continue
+            name = match.group("name")
+            if name.endswith("_bucket"):
+                continue
+            if wanted and not any(
+                name == w or name == f"{w}_sum" or name == f"{w}_count"
+                for w in wanted
+            ):
+                continue
+            labels = match.group("labels") or ""
+            grouped.setdefault(name, {})[labels or "value"] = snap.values[key]
+        for name in sorted(grouped):
+            events.append(
+                {
+                    "name": name,
+                    "ph": "C",
+                    "pid": TELEMETRY_PID,
+                    "ts": snap.time * 1e6,
+                    "args": grouped[name],
+                }
+            )
+    return events

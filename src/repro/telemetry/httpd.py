@@ -1,0 +1,87 @@
+"""Tiny stdlib scrape endpoint serving Prometheus text exposition.
+
+A real deployment would point a Prometheus server at this; here it exists
+so the serving story is complete end-to-end (and testable with nothing but
+``urllib``).  The server runs on a daemon thread, binds port 0 by default
+(the OS picks a free port — no collisions in CI), and renders the registry
+*live*: each scrape reflects whatever the simulation has recorded so far.
+
+Wall-clock threading never touches metric values — the HTTP layer only
+reads the registry, so determinism is unaffected.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+from .exporters import generate_latest
+from .registry import MetricRegistry
+
+__all__ = ["MetricsServer", "CONTENT_TYPE_LATEST"]
+
+#: Content type of the exposition format (version pinned like the real one).
+CONTENT_TYPE_LATEST = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    registry: MetricRegistry  # set on the subclass by MetricsServer
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        if self.path.split("?", 1)[0] not in ("/metrics", "/"):
+            self.send_error(404, "try /metrics")
+            return
+        body = generate_latest(self.registry).encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", CONTENT_TYPE_LATEST)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args) -> None:
+        """Silence per-request stderr chatter."""
+
+
+class MetricsServer:
+    """Threaded HTTP server exposing one registry at ``/metrics``."""
+
+    def __init__(self, registry: MetricRegistry, port: int = 0) -> None:
+        handler = type("BoundHandler", (_Handler,), {"registry": registry})
+        self._httpd = ThreadingHTTPServer(("127.0.0.1", port), handler)
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ``port=0``)."""
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Scrape URL for this server."""
+        return f"http://127.0.0.1:{self.port}/metrics"
+
+    def start(self) -> "MetricsServer":
+        """Serve on a daemon thread; returns self for chaining."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="metrics-server",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut the server down and join its thread."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

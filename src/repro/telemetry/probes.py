@@ -1,0 +1,396 @@
+"""Standard probes: wire each layer's live state into the registry.
+
+Probes follow a strict pull model — on every sampler tick they *read*
+simulation state (queue depths, occupancy, watts, counters) and write it
+into registry metrics.  Nothing here mutates the simulation, and nothing
+here runs at all when telemetry is disabled, which is how the subsystem
+stays byte-identical-off and <2%-overhead-on.
+
+Monotonic model counters (commands issued, grids completed, bytes moved)
+are mirrored into registry :class:`~repro.telemetry.registry.Counter`
+objects via the *delta pattern*: each probe closure remembers the last
+value it saw and increments the counter by the difference, so exported
+counters stay genuinely monotonic (Prometheus ``rate()`` works) instead of
+being gauges in disguise.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Iterable, Optional
+
+from .sampler import Telemetry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..fleet.coordinator import FailoverCoordinator
+    from ..fleet.health import HealthMonitor
+    from ..fleet.registry import FleetDevice
+    from ..gpu.device import GPUDevice
+    from ..sim.engine import Environment
+
+__all__ = [
+    "instrument_environment",
+    "instrument_device",
+    "instrument_records",
+    "instrument_injector",
+    "instrument_health_monitor",
+    "instrument_fleet_device",
+    "instrument_failover",
+]
+
+#: Histogram bucket edges for failover durations (seconds): sub-millisecond
+#: detection through multi-second recoveries.
+FAILOVER_BUCKETS = (1e-3, 5e-3, 1e-2, 5e-2, 0.1, 0.5, 1.0, 5.0)
+
+
+def _pull_counter(counter, read: Callable[[], float], **labels) -> Callable[[], None]:
+    """Delta-pattern probe: mirror a monotonic model counter into ``counter``."""
+    last = [float(read())]
+
+    def probe() -> None:
+        current = float(read())
+        delta = current - last[0]
+        if delta > 0:
+            counter.inc(delta, **labels)
+            last[0] = current
+
+    return probe
+
+
+# -- sim engine ------------------------------------------------------------
+
+
+def instrument_environment(telemetry: Telemetry, env: "Environment") -> None:
+    """Event-loop depth and throughput of the discrete-event engine."""
+    depth = telemetry.gauge(
+        "repro_sim_calendar_depth", "Events pending in the event calendar"
+    )
+    events = telemetry.counter(
+        "repro_sim_events_total", "Events popped from the calendar"
+    )
+
+    telemetry.add_probe(lambda: depth.set(env.queue_size))
+    telemetry.add_probe(_pull_counter(events, lambda: env.events_processed))
+
+
+# -- GPU device ------------------------------------------------------------
+
+
+def instrument_device(
+    telemetry: Telemetry, device: "GPUDevice", device_label: str = "0"
+) -> None:
+    """Occupancy, DMA, Hyper-Q, grid-engine and power signals of one GPU."""
+    dev = device_label
+
+    occupancy = telemetry.gauge(
+        "repro_gpu_thread_occupancy",
+        "Resident threads / device thread capacity",
+        labelnames=("device",),
+    )
+    busy_smx = telemetry.gauge(
+        "repro_gpu_busy_smx",
+        "SMXs with at least one resident block",
+        labelnames=("device",),
+    )
+    resident_blocks = telemetry.gauge(
+        "repro_gpu_resident_blocks",
+        "Thread blocks resident across the device",
+        labelnames=("device",),
+    )
+    smx_occupancy = telemetry.gauge(
+        "repro_gpu_smx_occupancy",
+        "Per-SMX resident threads / SMX thread capacity",
+        labelnames=("device", "smx"),
+    )
+    watts = telemetry.gauge(
+        "repro_gpu_power_watts", "Instantaneous board power", labelnames=("device",)
+    )
+    active_grids = telemetry.gauge(
+        "repro_gpu_active_grids",
+        "Grids resident on the grid engine",
+        labelnames=("device",),
+    )
+    inflight = telemetry.gauge(
+        "repro_gpu_inflight_commands",
+        "Commands dispatched and not yet retired",
+        labelnames=("device",),
+    )
+    active_streams = telemetry.gauge(
+        "repro_gpu_active_streams",
+        "Streams with in-flight commands",
+        labelnames=("device",),
+    )
+    hq_in_use = telemetry.gauge(
+        "repro_gpu_hyperq_queues_in_use",
+        "Hardware work queues with at least one stream mapped",
+        labelnames=("device",),
+    )
+    hq_live = telemetry.gauge(
+        "repro_gpu_hyperq_live_queues",
+        "Hardware work queues with an unretired tail command",
+        labelnames=("device",),
+    )
+    dma_depth = telemetry.gauge(
+        "repro_gpu_dma_queue_depth",
+        "Memcpy commands waiting for the engine",
+        labelnames=("device", "direction"),
+    )
+    dma_stretch = telemetry.gauge(
+        "repro_gpu_dma_latency_stretch",
+        "(wire + queueing time) / wire time of served transfers",
+        labelnames=("device", "direction"),
+    )
+    commands = telemetry.counter(
+        "repro_gpu_commands_issued_total",
+        "Commands enqueued on the device",
+        labelnames=("device",),
+    )
+    grids_done = telemetry.counter(
+        "repro_gpu_grids_completed_total",
+        "Kernel grids retired",
+        labelnames=("device",),
+    )
+    waves = telemetry.counter(
+        "repro_gpu_waves_total",
+        "Block-scheduler placement passes that placed work",
+        labelnames=("device",),
+    )
+    hq_depth = telemetry.counter(
+        "repro_gpu_hyperq_commands_total",
+        "Commands pushed through the hardware work queues",
+        labelnames=("device",),
+    )
+    dma_cmds = telemetry.counter(
+        "repro_gpu_dma_commands_total",
+        "Memcpy commands served",
+        labelnames=("device", "direction"),
+    )
+    dma_bytes = telemetry.counter(
+        "repro_gpu_dma_bytes_total",
+        "Bytes moved by the DMA engines",
+        labelnames=("device", "direction"),
+    )
+    dma_busy_s = telemetry.counter(
+        "repro_gpu_dma_busy_seconds_total",
+        "Accumulated wire time",
+        labelnames=("device", "direction"),
+    )
+    dma_wait_s = telemetry.counter(
+        "repro_gpu_dma_wait_seconds_total",
+        "Accumulated ready-to-start queueing delay",
+        labelnames=("device", "direction"),
+    )
+
+    smx_cap = float(device.smx.spec.max_threads)
+    fabric = device.fabric
+
+    def sample_device() -> None:
+        occupancy.set(device.smx.thread_occupancy, device=dev)
+        busy_smx.set(device.smx.busy_smx_count, device=dev)
+        resident_blocks.set(device.smx.resident_blocks, device=dev)
+        for smx in device.smx:
+            smx_occupancy.set(
+                smx.resident_threads / smx_cap, device=dev, smx=str(smx.index)
+            )
+        watts.set(device.power.current_power, device=dev)
+        active_grids.set(device.grid_engine.active_grids, device=dev)
+        inflight.set(device._inflight, device=dev)
+        active_streams.set(device._active_streams, device=dev)
+        hq_in_use.set(len(set(fabric._stream_to_queue.values())), device=dev)
+        hq_live.set(
+            sum(
+                1
+                for q in fabric.queues
+                if q._tail is not None and q._tail.callbacks is not None
+            ),
+            device=dev,
+        )
+        for direction, engine in device.dma.items():
+            d = direction.value
+            dma_depth.set(engine.pending_count, device=dev, direction=d)
+            if engine.busy_seconds > 0:
+                dma_stretch.set(
+                    (engine.busy_seconds + engine.wait_seconds) / engine.busy_seconds,
+                    device=dev,
+                    direction=d,
+                )
+
+    telemetry.add_probe(sample_device)
+    telemetry.add_probe(
+        _pull_counter(commands, lambda: device.commands_issued, device=dev)
+    )
+    telemetry.add_probe(
+        _pull_counter(grids_done, lambda: device.grid_engine.grids_completed, device=dev)
+    )
+    telemetry.add_probe(
+        _pull_counter(waves, lambda: device.grid_engine.total_waves, device=dev)
+    )
+    telemetry.add_probe(
+        _pull_counter(
+            hq_depth,
+            lambda: sum(q.depth_total for q in fabric.queues),
+            device=dev,
+        )
+    )
+    for direction, engine in device.dma.items():
+        d = direction.value
+        telemetry.add_probe(
+            _pull_counter(
+                dma_cmds, lambda e=engine: e.commands_served, device=dev, direction=d
+            )
+        )
+        telemetry.add_probe(
+            _pull_counter(
+                dma_bytes, lambda e=engine: e.bytes_moved, device=dev, direction=d
+            )
+        )
+        telemetry.add_probe(
+            _pull_counter(
+                dma_busy_s, lambda e=engine: e.busy_seconds, device=dev, direction=d
+            )
+        )
+        telemetry.add_probe(
+            _pull_counter(
+                dma_wait_s, lambda e=engine: e.wait_seconds, device=dev, direction=d
+            )
+        )
+
+
+# -- resilience ------------------------------------------------------------
+
+
+def instrument_records(telemetry: Telemetry, records: Iterable) -> None:
+    """Retry/fault/watchdog accounting pulled from live ``AppRecord``s."""
+    retries = telemetry.counter(
+        "repro_resilience_retries_total", "Application retry attempts"
+    )
+    faults = telemetry.counter(
+        "repro_resilience_faults_detected_total", "Faults detected by supervisors"
+    )
+    watchdog = telemetry.counter(
+        "repro_resilience_watchdog_firings_total", "Watchdog deadline hits"
+    )
+
+    telemetry.add_probe(
+        _pull_counter(retries, lambda: sum(r.retries for r in records))
+    )
+    telemetry.add_probe(
+        _pull_counter(faults, lambda: sum(r.faults_detected for r in records))
+    )
+    telemetry.add_probe(
+        _pull_counter(watchdog, lambda: sum(r.deadline_hits for r in records))
+    )
+
+
+def instrument_injector(
+    telemetry: Telemetry, injector, device_label: str = "0"
+) -> None:
+    """Per-kind injected-fault counts pulled from a ``FaultInjector``."""
+    if injector is None:
+        return
+    injected = telemetry.counter(
+        "repro_resilience_faults_injected_total",
+        "Faults armed by the injector, by kind",
+        labelnames=("device", "kind"),
+    )
+
+    last: dict = {}
+
+    def probe() -> None:
+        for kind, n in injector.applied_counts().items():
+            key = getattr(kind, "value", str(kind))
+            delta = n - last.get(key, 0)
+            if delta > 0:
+                injected.inc(delta, device=device_label, kind=key)
+                last[key] = n
+
+    telemetry.add_probe(probe)
+
+
+# -- fleet -----------------------------------------------------------------
+
+#: Numeric encoding of device health for the gauge (2 = healthy, 1 =
+#: degraded, 0 = lost) — higher is healthier, so dips read naturally.
+_HEALTH_SCORE = {"healthy": 2.0, "degraded": 1.0, "lost": 0.0}
+
+
+def instrument_fleet_device(telemetry: Telemetry, device: "FleetDevice") -> None:
+    """GPU signals plus registry health for one fleet slot."""
+    label = str(device.index)
+    instrument_device(telemetry, device.gpu, device_label=label)
+    instrument_injector(telemetry, device.injector, device_label=label)
+    health = telemetry.gauge(
+        "repro_fleet_device_health",
+        "Registry health (2 healthy / 1 degraded / 0 lost)",
+        labelnames=("device",),
+    )
+    telemetry.add_probe(
+        lambda: health.set(_HEALTH_SCORE[device.state.value], device=label)
+    )
+
+
+def instrument_health_monitor(
+    telemetry: Telemetry, monitor: "HealthMonitor"
+) -> None:
+    """Heartbeat reads/misses and observed-state transitions."""
+    beats = telemetry.counter(
+        "repro_fleet_heartbeats_total", "Heartbeat readings taken"
+    )
+    missed = telemetry.counter(
+        "repro_fleet_missed_heartbeats_total",
+        "Heartbeats observed missing, per device",
+        labelnames=("device",),
+    )
+    transitions = telemetry.counter(
+        "repro_fleet_health_transitions_total",
+        "Observed device state transitions",
+        labelnames=("device", "to"),
+    )
+
+    telemetry.add_probe(_pull_counter(beats, lambda: monitor.heartbeats_read))
+
+    missed_last: dict = {}
+    events_seen = [0]
+
+    def probe() -> None:
+        for index, n in monitor.missed_heartbeats.items():
+            delta = n - missed_last.get(index, 0)
+            if delta > 0:
+                missed.inc(delta, device=str(index))
+                missed_last[index] = n
+        for event in monitor.events[events_seen[0]:]:
+            transitions.inc(1, device=str(event.device), to=event.new_state)
+        events_seen[0] = len(monitor.events)
+
+    telemetry.add_probe(probe)
+
+
+def instrument_failover(
+    telemetry: Telemetry, coordinator: "FailoverCoordinator"
+) -> None:
+    """Failover counts, durations and migrated-app totals."""
+    failovers = telemetry.counter(
+        "repro_fleet_failovers_total", "Completed device failovers"
+    )
+    migrated = telemetry.counter(
+        "repro_fleet_migrated_apps_total", "Applications migrated off lost devices"
+    )
+    duration = telemetry.histogram(
+        "repro_fleet_failover_duration_seconds",
+        "Loss-to-resume duration of completed failovers",
+        buckets=FAILOVER_BUCKETS,
+    )
+
+    seen = [0]
+
+    def probe() -> None:
+        recoveries = coordinator.recoveries
+        for rec in recoveries[seen[0]:]:
+            failovers.inc()
+            migrated.inc(len(rec.get("apps", ())))
+            resumed = rec.get("resumed")
+            lost = rec.get("lost")
+            if resumed is not None and lost is not None:
+                duration.observe(resumed - lost)
+        seen[0] = len(recoveries)
+
+    telemetry.add_probe(probe)

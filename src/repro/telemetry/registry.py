@@ -1,0 +1,309 @@
+"""Label-aware metric registry: counters, gauges and fixed-bucket histograms.
+
+The registry is the telemetry subsystem's single source of truth.  Every
+layer of the stack (sim engine, GPU model, serving, resilience, fleet)
+registers metrics here and the exporters (:mod:`repro.telemetry.exporters`)
+render the *same* registry state as Prometheus text, JSONL snapshots or
+Chrome trace counters — which is what makes the cross-exporter consistency
+guarantee testable.
+
+Determinism rules (see ``docs/observability.md``):
+
+* metric iteration order is registration order; series within a metric are
+  sorted by label values — output never depends on dict insertion history;
+* histogram bucket edges are fixed at construction (no adaptive binning);
+* no wall-clock anywhere: values are keyed to *simulated* time by the
+  :class:`~repro.telemetry.sampler.Sampler`.
+
+The registry itself knows nothing about the simulation; it is a plain
+in-memory data structure with O(1) update paths, cheap enough to consult
+from cold paths and pulled (not pushed) from hot paths by the sampler.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+]
+
+#: Fixed latency bucket edges (seconds), log-spaced over the simulator's
+#: microsecond-to-second dynamic range.  Deterministic by construction:
+#: the same run always lands the same observation in the same bucket.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0,
+)
+
+LabelValues = Tuple[str, ...]
+
+
+def _format_series(name: str, labelnames: Sequence[str], values: LabelValues) -> str:
+    """Canonical ``name{k="v",...}`` series key (Prometheus grammar)."""
+    if not labelnames:
+        return name
+    inner = ",".join(
+        f'{k}="{v}"' for k, v in zip(labelnames, values)
+    )
+    return f"{name}{{{inner}}}"
+
+
+class Metric:
+    """Base class: one named metric with a fixed label schema."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, labelnames: Sequence[str] = ()) -> None:
+        if not name or not name.replace("_", "").replace(":", "").isalnum():
+            raise ValueError(f"invalid metric name {name!r}")
+        self.name = name
+        self.help = help
+        self.labelnames: Tuple[str, ...] = tuple(labelnames)
+
+    def _key(self, labels: Mapping[str, str]) -> LabelValues:
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"{self.name}: expected labels {self.labelnames}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        return tuple(str(labels[k]) for k in self.labelnames)
+
+    def series(self) -> Iterator[Tuple[LabelValues, float]]:  # pragma: no cover
+        raise NotImplementedError
+
+    def sorted_series(self) -> List[Tuple[LabelValues, float]]:
+        """Series sorted by label values (deterministic export order)."""
+        return sorted(self.series(), key=lambda kv: kv[0])
+
+
+class Counter(Metric):
+    """Monotonically increasing count (events, bytes, faults...)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str, labelnames: Sequence[str] = ()) -> None:
+        super().__init__(name, help, labelnames)
+        self._values: Dict[LabelValues, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        """Add ``amount`` (must be >= 0) to one labelled series."""
+        if amount < 0:
+            raise ValueError(f"{self.name}: counters cannot decrease")
+        key = self._key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        """Current total of one series (0 if never incremented)."""
+        return self._values.get(self._key(labels), 0.0)
+
+    def series(self) -> Iterator[Tuple[LabelValues, float]]:
+        return iter(self._values.items())
+
+
+class Gauge(Metric):
+    """Point-in-time value (queue depth, occupancy, watts...)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str, labelnames: Sequence[str] = ()) -> None:
+        super().__init__(name, help, labelnames)
+        self._values: Dict[LabelValues, float] = {}
+
+    def set(self, value: float, **labels: str) -> None:
+        """Set one labelled series to ``value``."""
+        self._values[self._key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        """Adjust one series by ``amount`` (may be negative)."""
+        key = self._key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: str) -> None:
+        """Convenience inverse of :meth:`inc`."""
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: str) -> float:
+        """Current value of one series (0 if never set)."""
+        return self._values.get(self._key(labels), 0.0)
+
+    def series(self) -> Iterator[Tuple[LabelValues, float]]:
+        return iter(self._values.items())
+
+
+class _HistogramSeries:
+    """Bucket counts + sum for one labelled histogram series."""
+
+    __slots__ = ("bucket_counts", "total", "count")
+
+    def __init__(self, nbuckets: int) -> None:
+        self.bucket_counts = [0] * nbuckets  # per-bucket (non-cumulative)
+        self.total = 0.0
+        self.count = 0
+
+
+class Histogram(Metric):
+    """Distribution over *fixed* bucket edges chosen at construction.
+
+    Edges are upper bounds (``le``); an implicit ``+Inf`` bucket catches
+    the overflow, exactly like Prometheus client histograms.  Adaptive
+    binning is deliberately unsupported: fixed edges keep two runs of the
+    same workload byte-comparable.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+        labelnames: Sequence[str] = (),
+    ) -> None:
+        super().__init__(name, help, labelnames)
+        edges = tuple(float(b) for b in buckets)
+        if not edges:
+            raise ValueError(f"{name}: need at least one bucket edge")
+        if list(edges) != sorted(set(edges)):
+            raise ValueError(f"{name}: bucket edges must be strictly increasing")
+        self.edges = edges
+        self._series: Dict[LabelValues, _HistogramSeries] = {}
+
+    def observe(self, value: float, **labels: str) -> None:
+        """Record one observation."""
+        key = self._key(labels)
+        series = self._series.get(key)
+        if series is None:
+            series = _HistogramSeries(len(self.edges) + 1)
+            self._series[key] = series
+        series.bucket_counts[bisect_left(self.edges, value)] += 1
+        series.total += value
+        series.count += 1
+
+    def snapshot_series(
+        self,
+    ) -> Iterator[Tuple[LabelValues, List[int], float, int]]:
+        """(labels, cumulative bucket counts incl. +Inf, sum, count)."""
+        for key, series in self._series.items():
+            cumulative: List[int] = []
+            running = 0
+            for n in series.bucket_counts:
+                running += n
+                cumulative.append(running)
+            yield key, cumulative, series.total, series.count
+
+    def series(self) -> Iterator[Tuple[LabelValues, float]]:
+        """The ``_count`` view, so generic consumers see something sane."""
+        return ((key, float(s.count)) for key, s in self._series.items())
+
+
+class MetricRegistry:
+    """A named set of metrics with get-or-create registration.
+
+    ``counter``/``gauge``/``histogram`` are idempotent: asking twice for
+    the same name returns the same object (and raises if the kind or label
+    schema changed), so independent layers can share metrics without
+    coordinating.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+
+    def __iter__(self) -> Iterator[Metric]:
+        return iter(self._metrics.values())
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def get(self, name: str) -> Optional[Metric]:
+        """The registered metric called ``name``, or ``None``."""
+        return self._metrics.get(name)
+
+    def _register(self, cls, name: str, help: str, **kwargs) -> Metric:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as {existing.kind}"
+                )
+            labelnames = tuple(kwargs.get("labelnames", ()))
+            if existing.labelnames != labelnames:
+                raise ValueError(
+                    f"metric {name!r} re-registered with labels {labelnames}, "
+                    f"was {existing.labelnames}"
+                )
+            return existing
+        metric = cls(name, help, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Counter:
+        """Get or create a :class:`Counter`."""
+        return self._register(Counter, name, help, labelnames=labelnames)
+
+    def gauge(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Gauge:
+        """Get or create a :class:`Gauge`."""
+        return self._register(Gauge, name, help, labelnames=labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+        labelnames: Sequence[str] = (),
+    ) -> Histogram:
+        """Get or create a :class:`Histogram` with fixed ``buckets``."""
+        return self._register(
+            Histogram, name, help, buckets=buckets, labelnames=labelnames
+        )
+
+    # -- snapshots ---------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flat ``series-key -> value`` view of the whole registry.
+
+        Counters and gauges contribute one entry per series; histograms
+        contribute ``_sum``/``_count`` plus cumulative ``_bucket`` entries
+        — the exact numbers the Prometheus exposition renders, so every
+        exporter derives from one canonical view.
+        """
+        out: Dict[str, float] = {}
+        for metric in self._metrics.values():
+            if isinstance(metric, Histogram):
+                for key, cumulative, total, count in sorted(
+                    metric.snapshot_series(), key=lambda row: row[0]
+                ):
+                    bucket_labels = metric.labelnames + ("le",)
+                    for edge, n in zip(metric.edges, cumulative):
+                        out[
+                            _format_series(
+                                metric.name + "_bucket",
+                                bucket_labels,
+                                key + (_format_edge(edge),),
+                            )
+                        ] = float(n)
+                    out[
+                        _format_series(
+                            metric.name + "_bucket", bucket_labels, key + ("+Inf",)
+                        )
+                    ] = float(cumulative[-1] if cumulative else 0)
+                    out[_format_series(metric.name + "_sum", metric.labelnames, key)] = total
+                    out[_format_series(metric.name + "_count", metric.labelnames, key)] = float(count)
+            else:
+                for key, value in metric.sorted_series():
+                    out[_format_series(metric.name, metric.labelnames, key)] = value
+        return out
+
+
+def _format_edge(edge: float) -> str:
+    """``le`` label text for a bucket edge (trim trailing float noise)."""
+    text = repr(edge)
+    return text[:-2] if text.endswith(".0") else text

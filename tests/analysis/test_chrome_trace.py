@@ -4,7 +4,12 @@ import json
 
 import pytest
 
-from repro.analysis.chrome_trace import GPU_PID, to_chrome_trace, write_chrome_trace
+from repro.analysis.chrome_trace import (
+    GPU_PID,
+    _track_sort_key,
+    to_chrome_trace,
+    write_chrome_trace,
+)
 from repro.sim.trace import TraceRecorder
 
 
@@ -45,6 +50,40 @@ class TestConversion:
         proc = next(e for e in meta if e["name"] == "process_name")
         assert proc["args"]["name"] == "Test GPU"
 
+    def test_numeric_tracks_sort_numerically(self):
+        t = TraceRecorder()
+        for i in (10, 2, 1):
+            t.record(f"stream-{i}", "kernel", "k", 0.0, 1e-3)
+        doc = to_chrome_trace(t)
+        names = [
+            e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        ]
+        assert names == ["stream-1", "stream-2", "stream-10"]
+
+    def test_mixed_tracks_never_compare_int_to_str(self):
+        # The typed key must stay totally ordered for any track mix —
+        # bare prefixes, numbered siblings, and digit-leading names
+        # (where the split's piece parity differs) all in one sort.
+        tracks = ["stream-", "stream-2", "dma-htod", "stream-extra", "2nd"]
+        ordered = sorted(tracks, key=_track_sort_key)
+        assert ordered[0] == "2nd"  # digit pieces sort before text pieces
+        assert ordered.index("stream-2") < ordered.index("stream-extra")
+
+    def test_every_track_has_sort_index(self, trace):
+        doc = to_chrome_trace(trace)
+        sort_meta = [
+            e for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_sort_index"
+        ]
+        named = [
+            e for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        ]
+        assert len(sort_meta) == len(named) == 2
+        assert [e["args"]["sort_index"] for e in sort_meta] == [1, 2]
+
     def test_spans_reference_valid_tids(self, trace):
         doc = to_chrome_trace(trace)
         tids = {
@@ -55,6 +94,60 @@ class TestConversion:
         for event in doc["traceEvents"]:
             if event["ph"] in ("X", "i"):
                 assert event["tid"] in tids
+
+
+class TestCounterMerge:
+    @pytest.fixture
+    def counters(self):
+        return [
+            {
+                "name": "repro_gpu_power_watts",
+                "ph": "C",
+                "pid": 2,
+                "ts": 1500.0,
+                "args": {'device="0"': 75.0},
+            },
+            {
+                "name": "repro_gpu_power_watts",
+                "ph": "C",
+                "pid": 2,
+                "ts": 2500.0,
+                "args": {'device="0"': 98.0},
+            },
+        ]
+
+    def test_counter_events_and_process_metadata(self, trace, counters):
+        doc = to_chrome_trace(trace, counter_events=counters)
+        events = doc["traceEvents"]
+        merged = [e for e in events if e["ph"] == "C"]
+        assert len(merged) == 2
+        assert all(e["pid"] == 2 for e in merged)
+        meta = {
+            e["name"]: e["args"]
+            for e in events
+            if e["ph"] == "M" and e["pid"] == 2
+        }
+        assert meta["process_name"] == {"name": "Telemetry"}
+        assert meta["process_sort_index"] == {"sort_index": 2}
+
+    def test_counter_pid_distinct_from_gpu(self, trace, counters):
+        doc = to_chrome_trace(trace, counter_events=counters)
+        gpu_events = [
+            e for e in doc["traceEvents"] if e["ph"] in ("X", "i")
+        ]
+        assert all(e["pid"] == GPU_PID for e in gpu_events)
+        assert all(e["pid"] != GPU_PID for e in counters)
+
+    def test_no_counters_no_telemetry_process(self, trace):
+        doc = to_chrome_trace(trace)
+        assert all(e["pid"] == GPU_PID for e in doc["traceEvents"])
+
+    def test_write_with_counters_roundtrips(self, trace, counters, tmp_path):
+        path = write_chrome_trace(
+            trace, tmp_path / "merged.json", counter_events=counters
+        )
+        loaded = json.loads(path.read_text())
+        assert [e for e in loaded["traceEvents"] if e["ph"] == "C"]
 
 
 class TestWrite:

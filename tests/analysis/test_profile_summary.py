@@ -3,6 +3,7 @@
 import pytest
 
 from repro.analysis.profile_summary import (
+    _span_stats,
     kernel_summary,
     stream_summary,
     transfer_summary,
@@ -38,6 +39,29 @@ class TestKernelSummary:
 
     def test_empty_trace(self):
         assert kernel_summary(TraceRecorder()) == []
+
+
+class TestSpanStats:
+    def test_empty_durations_return_zero_row(self):
+        # Regression: an empty list used to reach arr.min()/arr.max(),
+        # which raise ValueError on zero-size arrays.
+        stats = _span_stats([])
+        assert stats == {
+            "total_ms": 0.0, "avg_us": 0.0, "min_us": 0.0, "max_us": 0.0
+        }
+
+    def test_single_duration(self):
+        stats = _span_stats([2e-3])
+        assert stats["total_ms"] == pytest.approx(2.0)
+        assert stats["min_us"] == stats["max_us"] == pytest.approx(2000.0)
+
+
+class TestEmptySummaries:
+    def test_all_summaries_survive_empty_trace(self):
+        empty = TraceRecorder()
+        assert kernel_summary(empty) == []
+        assert transfer_summary(empty) == []
+        assert stream_summary(empty) == []
 
 
 class TestTransferSummary:

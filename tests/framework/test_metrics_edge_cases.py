@@ -1,0 +1,114 @@
+"""Edge cases for the Eq. 1/2 metrics: empty directions, single apps, zeros."""
+
+import pytest
+
+from repro.framework.metrics import (
+    AppRecord,
+    TransferEvent,
+    average_effective_latency,
+    goodput,
+    improvement_pct,
+    makespan,
+)
+from repro.gpu.commands import CopyDirection
+
+
+def _record(stream=0, transfers=()):
+    rec = AppRecord(
+        app_id="a0",
+        type_name="gaussian",
+        instance=0,
+        stream_index=stream,
+        launch_index=0,
+    )
+    rec.transfers.extend(transfers)
+    return rec
+
+
+def _xfer(direction, start, end, nbytes=1024):
+    return TransferEvent(
+        direction=direction,
+        nbytes=nbytes,
+        buffer="buf",
+        enqueued=start,
+        started=start,
+        completed=end,
+    )
+
+
+class TestZeroTransfersOneDirection:
+    def test_effective_latency_none_for_missing_direction(self):
+        rec = _record(transfers=[_xfer(CopyDirection.HTOD, 0.0, 1e-3)])
+        assert rec.effective_latency(CopyDirection.HTOD) == pytest.approx(1e-3)
+        assert rec.effective_latency(CopyDirection.DTOH) is None
+
+    def test_pure_transfer_time_zero_for_missing_direction(self):
+        rec = _record(transfers=[_xfer(CopyDirection.HTOD, 0.0, 1e-3)])
+        assert rec.pure_transfer_time(CopyDirection.DTOH) == 0.0
+
+    def test_average_skips_apps_without_the_direction(self):
+        # One app has DtoH copies, one doesn't; the Le average must only
+        # see the app that transferred — None entries contribute nothing.
+        with_dtoh = _record(
+            stream=0, transfers=[_xfer(CopyDirection.DTOH, 0.0, 2e-3)]
+        )
+        without = _record(stream=1, transfers=[])
+        avg = average_effective_latency(
+            [with_dtoh, without], CopyDirection.DTOH
+        )
+        assert avg == pytest.approx(2e-3)
+
+    def test_average_zero_when_no_app_transferred(self):
+        records = [_record(stream=i) for i in range(3)]
+        assert average_effective_latency(records, CopyDirection.HTOD) == 0.0
+
+
+class TestSingleAppStream:
+    def test_single_app_average_equals_its_latency(self):
+        # The paper's two-level average (per stream, then across streams)
+        # must degenerate cleanly to the lone application's Le.
+        rec = _record(
+            stream=0,
+            transfers=[
+                _xfer(CopyDirection.HTOD, 0.0, 1e-3),
+                _xfer(CopyDirection.HTOD, 3e-3, 4e-3),
+            ],
+        )
+        avg = average_effective_latency([rec], CopyDirection.HTOD)
+        assert avg == pytest.approx(4e-3)  # first start -> last completion
+
+    def test_uneven_streams_weight_per_stream_not_per_app(self):
+        # Stream 0 has two apps (Le 1 ms and 3 ms), stream 1 has one
+        # (Le 10 ms): stream means are 2 ms and 10 ms, overall 6 ms —
+        # not the per-app mean of ~4.67 ms.
+        s0a = _record(stream=0, transfers=[_xfer(CopyDirection.HTOD, 0.0, 1e-3)])
+        s0b = _record(stream=0, transfers=[_xfer(CopyDirection.HTOD, 0.0, 3e-3)])
+        s1 = _record(stream=1, transfers=[_xfer(CopyDirection.HTOD, 0.0, 10e-3)])
+        avg = average_effective_latency([s0a, s0b, s1], CopyDirection.HTOD)
+        assert avg == pytest.approx(6e-3)
+
+
+class TestImprovementPct:
+    def test_zero_baseline_raises(self):
+        with pytest.raises(ValueError, match="non-positive baseline"):
+            improvement_pct(0.0, 1.0)
+
+    def test_negative_baseline_raises(self):
+        with pytest.raises(ValueError, match="non-positive baseline"):
+            improvement_pct(-2.0, 1.0)
+
+    def test_equal_values_are_zero_improvement(self):
+        assert improvement_pct(5.0, 5.0) == 0.0
+
+    def test_regression_is_negative(self):
+        assert improvement_pct(1.0, 2.0) == pytest.approx(-100.0)
+
+
+class TestAggregateZeros:
+    def test_makespan_empty_records(self):
+        assert makespan([]) == 0.0
+
+    def test_goodput_zero_horizon(self):
+        rec = _record()
+        rec.complete_time = 1e-3
+        assert goodput([rec], 0.0) == 0.0

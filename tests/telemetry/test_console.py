@@ -1,0 +1,69 @@
+"""Tests for the terminal sparkline / metrics-table rendering."""
+
+import pytest
+
+from repro.telemetry import Snapshot, metrics_table, sparkline
+from repro.telemetry.console import SPARK_BLOCKS, _resample
+
+pytestmark = pytest.mark.telemetry
+
+
+class TestSparkline:
+    def test_empty_series(self):
+        assert sparkline([]) == ""
+
+    def test_flat_series_is_lowest_block(self):
+        assert sparkline([5.0, 5.0, 5.0]) == SPARK_BLOCKS[0] * 3
+
+    def test_ramp_spans_full_range(self):
+        line = sparkline([0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0])
+        assert line == SPARK_BLOCKS
+
+    def test_long_series_resampled_to_width(self):
+        assert len(sparkline(list(range(1000)), width=40)) == 40
+
+    def test_resample_preserves_short_series(self):
+        assert _resample([1.0, 2.0], 40) == [1.0, 2.0]
+
+    def test_resample_bucket_means(self):
+        assert _resample([0.0, 2.0, 4.0, 6.0], 2) == [1.0, 5.0]
+
+
+class TestMetricsTable:
+    SNAPS = [
+        Snapshot(0.0, {"repro_a": 1.0, 'repro_h_bucket{le="1"}': 0.0,
+                       "repro_h_sum": 0.0}),
+        Snapshot(1e-3, {"repro_a": 3.0, 'repro_h_bucket{le="1"}': 2.0,
+                        "repro_h_sum": 0.5}),
+    ]
+
+    def test_rows_carry_last_min_max_trend(self):
+        rows = metrics_table(self.SNAPS)
+        row = next(r for r in rows if r["metric"] == "repro_a")
+        assert row["last"] == 3.0
+        assert row["min"] == 1.0
+        assert row["max"] == 3.0
+        assert row["trend"]  # non-empty sparkline
+
+    def test_bucket_series_hidden_by_default(self):
+        metrics = [r["metric"] for r in metrics_table(self.SNAPS)]
+        assert 'repro_h_bucket{le="1"}' not in metrics
+        assert "repro_h_sum" in metrics
+
+    def test_bucket_series_opt_in(self):
+        metrics = [
+            r["metric"]
+            for r in metrics_table(self.SNAPS, include_buckets=True)
+        ]
+        assert 'repro_h_bucket{le="1"}' in metrics
+
+    def test_substring_filter(self):
+        rows = metrics_table(self.SNAPS, pattern="repro_a")
+        assert [r["metric"] for r in rows] == ["repro_a"]
+
+    def test_empty_snapshots(self):
+        assert metrics_table([]) == []
+
+    def test_row_order_is_final_snapshot_key_order(self):
+        rows = metrics_table(self.SNAPS)
+        assert [r["metric"] for r in rows] == ["repro_a", "repro_h_sum"]

@@ -1,0 +1,214 @@
+"""Tests for the exporters, including cross-exporter consistency."""
+
+import json
+
+import pytest
+
+from repro.sim.engine import Environment
+from repro.telemetry import (
+    TELEMETRY_PID,
+    MetricRegistry,
+    Snapshot,
+    Telemetry,
+    generate_latest,
+    snapshots_to_counter_events,
+    snapshots_to_jsonl,
+    write_jsonl,
+)
+
+pytestmark = pytest.mark.telemetry
+
+
+def parse_prometheus(text):
+    """series-key -> value from text exposition (comments skipped)."""
+    out = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        key, value = line.rsplit(" ", 1)
+        out[key] = float(value)
+    return out
+
+
+@pytest.fixture
+def registry():
+    reg = MetricRegistry()
+    reg.counter(
+        "repro_jobs_total", "Jobs by outcome", labelnames=("outcome",)
+    ).inc(3, outcome="completed")
+    reg.gauge("repro_depth", "Queue depth").set(2)
+    hist = reg.histogram("repro_lat", "Latency", buckets=(1e-3, 1.0))
+    hist.observe(5e-4)
+    hist.observe(0.5)
+    hist.observe(2.0)
+    return reg
+
+
+class TestPrometheusText:
+    def test_help_and_type_headers(self, registry):
+        text = generate_latest(registry)
+        assert "# HELP repro_jobs_total Jobs by outcome" in text
+        assert "# TYPE repro_jobs_total counter" in text
+        assert "# TYPE repro_depth gauge" in text
+        assert "# TYPE repro_lat histogram" in text
+
+    def test_series_lines(self, registry):
+        parsed = parse_prometheus(generate_latest(registry))
+        assert parsed['repro_jobs_total{outcome="completed"}'] == 3.0
+        assert parsed["repro_depth"] == 2.0
+
+    def test_histogram_cumulative_buckets(self, registry):
+        parsed = parse_prometheus(generate_latest(registry))
+        assert parsed['repro_lat_bucket{le="0.001"}'] == 1.0
+        assert parsed['repro_lat_bucket{le="1"}'] == 2.0
+        assert parsed['repro_lat_bucket{le="+Inf"}'] == 3.0
+        assert parsed["repro_lat_sum"] == pytest.approx(2.5005)
+        assert parsed["repro_lat_count"] == 3.0
+
+    def test_integers_render_without_decimal_point(self, registry):
+        text = generate_latest(registry)
+        assert 'repro_jobs_total{outcome="completed"} 3\n' in text
+        assert "repro_depth 2\n" in text
+
+    def test_label_values_escaped(self):
+        reg = MetricRegistry()
+        reg.counter("repro_odd_total", labelnames=("why",)).inc(
+            why='say "hi"\\now'
+        )
+        text = generate_latest(reg)
+        assert r'why="say \"hi\"\\now"' in text
+
+    def test_empty_registry(self):
+        assert generate_latest(MetricRegistry()) == ""
+
+
+class TestJsonl:
+    def test_one_object_per_snapshot(self):
+        snaps = [
+            Snapshot(0.0, {"repro_a": 1.0}),
+            Snapshot(1e-3, {"repro_a": 2.0}),
+        ]
+        lines = snapshots_to_jsonl(snaps).splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first == {"t": 0.0, "values": {"repro_a": 1.0}}
+
+    def test_byte_stable_key_order(self):
+        a = snapshots_to_jsonl([Snapshot(0.0, {"repro_b": 1.0, "repro_a": 2.0})])
+        b = snapshots_to_jsonl([Snapshot(0.0, {"repro_a": 2.0, "repro_b": 1.0})])
+        assert a == b
+
+    def test_empty(self):
+        assert snapshots_to_jsonl([]) == ""
+
+    def test_write_jsonl(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        write_jsonl([Snapshot(0.0, {"repro_a": 1.0})], path)
+        assert json.loads(path.read_text())["values"]["repro_a"] == 1.0
+
+
+class TestCounterEvents:
+    def test_event_shape(self):
+        snaps = [Snapshot(2e-3, {'repro_w{device="0"}': 75.0})]
+        (event,) = snapshots_to_counter_events(snaps)
+        assert event["ph"] == "C"
+        assert event["pid"] == TELEMETRY_PID
+        assert event["ts"] == pytest.approx(2000.0)  # us
+        assert event["name"] == "repro_w"
+        assert event["args"] == {'device="0"': 75.0}
+
+    def test_label_less_series_use_value_key(self):
+        (event,) = snapshots_to_counter_events([Snapshot(0.0, {"repro_d": 3.0})])
+        assert event["args"] == {"value": 3.0}
+
+    def test_bucket_series_skipped(self):
+        snaps = [
+            Snapshot(
+                0.0,
+                {
+                    'repro_lat_bucket{le="+Inf"}': 4.0,
+                    "repro_lat_sum": 1.0,
+                    "repro_lat_count": 4.0,
+                },
+            )
+        ]
+        names = {e["name"] for e in snapshots_to_counter_events(snaps)}
+        assert names == {"repro_lat_sum", "repro_lat_count"}
+
+    def test_include_filter_matches_family(self):
+        snaps = [
+            Snapshot(0.0, {"repro_a": 1.0, "repro_b": 2.0, "repro_a_sum": 3.0})
+        ]
+        names = {
+            e["name"]
+            for e in snapshots_to_counter_events(snaps, include=("repro_a",))
+        }
+        assert names == {"repro_a", "repro_a_sum"}
+
+    def test_one_event_per_metric_per_snapshot(self):
+        snaps = [
+            Snapshot(
+                0.0, {'repro_g{d="0"}': 1.0, 'repro_g{d="1"}': 2.0}
+            )
+        ]
+        (event,) = snapshots_to_counter_events(snaps)
+        assert event["args"] == {'d="0"': 1.0, 'd="1"': 2.0}
+
+
+class TestCrossExporterConsistency:
+    """All three exporters must agree on final values (ISSUE acceptance)."""
+
+    @pytest.fixture
+    def finished(self):
+        telemetry = Telemetry(interval=1e-3)
+        counter = telemetry.counter(
+            "repro_jobs_total", labelnames=("outcome",)
+        )
+        gauge = telemetry.gauge("repro_depth")
+        hist = telemetry.histogram("repro_lat", buckets=(1e-3, 1.0))
+        env = Environment()
+        telemetry.attach(env)
+        telemetry.add_probe(lambda: gauge.set(env.queue_size))
+
+        def workload():
+            for i in range(5):
+                yield env.timeout(7e-4)
+                counter.inc(outcome="completed" if i % 2 == 0 else "shed")
+                hist.observe(i * 1e-3)
+
+        env.process(workload())
+        telemetry.start()
+        env.run(until=4e-3)
+        telemetry.stop()
+        env.run()
+        telemetry.finalize()
+        return telemetry
+
+    def test_prometheus_agrees_with_final_snapshot(self, finished):
+        prom = parse_prometheus(generate_latest(finished.registry))
+        final = finished.snapshots[-1].values
+        assert prom == final
+
+    def test_jsonl_agrees_with_final_snapshot(self, finished):
+        lines = snapshots_to_jsonl(finished.snapshots).splitlines()
+        last = json.loads(lines[-1])
+        assert last["values"] == finished.snapshots[-1].values
+
+    def test_chrome_counters_agree_with_final_snapshot(self, finished):
+        events = snapshots_to_counter_events(finished.snapshots)
+        final_ts = max(e["ts"] for e in events)
+        final_values = {}
+        for event in events:
+            if event["ts"] == final_ts:
+                for labels, v in event["args"].items():
+                    key = (
+                        event["name"] if labels == "value"
+                        else f'{event["name"]}{{{labels}}}'
+                    )
+                    final_values[key] = v
+        expected = {
+            k: v
+            for k, v in finished.snapshots[-1].values.items()
+            if "_bucket{" not in k
+        }
+        assert final_values == expected

@@ -1,0 +1,59 @@
+"""Tests for the stdlib /metrics scrape endpoint."""
+
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.telemetry import (
+    CONTENT_TYPE_LATEST,
+    MetricRegistry,
+    MetricsServer,
+    generate_latest,
+)
+
+pytestmark = pytest.mark.telemetry
+
+
+@pytest.fixture
+def registry():
+    reg = MetricRegistry()
+    reg.counter("repro_scrapes_total", "How many").inc(4)
+    return reg
+
+
+class TestMetricsServer:
+    def test_scrape_matches_generate_latest(self, registry):
+        with MetricsServer(registry) as server:
+            with urllib.request.urlopen(server.url, timeout=5) as resp:
+                assert resp.status == 200
+                assert resp.headers["Content-Type"] == CONTENT_TYPE_LATEST
+                body = resp.read().decode("utf-8")
+        assert body == generate_latest(registry)
+
+    def test_scrapes_are_live(self, registry):
+        counter = registry.counter("repro_scrapes_total")
+        with MetricsServer(registry) as server:
+            counter.inc(6)  # after start, before scrape
+            with urllib.request.urlopen(server.url, timeout=5) as resp:
+                body = resp.read().decode("utf-8")
+        assert "repro_scrapes_total 10\n" in body
+
+    def test_root_path_serves_metrics_too(self, registry):
+        with MetricsServer(registry) as server:
+            url = f"http://127.0.0.1:{server.port}/"
+            with urllib.request.urlopen(url, timeout=5) as resp:
+                assert "repro_scrapes_total" in resp.read().decode("utf-8")
+
+    def test_unknown_path_is_404(self, registry):
+        with MetricsServer(registry) as server:
+            url = f"http://127.0.0.1:{server.port}/nope"
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(url, timeout=5)
+            assert excinfo.value.code == 404
+
+    def test_server_stops_after_context_exit(self, registry):
+        with MetricsServer(registry) as server:
+            url = server.url
+        with pytest.raises(urllib.error.URLError):
+            urllib.request.urlopen(url, timeout=1)

@@ -1,0 +1,147 @@
+"""Tests for the label-aware metric registry."""
+
+import pytest
+
+from repro.telemetry import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+)
+
+pytestmark = pytest.mark.telemetry
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        c = Counter("repro_test_total", "help")
+        assert c.value() == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value() == 3.5
+
+    def test_negative_increment_rejected(self):
+        c = Counter("repro_test_total", "")
+        with pytest.raises(ValueError, match="cannot decrease"):
+            c.inc(-1.0)
+
+    def test_labelled_series_are_independent(self):
+        c = Counter("repro_test_total", "", labelnames=("kind",))
+        c.inc(kind="a")
+        c.inc(3, kind="b")
+        assert c.value(kind="a") == 1.0
+        assert c.value(kind="b") == 3.0
+
+    def test_wrong_label_set_rejected(self):
+        c = Counter("repro_test_total", "", labelnames=("kind",))
+        with pytest.raises(ValueError, match="expected labels"):
+            c.inc(device="0")
+        with pytest.raises(ValueError, match="expected labels"):
+            c.inc()
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("repro_depth", "")
+        g.set(4.0)
+        g.inc()
+        g.dec(2.0)
+        assert g.value() == 3.0
+
+    def test_gauge_may_go_negative(self):
+        g = Gauge("repro_delta", "")
+        g.dec(5.0)
+        assert g.value() == -5.0
+
+
+class TestHistogram:
+    def test_bucket_edges_are_le_bounds(self):
+        h = Histogram("repro_lat", "", buckets=(1.0, 10.0))
+        h.observe(1.0)    # == edge -> that bucket (le semantics)
+        h.observe(0.5)
+        h.observe(5.0)
+        h.observe(100.0)  # overflow -> +Inf only
+        ((_, cumulative, total, count),) = h.snapshot_series()
+        assert cumulative == [2, 3, 4]  # le=1, le=10, +Inf
+        assert count == 4
+        assert total == pytest.approx(106.5)
+
+    def test_default_buckets_are_fixed_constants(self):
+        h = Histogram("repro_lat", "")
+        assert h.edges == DEFAULT_LATENCY_BUCKETS
+
+    def test_unsorted_edges_rejected(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram("repro_lat", "", buckets=(1.0, 1.0, 2.0))
+
+    def test_empty_edges_rejected(self):
+        with pytest.raises(ValueError, match="at least one bucket"):
+            Histogram("repro_lat", "", buckets=())
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        reg = MetricRegistry()
+        a = reg.counter("repro_x_total", "first")
+        b = reg.counter("repro_x_total", "second")
+        assert a is b
+        assert len(reg) == 1
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricRegistry()
+        reg.counter("repro_x")
+        with pytest.raises(ValueError, match="already registered as counter"):
+            reg.gauge("repro_x")
+
+    def test_label_schema_conflict_rejected(self):
+        reg = MetricRegistry()
+        reg.gauge("repro_x", labelnames=("a",))
+        with pytest.raises(ValueError, match="re-registered with labels"):
+            reg.gauge("repro_x", labelnames=("b",))
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(ValueError, match="invalid metric name"):
+            Counter("bad name!", "")
+        with pytest.raises(ValueError, match="invalid metric name"):
+            Counter("", "")
+
+    def test_iteration_is_registration_order(self):
+        reg = MetricRegistry()
+        reg.counter("repro_b")
+        reg.gauge("repro_a")
+        reg.counter("repro_c")
+        assert [m.name for m in reg] == ["repro_b", "repro_a", "repro_c"]
+
+    def test_snapshot_flattens_all_kinds(self):
+        reg = MetricRegistry()
+        reg.counter("repro_jobs_total", labelnames=("outcome",)).inc(
+            outcome="completed"
+        )
+        reg.gauge("repro_depth").set(7)
+        reg.histogram("repro_lat", buckets=(1.0,)).observe(0.5)
+        snap = reg.snapshot()
+        assert snap['repro_jobs_total{outcome="completed"}'] == 1.0
+        assert snap["repro_depth"] == 7.0
+        assert snap['repro_lat_bucket{le="1"}'] == 1.0
+        assert snap['repro_lat_bucket{le="+Inf"}'] == 1.0
+        assert snap["repro_lat_sum"] == 0.5
+        assert snap["repro_lat_count"] == 1.0
+
+    def test_snapshot_series_sorted_by_label_values(self):
+        reg = MetricRegistry()
+        g = reg.gauge("repro_g", labelnames=("device",))
+        g.set(2, device="10")
+        g.set(1, device="2")
+        keys = [k for k in reg.snapshot()]
+        # Lexicographic by label value: "10" < "2" — stable, not numeric.
+        assert keys == ['repro_g{device="10"}', 'repro_g{device="2"}']
+
+    def test_snapshots_equal_for_equal_updates(self):
+        def build():
+            reg = MetricRegistry()
+            reg.counter("repro_n_total", labelnames=("k",)).inc(2, k="x")
+            reg.histogram("repro_h", buckets=(1e-3, 1.0)).observe(0.01)
+            return reg.snapshot()
+
+        assert build() == build()

@@ -1,0 +1,128 @@
+"""Tests for the sim-clock sampler and the Telemetry facade."""
+
+import pytest
+
+from repro.sim.engine import Environment
+from repro.telemetry import MetricRegistry, Sampler, Telemetry
+
+pytestmark = pytest.mark.telemetry
+
+
+class TestSampler:
+    def test_snapshots_on_the_simulated_grid(self):
+        env = Environment()
+        reg = MetricRegistry()
+        sampler = Sampler(env, reg, interval=1e-3)
+        sampler.start()
+        env.run(until=3.5e-3)
+        assert [s.time for s in sampler.snapshots] == pytest.approx(
+            [0.0, 1e-3, 2e-3, 3e-3]
+        )
+
+    def test_probes_run_before_each_snapshot(self):
+        env = Environment()
+        reg = MetricRegistry()
+        gauge = reg.gauge("repro_now")
+        sampler = Sampler(env, reg, interval=1e-3)
+        sampler.add_probe(lambda: gauge.set(env.now))
+        sampler.start()
+        env.run(until=2.5e-3)
+        values = [s.values["repro_now"] for s in sampler.snapshots]
+        assert values == pytest.approx([0.0, 1e-3, 2e-3])
+
+    def test_stop_lets_the_run_settle(self):
+        env = Environment()
+        sampler = Sampler(env, MetricRegistry(), interval=1e-3)
+        sampler.start()
+        env.run(until=1.5e-3)
+        sampler.stop()
+        # With the sampler stopped the calendar drains instead of ticking
+        # forever; run() terminates without an `until` bound.
+        env.run()
+        assert env.now < 10e-3
+        assert sampler.sample_count <= 3
+
+    def test_start_is_idempotent(self):
+        env = Environment()
+        sampler = Sampler(env, MetricRegistry(), interval=1e-3)
+        sampler.start()
+        sampler.start()
+        env.run(until=0.5e-3)
+        assert sampler.sample_count == 1  # one loop, one t=0 sample
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError, match="interval"):
+            Sampler(Environment(), MetricRegistry(), interval=0.0)
+
+
+class TestTelemetryFacade:
+    def test_metrics_usable_before_attach(self):
+        telemetry = Telemetry()
+        counter = telemetry.counter("repro_early_total")
+        counter.inc(5)
+        assert telemetry.registry.snapshot()["repro_early_total"] == 5.0
+
+    def test_pending_probes_install_on_attach(self):
+        telemetry = Telemetry(interval=1e-3)
+        gauge = telemetry.gauge("repro_g")
+        telemetry.add_probe(lambda: gauge.set(42))
+        env = Environment()
+        telemetry.attach(env)
+        telemetry.start()
+        env.run(until=0.5e-3)
+        assert telemetry.last_value("repro_g") == 42.0
+
+    def test_attach_same_env_is_idempotent(self):
+        telemetry = Telemetry()
+        env = Environment()
+        sampler = telemetry.attach(env)
+        assert telemetry.attach(env) is sampler
+
+    def test_reattach_keeps_registry_resets_snapshots(self):
+        telemetry = Telemetry(interval=1e-3)
+        counter = telemetry.counter("repro_runs_total")
+        env1 = Environment()
+        telemetry.attach(env1)
+        telemetry.start()
+        counter.inc()
+        env1.run(until=2.5e-3)
+        first_count = len(telemetry.snapshots)
+        assert first_count >= 2
+
+        env2 = Environment()
+        telemetry.attach(env2)
+        assert telemetry.snapshots == []          # fresh clock, fresh series
+        assert counter.value() == 1.0             # counters accumulate
+        assert telemetry.counter("repro_runs_total") is counter
+
+    def test_start_before_attach_raises(self):
+        with pytest.raises(RuntimeError, match="not attached"):
+            Telemetry().start()
+
+    def test_finalize_snapshot_is_registry_state(self):
+        telemetry = Telemetry(interval=1e-3)
+        counter = telemetry.counter("repro_n_total")
+        env = Environment()
+        telemetry.attach(env)
+        telemetry.start()
+        env.run(until=1.5e-3)
+        counter.inc(9)  # lands after the last periodic tick
+        last = telemetry.finalize()
+        assert last.values == telemetry.registry.snapshot()
+        assert last is telemetry.snapshots[-1]
+
+    def test_series_view(self):
+        telemetry = Telemetry(interval=1e-3)
+        gauge = telemetry.gauge("repro_g")
+        env = Environment()
+        telemetry.attach(env)
+        telemetry.add_probe(lambda: gauge.set(env.now * 1000))
+        telemetry.start()
+        env.run(until=2.5e-3)
+        series = telemetry.series("repro_g")
+        assert [p["t"] for p in series] == pytest.approx([0.0, 1e-3, 2e-3])
+        assert [p["value"] for p in series] == pytest.approx([0.0, 1.0, 2.0])
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError, match="interval"):
+            Telemetry(interval=-1.0)

@@ -1,0 +1,60 @@
+"""Tests for the perf-trajectory recorder."""
+
+import json
+
+import pytest
+
+from repro.telemetry import load_trajectory, record_trajectory_point
+
+pytestmark = pytest.mark.telemetry
+
+
+class TestRecord:
+    def test_first_point_creates_file(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        data = record_trajectory_point(path, "bench_x", {"wall_s": 1.5})
+        assert path.exists()
+        assert data["benchmark"] == "bench_x"
+        (point,) = data["points"]
+        assert point["metrics"] == {"wall_s": 1.5}
+        assert "date" in point and "commit" in point
+
+    def test_points_append(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        record_trajectory_point(path, "bench_x", {"wall_s": 1.0})
+        data = record_trajectory_point(path, "bench_x", {"wall_s": 2.0})
+        assert [p["metrics"]["wall_s"] for p in data["points"]] == [1.0, 2.0]
+
+    def test_file_is_valid_sorted_json(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        record_trajectory_point(path, "bench_x", {"b": 2, "a": 1})
+        on_disk = json.loads(path.read_text())
+        assert list(on_disk["points"][0]["metrics"]) == ["a", "b"]
+
+    def test_no_tmp_file_left_behind(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        record_trajectory_point(path, "bench_x", {"wall_s": 1.0})
+        assert list(tmp_path.iterdir()) == [path]
+
+
+class TestLoad:
+    def test_missing_file_is_empty_trajectory(self, tmp_path):
+        data = load_trajectory(tmp_path / "BENCH_none.json")
+        assert data == {"benchmark": "BENCH_none", "points": []}
+
+    def test_torn_file_tolerated(self, tmp_path):
+        path = tmp_path / "BENCH_torn.json"
+        path.write_text('{"benchmark": "x", "points": [{"comm')
+        assert load_trajectory(path)["points"] == []
+
+    def test_wrong_shape_tolerated(self, tmp_path):
+        path = tmp_path / "BENCH_shape.json"
+        path.write_text('["not", "an", "object"]')
+        assert load_trajectory(path)["points"] == []
+
+    def test_recording_over_torn_file_recovers(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        path.write_text("{{{")
+        data = record_trajectory_point(path, "bench_x", {"wall_s": 3.0})
+        assert len(data["points"]) == 1
+        assert json.loads(path.read_text())["benchmark"] == "bench_x"

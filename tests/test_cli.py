@@ -15,7 +15,7 @@ class TestParser:
             "list", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
             "fig9", "fig10", "timeline", "table3", "headline",
             "autotune", "streaming", "report", "homog", "resilience",
-            "serve", "fleet",
+            "serve", "fleet", "telemetry",
         }
 
     def test_requires_command(self, capsys):
@@ -172,6 +172,35 @@ class TestCommands:
         assert main(argv + ["--resume"]) == 0
         out = capsys.readouterr().out
         assert "resumed from journal" in out
+
+    def test_telemetry_tiny_with_csv(self, tmp_path, capsys):
+        prom = tmp_path / "metrics.prom"
+        jsonl = tmp_path / "metrics.jsonl"
+        code = main([
+            "--scale", "tiny", "--out", str(tmp_path),
+            "telemetry", "--apps", "4", "--interval", "2e-5",
+            "--prom", str(prom), "--jsonl", str(jsonl),
+        ])
+        assert code == 0
+        assert (tmp_path / "telemetry.csv").exists()
+        out = capsys.readouterr().out
+        assert "repro_gpu_power_watts" in out
+        assert "trend" in out
+        text = prom.read_text()
+        assert text.startswith("# HELP") or text.startswith("# TYPE")
+        assert "repro_sim_events_total" in text
+        assert jsonl.read_text().count("\n") >= 1
+
+    def test_telemetry_filter(self, capsys):
+        code = main([
+            "--scale", "tiny",
+            "telemetry", "--apps", "4", "--interval", "2e-5",
+            "--filter", "repro_gpu_power",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "repro_gpu_power_watts" in out
+        assert "repro_sim_events_total" not in out
 
     def test_report_missing_sections(self, tmp_path, capsys):
         code = main(["report", "--results", str(tmp_path)])

@@ -83,6 +83,19 @@ def test_fault_injected_service(monkeypatch, capsys):
     assert "applications completed despite" in out
 
 
+def test_telemetry_dashboard(monkeypatch, capsys, tmp_path):
+    out = run_example(
+        monkeypatch, capsys, "telemetry_dashboard.py",
+        ["--scale", "tiny", "--apps", "4", "--interval", "2e-5",
+         "--out", str(tmp_path)],
+    )
+    assert "scraped" in out
+    assert "wrote merged Chrome trace" in out
+    assert (tmp_path / "metrics.prom").exists()
+    assert (tmp_path / "metrics.jsonl").exists()
+    assert (tmp_path / "trace_with_counters.json").exists()
+
+
 def test_overload_shedding_service(monkeypatch, capsys):
     out = run_example(
         monkeypatch, capsys, "overload_shedding_service.py",
