@@ -11,22 +11,7 @@ import numpy as np
 
 from repro.analysis.tables import write_csv
 from repro.core.experiments import fig3_orders
-from repro.framework.scheduler import SchedulingOrder, make_schedule
-
-FIGURE_3 = {
-    "naive-fifo": [
-        "AX(1)", "AX(2)", "AX(3)", "AX(4)", "AY(1)", "AY(2)", "AY(3)", "AY(4)",
-    ],
-    "round-robin": [
-        "AX(1)", "AY(1)", "AX(2)", "AY(2)", "AX(3)", "AY(3)", "AX(4)", "AY(4)",
-    ],
-    "reverse-fifo": [
-        "AY(1)", "AY(2)", "AY(3)", "AY(4)", "AX(1)", "AX(2)", "AX(3)", "AX(4)",
-    ],
-    "reverse-round-robin": [
-        "AY(1)", "AX(1)", "AY(2)", "AX(2)", "AY(3)", "AX(3)", "AY(4)", "AX(4)",
-    ],
-}
+from repro.scheduling.orders import FIGURE_3, SchedulingOrder, make_schedule
 
 
 def test_fig3_launch_orders(benchmark, results_dir):

@@ -11,6 +11,7 @@ from conftest import once
 
 from repro.analysis.tables import format_table, write_csv
 from repro.core.experiments import fig7_ordering_default
+from repro.scheduling.orders import ordering_rows
 
 NUM_APPS = 32
 
@@ -23,15 +24,7 @@ def test_fig7_ordering_default(benchmark, runner, scale, results_dir):
         scale=scale,
         runner=runner,
     )
-    rows = [
-        {
-            "pair": f"{r.pair[0]}+{r.pair[1]}",
-            "order": str(r.order),
-            "makespan_ms": r.makespan * 1e3,
-            "normalized_perf": r.normalized_performance,
-        }
-        for r in result.rows
-    ]
+    rows = ordering_rows(result)
     write_csv(rows, results_dir / "fig07_ordering_default.csv")
     print()
     print(format_table(

@@ -13,6 +13,7 @@ from conftest import once
 
 from repro.analysis.tables import format_table, write_csv
 from repro.core.experiments import fig7_ordering_default, fig8_ordering_sync
+from repro.scheduling.orders import ordering_rows
 
 NUM_APPS = 32
 
@@ -25,15 +26,7 @@ def test_fig8_ordering_sync(benchmark, runner, scale, results_dir):
         scale=scale,
         runner=runner,
     )
-    rows = [
-        {
-            "pair": f"{r.pair[0]}+{r.pair[1]}",
-            "order": str(r.order),
-            "makespan_ms": r.makespan * 1e3,
-            "normalized_perf": r.normalized_performance,
-        }
-        for r in result.rows
-    ]
+    rows = ordering_rows(result)
     write_csv(rows, results_dir / "fig08_ordering_sync.csv")
     print()
     print(format_table(

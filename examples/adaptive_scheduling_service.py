@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Online launch-order learning for a recurring, skewed workload mix.
+
+A serving deployment rarely sees the paper's clean 50/50 pairs: here the
+recurring batch is *skewed* (six gaussian eliminations to every two nn
+lookups), so none of the Figure 3 intuition transfers directly and the
+right launch order has to be discovered.  This example:
+
+1. measures all five static launch orders on the skewed batch (the
+   oracle a one-off deployment could never afford);
+2. serves the same batch repeatedly through the adaptive scheduler's
+   epsilon-greedy bandit (``repro.serving.run_batched_serving``), which
+   explores each arm once and then exploits the best measured order;
+3. prints the learning trajectory and checks the bandit's steady-state
+   choice lands within 5% of the best static order — the same bound
+   ``benchmarks/bench_scheduler_policies.py`` enforces on the even
+   pairs.
+
+Run:
+    python examples/adaptive_scheduling_service.py [--scale small]
+"""
+
+import argparse
+
+from repro.analysis.tables import format_table
+from repro.scheduling.orders import all_orders
+from repro.serving import run_batched_serving
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="small",
+                        choices=("tiny", "small", "paper"))
+    parser.add_argument("--batches", type=int, default=12,
+                        help="how many times the recurring batch is served")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    # The recurring admitted batch: compute-heavy gaussian dominates 3:1.
+    batch = [("gaussian", 6), ("nn", 2)]
+    mix = " + ".join(f"{n}x {t}" for t, n in batch)
+    print(f"recurring batch: {mix} (scale={args.scale})")
+
+    # -- the oracle: every static order, measured once -------------------
+    statics = {}
+    for order in all_orders():
+        result = run_batched_serving(
+            [batch], policy=order.value, scale=args.scale, seed=args.seed
+        )
+        statics[order.value] = result.batches[0].makespan
+    best_label = min(statics, key=lambda k: (statics[k], k))
+    best = statics[best_label]
+    print()
+    print(format_table(
+        [
+            {
+                "order": label,
+                "makespan_ms": ms * 1e3,
+                "vs_best_pct": (ms - best) / best * 100.0,
+            }
+            for label, ms in sorted(statics.items(), key=lambda kv: kv[1])
+        ],
+        title="Static launch orders (exhaustive oracle)",
+    ))
+    print(f"best static order: {best_label} ({best * 1e3:.3f} ms)")
+
+    # -- the learner: same batch, served repeatedly ----------------------
+    result = run_batched_serving(
+        [batch] * args.batches,
+        policy="bandit",
+        scale=args.scale,
+        seed=args.seed,
+    )
+    print()
+    print(format_table(
+        [
+            {
+                "batch": i,
+                "order": b.decision.order_label,
+                "phase": "explore" if b.decision.explored else "exploit",
+                "sync": b.decision.memory_sync,
+                "makespan_ms": b.makespan * 1e3,
+                "vs_best_pct": (b.makespan - best) / best * 100.0,
+            }
+            for i, b in enumerate(result.batches)
+        ],
+        title="Bandit learning trajectory",
+    ))
+    print(result.summary())
+
+    exploit = [b for b in result.batches if not b.decision.explored]
+    if not exploit:
+        raise SystemExit(
+            "no exploit decisions yet - raise --batches above the five "
+            "exploration rounds"
+        )
+    steady = exploit[-1]
+    gap_pct = (steady.makespan - best) / best * 100.0
+    print()
+    print(
+        f"steady state: {steady.decision.order_label} at "
+        f"{steady.makespan * 1e3:.3f} ms"
+    )
+    print(
+        f"bandit converged within {gap_pct:.2f}% of the best static order "
+        "(budget: 5%)"
+    )
+    assert gap_pct <= 5.0, "bandit missed the 5% convergence budget"
+
+
+if __name__ == "__main__":
+    main()

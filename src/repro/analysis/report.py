@@ -185,6 +185,17 @@ SECTIONS: List[Section] = [
             "dispatch, which completes more jobs but lands them late."
         ),
     ),
+    Section(
+        title="Scheduling — adaptive vs the five static orders",
+        csv_name="scheduler_policies.csv",
+        paper_claim=(
+            "(Future-work extension.) The greedy transfer/compute "
+            "interleaving and the per-mix bandit each reach a makespan no "
+            "worse than the median static order on every Figure 8 pair; "
+            "after its exploration pass the bandit matches the best static "
+            "order within 5%."
+        ),
+    ),
 ]
 
 

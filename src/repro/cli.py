@@ -156,6 +156,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=7)
 
     p = sub.add_parser(
+        "schedule",
+        help="adaptive batch scheduling: online ordering, sync and width",
+    )
+    p.add_argument("--policy", default="bandit",
+                   help="scheduling policy (see repro.scheduling.POLICY_NAMES)")
+    p.add_argument("--pair", nargs=2, default=["gaussian", "needle"])
+    p.add_argument("--apps", type=int, default=8,
+                   help="instances per batch (split across the pair)")
+    p.add_argument("--batches", type=int, default=12,
+                   help="number of admitted batches to serve")
+    p.add_argument("--width", type=int, default=None,
+                   help="stream-width cap per batch (default: batch size)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--epsilon", type=float, default=0.1,
+                   help="bandit exploration probability")
+    p.add_argument("--journal", type=Path, default=None,
+                   help="crash-safe decision journal path")
+    p.add_argument("--resume", action="store_true",
+                   help="resume a crashed run from --journal")
+    p.add_argument("--crash-after", type=int, default=None, metavar="N",
+                   help="kill the run after N batches (exercise the journal)")
+
+    p = sub.add_parser(
         "resilience",
         help="fault-injection study: clean vs faulted run of one cell",
     )
@@ -279,7 +302,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(
             "experiments: fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 "
             "timeline table3 headline homog autotune streaming serve "
-            "resilience fleet telemetry report"
+            "schedule resilience fleet telemetry report"
         )
         return 0
 
@@ -344,17 +367,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command in ("fig7", "fig8"):
+        from .scheduling.orders import ordering_rows
+
         fn = ex.fig7_ordering_default if args.command == "fig7" else ex.fig8_ordering_sync
         result = fn(num_apps=args.apps, scale=scale)
-        rows = [
-            {
-                "pair": f"{r.pair[0]}+{r.pair[1]}",
-                "order": str(r.order),
-                "makespan_ms": r.makespan * 1e3,
-                "normalized_perf": r.normalized_performance,
-            }
-            for r in result.rows
-        ]
+        rows = ordering_rows(result)
         label = "default memory" if args.command == "fig7" else "memory sync"
         _emit(rows, f"Figure {args.command[3:]} — ordering effect ({label})", out, args.command)
         mx, avg = result.stats()
@@ -897,6 +914,59 @@ def main(argv: Optional[List[str]] = None) -> int:
                 out,
                 "serving_outcomes",
             )
+        if result.resumed:
+            print(
+                f"resumed from journal: {result.recovered_entries} entries "
+                "verified against the replay"
+            )
+        print(result.summary())
+        return 0
+
+    if args.command == "schedule":
+        from .serving import run_batched_serving
+        from .sim.errors import HarnessCrash
+
+        x, y = args.pair
+        half = max(1, args.apps // 2)
+        batch = [(x, half), (y, max(1, args.apps - half))]
+        try:
+            result = run_batched_serving(
+                [batch] * args.batches,
+                policy=args.policy,
+                width=args.width,
+                scale=scale,
+                seed=args.seed,
+                epsilon=args.epsilon,
+                journal_path=args.journal,
+                resume=args.resume,
+                crash_after=args.crash_after,
+            )
+        except HarnessCrash as crash:
+            print(f"harness crashed mid-run: {crash}")
+            if args.journal is not None:
+                print(
+                    f"journal preserved at {args.journal}; rerun with "
+                    "--resume to recover deterministically"
+                )
+            return 3
+        rows = [
+            {
+                "batch": i,
+                "order": b.decision.order_label,
+                "sync": b.decision.memory_sync,
+                "width": b.decision.num_streams,
+                "explored": b.decision.explored,
+                "predicted_ms": b.decision.predicted_makespan * 1e3,
+                "observed_ms": b.makespan * 1e3,
+            }
+            for i, b in enumerate(result.batches)
+        ]
+        _emit(
+            rows,
+            f"Adaptive scheduling ({args.policy}, {x}+{y})",
+            out,
+            "schedule",
+        )
         if result.resumed:
             print(
                 f"resumed from journal: {result.recovered_entries} entries "

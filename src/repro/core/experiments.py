@@ -32,7 +32,7 @@ import numpy as np
 
 from ..apps.registry import all_pairs, get_app_class
 from ..framework.metrics import improvement_pct
-from ..framework.scheduler import SchedulingOrder, all_orders, schedule_signature
+from ..scheduling.orders import SchedulingOrder, all_orders, schedule_signature
 from ..gpu.commands import CopyDirection
 from ..gpu.kernels import Dim3, KernelDescriptor
 from ..gpu.specs import DeviceSpec, tesla_k20
@@ -147,7 +147,7 @@ def fig1_fig2_timelines(
 
 def fig3_orders(m: int = 4, n: int = 4, seed: int = 7) -> Dict[str, List[str]]:
     """The five schedules for m copies of X and n of Y (Figure 3)."""
-    from ..framework.scheduler import make_schedule
+    from ..scheduling.orders import make_schedule
 
     types = ["AX"] * m + ["AY"] * n
     rng = np.random.default_rng(seed)

@@ -159,6 +159,7 @@ class ExperimentRunner:
             admission=config.admission,
             resilience=resilience,
             telemetry=config.telemetry,
+            order_label=str(config.order),
         )
         result = TestHarness(harness_config).run()
         self.runs_executed += 1

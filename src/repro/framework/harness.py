@@ -103,6 +103,9 @@ class HarnessConfig:
     #: Optional repro.telemetry.Telemetry (kept untyped to avoid importing
     #: the subsystem on the hot path when disabled).
     telemetry: object = None
+    #: Launch-order policy label stamped onto every AppRecord ("" = unset),
+    #: so reports can attribute makespan differences to the ordering used.
+    order_label: str = ""
 
     def __post_init__(self) -> None:
         if not self.apps:
@@ -320,6 +323,8 @@ class TestHarness:
             # Terminal outcome in the serving layer's vocabulary, so batch
             # and streaming records aggregate through the same accounting.
             record.outcome = "failed" if record.failed else "completed"
+            record.order_policy = cfg.order_label
+            record.memory_sync = cfg.memory_sync
         span = makespan(records)
         t0 = min(r.spawn_time for r in records)
         t1 = max(r.complete_time for r in records)

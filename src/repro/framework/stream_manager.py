@@ -64,6 +64,21 @@ class StreamManager:
         self._assignments: Dict[int, int] = {s.index: 0 for s in self.streams}
         self._next = 0
 
+    @classmethod
+    def from_decision(
+        cls,
+        env: "Environment",
+        device: GPUDevice,
+        decision,
+        policy: str = "round-robin",
+    ) -> "StreamManager":
+        """Build a pool sized by a scheduler decision.
+
+        ``decision`` is a :class:`repro.scheduling.SchedulingDecision`; its
+        ``num_streams`` (the granted concurrency width) becomes NS.
+        """
+        return cls(env, device, decision.num_streams, policy=policy)
+
     def __repr__(self) -> str:
         return f"<StreamManager {len(self.streams)} streams ({self.policy})>"
 

@@ -1,0 +1,229 @@
+"""Workload characterization: transfer-heavy vs compute-heavy app types.
+
+The greedy interleaving policy and the sync predictor both need to know,
+per application type, how much of its serial life is PCIe transfer versus
+kernel execution.  Two sources feed that estimate:
+
+* **Declared geometry** (Table III): the type's :class:`~repro.framework.\
+kernel.AppProfile` gives total HtoD/DtoH payload (costed with the spec's
+  DMA wire model) and the kernel launch list (costed with each launch's
+  serial duration at device-wide occupancy — the same estimate Figure 5
+  uses for its serialized reference).
+* **Observed records**: every finished :class:`~repro.framework.metrics.\
+AppRecord` carries measured ``pure_transfer_time`` and
+  ``kernel_busy_time``; :meth:`WorkloadCharacterizer.observe` folds them
+  in with an exponential moving average, so the classification tracks what
+  the telemetry actually saw rather than what the geometry promised.
+
+The blend is deterministic: with no observations the declared prior is
+returned exactly; each observation moves the estimate by a fixed
+``ema_alpha`` step.  Classification is a threshold on the blended transfer
+fraction; :meth:`compute_work` ranks types by aggregate block-residency
+time (blocks x block duration), the device-filling-ness key the greedy
+policy sorts on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Optional
+
+__all__ = [
+    "AppClass",
+    "TypeProfile",
+    "WorkloadCharacterizer",
+    "DEFAULT_TRANSFER_THRESHOLD",
+]
+
+#: Blended transfer fraction at or above which a type is transfer-heavy.
+DEFAULT_TRANSFER_THRESHOLD = 0.5
+
+
+class AppClass(Enum):
+    """Coarse resource class of an application type."""
+
+    TRANSFER_HEAVY = "transfer-heavy"
+    COMPUTE_HEAVY = "compute-heavy"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class TypeProfile:
+    """One type's characterization snapshot.
+
+    ``transfer_fraction`` is transfer time / (transfer + compute time) in
+    [0, 1]; ``compute_work`` is the declared aggregate block-residency time
+    in seconds (how much parallel compute the type pushes at the device).
+    """
+
+    type_name: str
+    transfer_fraction: float
+    app_class: AppClass
+    compute_work: float
+    declared_fraction: float
+    observed_fraction: Optional[float]
+    observations: int
+
+    @property
+    def transfer_heavy(self) -> bool:
+        return self.app_class is AppClass.TRANSFER_HEAVY
+
+
+class WorkloadCharacterizer:
+    """Classifies app types from declared geometry plus observed records.
+
+    Parameters
+    ----------
+    scale:
+        Problem-size profile used to resolve declared geometry (explicit
+        argument > ``REPRO_SCALE`` env > ``"paper"``, as everywhere).
+    spec:
+        Device spec for the DMA/occupancy cost model (default Tesla K20).
+    threshold:
+        Transfer fraction at or above which a type is transfer-heavy.
+    ema_alpha:
+        Weight of each new observation in the observed-fraction EMA.
+    """
+
+    def __init__(
+        self,
+        scale: Optional[str] = None,
+        spec=None,
+        threshold: float = DEFAULT_TRANSFER_THRESHOLD,
+        ema_alpha: float = 0.25,
+    ) -> None:
+        if not 0.0 < threshold < 1.0:
+            raise ValueError("threshold must be in (0, 1)")
+        if not 0.0 < ema_alpha <= 1.0:
+            raise ValueError("ema_alpha must be in (0, 1]")
+        from ..core.workload import resolve_scale
+        from ..gpu.specs import tesla_k20
+
+        self.scale = resolve_scale(scale)
+        self.spec = spec or tesla_k20()
+        self.threshold = threshold
+        self.ema_alpha = ema_alpha
+        #: type -> (declared transfer seconds, declared compute seconds,
+        #: declared compute work) from geometry, computed once per type.
+        self._declared: Dict[str, tuple] = {}
+        #: type -> EMA of observed transfer fraction.
+        self._observed: Dict[str, float] = {}
+        #: type -> number of records folded into the EMA.
+        self._counts: Dict[str, int] = {}
+
+    # -- declared geometry -------------------------------------------------
+
+    def _declared_costs(self, type_name: str) -> tuple:
+        cached = self._declared.get(type_name)
+        if cached is not None:
+            return cached
+        from ..apps.registry import get_app_class
+        from ..core.workload import SCALES
+        from ..framework.kernel import KernelPhase
+        from ..gpu.occupancy import device_wide_blocks
+
+        kwargs = SCALES[self.scale].get(type_name, {})
+        profile = get_app_class(type_name).build_profile(**dict(kwargs))
+        transfer = self.spec.dma_htod.transfer_time(
+            profile.htod_bytes
+        ) + self.spec.dma_dtoh.transfer_time(profile.dtoh_bytes)
+        compute = 0.0
+        work = 0.0
+        for phase in profile.phases:
+            if not isinstance(phase, KernelPhase):
+                continue
+            for k in phase.descriptors:
+                resident = min(device_wide_blocks(k, self.spec), k.num_blocks)
+                compute += k.serial_duration(resident)
+                work += k.num_blocks * k.block_duration
+        costs = (transfer, compute, work)
+        self._declared[type_name] = costs
+        return costs
+
+    def declared_fraction(self, type_name: str) -> float:
+        """Transfer fraction from geometry alone (the prior)."""
+        transfer, compute, _ = self._declared_costs(type_name)
+        total = transfer + compute
+        return transfer / total if total > 0 else 0.0
+
+    def serial_estimate(self, type_name: str) -> float:
+        """Declared serial seconds (transfer + compute) for one instance."""
+        transfer, compute, _ = self._declared_costs(type_name)
+        return transfer + compute
+
+    def compute_work(self, type_name: str) -> float:
+        """Aggregate block-residency seconds (blocks x block duration).
+
+        The greedy policy's ranking key: types with the most parallel
+        compute work saturate the device and can hide the transfers of
+        whatever launches after them.
+        """
+        return self._declared_costs(type_name)[2]
+
+    # -- observation -------------------------------------------------------
+
+    def observe(self, record) -> None:
+        """Fold one finished :class:`AppRecord` into the observed EMA."""
+        from ..gpu.commands import CopyDirection
+
+        transfer = record.pure_transfer_time(
+            CopyDirection.HTOD
+        ) + record.pure_transfer_time(CopyDirection.DTOH)
+        compute = record.kernel_busy_time
+        total = transfer + compute
+        if total <= 0 or not math.isfinite(total):
+            return
+        fraction = transfer / total
+        name = record.type_name
+        prior = self._observed.get(name)
+        if prior is None:
+            self._observed[name] = fraction
+        else:
+            self._observed[name] = prior + self.ema_alpha * (fraction - prior)
+        self._counts[name] = self._counts.get(name, 0) + 1
+
+    def observe_all(self, records) -> None:
+        """Fold every record of a finished batch."""
+        for record in records:
+            self.observe(record)
+
+    # -- blended view ------------------------------------------------------
+
+    def fraction(self, type_name: str) -> float:
+        """Blended transfer fraction: declared prior, nudged by the EMA.
+
+        With observations the estimate is the midpoint of prior and EMA —
+        the prior never washes out entirely, so a few anomalous records
+        cannot flip a type's class by themselves.
+        """
+        declared = self.declared_fraction(type_name)
+        observed = self._observed.get(type_name)
+        if observed is None:
+            return declared
+        return 0.5 * (declared + observed)
+
+    def classify(self, type_name: str) -> AppClass:
+        """Transfer-heavy iff the blended fraction reaches the threshold."""
+        if self.fraction(type_name) >= self.threshold:
+            return AppClass.TRANSFER_HEAVY
+        return AppClass.COMPUTE_HEAVY
+
+    def profile(self, type_name: str) -> TypeProfile:
+        """Full characterization snapshot for one type."""
+        return TypeProfile(
+            type_name=type_name,
+            transfer_fraction=self.fraction(type_name),
+            app_class=self.classify(type_name),
+            compute_work=self.compute_work(type_name),
+            declared_fraction=self.declared_fraction(type_name),
+            observed_fraction=self._observed.get(type_name),
+            observations=self._counts.get(type_name, 0),
+        )
+
+    def observations(self, type_name: str) -> int:
+        """Records folded in for ``type_name`` so far."""
+        return self._counts.get(type_name, 0)

@@ -1,0 +1,366 @@
+"""Scheduling policies: the five static orders plus two adaptive ones.
+
+A policy maps a :class:`BatchContext` (the admitted batch's type sequence
+plus the decision coordinates) to a launch-order permutation.  The registry
+holds:
+
+* one :class:`StaticOrderPolicy` per Figure 3 order (``naive-fifo``,
+  ``round-robin``, ``random-shuffle``, ``reverse-fifo``,
+  ``reverse-round-robin``),
+* ``greedy-interleave`` — alternates transfer-heavy and compute-heavy
+  instances (per the :mod:`~repro.scheduling.characterize` classification),
+  starting with the class that carries the most aggregate compute work, so
+  device-filling kernels execute while later transfer-bound apps stream
+  their copies behind the mutex, and
+* ``bandit`` — a deterministic seeded epsilon-greedy bandit over the five
+  static orders, keyed by workload-mix signature, scoring arms by measured
+  makespan and converging onto the best static order for each mix.
+
+Determinism: every random draw comes from a generator seeded with
+``(seed, crc32(policy), device, decision_index)`` (or the per-signature
+pull count, for the bandit), so a decision stream is a pure function of the
+seed and the batch sequence — which is what lets the journal replay
+decisions byte-identically after a crash.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .characterize import AppClass, WorkloadCharacterizer
+from .orders import SchedulingOrder, _by_type, _interleave, all_orders, make_schedule
+
+__all__ = [
+    "BatchContext",
+    "SchedulingDecision",
+    "SchedulingPolicy",
+    "StaticOrderPolicy",
+    "GreedyInterleavePolicy",
+    "EpsilonGreedyBanditPolicy",
+    "POLICY_NAMES",
+    "make_policy",
+    "mix_signature",
+]
+
+
+@dataclass(frozen=True)
+class BatchContext:
+    """One batch as the policies see it.
+
+    ``types`` is the type name per instance in admission (FIFO) order;
+    ``num_streams`` the width cap the scheduler granted; ``device`` and
+    ``decision_index`` the decision's coordinates (per-device running
+    count); ``seed`` the scheduler's seed.
+    """
+
+    types: Tuple[str, ...]
+    num_streams: int
+    device: int = 0
+    decision_index: int = 0
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class SchedulingDecision:
+    """Everything a policy decided for one batch.
+
+    ``schedule`` permutes the batch's FIFO order; ``order_label`` names the
+    concrete order used (for the bandit that is the chosen arm, so records
+    stay attributable even when the policy is adaptive).  The prediction
+    fields let telemetry report predicted-vs-observed makespan.
+    """
+
+    policy: str
+    order_label: str
+    schedule: Tuple[int, ...]
+    memory_sync: bool
+    num_streams: int
+    signature: str
+    device: int = 0
+    decision_index: int = 0
+    predicted_makespan: float = 0.0
+    predicted_stretch: float = 0.0
+    explored: bool = False
+
+    def to_journal(self) -> Dict:
+        """The journal entry for this decision (stable key set)."""
+        return {
+            "kind": "decision",
+            "index": self.decision_index,
+            "device": self.device,
+            "signature": self.signature,
+            "policy": self.policy,
+            "order": self.order_label,
+            "schedule": list(self.schedule),
+            "sync": self.memory_sync,
+            "width": self.num_streams,
+        }
+
+
+def mix_signature(types: Sequence[str], num_streams: int) -> str:
+    """Workload-mix signature: sorted type counts plus the width cap.
+
+    Two batches with the same mix and width share bandit state — the
+    launch-order effect depends on the *composition*, not on which
+    individual arrival happens to sit where in the FIFO.
+    """
+    counts: Dict[str, int] = {}
+    for name in types:
+        counts[name] = counts.get(name, 0) + 1
+    mix = "+".join(f"{name}:{counts[name]}" for name in sorted(counts))
+    return f"{mix}|w{num_streams}"
+
+
+def _policy_rng(
+    seed: int, policy: str, device: int, index: int
+) -> np.random.Generator:
+    """Deterministic per-decision generator (independent streams)."""
+    return np.random.default_rng(
+        [seed, zlib.crc32(policy.encode("utf-8")), device, index]
+    )
+
+
+class SchedulingPolicy:
+    """Base: a named mapping from batch context to a launch order."""
+
+    name: str = "abstract"
+
+    def schedule(
+        self, ctx: BatchContext, characterizer: WorkloadCharacterizer
+    ) -> Tuple[List[int], str]:
+        """Return (permutation of ``range(len(ctx.types))``, order label)."""
+        raise NotImplementedError
+
+    def observe(self, signature: str, order_label: str, makespan: float) -> None:
+        """Feedback hook: measured makespan of a decided batch (no-op)."""
+
+    @property
+    def explored_last(self) -> bool:
+        """Whether the most recent decision was exploratory (bandit only)."""
+        return False
+
+
+class StaticOrderPolicy(SchedulingPolicy):
+    """One fixed Figure 3 order, applied to every batch."""
+
+    def __init__(self, order: SchedulingOrder) -> None:
+        self.order = order
+        self.name = order.value
+
+    def schedule(
+        self, ctx: BatchContext, characterizer: WorkloadCharacterizer
+    ) -> Tuple[List[int], str]:
+        rng = None
+        if self.order is SchedulingOrder.RANDOM_SHUFFLE:
+            rng = _policy_rng(ctx.seed, self.name, ctx.device, ctx.decision_index)
+        return make_schedule(ctx.types, self.order, rng=rng), self.name
+
+
+class GreedyInterleavePolicy(SchedulingPolicy):
+    """Alternate transfer-heavy and compute-heavy instances.
+
+    Type groups are ranked by descending declared compute work (aggregate
+    block-residency seconds) and partitioned by class.  The schedule then
+    alternates between the two classes, starting with the class of the
+    highest-work group, taking one instance per turn and cycling round-robin
+    across a class's type groups.  With a single class present this
+    degenerates to a round-robin across the work-ranked groups.
+
+    Rationale (calibrated against the Figure 7/8 ordering matrices): the
+    most device-filling type launches first so its kernels occupy the SMXs
+    while every later, more transfer-bound app streams its copies — under
+    the mutex those copies burst back-to-back exactly behind compute that
+    can hide them.  Instances within a type keep FIFO order, so the result
+    is always a permutation.
+    """
+
+    name = "greedy-interleave"
+
+    def schedule(
+        self, ctx: BatchContext, characterizer: WorkloadCharacterizer
+    ) -> Tuple[List[int], str]:
+        groups = _by_type(ctx.types)
+        ranked = sorted(
+            groups.keys(), key=lambda t: -characterizer.compute_work(t)
+        )
+        by_class: Dict[AppClass, "OrderedDict[str, List[int]]"] = {
+            AppClass.COMPUTE_HEAVY: OrderedDict(),
+            AppClass.TRANSFER_HEAVY: OrderedDict(),
+        }
+        for name in ranked:
+            by_class[characterizer.classify(name)][name] = list(groups[name])
+
+        first = characterizer.classify(ranked[0])
+        second = (
+            AppClass.TRANSFER_HEAVY
+            if first is AppClass.COMPUTE_HEAVY
+            else AppClass.COMPUTE_HEAVY
+        )
+        if not by_class[second]:
+            # Single class: plain interleave across the work-ranked groups.
+            return _interleave(by_class[first]), self.name
+
+        queues = {
+            cls: [q for q in by_class[cls].values()] for cls in (first, second)
+        }
+        cursor = {first: 0, second: 0}
+        out: List[int] = []
+        turn = first
+        while any(q for qs in queues.values() for q in qs):
+            qs = [q for q in queues[turn] if q]
+            if not qs:
+                turn = second if turn is first else first
+                continue
+            pick = qs[cursor[turn] % len(qs)]
+            out.append(pick.pop(0))
+            cursor[turn] += 1
+            turn = second if turn is first else first
+        return out, self.name
+
+
+@dataclass
+class _ArmStats:
+    """Running mean makespan of one (signature, arm) cell."""
+
+    pulls: int = 0
+    mean: float = 0.0
+
+    def update(self, value: float) -> None:
+        self.pulls += 1
+        self.mean += (value - self.mean) / self.pulls
+
+
+class EpsilonGreedyBanditPolicy(SchedulingPolicy):
+    """Seeded epsilon-greedy over the five static orders, per signature.
+
+    Per workload-mix signature the policy first pulls every arm once (in
+    the paper's presentation order — the deterministic exploration phase),
+    then exploits the arm with the lowest mean measured makespan, except
+    for an epsilon-probability exploration draw whose epsilon decays as
+    ``epsilon0 / (1 + decay * t)`` with the signature's pull count ``t``.
+    All draws come from a generator seeded with ``(seed, crc32(signature),
+    device, t)``, so the decision stream is reproducible and replays
+    byte-identically from the journal.
+
+    Because the simulator is deterministic, each arm's makespan is a fixed
+    number per signature, so one exploration pass suffices for the mean to
+    be exact and exploitation to lock onto the best static order.
+    """
+
+    name = "bandit"
+
+    def __init__(
+        self,
+        epsilon: float = 0.1,
+        decay: float = 0.25,
+        arms: Optional[Sequence[SchedulingOrder]] = None,
+    ) -> None:
+        if not 0.0 <= epsilon < 1.0:
+            raise ValueError("epsilon must be in [0, 1)")
+        if decay < 0.0:
+            raise ValueError("decay must be >= 0")
+        self.epsilon = epsilon
+        self.decay = decay
+        self.arms: Tuple[SchedulingOrder, ...] = tuple(arms or all_orders())
+        #: signature -> arm value -> running stats.
+        self.stats: Dict[str, Dict[str, _ArmStats]] = {}
+        #: Cumulative regret: sum over observations of (observed makespan -
+        #: best known mean at observation time).
+        self.cumulative_regret: float = 0.0
+        self._explored_last = False
+
+    # -- choice ------------------------------------------------------------
+
+    def _signature_stats(self, signature: str) -> Dict[str, _ArmStats]:
+        return self.stats.setdefault(
+            signature, {arm.value: _ArmStats() for arm in self.arms}
+        )
+
+    def pulls(self, signature: str) -> int:
+        """Total pulls recorded for a signature."""
+        return sum(s.pulls for s in self._signature_stats(signature).values())
+
+    def best_arm(self, signature: str) -> Optional[SchedulingOrder]:
+        """Lowest-mean fully-explored arm, or ``None`` before exploration."""
+        stats = self._signature_stats(signature)
+        if any(s.pulls == 0 for s in stats.values()):
+            return None
+        best = min(stats.items(), key=lambda kv: (kv[1].mean, kv[0]))
+        return SchedulingOrder(best[0])
+
+    def choose(self, ctx: BatchContext, signature: str) -> SchedulingOrder:
+        """Pick an arm for this decision (exploration bookkeeping inside)."""
+        stats = self._signature_stats(signature)
+        for arm in self.arms:  # deterministic exploration pass, arm order
+            if stats[arm.value].pulls == 0:
+                self._explored_last = True
+                return arm
+        t = self.pulls(signature)
+        rng = _policy_rng(ctx.seed, f"{self.name}:{signature}", ctx.device, t)
+        eps = self.epsilon / (1.0 + self.decay * max(0, t - len(self.arms)))
+        if float(rng.random()) < eps:
+            self._explored_last = True
+            return self.arms[int(rng.integers(len(self.arms)))]
+        self._explored_last = False
+        best = min(stats.items(), key=lambda kv: (kv[1].mean, kv[0]))
+        return SchedulingOrder(best[0])
+
+    @property
+    def explored_last(self) -> bool:
+        return self._explored_last
+
+    # -- SchedulingPolicy surface -----------------------------------------
+
+    def schedule(
+        self, ctx: BatchContext, characterizer: WorkloadCharacterizer
+    ) -> Tuple[List[int], str]:
+        arm = self.choose(ctx, mix_signature(ctx.types, ctx.num_streams))
+        rng = None
+        if arm is SchedulingOrder.RANDOM_SHUFFLE:
+            rng = _policy_rng(
+                ctx.seed, f"{self.name}:{arm.value}", ctx.device, ctx.decision_index
+            )
+        return make_schedule(ctx.types, arm, rng=rng), arm.value
+
+    def observe(self, signature: str, order_label: str, makespan: float) -> None:
+        """Record a measured makespan for the pulled arm; track regret."""
+        stats = self._signature_stats(signature)
+        arm = stats.get(order_label)
+        if arm is None:  # unknown arm label: not ours to learn from
+            return
+        arm.update(makespan)
+        explored = [s.mean for s in stats.values() if s.pulls > 0]
+        self.cumulative_regret += max(0.0, makespan - min(explored))
+
+
+#: Registry: every selectable policy name, static orders first.
+POLICY_NAMES: Tuple[str, ...] = tuple(o.value for o in all_orders()) + (
+    GreedyInterleavePolicy.name,
+    EpsilonGreedyBanditPolicy.name,
+)
+
+
+def make_policy(name: str, **kwargs) -> SchedulingPolicy:
+    """Instantiate a policy by registry name.
+
+    ``kwargs`` are forwarded to the adaptive policies (e.g. ``epsilon`` /
+    ``decay`` for the bandit); static orders take none.
+    """
+    if name == GreedyInterleavePolicy.name:
+        return GreedyInterleavePolicy(**kwargs)
+    if name == EpsilonGreedyBanditPolicy.name:
+        return EpsilonGreedyBanditPolicy(**kwargs)
+    try:
+        order = SchedulingOrder(name)
+    except ValueError:
+        raise KeyError(
+            f"unknown policy {name!r}; available: {POLICY_NAMES}"
+        ) from None
+    if kwargs:
+        raise TypeError(f"static policy {name!r} takes no options")
+    return StaticOrderPolicy(order)

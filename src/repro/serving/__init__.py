@@ -46,12 +46,17 @@ from .journal import (
 )
 from .service import (
     SHED_OUTCOMES,
+    BatchedServingResult,
+    BatchOutcome,
     ServingResult,
     measure_service_baselines,
+    run_batched_serving,
     run_serving,
 )
 
 __all__ = [
+    "BatchOutcome",
+    "BatchedServingResult",
     "BreakerConfig",
     "BreakerState",
     "CircuitBreakerPanel",
@@ -67,5 +72,6 @@ __all__ = [
     "ServingConfig",
     "ServingResult",
     "measure_service_baselines",
+    "run_batched_serving",
     "run_serving",
 ]

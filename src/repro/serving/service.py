@@ -56,6 +56,9 @@ __all__ = [
     "SHED_OUTCOMES",
     "measure_service_baselines",
     "run_serving",
+    "BatchOutcome",
+    "BatchedServingResult",
+    "run_batched_serving",
 ]
 
 #: Terminal outcomes that mean "never ran": shed by admission control.
@@ -400,5 +403,214 @@ def run_serving(
         fleet_devices=gate.num_devices if gate is not None else 0,
         devices_lost=(
             gate.devices_lost(base.completion_time) if gate is not None else 0
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Batch-scheduled serving: admission hands whole batches to the scheduler.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class BatchOutcome:
+    """One admitted batch, as decided and as measured."""
+
+    decision: object             # repro.scheduling.SchedulingDecision
+    makespan: float              # measured batch makespan (s)
+    energy: float                # exact energy over the batch window (J)
+    records: list                # AppRecords, all stamped with the order
+
+    @property
+    def prediction_error(self) -> float:
+        """Signed relative error of the scheduler's makespan prediction."""
+        if self.makespan <= 0:
+            return 0.0
+        return (self.decision.predicted_makespan - self.makespan) / self.makespan
+
+
+@dataclass
+class BatchedServingResult:
+    """Everything measured across a batch-scheduled serving run."""
+
+    policy: str
+    batches: List[BatchOutcome]
+    total_makespan: float        # sum of batch makespans (batches run serially)
+    total_energy: float
+    cumulative_regret: float     # bandit regret (0 for non-learning policies)
+    recovered_entries: int = 0
+    resumed: bool = False
+    journal_file: Optional[str] = None
+
+    @property
+    def decisions(self) -> list:
+        return [b.decision for b in self.batches]
+
+    def summary(self) -> str:
+        """One-line digest for reports."""
+        orders = Counter(d.order_label for d in self.decisions)
+        mix = ", ".join(f"{k}x{v}" for k, v in sorted(orders.items()))
+        return (
+            f"{self.policy}: {len(self.batches)} batches in "
+            f"{self.total_makespan * 1e3:.1f} ms ({mix}); "
+            f"regret {self.cumulative_regret * 1e3:.2f} ms"
+        )
+
+
+def _normalize_batch(batch, scale_name: str):
+    """One admitted batch -> a Workload (grouped FIFO admission order).
+
+    Accepts either a flat sequence of type names or ``(type, count)``
+    pairs.  Types are grouped in first-appearance order — the same
+    Naive-FIFO convention every offline experiment uses — so the scheduler
+    permutes exactly what the workload instantiates.
+    """
+    from ..core.workload import Workload
+
+    if not batch:
+        raise ValueError("empty batch")
+    first = batch[0]
+    if isinstance(first, str):
+        counts: Dict[str, int] = {}
+        order: List[str] = []
+        for name in batch:
+            if name not in counts:
+                order.append(name)
+            counts[name] = counts.get(name, 0) + 1
+        spec = [(name, counts[name]) for name in order]
+    else:
+        spec = list(batch)
+    return Workload.mixed(spec, scale=scale_name)
+
+
+def run_batched_serving(
+    batches: Sequence,
+    policy: str = "bandit",
+    *,
+    width: Optional[int] = None,
+    scale: Optional[str] = None,
+    spec: Optional[DeviceSpec] = None,
+    seed: int = 0,
+    epsilon: float = 0.1,
+    device: int = 0,
+    scheduler=None,
+    scheduler_config=None,
+    journal_path=None,
+    resume: bool = False,
+    crash_after: Optional[int] = None,
+    telemetry=None,
+) -> BatchedServingResult:
+    """Serve admitted batches through the adaptive batch scheduler.
+
+    Each element of ``batches`` is one admitted batch (a sequence of type
+    names, or ``(type, count)`` pairs).  Per batch the scheduler picks the
+    launch order, the transfer-mutex setting and the stream width; the
+    batch runs on the framework harness with exactly those parameters, and
+    its measured makespan is fed back so learning policies improve across
+    batches.  Batches execute back-to-back (the serving layer admits the
+    next batch when the previous one drains), so ``total_makespan`` is the
+    sum of per-batch makespans.
+
+    Crash/resume: with a ``journal_path``, every decision and observation
+    is journaled under a fingerprint that includes a digest of the batch
+    sequence.  ``crash_after=N`` kills the run after N completed batches
+    (test hook, mirroring the fault plan's HARNESS_CRASH); calling again
+    with ``resume=True`` replays the run, verifies the journaled prefix
+    byte-identically, and returns the result an uninterrupted run would
+    have produced.
+
+    Pass a prebuilt ``scheduler`` (:class:`repro.scheduling.BatchScheduler`)
+    to share learning state across calls; otherwise one is built from
+    ``scheduler_config`` or the keyword arguments.
+    """
+    from ..framework.harness import HarnessConfig, TestHarness
+    from ..scheduling import BatchScheduler, SchedulerConfig
+
+    if resume and journal_path is None and scheduler is None and (
+        scheduler_config is None or scheduler_config.journal_path is None
+    ):
+        raise ValueError("resume=True requires a journal_path")
+    scale_name = resolve_scale(scale)
+    workloads = [_normalize_batch(b, scale_name) for b in batches]
+
+    own_scheduler = scheduler is None
+    if own_scheduler:
+        if scheduler_config is None:
+            digest = hashlib.sha1(
+                json.dumps(
+                    [w.types for w in workloads], sort_keys=True
+                ).encode("utf-8")
+            ).hexdigest()
+            scheduler_config = SchedulerConfig(
+                policy=policy,
+                seed=seed,
+                scale=scale_name,
+                spec=spec,
+                max_width=width,
+                epsilon=epsilon,
+                journal_path=journal_path,
+                resume=resume,
+                salt=f"batched-serving:{digest}",
+            )
+        scheduler = BatchScheduler(scheduler_config)
+    sched_policy = scheduler.config.policy
+
+    if telemetry is not None:
+        from ..telemetry.probes import instrument_scheduler
+
+        instrument_scheduler(telemetry, scheduler)
+
+    outcomes: List[BatchOutcome] = []
+    try:
+        for i, workload in enumerate(workloads):
+            if crash_after is not None and i >= crash_after:
+                # Mirrors the fault plan's HARNESS_CRASH: abandon the run
+                # mid-stream, leaving the journal prefix for the resume.
+                raise HarnessCrash(sum(b.makespan for b in outcomes))
+            decision = scheduler.schedule(
+                workload.types, device=device, width=width
+            )
+            apps = workload.instantiate(decision.schedule)
+            harness = TestHarness(
+                HarnessConfig(
+                    apps=apps,
+                    num_streams=decision.num_streams,
+                    memory_sync=decision.memory_sync,
+                    spec=spec,
+                    seed=seed,
+                    order_label=decision.order_label,
+                )
+            )
+            result = harness.run()
+            scheduler.observe(decision, result.makespan, records=result.records)
+            outcomes.append(
+                BatchOutcome(
+                    decision=decision,
+                    makespan=result.makespan,
+                    energy=result.energy,
+                    records=result.records,
+                )
+            )
+    except HarnessCrash:
+        # Decisions/observations up to the crash are on disk; leave the
+        # journal for the resume.
+        if own_scheduler:
+            scheduler.close()
+        raise
+    if own_scheduler:
+        scheduler.close()
+
+    return BatchedServingResult(
+        policy=sched_policy,
+        batches=outcomes,
+        total_makespan=sum(b.makespan for b in outcomes),
+        total_energy=sum(b.energy for b in outcomes),
+        cumulative_regret=scheduler.cumulative_regret(device),
+        recovered_entries=scheduler.recovered,
+        resumed=resume,
+        journal_file=(
+            str(scheduler.config.journal_path)
+            if scheduler.config.journal_path is not None
+            else None
         ),
     )

@@ -35,6 +35,7 @@ __all__ = [
     "instrument_health_monitor",
     "instrument_fleet_device",
     "instrument_failover",
+    "instrument_scheduler",
 ]
 
 #: Histogram bucket edges for failover durations (seconds): sub-millisecond
@@ -392,5 +393,66 @@ def instrument_failover(
             if resumed is not None and lost is not None:
                 duration.observe(resumed - lost)
         seen[0] = len(recoveries)
+
+    telemetry.add_probe(probe)
+
+
+# -- scheduling ------------------------------------------------------------
+
+
+def instrument_scheduler(telemetry: Telemetry, scheduler) -> None:
+    """Decision, prediction and regret signals of a ``BatchScheduler``.
+
+    Pull-model like everything else: each sampler tick mirrors the
+    scheduler's decision log into a per-(policy, order) counter, exposes
+    the latest decision's predicted vs observed makespan as gauges, and
+    tracks the bandit's cumulative regret per device.  Attaching this
+    probe never changes a decision — the scheduler is read, not driven.
+    """
+    decisions = telemetry.counter(
+        "repro_sched_decisions_total",
+        "Batch scheduling decisions, by policy and chosen order",
+        labelnames=("policy", "order"),
+    )
+    explorations = telemetry.counter(
+        "repro_sched_explorations_total",
+        "Decisions that were exploratory (bandit arm trials)",
+        labelnames=("policy",),
+    )
+    predicted = telemetry.gauge(
+        "repro_sched_predicted_makespan_seconds",
+        "Predicted makespan of the most recent decision",
+    )
+    observed = telemetry.gauge(
+        "repro_sched_observed_makespan_seconds",
+        "Observed makespan of the most recently measured batch",
+    )
+    regret = telemetry.gauge(
+        "repro_sched_bandit_regret_seconds",
+        "Cumulative bandit regret (observed minus best-known makespan)",
+        labelnames=("device",),
+    )
+
+    seen: dict = {"decisions": 0, "explored": 0}
+
+    def probe() -> None:
+        log = scheduler.decisions
+        for decision in log[seen["decisions"]:]:
+            decisions.inc(
+                1, policy=decision.policy, order=decision.order_label
+            )
+            if decision.explored:
+                seen["explored"] += 1
+                explorations.inc(1, policy=decision.policy)
+        seen["decisions"] = len(log)
+        if log:
+            predicted.set(log[-1].predicted_makespan)
+        measured = [m for m in scheduler.observed if m is not None]
+        if measured:
+            observed.set(measured[-1])
+        for device in sorted(scheduler._policies):
+            regret.set(
+                scheduler.cumulative_regret(device), device=str(device)
+            )
 
     telemetry.add_probe(probe)

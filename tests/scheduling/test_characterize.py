@@ -1,0 +1,134 @@
+"""Workload characterization: declared geometry, observation blending."""
+
+import pytest
+
+from repro.scheduling.characterize import (
+    AppClass,
+    DEFAULT_TRANSFER_THRESHOLD,
+    WorkloadCharacterizer,
+)
+
+pytestmark = pytest.mark.scheduling
+
+
+@pytest.fixture()
+def ch():
+    return WorkloadCharacterizer(scale="tiny")
+
+
+class TestDeclaredGeometry:
+    def test_gaussian_is_compute_heavy(self, ch):
+        assert ch.classify("gaussian") is AppClass.COMPUTE_HEAVY
+        assert ch.declared_fraction("gaussian") < DEFAULT_TRANSFER_THRESHOLD
+
+    def test_nn_is_transfer_heavy(self, ch):
+        # Table I: nn is the I/O-dominated data-mining app.
+        assert ch.classify("nn") is AppClass.TRANSFER_HEAVY
+        assert ch.declared_fraction("nn") > 0.7
+
+    def test_fractions_are_probabilities(self, ch):
+        for name in ("gaussian", "nn", "needle", "srad"):
+            assert 0.0 <= ch.declared_fraction(name) <= 1.0
+
+    @pytest.mark.parametrize("scale", ["tiny", "small", "paper"])
+    def test_compute_work_ranking_is_scale_stable(self, scale):
+        # The greedy policy's ranking key: gaussian > srad > needle > nn at
+        # every problem size (this is what the start-type rule rests on).
+        ch = WorkloadCharacterizer(scale=scale)
+        works = [ch.compute_work(t) for t in ("gaussian", "srad", "needle", "nn")]
+        assert works == sorted(works, reverse=True)
+        assert works[-1] > 0.0
+
+    def test_serial_estimate_positive(self, ch):
+        for name in ("gaussian", "nn", "needle", "srad"):
+            assert ch.serial_estimate(name) > 0.0
+
+    def test_declared_costs_cached(self, ch):
+        first = ch._declared_costs("gaussian")
+        assert ch._declared_costs("gaussian") is first
+
+
+class TestObservation:
+    def _record(self, type_name, transfer, compute):
+        """Minimal AppRecord double with the two measured quantities."""
+
+        class Rec:
+            pass
+
+        r = Rec()
+        r.type_name = type_name
+        r.pure_transfer_time = lambda direction: transfer / 2
+        r.kernel_busy_time = compute
+        return r
+
+    def test_no_observations_returns_declared(self, ch):
+        assert ch.fraction("gaussian") == ch.declared_fraction("gaussian")
+        assert ch.observations("gaussian") == 0
+
+    def test_observation_moves_the_blend(self, ch):
+        declared = ch.declared_fraction("gaussian")
+        ch.observe(self._record("gaussian", transfer=9.0, compute=1.0))
+        blended = ch.fraction("gaussian")
+        assert blended > declared
+        assert ch.observations("gaussian") == 1
+
+    def test_prior_never_washes_out(self, ch):
+        # Even a flood of pure-transfer observations caps the blend at the
+        # midpoint of prior and EMA, so the declared prior keeps its vote.
+        for _ in range(100):
+            ch.observe(self._record("gaussian", transfer=1.0, compute=0.0))
+        assert ch.fraction("gaussian") <= 0.5 * (
+            ch.declared_fraction("gaussian") + 1.0
+        )
+
+    def test_zero_total_skipped(self, ch):
+        ch.observe(self._record("gaussian", transfer=0.0, compute=0.0))
+        assert ch.observations("gaussian") == 0
+
+    def test_ema_step_size(self):
+        ch = WorkloadCharacterizer(scale="tiny", ema_alpha=0.5)
+        ch.observe(self._record("needle", transfer=1.0, compute=0.0))  # EMA=1.0
+        ch.observe(self._record("needle", transfer=0.0, compute=1.0))  # ->0.5
+        assert ch._observed["needle"] == pytest.approx(0.5)
+
+    def test_observe_all(self, ch):
+        ch.observe_all(
+            [self._record("srad", 1.0, 1.0), self._record("nn", 1.0, 1.0)]
+        )
+        assert ch.observations("srad") == 1
+        assert ch.observations("nn") == 1
+
+    def test_real_records_feed_the_blend(self, ch):
+        # End-to-end: records from a real harness run are observable.
+        from repro.core.runner import quick_run
+
+        result = quick_run(
+            ("gaussian", "needle"), num_apps=2, num_streams=2, scale="tiny"
+        )
+        ch.observe_all(result.harness.records)
+        assert ch.observations("gaussian") == 1
+        assert ch.observations("needle") == 1
+        assert 0.0 <= ch.fraction("gaussian") <= 1.0
+
+
+class TestProfileAndValidation:
+    def test_profile_snapshot(self, ch):
+        p = ch.profile("nn")
+        assert p.type_name == "nn"
+        assert p.transfer_heavy
+        assert p.observed_fraction is None
+        assert p.compute_work == ch.compute_work("nn")
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadCharacterizer(scale="tiny", threshold=0.0)
+        with pytest.raises(ValueError):
+            WorkloadCharacterizer(scale="tiny", threshold=1.0)
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadCharacterizer(scale="tiny", ema_alpha=0.0)
+
+    def test_threshold_flips_class(self):
+        strict = WorkloadCharacterizer(scale="tiny", threshold=0.01)
+        assert strict.classify("gaussian") is AppClass.TRANSFER_HEAVY

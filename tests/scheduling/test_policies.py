@@ -1,0 +1,202 @@
+"""Policy registry: static wrappers, greedy interleave, bandit choice."""
+
+import pytest
+
+from repro.scheduling.characterize import WorkloadCharacterizer
+from repro.scheduling.orders import SchedulingOrder, all_orders, make_schedule
+from repro.scheduling.policies import (
+    BatchContext,
+    EpsilonGreedyBanditPolicy,
+    GreedyInterleavePolicy,
+    POLICY_NAMES,
+    StaticOrderPolicy,
+    make_policy,
+    mix_signature,
+)
+
+pytestmark = pytest.mark.scheduling
+
+
+@pytest.fixture()
+def ch():
+    return WorkloadCharacterizer(scale="tiny")
+
+
+def ctx(types, width=None, device=0, index=0, seed=0):
+    return BatchContext(
+        types=tuple(types),
+        num_streams=width or len(types),
+        device=device,
+        decision_index=index,
+        seed=seed,
+    )
+
+
+class TestRegistry:
+    def test_every_name_instantiates(self):
+        for name in POLICY_NAMES:
+            assert make_policy(name).name == name
+
+    def test_registry_covers_static_plus_adaptive(self):
+        assert set(POLICY_NAMES) == {o.value for o in all_orders()} | {
+            "greedy-interleave",
+            "bandit",
+        }
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            make_policy("spiffy")
+
+    def test_static_rejects_options(self):
+        with pytest.raises(TypeError):
+            make_policy("naive-fifo", epsilon=0.5)
+
+    def test_bandit_options_forwarded(self):
+        bandit = make_policy("bandit", epsilon=0.3, decay=0.0)
+        assert bandit.epsilon == 0.3
+        assert bandit.decay == 0.0
+
+
+class TestStaticPolicies:
+    def test_matches_make_schedule(self, ch):
+        types = ["gaussian"] * 3 + ["needle"] * 3
+        for order in all_orders():
+            if order is SchedulingOrder.RANDOM_SHUFFLE:
+                continue
+            policy = StaticOrderPolicy(order)
+            schedule, label = policy.schedule(ctx(types), ch)
+            assert label == order.value
+            assert schedule == make_schedule(types, order)
+
+    def test_shuffle_is_seed_deterministic(self, ch):
+        types = ["gaussian"] * 4 + ["nn"] * 4
+        policy = StaticOrderPolicy(SchedulingOrder.RANDOM_SHUFFLE)
+        a, _ = policy.schedule(ctx(types, seed=5, index=2), ch)
+        b, _ = policy.schedule(ctx(types, seed=5, index=2), ch)
+        c, _ = policy.schedule(ctx(types, seed=5, index=3), ch)
+        assert a == b
+        assert a != c  # a different decision gets an independent stream
+
+
+class TestGreedyInterleave:
+    def test_mixed_classes_alternate(self, ch):
+        # gaussian (compute-heavy, most work) + nn (transfer-heavy):
+        # alternation starting with gaussian == round-robin.
+        types = ["gaussian"] * 4 + ["nn"] * 4
+        schedule, _ = GreedyInterleavePolicy().schedule(ctx(types), ch)
+        assert schedule == make_schedule(types, SchedulingOrder.ROUND_ROBIN)
+
+    def test_starts_with_highest_compute_work(self, ch):
+        # needle (compute class at tiny) vs srad (transfer class at tiny):
+        # srad carries ~10x needle's compute work, so it launches first.
+        types = ["needle"] * 4 + ["srad"] * 4
+        schedule, _ = GreedyInterleavePolicy().schedule(ctx(types), ch)
+        assert types[schedule[0]] == "srad"
+        assert schedule == make_schedule(
+            types, SchedulingOrder.REVERSE_ROUND_ROBIN
+        )
+
+    def test_single_class_falls_back_to_work_ranked_interleave(self, ch):
+        # gaussian + needle are both compute-heavy at tiny scale; the
+        # schedule still alternates, led by gaussian (more work).
+        types = ["gaussian"] * 3 + ["needle"] * 3
+        schedule, _ = GreedyInterleavePolicy().schedule(ctx(types), ch)
+        assert [types[i] for i in schedule[:4]] == [
+            "gaussian", "needle", "gaussian", "needle",
+        ]
+
+    def test_homogeneous_batch_is_fifo(self, ch):
+        types = ["gaussian"] * 6
+        schedule, _ = GreedyInterleavePolicy().schedule(ctx(types), ch)
+        assert schedule == list(range(6))
+
+    def test_instances_keep_fifo_order_within_type(self, ch):
+        types = ["gaussian"] * 5 + ["nn"] * 3
+        schedule, _ = GreedyInterleavePolicy().schedule(ctx(types), ch)
+        gauss = [i for i in schedule if types[i] == "gaussian"]
+        nn = [i for i in schedule if types[i] == "nn"]
+        assert gauss == sorted(gauss)
+        assert nn == sorted(nn)
+
+    def test_three_types(self, ch):
+        types = ["gaussian"] * 2 + ["nn"] * 2 + ["srad"] * 2
+        schedule, _ = GreedyInterleavePolicy().schedule(ctx(types), ch)
+        assert sorted(schedule) == list(range(6))
+        assert types[schedule[0]] == "gaussian"
+
+
+class TestMixSignature:
+    def test_order_independent(self):
+        a = mix_signature(["nn", "gaussian", "nn"], 4)
+        b = mix_signature(["nn", "nn", "gaussian"], 4)
+        assert a == b
+
+    def test_width_matters(self):
+        assert mix_signature(["nn"], 1) != mix_signature(["nn"], 2)
+
+    def test_counts_matter(self):
+        assert mix_signature(["nn"] * 2, 2) != mix_signature(["nn"] * 3, 2)
+
+
+class TestBanditChoice:
+    def test_exploration_pass_covers_all_arms_in_order(self, ch):
+        bandit = EpsilonGreedyBanditPolicy()
+        types = ["gaussian"] * 2 + ["nn"] * 2
+        sig = mix_signature(types, 4)
+        labels = []
+        for i in range(5):
+            _, label = bandit.schedule(ctx(types, index=i), ch)
+            assert bandit.explored_last
+            bandit.observe(sig, label, makespan=1.0 + i)
+            labels.append(label)
+        assert labels == [o.value for o in all_orders()]
+
+    def test_exploits_best_arm_after_exploration(self, ch):
+        bandit = EpsilonGreedyBanditPolicy(epsilon=0.0)
+        types = ["gaussian"] * 2 + ["nn"] * 2
+        sig = mix_signature(types, 4)
+        rewards = {"round-robin": 0.5}
+        for i in range(5):
+            _, label = bandit.schedule(ctx(types, index=i), ch)
+            bandit.observe(sig, label, rewards.get(label, 1.0))
+        assert bandit.best_arm(sig) is SchedulingOrder.ROUND_ROBIN
+        _, label = bandit.schedule(ctx(types, index=5), ch)
+        assert label == "round-robin"
+        assert not bandit.explored_last
+
+    def test_best_arm_none_before_full_exploration(self, ch):
+        bandit = EpsilonGreedyBanditPolicy()
+        types = ["gaussian"] * 2
+        sig = mix_signature(types, 2)
+        assert bandit.best_arm(sig) is None
+
+    def test_signatures_learn_independently(self, ch):
+        bandit = EpsilonGreedyBanditPolicy(epsilon=0.0)
+        a = ["gaussian"] * 2 + ["nn"] * 2
+        b = ["needle"] * 2 + ["srad"] * 2
+        for i in range(5):
+            _, label = bandit.schedule(ctx(a, index=i), ch)
+            bandit.observe(mix_signature(a, 4), label, 1.0)
+        assert bandit.pulls(mix_signature(a, 4)) == 5
+        assert bandit.pulls(mix_signature(b, 4)) == 0
+
+    def test_regret_accumulates_only_above_best(self, ch):
+        bandit = EpsilonGreedyBanditPolicy()
+        sig = "s|w1"
+        bandit.observe(sig, "naive-fifo", 1.0)
+        assert bandit.cumulative_regret == 0.0
+        bandit.observe(sig, "round-robin", 3.0)
+        assert bandit.cumulative_regret == pytest.approx(2.0)
+        bandit.observe(sig, "reverse-fifo", 0.5)  # new best: no regret
+        assert bandit.cumulative_regret == pytest.approx(2.0)
+
+    def test_unknown_arm_observation_ignored(self, ch):
+        bandit = EpsilonGreedyBanditPolicy()
+        bandit.observe("s|w1", "greedy-interleave", 1.0)
+        assert bandit.pulls("s|w1") == 0
+
+    def test_epsilon_validation(self):
+        with pytest.raises(ValueError):
+            EpsilonGreedyBanditPolicy(epsilon=1.0)
+        with pytest.raises(ValueError):
+            EpsilonGreedyBanditPolicy(decay=-1.0)

@@ -1,0 +1,186 @@
+"""BatchScheduler: decisions, predictions, journaling, crash-resume."""
+
+import dataclasses
+
+import pytest
+
+from repro.scheduling import BatchScheduler, SchedulerConfig
+from repro.scheduling.scheduler import DEFAULT_SYNC_THRESHOLD
+from repro.serving.journal import JournalMismatchError
+
+pytestmark = pytest.mark.scheduling
+
+MIXED = ["gaussian"] * 4 + ["nn"] * 4
+
+
+def sched(**kwargs):
+    kwargs.setdefault("scale", "tiny")
+    return BatchScheduler(SchedulerConfig(**kwargs))
+
+
+class TestConfig:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(KeyError):
+            sched(policy="nope")
+
+    def test_fingerprint_stable(self):
+        a = SchedulerConfig(policy="bandit", seed=1).fingerprint()
+        b = SchedulerConfig(policy="bandit", seed=1).fingerprint()
+        assert a == b
+
+    @pytest.mark.parametrize(
+        "change",
+        [
+            {"policy": "naive-fifo"},
+            {"seed": 2},
+            {"scale": "small"},
+            {"max_width": 4},
+            {"sync_threshold": 3.0},
+            {"sync_override": True},
+            {"epsilon": 0.2},
+            {"salt": "other"},
+        ],
+    )
+    def test_fingerprint_sensitive_to_each_field(self, change):
+        base = SchedulerConfig(policy="bandit", seed=1)
+        changed = dataclasses.replace(base, **change)
+        assert base.fingerprint() != changed.fingerprint()
+
+
+class TestDecisions:
+    def test_decision_is_permutation(self):
+        s = sched(policy="greedy-interleave")
+        d = s.schedule(MIXED)
+        assert sorted(d.schedule) == list(range(len(MIXED)))
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            sched().schedule([])
+
+    def test_width_defaults_to_batch_size(self):
+        d = sched(policy="naive-fifo").schedule(MIXED)
+        assert d.num_streams == len(MIXED)
+
+    def test_max_width_caps(self):
+        d = sched(policy="naive-fifo", max_width=3).schedule(MIXED)
+        assert d.num_streams == 3
+
+    def test_caller_width_respected_but_bounded(self):
+        s = sched(policy="naive-fifo")
+        assert s.schedule(MIXED, width=2).num_streams == 2
+        assert s.schedule(MIXED, width=100).num_streams == len(MIXED)
+
+    def test_decision_indices_are_per_device(self):
+        s = sched(policy="naive-fifo")
+        assert s.schedule(MIXED, device=0).decision_index == 0
+        assert s.schedule(MIXED, device=1).decision_index == 0
+        assert s.schedule(MIXED, device=0).decision_index == 1
+        assert s.decision_count(0) == 2
+        assert s.decision_count(1) == 1
+        assert s.decision_count() == 3
+
+
+class TestSyncPredictor:
+    def test_mixed_batch_enables_sync(self):
+        s = sched(policy="naive-fifo")
+        d = s.schedule(MIXED)
+        assert d.predicted_stretch >= DEFAULT_SYNC_THRESHOLD
+        assert d.memory_sync
+
+    def test_pure_compute_batch_keeps_sync_off(self):
+        s = sched(policy="naive-fifo")
+        d = s.schedule(["gaussian"] * 8)
+        assert d.predicted_stretch < DEFAULT_SYNC_THRESHOLD
+        assert not d.memory_sync
+
+    def test_width_one_never_stretches(self):
+        s = sched(policy="naive-fifo")
+        assert s.predicted_stretch(["nn"] * 8, width=1) == 1.0
+
+    def test_override_wins(self):
+        on = sched(policy="naive-fifo", sync_override=True)
+        assert on.schedule(["gaussian"] * 8).memory_sync
+        off = sched(policy="naive-fifo", sync_override=False)
+        assert not off.schedule(MIXED).memory_sync
+
+    def test_predicted_makespan_bounded_below_by_longest_app(self):
+        s = sched(policy="naive-fifo")
+        longest = max(
+            s.characterizer.serial_estimate(t) for t in set(MIXED)
+        )
+        assert s.predicted_makespan(MIXED, width=100) >= longest
+
+
+class TestFeedback:
+    def test_observe_records_makespan(self):
+        s = sched(policy="bandit")
+        d = s.schedule(MIXED)
+        s.observe(d, 0.5)
+        assert s.observed[0] == 0.5
+
+    def test_per_device_policies_are_isolated(self):
+        s = sched(policy="bandit")
+        d0 = s.schedule(MIXED, device=0)
+        s.observe(d0, 1.0)
+        assert s.policy_for(0).pulls(d0.signature) == 1
+        assert s.policy_for(1).pulls(d0.signature) == 0
+
+    def test_regret_zero_for_static_policy(self):
+        s = sched(policy="naive-fifo")
+        d = s.schedule(MIXED)
+        s.observe(d, 1.0)
+        assert s.cumulative_regret(0) == 0.0
+
+
+class TestJournal(object):
+    def run_decisions(self, path, n=6, resume=False, crash_after=None, **kw):
+        kw.setdefault("policy", "bandit")
+        s = sched(journal_path=path, resume=resume, **kw)
+        out = []
+        with s:
+            for i in range(n):
+                if crash_after is not None and i >= crash_after:
+                    break
+                d = s.schedule(MIXED)
+                s.observe(d, 1.0 + 0.25 * (i % 5))
+                out.append(d)
+        return s, out
+
+    def test_decisions_journaled(self, tmp_path):
+        path = tmp_path / "sched.jsonl"
+        s, decisions = self.run_decisions(path)
+        entries = s.journal.entries()
+        assert len(entries) == 2 * len(decisions)  # decision + observation
+        kinds = [e["kind"] for e in entries]
+        assert kinds == ["decision", "observation"] * len(decisions)
+        assert entries[0]["schedule"] == list(decisions[0].schedule)
+
+    def test_crash_resume_replays_byte_identically(self, tmp_path):
+        path = tmp_path / "sched.jsonl"
+        _, full = self.run_decisions(tmp_path / "ref.jsonl", n=6)
+        self.run_decisions(path, n=6, crash_after=3)
+        s, resumed = self.run_decisions(path, n=6, resume=True)
+        assert s.recovered == 6  # 3 decisions + 3 observations verified
+        assert s.journal.verified == 6
+        assert [d.order_label for d in resumed] == [
+            d.order_label for d in full
+        ]
+        assert [d.schedule for d in resumed] == [d.schedule for d in full]
+        ref = (tmp_path / "ref.jsonl").read_bytes().splitlines()[1:]
+        got = path.read_bytes().splitlines()[1:]
+        assert got == ref  # entry lines byte-identical across crash
+
+    def test_resume_with_different_seed_is_refused(self, tmp_path):
+        path = tmp_path / "sched.jsonl"
+        self.run_decisions(path, n=4, crash_after=2)
+        with pytest.raises(JournalMismatchError):
+            self.run_decisions(path, n=4, resume=True, seed=99)
+
+    def test_diverging_replay_raises(self, tmp_path):
+        path = tmp_path / "sched.jsonl"
+        self.run_decisions(path, n=4, crash_after=2)
+        s = sched(policy="bandit", journal_path=path, resume=True)
+        with s:
+            d = s.schedule(MIXED)
+            with pytest.raises(JournalMismatchError):
+                s.observe(d, 123.456)  # journaled makespan was different

@@ -15,7 +15,7 @@ class TestParser:
             "list", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
             "fig9", "fig10", "timeline", "table3", "headline",
             "autotune", "streaming", "report", "homog", "resilience",
-            "serve", "fleet", "telemetry",
+            "serve", "schedule", "fleet", "telemetry",
         }
 
     def test_requires_command(self, capsys):
@@ -145,6 +145,33 @@ class TestCommands:
         assert journal.exists()
         assert main(argv + ["--crash-at", "0.002", "--resume"]) == 0
         assert "goodput" in capsys.readouterr().out
+
+    def test_schedule_tiny_with_csv(self, tmp_path, capsys):
+        code = main([
+            "--scale", "tiny", "--out", str(tmp_path),
+            "schedule", "--batches", "3", "--apps", "4",
+            "--policy", "greedy-interleave",
+        ])
+        assert code == 0
+        assert (tmp_path / "schedule.csv").exists()
+        out = capsys.readouterr().out
+        assert "observed_ms" in out
+        assert "greedy-interleave: 3 batches" in out
+
+    def test_schedule_crash_and_resume(self, tmp_path, capsys):
+        journal = tmp_path / "sched.jsonl"
+        argv = [
+            "--scale", "tiny",
+            "schedule", "--batches", "4", "--apps", "4",
+            "--journal", str(journal),
+        ]
+        assert main(argv + ["--crash-after", "2"]) == 3
+        assert "harness crashed mid-run" in capsys.readouterr().out
+        assert journal.exists()
+        assert main(argv + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "resumed from journal" in out
+        assert "bandit: 4 batches" in out
 
     def test_fleet_tiny_with_csv(self, tmp_path, capsys):
         code = main([

@@ -49,6 +49,16 @@ def test_power_aware_scheduling(monkeypatch, capsys):
     assert "energy drops" in out
 
 
+def test_adaptive_scheduling_service(monkeypatch, capsys):
+    out = run_example(
+        monkeypatch, capsys, "adaptive_scheduling_service.py",
+        ["--scale", "tiny", "--batches", "10"],
+    )
+    assert "best static order" in out
+    assert "exploit" in out
+    assert "converged within" in out
+
+
 def test_custom_application(monkeypatch, capsys):
     out = run_example(monkeypatch, capsys, "custom_application.py")
     assert "matmul registered" in out
