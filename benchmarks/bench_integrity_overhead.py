@@ -1,0 +1,158 @@
+"""Integrity overhead — invariant probes must not perturb or slow the sim.
+
+The integrity subsystem makes the telemetry bargain twice over
+(docs/integrity.md): with ``integrity=None`` nothing changes at all —
+the engine's step-hook list is empty and never iterated — and with a
+live :class:`~repro.integrity.InvariantChecker` attached the simulated
+results are *identical* (probes only read state; the strided catalog
+never mutates or reorders an event) at a wall-clock overhead under 2%.
+This bench pins both halves on a Figure 4-style sweep, asserts the
+probes stay silent (a violation in the default workload would mean the
+model broke one of its own laws), and appends the measurement to the
+repo's perf trajectory (``BENCH_integrity.json``).
+
+Measuring a <2% effect on a shared runner needs care: wall-clock
+drifts by several percent between multi-second windows, and whichever
+run goes *second* in a back-to-back pair inherits the first one's
+allocator/GC state and measures slow regardless of the code under test
+(an identical clean-vs-clean pairing shows the same gap).  So the
+bench pairs clean/probed at *cell* granularity, alternates which side
+goes first every repetition, and takes the per-(cell, side) minimum
+over a time-budgeted repeat loop — the minimum estimator converges to
+the true floor under positive-only noise, and alternation keeps slot
+bias out of both floors.
+"""
+
+import gc
+import time
+from pathlib import Path
+
+import pytest
+from conftest import once
+
+from repro.analysis.tables import format_table, write_csv
+from repro.core.runner import ExperimentRunner, RunConfig
+from repro.core.workload import Workload
+from repro.integrity import InvariantChecker
+from repro.telemetry.trajectory import record_trajectory_point
+
+#: One default-scale cell, not a full sweep: the floor estimator needs
+#: *many* short paired samples far more than it needs workload variety
+#: (~1.4 s per sample buys ~20 alternating pairs inside the budget,
+#: which is what makes the per-side minimum actually converge).
+NA_VALUES = (8,)
+PAIR = ("gaussian", "needle")
+#: Keep timing cells until this much wall time has elapsed (at least
+#: MIN_REPEATS full rounds): the per-(cell, side) minimum needs enough
+#: samples to land on a quiet scheduler slice for every floor.
+TIME_BUDGET_S = 70.0
+MIN_REPEATS = 4
+
+TRAJECTORY_PATH = Path(__file__).resolve().parent.parent / "BENCH_integrity.json"
+
+
+def _run_cell(na, probed):
+    """One fig4-style cell; returns (metrics, probe violations)."""
+    workload = Workload.heterogeneous_pair(*PAIR, na)
+    checker = InvariantChecker(on_violation="record") if probed else None
+    config = RunConfig(
+        workload=workload,
+        num_streams=na,
+        integrity=checker,
+    )
+    result = ExperimentRunner().run(config)
+    violations = 0
+    if probed:
+        assert result.harness.integrity is checker
+        assert checker.checks_run > 0
+        violations = checker.violations_found
+    metrics = {
+        "NA": na,
+        "makespan": result.makespan,
+        "energy": result.energy,
+        "peak_power": result.peak_power,
+    }
+    return metrics, violations
+
+
+def _interleaved_cells(budget_s):
+    """(best clean s, best probed s, clean metrics, probed metrics, reps).
+
+    Per-cell clean/probed pairs with the slot order swapped every round;
+    the reported time per side is the sum of per-cell floors.
+    """
+    best = {
+        (na, probed): float("inf")
+        for na in NA_VALUES
+        for probed in (False, True)
+    }
+    metrics = {False: {}, True: {}}
+    deadline = time.perf_counter() + budget_s
+    rep = 0
+    while rep < MIN_REPEATS or time.perf_counter() < deadline:
+        order = (False, True) if rep % 2 == 0 else (True, False)
+        for na in NA_VALUES:
+            for probed in order:
+                # Reset the GC phase so each sample triggers the same
+                # collections from a clean slate: otherwise whether a
+                # sweep absorbs an extra gen-2 pass depends on where the
+                # process-lifetime allocation count happens to sit, and
+                # that quantization (tens of ms) dwarfs the effect under
+                # measurement.
+                gc.collect()
+                t0 = time.perf_counter()
+                metrics[probed][na], violations = _run_cell(na, probed)
+                elapsed = time.perf_counter() - t0
+                best[(na, probed)] = min(best[(na, probed)], elapsed)
+                # The default workload must violate none of the laws.
+                assert violations == 0
+        rep += 1
+    clean_s = sum(best[(na, False)] for na in NA_VALUES)
+    probed_s = sum(best[(na, True)] for na in NA_VALUES)
+    clean_metrics = [metrics[False][na] for na in NA_VALUES]
+    probed_metrics = [metrics[True][na] for na in NA_VALUES]
+    return clean_s, probed_s, clean_metrics, probed_metrics, rep
+
+
+@pytest.mark.integrity
+def test_integrity_overhead(benchmark, results_dir):
+    # Untimed warmups cover both code paths' imports and caches.
+    for na in NA_VALUES:
+        _run_cell(na, False)
+        _run_cell(na, True)
+    clean_s, probed_s, clean_metrics, probed_metrics, reps = once(
+        benchmark, _interleaved_cells, TIME_BUDGET_S
+    )
+
+    # Probes read state, never mutate it: identical simulated results.
+    assert probed_metrics == clean_metrics
+
+    overhead_pct = (probed_s - clean_s) / clean_s * 100.0
+    rows = [
+        {
+            "sweep": f"{PAIR[0]}+{PAIR[1]} NA={','.join(map(str, NA_VALUES))}",
+            "repeats": reps,
+            "clean_s": clean_s,
+            "probed_s": probed_s,
+            "overhead_pct": overhead_pct,
+            "results_identical": True,
+        }
+    ]
+    write_csv(rows, results_dir / "integrity_overhead.csv")
+    print()
+    print(format_table(rows, title="Integrity — invariant-probe overhead"))
+
+    record_trajectory_point(
+        TRAJECTORY_PATH,
+        "bench_integrity_overhead",
+        {
+            "clean_s": clean_s,
+            "probed_s": probed_s,
+            "overhead_pct": overhead_pct,
+        },
+    )
+
+    assert overhead_pct < 2.0, (
+        f"invariant probes cost {overhead_pct:.2f}% of wall time when "
+        "enabled (budget: 2%)"
+    )

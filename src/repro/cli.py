@@ -268,6 +268,19 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write JSONL metric snapshots here")
 
     p = sub.add_parser(
+        "verify",
+        help="scan (and optionally repair) crash-safe journals offline",
+    )
+    p.add_argument("paths", type=Path, nargs="+", metavar="JOURNAL",
+                   help="journal/checkpoint files to check")
+    p.add_argument("--repair", action="store_true",
+                   help="truncate each file to its valid prefix, "
+                   "quarantining the corrupt suffix to a sidecar")
+    p.add_argument("--no-quarantine", action="store_true",
+                   help="with --repair, discard the corrupt suffix instead "
+                   "of writing the .quarantine sidecar")
+
+    p = sub.add_parser(
         "report",
         help="assemble EXPERIMENTS-style markdown from results/ CSVs",
     )
@@ -302,9 +315,41 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(
             "experiments: fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 "
             "timeline table3 headline homog autotune streaming serve "
-            "schedule resilience fleet telemetry report"
+            "schedule resilience fleet telemetry verify report"
         )
         return 0
+
+    if args.command == "verify":
+        # Offline integrity pass: no experiment stack needed, just the
+        # record layer.  Exit 0 only if every file is (or was repaired to)
+        # a clean valid prefix.
+        from .integrity.record import (
+            UnknownJournalFormat,
+            recover_file,
+            scan_file,
+        )
+
+        bad = 0
+        for path in args.paths:
+            try:
+                if args.repair:
+                    _, _, report = recover_file(
+                        path, quarantine=not args.no_quarantine
+                    )
+                else:
+                    _, _, report, _ = scan_file(path)
+            except FileNotFoundError:
+                print(f"{path}: no such file")
+                bad += 1
+                continue
+            except UnknownJournalFormat as exc:
+                print(f"{path}: {exc}")
+                bad += 1
+                continue
+            print(report.describe())
+            if not report.clean and not args.repair:
+                bad += 1
+        return 1 if bad else 0
 
     # Import lazily: experiment modules pull in the whole stack.
     from .core import experiments as ex

@@ -52,6 +52,11 @@ class RunConfig:
     #: Optional :class:`~repro.telemetry.Telemetry`: live metrics for the
     #: run (single-device or fleet).  ``None`` = uninstrumented.
     telemetry: object = None
+    #: Runtime invariant probes (:mod:`repro.integrity.invariants`):
+    #: ``True`` attaches a default :class:`InvariantChecker`, or pass a
+    #: preconfigured checker.  ``None``/``False`` = off (byte-identical
+    #: results, zero probe cost).  Single-device cells only.
+    integrity: object = None
 
     @property
     def num_apps(self) -> int:
@@ -160,6 +165,7 @@ class ExperimentRunner:
             resilience=resilience,
             telemetry=config.telemetry,
             order_label=str(config.order),
+            integrity=config.integrity,
         )
         result = TestHarness(harness_config).run()
         self.runs_executed += 1

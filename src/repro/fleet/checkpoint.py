@@ -46,6 +46,11 @@ class AppCheckpoint:
         one burst to rebuild device-memory state on the new device.
     time:
         Simulated time of the last durable (phase-boundary) snapshot.
+    generation:
+        Fencing generation of :attr:`device_index` at bind time (see
+        :mod:`repro.integrity.fencing`).  A snapshot stamped with a
+        superseded generation is a post-failover stale write and is
+        rejected by the fenced fleet journal.
     """
 
     app_id: str
@@ -58,6 +63,7 @@ class AppCheckpoint:
     completed_kernels: int = 0
     restore_bytes: int = 0
     time: float = 0.0
+    generation: int = 0
 
     def as_entry(self) -> Dict[str, object]:
         """Flat dict for journaling (stable key order via the journal)."""
@@ -65,6 +71,7 @@ class AppCheckpoint:
             "event": "checkpoint",
             "app": self.app_id,
             "device": self.device_index,
+            "gen": self.generation,
             "phase": self.phase_index,
             "copies": self.completed_copies,
             "kernels": self.completed_kernels,

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, List, Optional
 
+from ..integrity.fencing import GenerationFence
 from ..sim.events import Event
 from .checkpoint import CheckpointStore
 from .config import FleetConfig
@@ -55,12 +56,17 @@ class FailoverCoordinator:
         fleet: FleetConfig,
         store: CheckpointStore,
         journal=None,
+        fence: Optional[GenerationFence] = None,
     ) -> None:
         self.env = env
         self.registry = registry
         self.fleet = fleet
         self.store = store
         self.journal = journal
+        #: Per-device generation counters; advanced at every detected
+        #: loss so checkpoint writes from the superseded binding are
+        #: fenced off (see :mod:`repro.integrity.fencing`).
+        self.fence = fence if fence is not None else GenerationFence()
         self.assignment: Dict[str, Optional[int]] = {}
         self.threads: Dict[str, FleetAppThread] = {}
         self.procs: Dict[str, object] = {}
@@ -149,6 +155,11 @@ class FailoverCoordinator:
         if recovery is not None:
             recovery["resumed"] = max(recovery["resumed"], self.env.now)
 
+    @property
+    def stale_writes_rejected(self) -> int:
+        """Journal writes fenced off for carrying a superseded token."""
+        return self.fence.rejected
+
     # -- loss handling -----------------------------------------------------
 
     def device_down(self, index: int, now: float) -> None:
@@ -165,6 +176,10 @@ class FailoverCoordinator:
     def device_detected_lost(self, index: int, now: float) -> None:
         """Observed: journal the loss and migrate (or fail) its apps."""
         device = self.registry.devices[index]
+        # Fence first: from this instant, every token issued against the
+        # device before the loss is superseded, so no in-flight checkpoint
+        # of the old binding can land after the migrated replica's writes.
+        self.fence.advance(index)
         if self.journal is not None:
             self.journal.record(
                 {

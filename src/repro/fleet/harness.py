@@ -79,6 +79,10 @@ class FleetResult:
     checkpoints: int = 0
     recovered_entries: int = 0
     resumed: bool = False
+    #: Generation advances declared by the fence (one per device loss).
+    fence_advances: int = 0
+    #: Journal writes rejected for presenting a superseded fence token.
+    stale_writes_rejected: int = 0
     journal_file: Optional[str] = None
     #: The run's telemetry (same object passed to the harness), if enabled.
     telemetry: object = None
@@ -218,6 +222,7 @@ class FleetHarness:
 
     def run(self) -> FleetResult:
         """Build the fleet, run the schedule to completion, measure."""
+        from ..integrity.fencing import FencedJournal, GenerationFence
         from ..serving.journal import JournalMismatchError, RunJournal
 
         fleet = self.fleet
@@ -251,8 +256,13 @@ class FleetHarness:
             )
             recovered = journal.begin(fingerprint, resume=self.resume)
 
+        # All fleet journaling goes through the fence: checkpoint writes
+        # present their bind-time token, coordinator/terminal records pass
+        # tokenless (they are legitimate after a loss).
+        fence = GenerationFence()
+        fenced = FencedJournal(journal, fence) if journal is not None else None
         coordinator = FailoverCoordinator(
-            env, registry, fleet, store, journal=journal
+            env, registry, fleet, store, journal=fenced, fence=fence,
         )
         monitor = HealthMonitor(
             env,
@@ -281,6 +291,7 @@ class FleetHarness:
                 instrument_failover,
                 instrument_fleet_device,
                 instrument_health_monitor,
+                instrument_integrity,
                 instrument_records,
             )
 
@@ -291,14 +302,22 @@ class FleetHarness:
             instrument_health_monitor(telemetry, monitor)
             instrument_failover(telemetry, coordinator)
             instrument_records(telemetry, records)
+            instrument_integrity(telemetry, None, fence=fence, journal=journal)
+
+        def bind(thread: FleetAppThread, fdev) -> None:
+            # (Re-)binding takes a fresh fencing token; snapshots carry
+            # its generation so stale post-failover writes are rejected.
+            thread.bind(fdev)
+            thread.fence_token = fence.token(fdev.index)
+            thread.checkpoint.generation = thread.fence_token.generation
 
         def on_checkpoint(thread: FleetAppThread) -> None:
             if not fleet.checkpoint:
                 return
             snapshot = dataclasses.replace(thread.checkpoint)
             store.save(snapshot)
-            if journal is not None:
-                journal.record(snapshot.as_entry())
+            if fenced is not None:
+                fenced.record(snapshot.as_entry(), token=thread.fence_token)
 
         def drive(thread: FleetAppThread, record: AppRecord):
             app_id = thread.app.app_id
@@ -316,7 +335,7 @@ class FleetHarness:
                     record.migrations += 1
                     record.reexecuted_kernels += pending_reexec
                     pending_reexec = None
-                thread.bind(fdev)
+                bind(thread, fdev)
                 attempts += 1
                 record.attempts = attempts
                 try:
@@ -345,8 +364,10 @@ class FleetHarness:
                         thread.restart_from_scratch()
                     continue
             coordinator.note_done(app_id)
-            if journal is not None:
-                journal.record(
+            if fenced is not None:
+                # Tokenless on purpose: a "device-lost" terminal outcome
+                # is legitimately written after the generation advanced.
+                fenced.record(
                     {
                         "event": "app",
                         "app": app_id,
@@ -375,7 +396,7 @@ class FleetHarness:
                     on_checkpoint=on_checkpoint,
                 )
                 fdev = coordinator.register(thread)
-                thread.bind(fdev)
+                bind(thread, fdev)
                 threads.append(thread)
                 yield from thread.prepare()
 
@@ -411,8 +432,9 @@ class FleetHarness:
             env.process(crash_body(), name="fleet-crash")
         try:
             env.run(until=done)
-        except HarnessCrash:
+        except HarnessCrash as crash:
             if journal is not None:
+                journal.mark_crash(crash.time)
                 journal.close()
             raise
         env.run()  # settle same-time trailing events
@@ -473,6 +495,8 @@ class FleetHarness:
             checkpoints=store.snapshots,
             recovered_entries=recovered,
             resumed=self.resume,
+            fence_advances=fence.advances,
+            stale_writes_rejected=coordinator.stale_writes_rejected,
             journal_file=(
                 str(self.journal_path)
                 if self.journal_path is not None

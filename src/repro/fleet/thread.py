@@ -67,6 +67,10 @@ class FleetAppThread:
         self.on_checkpoint = on_checkpoint
         self.fdev: Optional[FleetDevice] = None
         self.stream = None
+        #: Bind-time fencing token (set by the harness; see
+        #: :mod:`repro.integrity.fencing`).  Checkpoint writes present it
+        #: so post-failover stale writes are rejected, not interleaved.
+        self.fence_token = None
         #: Device index the app's device allocations currently live on;
         #: ``None`` forces (re-)allocation at the next attempt.
         self.bound_device: Optional[int] = None

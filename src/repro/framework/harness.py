@@ -106,6 +106,11 @@ class HarnessConfig:
     #: Launch-order policy label stamped onto every AppRecord ("" = unset),
     #: so reports can attribute makespan differences to the ordering used.
     order_label: str = ""
+    #: Runtime invariant checking (see :mod:`repro.integrity.invariants`):
+    #: ``None``/``False`` = off (byte-identical results, pinned by
+    #: ``bench_integrity_overhead.py``); ``True`` = strided probes with
+    #: defaults; or a preconfigured ``InvariantChecker`` instance.
+    integrity: object = None
 
     def __post_init__(self) -> None:
         if not self.apps:
@@ -134,6 +139,9 @@ class HarnessResult:
     resilience: Optional[ResilienceSummary] = None
     #: The run's telemetry (same object as config.telemetry), if enabled.
     telemetry: object = None
+    #: The run's InvariantChecker (counters and any recorded violations),
+    #: if integrity checking was enabled.
+    integrity: object = None
 
     # -- summary helpers -------------------------------------------------------
 
@@ -221,12 +229,25 @@ class TestHarness:
         records: List[AppRecord] = []
         rng = np.random.default_rng(cfg.seed)
 
+        integrity = None
+        if cfg.integrity:
+            from ..integrity.invariants import InvariantChecker
+
+            integrity = (
+                cfg.integrity
+                if isinstance(cfg.integrity, InvariantChecker)
+                else InvariantChecker()
+            )
+            integrity.watch_device(device)
+            integrity.attach(env)
+
         telemetry = cfg.telemetry
         if telemetry is not None:
             from ..telemetry.probes import (
                 instrument_device,
                 instrument_environment,
                 instrument_injector,
+                instrument_integrity,
                 instrument_records,
             )
 
@@ -235,6 +256,7 @@ class TestHarness:
             instrument_device(telemetry, device)
             instrument_records(telemetry, records)
             instrument_injector(telemetry, injector)
+            instrument_integrity(telemetry, integrity)
 
         def parent():
             # Paper flow: instantiate + allocate + initialize every
@@ -310,6 +332,11 @@ class TestHarness:
         env.run(until=done)
         # Let any same-time trailing events (power segment closes) settle.
         env.run()
+        if integrity is not None:
+            # Closing pass so short runs are checked at least once even if
+            # they never crossed a stride boundary.
+            integrity.check_now(env.now)
+            integrity.detach()
         if telemetry is not None:
             # Closing snapshot: the final registry state every exporter
             # agrees on (cross-exporter consistency).
@@ -360,4 +387,5 @@ class TestHarness:
             stream_assignments=assignments,
             resilience=summary,
             telemetry=telemetry,
+            integrity=integrity,
         )

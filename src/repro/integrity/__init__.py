@@ -1,0 +1,99 @@
+"""State-integrity subsystem: trusted persistence for every stateful layer.
+
+Three independent persistence paths grew up around the reproduction — the
+serving layer's :class:`~repro.serving.journal.RunJournal`, the fleet
+layer's :class:`~repro.fleet.checkpoint.AppCheckpoint` stream, and the
+batch scheduler's decision journal.  All three promise *byte-identical
+resume*, but until this subsystem existed the promise was only asserted by
+tests: a torn write, a stale checkpoint replayed after a failover, or a
+silently flipped byte would be consumed without complaint.  This package
+defends the promise at runtime:
+
+* :mod:`~repro.integrity.record` — a versioned, per-record checksummed
+  envelope format shared by every journal, plus a recovery scanner that
+  detects torn tails and mid-file corruption, truncates to the last valid
+  prefix, quarantines the bad bytes to a sidecar file and reports a typed
+  :class:`~repro.integrity.record.RecoveryReport`.
+* :mod:`~repro.integrity.fencing` — epoch/generation fencing so that
+  after a failover, journal writes stamped with a stale device generation
+  are *rejected* instead of interleaved with the migrated replica's
+  writes (the classic split-brain window).
+* :mod:`~repro.integrity.invariants` — cheap runtime invariant probes
+  (SMX occupancy bounds, queue/byte conservation, monotone clocks, power
+  accounting) raising :class:`~repro.integrity.invariants.
+  IntegrityViolation` with full context instead of letting model drift
+  surface as wrong benchmark numbers.
+* :mod:`~repro.integrity.crashfuzz` — a deterministic crash-point fuzzing
+  harness that kills a journaled run at every byte boundary (and flips
+  bytes) and asserts that resume is byte-identical or cleanly truncated.
+
+Layering: the package sits beside :mod:`repro.resilience`, directly on
+:mod:`repro.sim`; the stateful layers above (serving, fleet, scheduling)
+consume it, nothing below imports it.  See ``docs/integrity.md``.
+"""
+
+from .record import (
+    ENVELOPE_PREFIX,
+    ENVELOPE_VERSION,
+    MARKER_KEY,
+    JournalIntegrityError,
+    RecordCorruption,
+    RecoveryReport,
+    UnknownJournalFormat,
+    decode_line,
+    encode_line,
+    clock_regressions,
+    recover_file,
+    scan_file,
+    sniff_format,
+)
+from .fencing import (
+    FencedJournal,
+    FenceToken,
+    GenerationFence,
+    StaleGenerationError,
+)
+from .invariants import (
+    IntegrityViolation,
+    InvariantChecker,
+    attach_device_invariants,
+    attach_environment_invariants,
+)
+from .crashfuzz import (
+    CrashSite,
+    SweepReport,
+    enumerate_flips,
+    enumerate_truncations,
+    mutate,
+    run_crash_sweep,
+)
+
+__all__ = [
+    "ENVELOPE_PREFIX",
+    "ENVELOPE_VERSION",
+    "MARKER_KEY",
+    "CrashSite",
+    "FencedJournal",
+    "FenceToken",
+    "GenerationFence",
+    "IntegrityViolation",
+    "InvariantChecker",
+    "JournalIntegrityError",
+    "RecordCorruption",
+    "RecoveryReport",
+    "StaleGenerationError",
+    "SweepReport",
+    "UnknownJournalFormat",
+    "attach_device_invariants",
+    "attach_environment_invariants",
+    "clock_regressions",
+    "decode_line",
+    "encode_line",
+    "enumerate_flips",
+    "enumerate_truncations",
+    "mutate",
+    "recover_file",
+    "run_crash_sweep",
+    "scan_file",
+    "sniff_format",
+]

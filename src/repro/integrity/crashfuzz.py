@@ -1,0 +1,220 @@
+"""Deterministic crash-point and corruption fuzzing for journaled stores.
+
+The harness rests on one property every journal in this repo shares: a
+fresh run's file grows **append-only** (one fsynced line per committed
+record), so the on-disk state at any crash instant is exactly a *byte
+prefix* of the uninterrupted run's final file — possibly cut mid-line.
+That turns "kill the process at every persisted-write site" into "run
+once, then enumerate every truncation of the reference bytes": the same
+coverage, deterministic, and cheap enough for a per-PR CI lane.
+
+Corruption is modelled the same way: :func:`enumerate_flips` XORs one
+byte at seeded offsets, standing in for bit rot anywhere in the file.
+
+For every :class:`CrashSite` the sweep writes the mutated bytes to a
+scratch path and demands one of exactly two outcomes:
+
+* **resume converges** — the resumed run recovers (truncating and
+  quarantining whatever the envelope layer rejects), replays, and leaves
+  the file *byte-identical* to the reference; or
+* **clean rejection** — resume raises one of the caller's
+  ``clean_errors`` (e.g. the header itself was destroyed), after which a
+  *fresh* run over the same path must again be byte-identical.
+
+Anything else — an unexpected exception type, or a file that ends up
+different from the reference — is a silent-wrongness bug and fails the
+sweep with the offending site pinned.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "CrashSite",
+    "SweepReport",
+    "enumerate_truncations",
+    "enumerate_flips",
+    "mutate",
+    "run_crash_sweep",
+]
+
+
+@dataclass(frozen=True)
+class CrashSite:
+    """One point in the fuzz space.
+
+    ``kind`` is ``"truncate"`` (the file ends at ``offset`` — a crash
+    mid-write) or ``"flip"`` (the byte at ``offset`` is XORed with
+    ``xor`` — corruption at rest).
+    """
+
+    kind: str
+    offset: int
+    xor: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("truncate", "flip"):
+            raise ValueError(f"unknown crash-site kind {self.kind!r}")
+        if self.kind == "flip" and not 1 <= self.xor <= 255:
+            raise ValueError("flip sites need a non-zero xor byte")
+
+    def describe(self) -> str:
+        if self.kind == "truncate":
+            return f"truncate@{self.offset}"
+        return f"flip@{self.offset}^{self.xor:#04x}"
+
+
+def enumerate_truncations(
+    reference: bytes, stride: int = 1
+) -> List[CrashSite]:
+    """Every crash point: cut the file at each byte boundary.
+
+    ``stride`` thins the sweep for the per-PR lane (every ``stride``-th
+    boundary); the newline positions are always kept regardless, because
+    record boundaries are where torn-vs-complete classification flips.
+    Offset 0 (file wiped before the header landed) is always included.
+    """
+    if stride < 1:
+        raise ValueError("stride must be >= 1")
+    offsets = set(range(0, len(reference), stride))
+    offsets.add(0)
+    for i, byte in enumerate(reference):
+        if byte == 0x0A:
+            offsets.update((i, i + 1))
+    offsets.discard(len(reference))  # that's the uninterrupted file
+    return [CrashSite("truncate", off) for off in sorted(offsets)]
+
+
+def enumerate_flips(
+    reference: bytes,
+    seed: int = 0,
+    count: Optional[int] = None,
+) -> List[CrashSite]:
+    """Single-byte corruptions at seeded offsets.
+
+    ``count=None`` yields the full corpus — one flip at *every* offset
+    (the ``REPRO_SOAK`` lane).  A finite ``count`` samples that many
+    offsets without replacement, deterministically from ``seed`` (the
+    per-PR lane).  The XOR byte is drawn per-offset from the same stream
+    and is never zero, so every site actually changes the file.
+    """
+    rng = random.Random(seed)
+    offsets: Sequence[int] = range(len(reference))
+    if count is not None and count < len(reference):
+        offsets = sorted(rng.sample(range(len(reference)), count))
+    return [
+        CrashSite("flip", off, xor=rng.randint(1, 255)) for off in offsets
+    ]
+
+
+def mutate(reference: bytes, site: CrashSite) -> bytes:
+    """Apply one crash site to the reference bytes."""
+    if site.kind == "truncate":
+        return reference[: site.offset]
+    if site.offset >= len(reference):
+        raise ValueError(
+            f"flip offset {site.offset} beyond file of {len(reference)} B"
+        )
+    mutated = bytearray(reference)
+    mutated[site.offset] ^= site.xor
+    return bytes(mutated)
+
+
+@dataclass
+class SweepReport:
+    """Outcome of one crash-point sweep."""
+
+    sites: int = 0
+    resumed_identical: int = 0
+    rejected_then_fresh: int = 0
+    #: ``(site description, what went wrong)`` for every failed site.
+    failures: List[Tuple[str, str]] = field(default_factory=list)
+    #: Distribution of clean-rejection exception type names.
+    rejection_types: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def describe(self) -> str:
+        text = (
+            f"{self.sites} sites: {self.resumed_identical} resumed "
+            f"byte-identical, {self.rejected_then_fresh} cleanly rejected"
+        )
+        if self.failures:
+            text += f", {len(self.failures)} FAILED"
+            for desc, reason in self.failures[:5]:
+                text += f"\n  {desc}: {reason}"
+        return text
+
+
+def run_crash_sweep(
+    reference: bytes,
+    sites: Iterable[CrashSite],
+    scratch_dir,
+    resume: Callable[[Path], None],
+    fresh: Callable[[Path], None],
+    clean_errors: Tuple[type, ...],
+) -> SweepReport:
+    """Fuzz one store across ``sites``; see the module docstring.
+
+    ``resume(path)`` must run the store's recover-and-resume path against
+    the mutated file at ``path``; ``fresh(path)`` must re-run from
+    scratch over the same path.  Both are expected to leave the store's
+    final bytes at ``path`` when they return.  ``clean_errors`` is the
+    tuple of exception types that count as *clean rejection* — anything
+    else propagating out of ``resume`` fails the site.
+    """
+    scratch_dir = Path(scratch_dir)
+    scratch_dir.mkdir(parents=True, exist_ok=True)
+    report = SweepReport()
+    path = scratch_dir / "fuzz.jsonl"
+    for site in sites:
+        report.sites += 1
+        desc = site.describe()
+        # Reset scratch state (including any sidecar from the last site).
+        for leftover in scratch_dir.iterdir():
+            leftover.unlink()
+        path.write_bytes(mutate(reference, site))
+        try:
+            resume(path)
+        except clean_errors as exc:
+            name = type(exc).__name__
+            report.rejection_types[name] = (
+                report.rejection_types.get(name, 0) + 1
+            )
+            try:
+                path.unlink(missing_ok=True)
+                fresh(path)
+            except Exception as exc2:  # noqa: BLE001 - report, don't mask
+                report.failures.append(
+                    (desc, f"fresh rerun after clean rejection raised "
+                           f"{type(exc2).__name__}: {exc2}")
+                )
+                continue
+            if path.read_bytes() != reference:
+                report.failures.append(
+                    (desc, "fresh rerun after clean rejection is not "
+                           "byte-identical to the reference")
+                )
+            else:
+                report.rejected_then_fresh += 1
+            continue
+        except Exception as exc:  # noqa: BLE001 - report, don't mask
+            report.failures.append(
+                (desc, f"resume raised unexpected "
+                       f"{type(exc).__name__}: {exc}")
+            )
+            continue
+        if path.read_bytes() != reference:
+            report.failures.append(
+                (desc, "resume completed but the journal is not "
+                       "byte-identical to the reference")
+            )
+        else:
+            report.resumed_identical += 1
+    return report

@@ -80,6 +80,12 @@ class FaultKind(str, Enum):
     #: Consumed by the grid engine; the fleet health monitor classifies
     #: the device *degraded* while a throttle window is open.
     DEVICE_THROTTLE = "device_throttle"
+    #: A runtime invariant probe found model state that violates a
+    #: conservation law or calibrated bound (see
+    #: :mod:`repro.integrity.invariants`).  Unlike the kinds above this is
+    #: never *injected* — it is the classification the integrity subsystem
+    #: reports when the model itself has drifted.
+    INTEGRITY_VIOLATION = "integrity_violation"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value

@@ -308,6 +308,13 @@ class BatchScheduler:
             return len(self.decisions)
         return self._decision_counts.get(device, 0)
 
+    def mark_crash(self, time: float) -> None:
+        """Stamp a durable crash marker in the decision journal (no-op
+        without one); see :meth:`repro.serving.journal.RunJournal.
+        mark_crash`."""
+        if self._journal is not None:
+            self._journal.mark_crash(time)
+
     def close(self) -> None:
         """Close the journal (idempotent)."""
         if self._journal is not None:

@@ -40,6 +40,7 @@ from .fleet_gate import FleetCapacityGate
 from .journal import (
     JOURNAL_FORMAT,
     JOURNAL_VERSION,
+    LEGACY_JOURNAL_VERSION,
     JournalError,
     JournalMismatchError,
     RunJournal,
@@ -64,6 +65,7 @@ __all__ = [
     "FleetServingConfig",
     "JOURNAL_FORMAT",
     "JOURNAL_VERSION",
+    "LEGACY_JOURNAL_VERSION",
     "JournalError",
     "JournalMismatchError",
     "QUEUE_POLICIES",

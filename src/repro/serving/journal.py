@@ -1,10 +1,22 @@
 """Crash-safe run journaling for the serving layer.
 
-The journal is a JSONL file: one header line identifying the run
-configuration (by fingerprint), then one line per *terminal job outcome*,
-appended in commit order with a flush+fsync per line — so at any crash
-point the file holds a prefix of the run's outcome log plus at most one
-torn trailing line (which recovery discards).
+The journal is a line-oriented file of checksummed **envelope records**
+(see :mod:`repro.integrity.record`): one header record identifying the
+run configuration (by fingerprint), then one record per *terminal job
+outcome*, appended in commit order.  Each append is flushed and fsynced
+before :meth:`RunJournal.record` returns, and file creation / atomic
+rewrite is followed by a directory fsync — the durability contract is
+"when record() returns, the OS has the bytes *and* the name", so the
+crash-point fuzzing harness tests what a real SIGKILL would leave behind.
+
+Because every record carries a CRC-32 and its file sequence number,
+recovery is no longer limited to "one torn trailing line": a tail cut
+mid-write — even mid-UTF-8-codepoint — *and* a byte flipped anywhere in
+the middle of the file are both detected, the journal is truncated to its
+last valid prefix, the rejected bytes are quarantined to a
+``<path>.quarantine`` sidecar, and the scan is reported in a typed
+:class:`~repro.integrity.record.RecoveryReport` (:attr:`RunJournal.
+recovery`).
 
 **Resume is replay.**  The simulation is deterministic, so the cheapest
 *and* safest recovery is to re-execute the run from the start and *verify*
@@ -15,6 +27,11 @@ run, and any divergence (changed code, edited journal, wrong config) is
 caught as a :class:`JournalMismatchError` rather than silently corrupting
 the log.  The fingerprint check makes "resumed against the wrong run"
 a first-class error, not a garbage result.
+
+Pre-envelope (version 1) journals — plain JSONL — are detected by format
+sniffing and read through a compat path; resuming one rewrites it in
+envelope form.  Unknown formats are rejected with an actionable error,
+never misparsed.
 """
 
 from __future__ import annotations
@@ -25,16 +42,30 @@ from collections import deque
 from pathlib import Path
 from typing import Deque, Dict, List, Optional, Tuple
 
+from ..integrity.record import (
+    MARKER_KEY,
+    RecoveryReport,
+    UnknownJournalFormat,
+    encode_line,
+    fsync_dir,
+    quarantine_bytes,
+    scan_file,
+)
+
 __all__ = [
     "JOURNAL_FORMAT",
     "JOURNAL_VERSION",
+    "LEGACY_JOURNAL_VERSION",
     "JournalError",
     "JournalMismatchError",
     "RunJournal",
 ]
 
 JOURNAL_FORMAT = "repro-serving-journal"
-JOURNAL_VERSION = 1
+#: Current on-disk version: checksummed envelope records.
+JOURNAL_VERSION = 2
+#: Pre-envelope plain-JSONL journals, still readable via the compat path.
+LEGACY_JOURNAL_VERSION = 1
 
 
 class JournalError(Exception):
@@ -56,7 +87,7 @@ def _canonical(entry: Dict) -> Dict:
 
 
 class RunJournal:
-    """Append-only JSONL outcome log with replay-verified resume.
+    """Append-only checksummed outcome log with replay-verified resume.
 
     Lifecycle: construct with a path, :meth:`begin` (fresh or resuming),
     feed every terminal outcome through :meth:`record`, :meth:`close`.
@@ -67,6 +98,7 @@ class RunJournal:
     def __init__(self, path) -> None:
         self.path = Path(path)
         self._fh = None
+        self._seq = 0
         self._pending: Deque[Dict] = deque()
         #: Entries recovered from a prior run at :meth:`begin`.
         self.recovered = 0
@@ -74,19 +106,24 @@ class RunJournal:
         self.verified = 0
         #: New entries appended (and fsynced) this run.
         self.appended = 0
+        #: Marker records (e.g. crash markers) appended this run.
+        self.markers = 0
+        #: Scan report from the last resume (``None`` for fresh runs).
+        self.recovery: Optional[RecoveryReport] = None
 
     # -- setup -------------------------------------------------------------
 
     def begin(self, fingerprint: str, resume: bool = False) -> int:
         """Open the journal; returns the number of recovered entries.
 
-        Fresh runs truncate and write the header.  Resumed runs load the
+        Fresh runs truncate and write the header.  Resumed runs scan the
         existing file, check its fingerprint against this run's
-        configuration, discard a torn trailing line if the crash left
-        one, and queue the intact entries for replay verification.
+        configuration, truncate to the last valid prefix (quarantining
+        anything after it — a torn tail or flipped byte), and queue the
+        surviving entries for replay verification.
         """
         if resume:
-            header, entries = self._load()
+            header, entries = self._load(repair=True)
             if header.get("fingerprint") != fingerprint:
                 raise JournalMismatchError(
                     f"journal {self.path} was written by a different run "
@@ -95,16 +132,24 @@ class RunJournal:
                 )
             self._pending = deque(entries)
             self.recovered = len(entries)
-            # Rewrite header + intact entries so the torn line (if any) is
-            # gone before we start appending again.
+            # Rewrite header + surviving entries in envelope form so torn
+            # bytes, markers and any legacy formatting are gone before we
+            # start appending again.
+            header = {
+                "format": JOURNAL_FORMAT,
+                "version": JOURNAL_VERSION,
+                "fingerprint": fingerprint,
+            }
             tmp = self.path.with_suffix(self.path.suffix + ".tmp")
             with open(tmp, "w", encoding="utf-8") as fh:
-                fh.write(json.dumps(header, sort_keys=True) + "\n")
-                for entry in entries:
-                    fh.write(json.dumps(entry, sort_keys=True) + "\n")
+                fh.write(encode_line(header, 0))
+                for seq, entry in enumerate(entries, start=1):
+                    fh.write(encode_line(entry, seq))
                 fh.flush()
                 os.fsync(fh.fileno())
             os.replace(tmp, self.path)
+            fsync_dir(self.path)
+            self._seq = len(entries) + 1
         else:
             header = {
                 "format": JOURNAL_FORMAT,
@@ -113,51 +158,62 @@ class RunJournal:
             }
             self.path.parent.mkdir(parents=True, exist_ok=True)
             with open(self.path, "w", encoding="utf-8") as fh:
-                fh.write(json.dumps(header, sort_keys=True) + "\n")
+                fh.write(encode_line(header, 0))
                 fh.flush()
                 os.fsync(fh.fileno())
+            fsync_dir(self.path)
+            self._seq = 1
         self._fh = open(self.path, "a", encoding="utf-8")
         return self.recovered
 
-    def _load(self) -> Tuple[Dict, List[Dict]]:
-        """Parse header + entries, tolerating one torn trailing line."""
-        if not self.path.exists():
+    def _load(self, repair: bool = False) -> Tuple[Dict, List[Dict]]:
+        """Scan the file; with ``repair`` also quarantine invalid bytes.
+
+        Returns the header payload and the surviving entries (markers
+        excluded), leaving the scan report in :attr:`recovery`.  Raises
+        :class:`JournalError` when the file is absent, empty, of an
+        unknown format, or carries the wrong header.
+        """
+        try:
+            header, entries, report, prefix = scan_file(self.path)
+        except FileNotFoundError:
             raise JournalError(
                 f"cannot resume: journal {self.path} does not exist"
+            ) from None
+        except UnknownJournalFormat as exc:
+            raise JournalError(
+                f"{self.path} is not a {JOURNAL_FORMAT} file: {exc}"
+            ) from None
+        self.recovery = report
+        if report.format == "legacy" and report.mid_file_corruption:
+            # Legacy lines carry no checksum, so a bad line mid-file
+            # cannot be blamed on a crash: refuse rather than guess which
+            # suffix to trust.
+            raise JournalError(
+                f"journal {self.path} is corrupt at line "
+                f"{report.first_invalid_line} (legacy format: only the "
+                "final line may be torn); re-run without --resume or "
+                "restore the file from backup"
             )
-        with open(self.path, "r", encoding="utf-8") as fh:
-            lines = fh.read().splitlines()
-        if not lines:
-            raise JournalError(f"journal {self.path} is empty")
-        try:
-            header = json.loads(lines[0])
-        except json.JSONDecodeError as exc:
+        if header is None:
             raise JournalError(
                 f"journal {self.path} has a corrupt header line"
-            ) from exc
-        if (
-            not isinstance(header, dict)
-            or header.get("format") != JOURNAL_FORMAT
-        ):
+            )
+        if header.get("format") != JOURNAL_FORMAT:
             raise JournalError(f"{self.path} is not a {JOURNAL_FORMAT} file")
-        if header.get("version") != JOURNAL_VERSION:
+        if header.get("version") not in (
+            JOURNAL_VERSION, LEGACY_JOURNAL_VERSION
+        ):
             raise JournalError(
                 f"journal {self.path} has unsupported version "
-                f"{header.get('version')!r}"
+                f"{header.get('version')!r} (this build reads versions "
+                f"{LEGACY_JOURNAL_VERSION} and {JOURNAL_VERSION})"
             )
-        entries: List[Dict] = []
-        for lineno, line in enumerate(lines[1:], start=2):
-            if not line.strip():
-                continue
-            try:
-                entries.append(json.loads(line))
-            except json.JSONDecodeError as exc:
-                if lineno == len(lines):
-                    break  # torn final line from the crash; discard
-                raise JournalError(
-                    f"journal {self.path} is corrupt at line {lineno} "
-                    "(only the final line may be torn)"
-                ) from exc
+        if repair and report.quarantined_bytes:
+            data = self.path.read_bytes()
+            report.sidecar = quarantine_bytes(
+                self.path, data[len(data) - report.quarantined_bytes:]
+            )
         return header, entries
 
     # -- engine-facing surface --------------------------------------------
@@ -167,7 +223,7 @@ class RunJournal:
 
         During replay of a resumed run this *verifies* the outcome against
         the journaled prefix instead of appending; past the prefix it
-        appends one fsynced line.
+        appends one fsynced envelope record.
         """
         if self._fh is None:
             raise JournalError("journal used before begin() / after close()")
@@ -182,10 +238,27 @@ class RunJournal:
                 )
             self.verified += 1
             return
-        self._fh.write(json.dumps(entry, sort_keys=True) + "\n")
+        self._append(entry)
+        self.appended += 1
+
+    def mark_crash(self, time: float) -> None:
+        """Durably note that the run is dying (best effort, idempotent).
+
+        The marker is an envelope record like any other — fsynced before
+        the crash propagates — but it is *not* an entry: :meth:`entries`
+        filters it and the resume rewrite drops it, so a resumed journal
+        still converges to the uninterrupted run's bytes.
+        """
+        if self._fh is None:
+            return
+        self._append({MARKER_KEY: "crash", "t": float(time)})
+        self.markers += 1
+
+    def _append(self, payload: Dict) -> None:
+        self._fh.write(encode_line(payload, self._seq))
         self._fh.flush()
         os.fsync(self._fh.fileno())
-        self.appended += 1
+        self._seq += 1
 
     # -- teardown ----------------------------------------------------------
 

@@ -375,10 +375,11 @@ def run_serving(
             serving=hooks,
             telemetry=telemetry,
         )
-    except HarnessCrash:
-        # The journal holds everything committed before the crash; leave
-        # it on disk for the resume.
+    except HarnessCrash as crash:
+        # The journal holds everything committed before the crash; stamp
+        # a durable crash marker and leave it on disk for the resume.
         if journal is not None:
+            journal.mark_crash(crash.time)
             journal.close()
         raise
     if journal is not None:
@@ -591,9 +592,10 @@ def run_batched_serving(
                     records=result.records,
                 )
             )
-    except HarnessCrash:
-        # Decisions/observations up to the crash are on disk; leave the
-        # journal for the resume.
+    except HarnessCrash as crash:
+        # Decisions/observations up to the crash are on disk; stamp the
+        # crash marker and leave the journal for the resume.
+        scheduler.mark_crash(crash.time)
         if own_scheduler:
             scheduler.close()
         raise

@@ -45,6 +45,16 @@ class Environment:
         # Optional resilience hook (see repro.resilience.faults).  None in
         # every ordinary run; the step loop only pays one attribute check.
         self._fault_injector: Optional[Any] = None
+        # Optional strided integrity probe (see repro.integrity.invariants).
+        # Unset in every ordinary run; the step loop pays one integer
+        # truthiness check and nothing else.  The strided dispatch lives
+        # *inline* here rather than in a per-event callback because a
+        # Python call per event pop costs percents of wall time on
+        # event-dense workloads; an integer countdown costs a fraction
+        # of that.
+        self._probe: Optional[Any] = None
+        self._probe_stride: int = 0
+        self._probe_countdown: int = 0
 
     # -- introspection ---------------------------------------------------
 
@@ -89,6 +99,38 @@ class Environment:
         if injector is not None and not hasattr(injector, "on_step"):
             raise TypeError(f"{injector!r} has no on_step(now) hook")
         self._fault_injector = injector
+
+    @property
+    def probe(self) -> Optional[Any]:
+        """The installed strided probe, if any (see :mod:`repro.integrity`)."""
+        return self._probe
+
+    def set_probe(self, probe: Any, stride: int) -> None:
+        """Install a strided probe: ``probe(now)`` fires every ``stride``-th
+        event pop.
+
+        Used by the integrity subsystem's invariant checker.  The probe
+        runs after the fault injector (so it observes post-fault state)
+        and before event callbacks.  One slot only — a second install
+        without :meth:`clear_probe` is a wiring bug and raises.  With no
+        probe installed the run loop is byte-identical to one that never
+        heard of probes.
+        """
+        if not callable(probe):
+            raise TypeError(f"{probe!r} is not callable")
+        if stride < 1:
+            raise ValueError(f"stride must be >= 1, got {stride!r}")
+        if self._probe is not None:
+            raise RuntimeError("a probe is already installed on this environment")
+        self._probe = probe
+        self._probe_stride = stride
+        self._probe_countdown = stride
+
+    def clear_probe(self) -> None:
+        """Detach the strided probe (no-op if none installed)."""
+        self._probe = None
+        self._probe_stride = 0
+        self._probe_countdown = 0
 
     # -- event factories ---------------------------------------------------
 
@@ -142,6 +184,11 @@ class Environment:
 
         if self._fault_injector is not None:
             self._fault_injector.on_step(self._now)
+        if self._probe_countdown:
+            self._probe_countdown -= 1
+            if not self._probe_countdown:
+                self._probe_countdown = self._probe_stride
+                self._probe(self._now)
 
         callbacks, event.callbacks = event.callbacks, None
         if callbacks is None:

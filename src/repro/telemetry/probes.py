@@ -36,6 +36,7 @@ __all__ = [
     "instrument_fleet_device",
     "instrument_failover",
     "instrument_scheduler",
+    "instrument_integrity",
 ]
 
 #: Histogram bucket edges for failover durations (seconds): sub-millisecond
@@ -395,6 +396,64 @@ def instrument_failover(
         seen[0] = len(recoveries)
 
     telemetry.add_probe(probe)
+
+
+# -- integrity -------------------------------------------------------------
+
+
+def instrument_integrity(
+    telemetry: Telemetry, checker, fence=None, journal=None
+) -> None:
+    """Invariant-check and fencing counters from the integrity subsystem.
+
+    ``checker`` is an :class:`~repro.integrity.invariants.InvariantChecker`
+    (or ``None``); ``fence`` an optional :class:`~repro.integrity.fencing.
+    GenerationFence`; ``journal`` any object exposing the ``RunJournal``
+    counters (``recovered``/``verified``/``appended``).  All three are
+    read-only pulls — the probe observes the defenses, it never drives
+    them.
+    """
+    if checker is None and fence is None and journal is None:
+        return
+    if checker is not None:
+        checks = telemetry.counter(
+            "repro_integrity_checks_total",
+            "Full invariant-catalog passes executed",
+        )
+        violations = telemetry.counter(
+            "repro_integrity_violations_total",
+            "Invariant violations found (any mode)",
+        )
+        telemetry.add_probe(_pull_counter(checks, lambda: checker.checks_run))
+        telemetry.add_probe(
+            _pull_counter(violations, lambda: checker.violations_found)
+        )
+    if fence is not None:
+        advances = telemetry.counter(
+            "repro_integrity_fence_advances_total",
+            "Device generation advances (fenced device losses)",
+        )
+        rejected = telemetry.counter(
+            "repro_integrity_stale_writes_rejected_total",
+            "Journal writes rejected for carrying a stale fencing token",
+        )
+        telemetry.add_probe(_pull_counter(advances, lambda: fence.advances))
+        telemetry.add_probe(_pull_counter(rejected, lambda: fence.rejected))
+    if journal is not None:
+        appended = telemetry.counter(
+            "repro_integrity_records_appended_total",
+            "Envelope records durably appended",
+        )
+        verified = telemetry.counter(
+            "repro_integrity_records_verified_total",
+            "Recovered records re-verified by replay",
+        )
+        telemetry.add_probe(
+            _pull_counter(appended, lambda: journal.appended)
+        )
+        telemetry.add_probe(
+            _pull_counter(verified, lambda: journal.verified)
+        )
 
 
 # -- scheduling ------------------------------------------------------------

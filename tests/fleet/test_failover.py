@@ -223,9 +223,11 @@ class TestCrashDuringFailoverResume:
         assert resumed.makespan == reference.makespan
 
         # The journal carries the full failure narrative.
+        from repro.integrity import decode_line
+
         events = [
-            json.loads(line)["event"]
-            for line in ref_path.read_text().splitlines()[1:]
+            decode_line(line)["event"]
+            for line in ref_path.read_bytes().splitlines()[1:]
         ]
         assert "checkpoint" in events
         assert "device-lost" in events

@@ -14,6 +14,7 @@ from repro.core.streaming import ConcurrencyCapDispatcher, poisson_arrivals
 from repro.core.workload import Workload
 from repro.fleet import FleetHarness, FleetResult
 from repro.framework.harness import HarnessResult
+from repro.integrity import decode_line
 from repro.serving import FleetServingConfig, ServingConfig, run_serving
 
 from .conftest import fast_fleet, make_apps
@@ -104,8 +105,8 @@ class TestServingJournalFormatUnchanged:
             journal_path=path_plain,
         )
         plain_entries = [
-            json.loads(line)
-            for line in path_plain.read_text().splitlines()[1:]
+            decode_line(line)
+            for line in path_plain.read_bytes().splitlines()[1:]
         ]
         assert plain_entries
         assert all("device" not in e for e in plain_entries)
@@ -119,8 +120,8 @@ class TestServingJournalFormatUnchanged:
             journal_path=path_fleet,
         )
         fleet_entries = [
-            json.loads(line)
-            for line in path_fleet.read_text().splitlines()[1:]
+            decode_line(line)
+            for line in path_fleet.read_bytes().splitlines()[1:]
         ]
         assert fleet_entries
         assert all("device" in e for e in fleet_entries)

@@ -1,0 +1,174 @@
+"""Shared builders for the integrity suite.
+
+Each ``*_store`` helper runs one tiny deterministic workload with its
+journal at a caller-chosen path, exposing exactly the interface
+:func:`repro.integrity.crashfuzz.run_crash_sweep` consumes: the
+uninterrupted run's reference bytes plus ``resume``/``fresh`` callables
+that re-run the *same* configuration against an arbitrary path.  The
+three stores cover every persisted-write site in the repo: the serving
+outcome journal, the fleet checkpoint/failover journal and the batch
+scheduler's decision journal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Tuple
+
+import pytest
+
+from repro.apps.registry import get_app
+from repro.core.streaming import ConcurrencyCapDispatcher, poisson_arrivals
+from repro.fleet import FleetConfig, FleetHarness
+from repro.resilience.faults import FaultKind, FaultPlan, FaultSpec
+from repro.serving import (
+    JournalError,
+    ServingConfig,
+    run_batched_serving,
+    run_serving,
+)
+
+SEED = 7
+
+#: Tight health timings so loss -> detection -> migration resolves inside
+#: a tiny-scale fleet run (mirrors tests/fleet/conftest.py).
+FAST_HEALTH = dict(
+    heartbeat_interval=2e-5,
+    detection_latency=5e-5,
+    detection_jitter=1e-5,
+)
+
+_APP_SIZES = {
+    "gaussian": {"n": 48},
+    "needle": {"n": 64},
+}
+
+
+@dataclass
+class Store:
+    """One journaled store, packaged for the crash-point fuzzer."""
+
+    name: str
+    reference: bytes
+    resume: Callable[[Path], None]
+    fresh: Callable[[Path], None]
+    clean_errors: Tuple[type, ...]
+
+
+def _fleet_apps(count: int = 4):
+    kinds = ("gaussian", "needle")
+    return [
+        get_app(kinds[i % 2], instance=i, **_APP_SIZES[kinds[i % 2]])
+        for i in range(count)
+    ]
+
+
+def serving_store(base: Path) -> Store:
+    """The serving layer's terminal-outcome journal."""
+    arrivals = lambda: poisson_arrivals(
+        rate=4000.0,
+        duration=0.002,
+        type_mix=[("nn", 2), ("needle", 1)],
+        seed=SEED,
+    )
+
+    def run(path: Path, resume: bool = False) -> None:
+        run_serving(
+            arrivals(),
+            ConcurrencyCapDispatcher(2),
+            ServingConfig(seed=SEED),
+            num_streams=8,
+            journal_path=path,
+            resume=resume,
+        )
+
+    ref = base / "serving-ref.jsonl"
+    run(ref)
+    return Store(
+        "serving",
+        ref.read_bytes(),
+        lambda p: run(p, resume=True),
+        run,
+        (JournalError,),
+    )
+
+
+def scheduler_store(base: Path) -> Store:
+    """The adaptive batch scheduler's decision journal."""
+    batch = [("gaussian", 2), ("needle", 2)]
+
+    def run(path: Path, resume: bool = False) -> None:
+        run_batched_serving(
+            [batch] * 3,
+            policy="bandit",
+            scale="tiny",
+            seed=SEED,
+            journal_path=path,
+            resume=resume,
+        )
+
+    ref = base / "scheduler-ref.jsonl"
+    run(ref)
+    return Store(
+        "scheduler",
+        ref.read_bytes(),
+        lambda p: run(p, resume=True),
+        run,
+        (JournalError,),
+    )
+
+
+def fleet_store(base: Path) -> Store:
+    """The fleet checkpoint/failover journal, with a mid-run device loss.
+
+    The loss makes the journal representative: it carries checkpoint,
+    device-lost, failover *and* terminal app records, so the sweep
+    exercises recovery across every fleet record type.
+    """
+    fleet = FleetConfig(num_devices=2, seed=SEED, **FAST_HEALTH)
+
+    # Place the loss mid-GPU-section of device 0's longest app, measured
+    # from a clean unjournaled baseline (fault times are absolute).
+    baseline = FleetHarness(
+        _fleet_apps(), fleet, num_streams=2, seed=SEED
+    ).run()
+    on_dev0 = [r for r in baseline.records if r.device_index == 0]
+    target = max(on_dev0, key=lambda r: r.complete_time - r.gpu_start)
+    loss_at = (target.gpu_start + target.complete_time) / 2
+    plan = FaultPlan([FaultSpec(FaultKind.DEVICE_LOSS, loss_at, device=0)])
+
+    def run(path: Path, resume: bool = False) -> None:
+        FleetHarness(
+            _fleet_apps(),
+            fleet,
+            num_streams=2,
+            seed=SEED,
+            plan=plan,
+            journal_path=path,
+            resume=resume,
+        ).run()
+
+    ref = base / "fleet-ref.jsonl"
+    run(ref)
+    return Store(
+        "fleet",
+        ref.read_bytes(),
+        lambda p: run(p, resume=True),
+        run,
+        (JournalError,),
+    )
+
+
+STORE_BUILDERS = {
+    "serving": serving_store,
+    "scheduler": scheduler_store,
+    "fleet": fleet_store,
+}
+
+
+@pytest.fixture(scope="module", params=sorted(STORE_BUILDERS))
+def store(request, tmp_path_factory) -> Store:
+    """One journaled store per param, reference run already taken."""
+    base = tmp_path_factory.mktemp(f"store-{request.param}")
+    return STORE_BUILDERS[request.param](base)

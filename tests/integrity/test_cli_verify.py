@@ -1,0 +1,88 @@
+"""The ``verify`` CLI subcommand: offline scan and repair of journals."""
+
+import pytest
+
+from repro.cli import main
+from repro.integrity import encode_line
+
+pytestmark = pytest.mark.integrity
+
+
+@pytest.fixture
+def journal(tmp_path):
+    """A small clean envelope journal on disk."""
+    header = {"format": "repro-serving-journal", "version": 2,
+              "fingerprint": "cli"}
+    payloads = [{"i": 0, "t": 0.1}, {"i": 1, "t": 0.2}, {"i": 2, "t": 0.3}]
+    path = tmp_path / "run.jsonl"
+    lines = [encode_line(header, 0)]
+    lines += [encode_line(p, s) for s, p in enumerate(payloads, start=1)]
+    path.write_text("".join(lines))
+    return path
+
+
+class TestScan:
+    def test_clean_journal_exits_zero(self, journal, capsys):
+        assert main(["verify", str(journal)]) == 0
+        out = capsys.readouterr().out
+        assert "clean" in out
+        assert "3 records" in out
+
+    def test_torn_journal_exits_nonzero(self, journal, capsys):
+        journal.write_bytes(journal.read_bytes()[:-5])
+        assert main(["verify", str(journal)]) == 1
+        assert "torn tail" in capsys.readouterr().out
+        # Scan mode never mutates the file.
+        assert not journal.with_suffix(".jsonl.quarantine").exists()
+
+    def test_corrupt_journal_exits_nonzero(self, journal, capsys):
+        data = bytearray(journal.read_bytes())
+        data[data.index(b'"i": 1') + 1] ^= 0x20
+        journal.write_bytes(bytes(data))
+        assert main(["verify", str(journal)]) == 1
+        assert "checksum mismatch" in capsys.readouterr().out
+
+    def test_unknown_format_reported(self, tmp_path, capsys):
+        noise = tmp_path / "noise.bin"
+        noise.write_bytes(b"\x00\x01\x02\n")
+        assert main(["verify", str(noise)]) == 1
+        assert "refusing to guess" in capsys.readouterr().out
+
+    def test_missing_file_reported(self, tmp_path, capsys):
+        assert main(["verify", str(tmp_path / "ghost.jsonl")]) == 1
+        assert "no such file" in capsys.readouterr().out
+
+    def test_mixed_batch_is_nonzero_but_scans_all(
+        self, journal, tmp_path, capsys
+    ):
+        missing = tmp_path / "ghost.jsonl"
+        assert main(["verify", str(journal), str(missing)]) == 1
+        out = capsys.readouterr().out
+        assert "clean" in out and "no such file" in out
+
+
+class TestRepair:
+    def test_repair_truncates_and_quarantines(self, journal, capsys):
+        pristine = journal.read_bytes()
+        journal.write_bytes(pristine[:-5])
+        assert main(["verify", "--repair", str(journal)]) == 0
+        assert "quarantined" in capsys.readouterr().out
+        sidecar = journal.with_suffix(".jsonl.quarantine")
+        assert sidecar.exists()
+        # Repaired file + sidecar reconstruct the damaged input.
+        assert journal.read_bytes() + sidecar.read_bytes() == pristine[:-5]
+        # And the repaired file now scans clean.
+        assert main(["verify", str(journal)]) == 0
+
+    def test_repair_without_quarantine(self, journal, capsys):
+        journal.write_bytes(journal.read_bytes()[:-5])
+        assert main(
+            ["verify", "--repair", "--no-quarantine", str(journal)]
+        ) == 0
+        assert not journal.with_suffix(".jsonl.quarantine").exists()
+        assert main(["verify", str(journal)]) == 0
+
+    def test_repair_of_clean_file_is_a_noop(self, journal):
+        before = journal.read_bytes()
+        assert main(["verify", "--repair", str(journal)]) == 0
+        assert journal.read_bytes() == before

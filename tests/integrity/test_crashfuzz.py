@@ -1,0 +1,90 @@
+"""Crash-point and corruption sweeps over every journaled store.
+
+The per-PR lane thins the truncation sweep (record boundaries always
+kept) and samples a seeded handful of byte flips; the ``REPRO_SOAK``
+chaos lane runs the *full* single-byte-flip corpus — one site per byte of
+each reference file.  Either way the contract per site is binary: the
+mutated journal must resume to a byte-identical file, or be cleanly
+rejected and leave a fresh run byte-identical.  See
+:mod:`repro.integrity.crashfuzz` for why truncation enumeration equals
+kill-at-every-write coverage.
+"""
+
+import os
+
+import pytest
+
+from repro.integrity import (
+    enumerate_flips,
+    enumerate_truncations,
+    run_crash_sweep,
+)
+
+pytestmark = pytest.mark.integrity
+
+#: Per-PR truncation thinning: every Nth byte boundary (newlines kept).
+PR_TRUNCATION_STRIDE = 64
+#: Per-PR corruption sampling: this many seeded single-byte flips.
+PR_FLIP_COUNT = 12
+
+
+def _sweep(store, sites, tmp_path):
+    report = run_crash_sweep(
+        store.reference,
+        sites,
+        tmp_path / "scratch",
+        resume=store.resume,
+        fresh=store.fresh,
+        clean_errors=store.clean_errors,
+    )
+    assert report.ok, f"{store.name}: {report.describe()}"
+    assert report.sites == len(sites)
+    assert report.resumed_identical + report.rejected_then_fresh == len(sites)
+    return report
+
+
+def test_reference_runs_are_deterministic(store, tmp_path):
+    # The whole methodology rests on this: same config -> same bytes.
+    again = tmp_path / "again.jsonl"
+    store.fresh(again)
+    assert again.read_bytes() == store.reference
+
+
+def test_truncation_sweep(store, tmp_path):
+    sites = enumerate_truncations(
+        store.reference, stride=PR_TRUNCATION_STRIDE
+    )
+    report = _sweep(store, sites, tmp_path)
+    # A journal cut before its header is complete cannot resume; both
+    # outcomes must occur across the sweep or the harness isn't reaching
+    # one of its two legs.
+    assert report.rejected_then_fresh >= 1
+    assert report.resumed_identical >= 1
+
+
+def test_flip_sweep(store, tmp_path):
+    sites = enumerate_flips(store.reference, seed=3, count=PR_FLIP_COUNT)
+    _sweep(store, sites, tmp_path)
+
+
+@pytest.mark.soak
+@pytest.mark.skipif(
+    os.environ.get("REPRO_SOAK") != "1",
+    reason="full byte-flip corpus is opt-in: set REPRO_SOAK=1",
+)
+def test_full_flip_corpus(store, tmp_path):
+    """Soak lane: flip every byte of the reference file, one at a time."""
+    sites = enumerate_flips(store.reference, seed=0, count=None)
+    assert len(sites) == len(store.reference)
+    _sweep(store, sites, tmp_path)
+
+
+@pytest.mark.soak
+@pytest.mark.skipif(
+    os.environ.get("REPRO_SOAK") != "1",
+    reason="exhaustive truncation sweep is opt-in: set REPRO_SOAK=1",
+)
+def test_every_truncation(store, tmp_path):
+    """Soak lane: cut the reference at every single byte boundary."""
+    sites = enumerate_truncations(store.reference, stride=1)
+    _sweep(store, sites, tmp_path)

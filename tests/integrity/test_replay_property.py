@@ -1,0 +1,183 @@
+"""Hypothesis property: fenced checkpoint replay never double-executes.
+
+The danger fencing closes: after a failover, a *zombie* writer (the app's
+old binding) can have a checkpoint write in flight that records **less**
+progress than the migrated replica has already durably journaled.  If
+that stale write lands, a later crash-resume picks the lower watermark
+and re-executes kernels whose completion was already checkpointed —
+silent double execution.
+
+The property: for *any* interleaving of writer histories (bind, durable
+progress, failover, zombie writes), and for *any* strict prefix of the
+fenced journal (i.e. any crash point), resuming an app from the highest
+checkpoint in the prefix re-executes no kernel at or below a progress
+watermark that an *earlier* accepted record already established.  That
+reduces to per-app monotonicity of the accepted checkpoint stream —
+which the fence guarantees and this test also shows the *unfenced*
+stream does not.
+"""
+
+from hypothesis import given, settings, strategies as st
+import pytest
+
+from repro.fleet.checkpoint import AppCheckpoint
+from repro.integrity import FencedJournal, GenerationFence
+
+pytestmark = pytest.mark.integrity
+
+APPS = ("app#0", "app#1")
+DEVICE = 0
+
+
+class _ListJournal:
+    """In-memory ``record(entry)`` duck type (what FencedJournal wraps)."""
+
+    def __init__(self):
+        self.entries = []
+
+    def record(self, entry):
+        self.entries.append(dict(entry))
+
+    def close(self):  # pragma: no cover - interface completeness
+        pass
+
+
+#: One simulated fleet history: a list of (action, app, kernels) steps.
+#: ``checkpoint`` writes durable progress through the app's current
+#: token; ``failover`` advances the device generation and re-binds every
+#: app (fresh tokens); ``zombie`` replays the app's *previous* token with
+#: stale progress — exactly the write fencing must reject.
+_steps = st.lists(
+    st.tuples(
+        st.sampled_from(["checkpoint", "failover", "zombie"]),
+        st.sampled_from(APPS),
+        st.integers(min_value=0, max_value=9),
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+def _run_history(steps, fenced):
+    """Drive one history through a fence; returns the accepted entries."""
+    fence = fenced.fence
+    progress = {app: 0 for app in APPS}
+    tokens = {app: fence.token(DEVICE) for app in APPS}
+    stale = {}  # app -> (token, progress) captured at the last failover
+    for action, app, kernels in steps:
+        if action == "failover":
+            for a in APPS:
+                stale[a] = (tokens[a], progress[a])
+            fence.advance(DEVICE)
+            tokens = {a: fence.token(DEVICE) for a in APPS}
+        elif action == "checkpoint":
+            progress[app] += kernels
+            snapshot = AppCheckpoint(
+                app_id=app,
+                device_index=DEVICE,
+                completed_kernels=progress[app],
+                generation=tokens[app].generation,
+            )
+            fenced.record(snapshot.as_entry(), token=tokens[app])
+        elif action == "zombie" and app in stale:
+            token, old_progress = stale[app]
+            snapshot = AppCheckpoint(
+                app_id=app,
+                device_index=DEVICE,
+                completed_kernels=old_progress,
+                generation=token.generation,
+            )
+            fenced.record(snapshot.as_entry(), token=token)
+    return fenced.journal.entries
+
+
+def _double_executions(entries):
+    """Kernels a strict-prefix resume would run twice, over all prefixes.
+
+    Resuming from a prefix restarts each app at its *latest* checkpoint
+    in that prefix.  Any earlier accepted record with higher progress
+    proves those kernels already completed — re-running them is double
+    execution.  Scanning every strict prefix is equivalent to counting
+    per-app progress regressions in the accepted stream.
+    """
+    doubles = 0
+    high = {}
+    for entry in entries:
+        app, kernels = entry["app"], entry["kernels"]
+        if kernels < high.get(app, 0):
+            doubles += high[app] - kernels
+        high[app] = max(high.get(app, 0), kernels)
+    return doubles
+
+
+@settings(max_examples=200, deadline=None)
+@given(steps=_steps)
+def test_fenced_replay_never_double_executes(steps):
+    fenced = FencedJournal(_ListJournal(), GenerationFence())
+    accepted = _run_history(steps, fenced)
+    assert _double_executions(accepted) == 0
+    # Every zombie write was rejected, never silently reordered.
+    zombies = [e for e in fenced.rejections]
+    assert fenced.rejected == len(zombies)
+
+
+@settings(max_examples=200, deadline=None)
+@given(steps=_steps)
+def test_unfenced_stream_admits_the_bug(steps):
+    """The fence is load-bearing: without it the property is falsifiable.
+
+    Not every history triggers the bug, but whenever the unfenced stream
+    regresses, the fenced stream over the same history must not — and a
+    regression must coincide with at least one write the fence would
+    have rejected.
+    """
+
+    class _NoFence:
+        generation = staticmethod(lambda d: 0)
+        advances = 0
+
+        def token(self, d):
+            return None
+
+        def advance(self, d):
+            return 0
+
+        def check(self, token):
+            return None
+
+    unfenced_journal = _ListJournal()
+    unfenced = FencedJournal(unfenced_journal, GenerationFence())
+    # Bypass the fence by recording tokenless — the unfenced baseline.
+    fence = unfenced.fence
+    progress = {app: 0 for app in APPS}
+    tokens = {app: fence.token(DEVICE) for app in APPS}
+    stale = {}
+    for action, app, kernels in steps:
+        if action == "failover":
+            for a in APPS:
+                stale[a] = (tokens[a], progress[a])
+            fence.advance(DEVICE)
+            tokens = {a: fence.token(DEVICE) for a in APPS}
+        elif action == "checkpoint":
+            progress[app] += kernels
+            unfenced.record(
+                AppCheckpoint(
+                    app_id=app, completed_kernels=progress[app]
+                ).as_entry()
+            )
+        elif action == "zombie" and app in stale:
+            _, old_progress = stale[app]
+            unfenced.record(
+                AppCheckpoint(
+                    app_id=app, completed_kernels=old_progress
+                ).as_entry()
+            )
+    unfenced_doubles = _double_executions(unfenced_journal.entries)
+
+    fenced = FencedJournal(_ListJournal(), GenerationFence())
+    _run_history(steps, fenced)
+    fenced_doubles = _double_executions(fenced.journal.entries)
+
+    assert fenced_doubles == 0
+    if unfenced_doubles > 0:
+        assert fenced.rejected > 0

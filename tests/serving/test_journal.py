@@ -4,8 +4,10 @@ import json
 
 import pytest
 
+from repro.integrity import decode_line
 from repro.serving import (
     JOURNAL_FORMAT,
+    JOURNAL_VERSION,
     JournalError,
     JournalMismatchError,
     RunJournal,
@@ -26,8 +28,9 @@ class TestFreshJournal:
         journal = RunJournal(path)
         journal.begin(FP)
         journal.close()
-        header = json.loads(path.read_text().splitlines()[0])
+        header = decode_line(path.read_bytes().splitlines()[0], expected_seq=0)
         assert header["format"] == JOURNAL_FORMAT
+        assert header["version"] == JOURNAL_VERSION
         assert header["fingerprint"] == FP
 
     def test_entries_append_one_line_each(self, tmp_path):
@@ -37,9 +40,9 @@ class TestFreshJournal:
             for i in range(3):
                 journal.record(entry(i))
             assert journal.appended == 3
-        lines = path.read_text().splitlines()
+        lines = path.read_bytes().splitlines()
         assert len(lines) == 4
-        assert json.loads(lines[1]) == entry(0)
+        assert decode_line(lines[1], expected_seq=1) == entry(0)
 
     def test_fresh_begin_truncates_old_content(self, tmp_path):
         path = tmp_path / "run.jsonl"
@@ -53,6 +56,36 @@ class TestFreshJournal:
         journal = RunJournal(tmp_path / "run.jsonl")
         with pytest.raises(JournalError):
             journal.record(entry(0))
+
+    def test_appends_are_durable_before_record_returns(self, tmp_path):
+        # The durability contract: when record() returns, an independent
+        # reader (here: a second open of the same path — what a resume
+        # after SIGKILL sees) observes the committed line without any
+        # close() or flush from the writer.
+        path = tmp_path / "run.jsonl"
+        journal = RunJournal(path)
+        journal.begin(FP)
+        try:
+            for i in range(3):
+                journal.record(entry(i))
+                lines = path.read_bytes().splitlines()
+                assert len(lines) == i + 2
+                assert decode_line(lines[-1], expected_seq=i + 1) == entry(i)
+        finally:
+            journal.close()
+
+    def test_crash_marker_is_durable_and_not_an_entry(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        journal = RunJournal(path)
+        journal.begin(FP)
+        journal.record(entry(0))
+        journal.mark_crash(0.125)
+        # Durable before close, like any record...
+        assert len(path.read_bytes().splitlines()) == 3
+        assert journal.markers == 1
+        # ...but filtered from the entry view.
+        assert journal.entries() == [json.loads(json.dumps(entry(0)))]
+        journal.close()
 
 
 class TestResume:
@@ -101,14 +134,45 @@ class TestResume:
         # The rewrite dropped the torn line from disk.
         assert len(path.read_text().splitlines()) == 3
 
-    def test_corruption_in_the_middle_is_an_error(self, tmp_path):
+    def test_corruption_in_the_middle_is_quarantined(self, tmp_path):
+        # With checksummed envelopes, mid-file corruption no longer
+        # poisons the run: the valid prefix before the bad record
+        # survives, everything after it is quarantined to the sidecar,
+        # and replay regenerates the dropped suffix.
         path = tmp_path / "run.jsonl"
         self.write_journal(path, n=2)
-        lines = path.read_text().splitlines()
-        lines[1] = '{"truncated'
-        path.write_text("\n".join(lines) + "\n")
-        with pytest.raises(JournalError):
-            RunJournal(path).begin(FP, resume=True)
+        lines = path.read_bytes().splitlines()
+        lines[1] = b'{"truncated'
+        path.write_bytes(b"\n".join(lines) + b"\n")
+        journal = RunJournal(path)
+        assert journal.begin(FP, resume=True) == 0
+        assert journal.recovery.mid_file_corruption
+        assert journal.recovery.first_invalid_line == 2
+        sidecar = tmp_path / "run.jsonl.quarantine"
+        assert sidecar.exists() and sidecar.stat().st_size > 0
+        journal.record(entry(0))
+        journal.record(entry(1))
+        journal.close()
+        assert journal.appended == 2
+        assert journal.entries() == [entry(0), entry(1)]
+
+    def test_single_byte_flip_detected_and_recovered_past(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        self.write_journal(path, n=3)
+        pristine = path.read_bytes()
+        # Flip one payload byte in the middle record.
+        offset = pristine.index(b'"index": 1') + 9
+        data = bytearray(pristine)
+        data[offset] ^= 0x40
+        path.write_bytes(bytes(data))
+        journal = RunJournal(path)
+        assert journal.begin(FP, resume=True) == 1  # record 0 survived
+        assert journal.recovery.corruption_reason == "checksum mismatch"
+        for i in range(3):
+            journal.record(entry(i))
+        journal.close()
+        # Replay + re-append converged back to the uninterrupted bytes.
+        assert path.read_bytes() == pristine
 
     def test_missing_file_is_an_error(self, tmp_path):
         with pytest.raises(JournalError):

@@ -8,10 +8,9 @@ that contract exhaustive instead of anecdotal by truncating a real
 journal at *every* byte offset of its last record line.
 """
 
-import json
-
 import pytest
 
+from repro.integrity import decode_line
 from repro.serving import RunJournal
 
 pytestmark = pytest.mark.serving
@@ -54,12 +53,15 @@ def test_fixture_shape(journal_bytes):
     lines = journal_bytes.decode().splitlines()
     assert len(lines) == 1 + NUM_RECORDS
     start, end = _last_line_span(journal_bytes)
-    assert json.loads(journal_bytes[start:end]) == _entry(NUM_RECORDS - 1)
+    record = decode_line(
+        journal_bytes[start:end].rstrip(b"\n"), expected_seq=NUM_RECORDS
+    )
+    assert record == _entry(NUM_RECORDS - 1)
 
 
 # Longest possible record line stays well under this; parametrizing over
 # a fixed range keeps collection independent of the journal's content.
-_MAX_LINE = 120
+_MAX_LINE = 150
 
 
 @pytest.mark.parametrize("cut", range(_MAX_LINE))
@@ -102,3 +104,94 @@ def test_truncation_without_trailing_newline_keeps_record(
     path = tmp_path / "nonewline.jsonl"
     path.write_bytes(journal_bytes[:-1])
     assert RunJournal(path).begin(FP, resume=True) == NUM_RECORDS
+
+
+# -- multi-byte UTF-8 torn tails ------------------------------------------
+#
+# Regression for the recovery bug class where a tail truncated in the
+# middle of a multi-byte codepoint surfaced as ``UnicodeDecodeError``
+# instead of being classified as torn.  App names below force real
+# multi-byte UTF-8 onto disk (the envelope encodes with
+# ``ensure_ascii=False``), covering 2-, 3- and 4-byte sequences.
+
+_UTF8_NAMES = ["señal", "ニューラルネット", "模型#7", "🧪-probe"]
+
+
+def _utf8_entry(i):
+    return {
+        "index": i,
+        "app": f"{_UTF8_NAMES[i % len(_UTF8_NAMES)]}#{i}",
+        "outcome": "completed",
+        "complete": 0.001 * (i + 1),
+    }
+
+
+@pytest.fixture(scope="module")
+def utf8_journal_bytes(tmp_path_factory):
+    path = tmp_path_factory.mktemp("fuzz-utf8") / "run.jsonl"
+    with RunJournal(path) as journal:
+        journal.begin(FP)
+        for i in range(NUM_RECORDS):
+            journal.record(_utf8_entry(i))
+    data = path.read_bytes()
+    # The fixture only means something if multi-byte sequences exist.
+    assert len(data) > len(data.decode("utf-8"))
+    return data
+
+
+def test_utf8_names_round_trip(utf8_journal_bytes, tmp_path):
+    path = tmp_path / "run.jsonl"
+    path.write_bytes(utf8_journal_bytes)
+    journal = RunJournal(path)
+    assert journal.begin(FP, resume=True) == NUM_RECORDS
+    assert journal.entries() == [_utf8_entry(i) for i in range(NUM_RECORDS)]
+    journal.close()
+
+
+@pytest.mark.parametrize("cut", range(1, 5))
+def test_truncation_mid_codepoint_is_torn_not_an_error(
+    utf8_journal_bytes, tmp_path, cut
+):
+    # Cut inside the last record's last multi-byte codepoint: the bytes
+    # on disk are not valid UTF-8, which must read as "torn tail", never
+    # escape as UnicodeDecodeError.
+    data = utf8_journal_bytes
+    start = data.rstrip(b"\n").rfind(b"\n") + 1
+    last_line = data[start:].rstrip(b"\n")
+    multi_starts = [
+        i for i, b in enumerate(last_line) if b >= 0xC2
+    ]
+    assert multi_starts, "fixture lost its multi-byte codepoints"
+    cut_at = start + multi_starts[-1] + 1  # one byte into the sequence
+    torn = tmp_path / "torn.jsonl"
+    torn.write_bytes(data[: cut_at + (cut - 1)])
+
+    journal = RunJournal(torn)
+    recovered = journal.begin(FP, resume=True)
+    journal.close()
+    assert recovered in (NUM_RECORDS - 1, NUM_RECORDS)
+    assert journal.recovery.torn_tail or journal.recovery.clean
+
+
+def test_every_truncation_of_utf8_journal_recovers(
+    utf8_journal_bytes, tmp_path
+):
+    # Exhaustive: cut the whole file at every byte boundary; resume must
+    # never raise and must recover a strict prefix of the entries.
+    from repro.serving import JournalError
+
+    expected = [_utf8_entry(i) for i in range(NUM_RECORDS)]
+    header_end = utf8_journal_bytes.index(b"\n")  # intact header w/o "\n"
+    for cut in range(len(utf8_journal_bytes)):
+        torn = tmp_path / "torn.jsonl"
+        torn.write_bytes(utf8_journal_bytes[:cut])
+        journal = RunJournal(torn)
+        try:
+            recovered = journal.begin(FP, resume=True)
+        except JournalError:
+            # Clean rejection is only legitimate while the header itself
+            # hasn't fully landed yet.
+            assert cut < header_end
+            continue
+        journal.close()
+        assert journal.entries() == expected[:recovered]

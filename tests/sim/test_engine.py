@@ -123,3 +123,57 @@ class TestRunReturn:
         evt.defuse()
         with pytest.raises(KeyError):
             env.run(until=evt)
+
+
+class TestProbe:
+    """The strided probe slot used by the integrity invariant checker."""
+
+    def test_fires_every_stride_events(self, env):
+        ticks = []
+        env.set_probe(lambda now: ticks.append(now), stride=3)
+        for i in range(9):
+            env.timeout(float(i))
+        env.run()
+        # 9 event pops, stride 3 -> fired on pops 3, 6 and 9.
+        assert len(ticks) == 3
+        assert ticks == sorted(ticks)
+
+    def test_probe_sees_current_time(self, env):
+        seen = []
+        env.set_probe(lambda now: seen.append(now == env.now), stride=1)
+        env.timeout(1.0)
+        env.timeout(2.0)
+        env.run()
+        assert seen == [True, True]
+
+    def test_single_slot_enforced(self, env):
+        env.set_probe(lambda now: None, stride=2)
+        with pytest.raises(RuntimeError):
+            env.set_probe(lambda now: None, stride=2)
+        env.clear_probe()
+        env.set_probe(lambda now: None, stride=2)  # free again
+
+    def test_clear_probe_stops_firing(self, env):
+        ticks = []
+        env.set_probe(lambda now: ticks.append(now), stride=1)
+        env.timeout(1.0)
+        env.run()
+        env.clear_probe()
+        env.timeout(1.0)
+        env.run()
+        assert len(ticks) == 1
+
+    def test_rejects_bad_arguments(self, env):
+        probe = lambda now: None
+        with pytest.raises(TypeError):
+            env.set_probe("not-callable", stride=1)
+        with pytest.raises(ValueError):
+            env.set_probe(probe, stride=0)
+
+    def test_no_probe_costs_nothing_semantically(self, env):
+        # Baseline sanity: runs without a probe are unaffected by the
+        # slot's existence.
+        env.timeout(1.0)
+        env.run()
+        assert env.probe is None
+        assert env.now == 1.0
