@@ -228,6 +228,26 @@ def build_parser() -> argparse.ArgumentParser:
                    help="slowdown multiplier inside the throttle window")
     p.add_argument("--throttle-for", type=float, default=2e-3, metavar="S",
                    help="throttle window length (simulated seconds)")
+    p.add_argument("--gray", type=int, default=None, metavar="DEV",
+                   help="device index to gray-degrade: it keeps "
+                   "heartbeating but runs slow")
+    p.add_argument("--gray-kind", default="smx_slowdown",
+                   choices=["smx_slowdown", "dma_stretch", "clock_jitter"],
+                   help="degradation flavor (default: smx_slowdown)")
+    p.add_argument("--gray-at", type=float, default=0.0, metavar="T",
+                   help="degradation window start (absolute simulated time)")
+    p.add_argument("--gray-for", type=float, default=1.0, metavar="S",
+                   help="degradation window length (simulated seconds)")
+    p.add_argument("--gray-factor", type=float, default=4.0,
+                   help="latency stretch inside the gray window")
+    p.add_argument("--hedge", action="store_true",
+                   help="enable straggler detection and hedged execution")
+    p.add_argument("--hedge-budget", type=float, default=None,
+                   help="duplicate-work budget as a fraction of the "
+                   "batch's kernels (default: HedgeConfig)")
+    p.add_argument("--hedge-interval", type=float, default=None,
+                   help="straggler scan interval in simulated seconds "
+                   "(default: HedgeConfig)")
     p.add_argument("--heartbeat", type=float, default=None,
                    help="health heartbeat interval (default: FleetConfig)")
     p.add_argument("--detect-latency", type=float, default=None,
@@ -637,7 +657,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         import numpy as np
 
         from .core.workload import Workload
-        from .fleet import FleetConfig, FleetHarness
+        from .fleet import FleetConfig, FleetHarness, HedgeConfig
         from .framework.scheduler import SchedulingOrder
         from .resilience.faults import FaultKind, FaultPlan, FaultSpec
         from .sim.errors import HarnessCrash
@@ -659,6 +679,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             fleet_kwargs["heartbeat_interval"] = args.heartbeat
         if args.detect_latency is not None:
             fleet_kwargs["detection_latency"] = args.detect_latency
+        if args.hedge:
+            hedge_kwargs = {}
+            if args.hedge_budget is not None:
+                hedge_kwargs["budget_fraction"] = args.hedge_budget
+            if args.hedge_interval is not None:
+                hedge_kwargs["check_interval"] = args.hedge_interval
+            fleet_kwargs["hedging"] = HedgeConfig(**hedge_kwargs)
         fleet = FleetConfig(**fleet_kwargs)
 
         lose_at = args.lose_at
@@ -700,6 +727,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.crash_at is not None:
             faults.append(
                 FaultSpec(kind=FaultKind.HARNESS_CRASH, time=args.crash_at)
+            )
+        if args.gray is not None:
+            # FaultPlan.gray validates the kind and builds the window;
+            # fold its specs into the combined plan.
+            faults.extend(
+                FaultPlan.gray(
+                    args.gray,
+                    kind=args.gray_kind,
+                    start=args.gray_at,
+                    duration=args.gray_for,
+                    factor=args.gray_factor,
+                ).faults
             )
 
         try:
@@ -762,6 +801,29 @@ def main(argv: Optional[List[str]] = None) -> int:
                 "Failover recoveries",
                 out,
                 "fleet_recoveries",
+            )
+        if result.hedges_launched:
+            _emit(
+                [
+                    {
+                        "app": e["app"],
+                        "from_dev": e["from"],
+                        "to_dev": e["to"],
+                        "fork_kernels": e["kernels"],
+                        "remaining": e["remaining"],
+                        "launched_ms": e["t"] * 1e3,
+                    }
+                    for e in result.hedge_events
+                    if e["event"] == "hedge"
+                ],
+                "Hedged executions",
+                out,
+                "fleet_hedges",
+            )
+            print(
+                f"hedging: {result.hedges_launched} launched, "
+                f"{result.hedge_wins} replica wins, "
+                f"{result.duplicate_kernels} duplicate kernels"
             )
         if result.resumed:
             print(

@@ -16,16 +16,21 @@ and keeps them running through device loss:
 * :mod:`~repro.fleet.thread` / :mod:`~repro.fleet.harness` — the
   checkpointed app thread and the multi-device harness (with crash-safe
   journaling and deterministic resume).
+* :mod:`~repro.fleet.hedging` — gray-failure mitigation: the
+  :class:`HedgeManager` races speculative replicas (forked from the
+  latest checkpoint) against apps stuck on straggler devices, under a
+  per-batch duplicate-work budget, with fenced journaled decisions.
 
 The whole layer is opt-in: nothing here is imported by the single-device
 paper pipeline, so fleet-off runs stay byte-identical.
 """
 
 from .checkpoint import AppCheckpoint, CheckpointStore
-from .config import FleetConfig
+from .config import FleetConfig, HedgeConfig
 from .coordinator import FailoverCoordinator, RecoveryEvent
 from .harness import DeviceSummary, FleetHarness, FleetResult, run_fleet
 from .health import HealthEvent, HealthMonitor
+from .hedging import Hedge, HedgeCancelled, HedgeManager, HedgeWin
 from .registry import DeviceRegistry, DeviceState, FleetDevice
 from .thread import FleetAppThread
 
@@ -33,6 +38,11 @@ __all__ = [
     "AppCheckpoint",
     "CheckpointStore",
     "FleetConfig",
+    "HedgeConfig",
+    "Hedge",
+    "HedgeCancelled",
+    "HedgeManager",
+    "HedgeWin",
     "FailoverCoordinator",
     "RecoveryEvent",
     "DeviceSummary",

@@ -12,11 +12,74 @@ device faults) is supplied.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
-__all__ = ["FleetConfig", "PLACEMENT_POLICIES"]
+__all__ = ["FleetConfig", "HedgeConfig", "PLACEMENT_POLICIES"]
 
 #: App->device placement policies (mirroring the stream-assignment ones).
 PLACEMENT_POLICIES = ("round-robin", "least-loaded")
+
+
+@dataclass(frozen=True)
+class HedgeConfig:
+    """Parameters of gray-failure mitigation (straggler detection + hedging).
+
+    Attached to :class:`FleetConfig` as ``hedging``; ``None`` (the
+    default) keeps the whole gray path off — no detector, no hedge
+    manager, byte-identical results.
+
+    Attributes
+    ----------
+    check_interval:
+        How often the hedge manager scans running apps for straggler
+        placement (simulated seconds).
+    straggler_score:
+        Devices whose :class:`~repro.resilience.gray.HealthScore` falls
+        strictly below this are stragglers (graded, not binary).
+    min_samples:
+        Observations a device must accumulate before it can be
+        classified (passed to the detector).
+    ema_alpha / window:
+        Detector EMA blend weight and p95 window (see
+        :class:`~repro.resilience.gray.StragglerDetector`).
+    min_remaining_kernels:
+        Never hedge an app with less remaining work than this — a
+        speculative replica must have enough runway to win.
+    budget_fraction:
+        Per-batch duplicate-work budget: hedges stop launching once the
+        *worst-case* duplicated kernels (committed + this hedge's
+        remaining work) would exceed this fraction of the batch's total
+        kernel count.
+    max_hedges_per_app:
+        Speculative replicas one app may receive over the whole run.
+    """
+
+    check_interval: float = 1e-3
+    straggler_score: float = 0.5
+    min_samples: int = 4
+    ema_alpha: float = 0.3
+    window: int = 32
+    min_remaining_kernels: int = 2
+    budget_fraction: float = 0.15
+    max_hedges_per_app: int = 1
+
+    def __post_init__(self) -> None:
+        if self.check_interval <= 0:
+            raise ValueError("check_interval must be positive")
+        if not 0.0 < self.straggler_score <= 1.0:
+            raise ValueError("straggler_score must be in (0, 1]")
+        if self.min_samples < 1:
+            raise ValueError("min_samples must be >= 1")
+        if not 0.0 < self.ema_alpha <= 1.0:
+            raise ValueError("ema_alpha must be in (0, 1]")
+        if self.window < 1:
+            raise ValueError("window must be >= 1")
+        if self.min_remaining_kernels < 1:
+            raise ValueError("min_remaining_kernels must be >= 1")
+        if not 0.0 < self.budget_fraction <= 1.0:
+            raise ValueError("budget_fraction must be in (0, 1]")
+        if self.max_hedges_per_app < 1:
+            raise ValueError("max_hedges_per_app must be >= 1")
 
 
 @dataclass(frozen=True)
@@ -52,6 +115,11 @@ class FleetConfig:
         Initial/failover app->device placement policy.
     seed:
         Seed for the detection-jitter randomness.
+    hedging:
+        Gray-failure mitigation parameters (:class:`HedgeConfig`), or
+        ``None`` to disable straggler detection and hedged execution
+        entirely (the default; results stay byte-identical to a build
+        without the gray path).
     """
 
     num_devices: int = 2
@@ -63,6 +131,7 @@ class FleetConfig:
     max_attempts: int = 3
     placement: str = "round-robin"
     seed: int = 0
+    hedging: Optional[HedgeConfig] = None
 
     def __post_init__(self) -> None:
         if self.num_devices < 1:

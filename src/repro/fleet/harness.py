@@ -39,6 +39,7 @@ from .checkpoint import CheckpointStore
 from .config import FleetConfig
 from .coordinator import FailoverCoordinator, RecoveryEvent
 from .health import HealthEvent, HealthMonitor
+from .hedging import HedgeManager, HedgeWin
 from .registry import DeviceRegistry
 from .thread import FleetAppThread
 
@@ -83,6 +84,11 @@ class FleetResult:
     fence_advances: int = 0
     #: Journal writes rejected for presenting a superseded fence token.
     stale_writes_rejected: int = 0
+    #: Gray-failure mitigation accounting (all zero with hedging off).
+    hedges_launched: int = 0
+    hedge_wins: int = 0
+    duplicate_kernels: int = 0
+    hedge_events: List[dict] = field(default_factory=list)
     journal_file: Optional[str] = None
     #: The run's telemetry (same object passed to the harness), if enabled.
     telemetry: object = None
@@ -106,6 +112,12 @@ class FleetResult:
     def reexecuted_kernels(self) -> int:
         """Total kernels re-run because they were in flight at a loss."""
         return sum(r.reexecuted_kernels for r in self.records)
+
+    def duplicate_ratio(self, total_kernels: int) -> float:
+        """Duplicated kernels as a fraction of ``total_kernels``."""
+        if total_kernels <= 0:
+            return 0.0
+        return self.duplicate_kernels / total_kernels
 
     @property
     def devices_lost(self) -> int:
@@ -180,6 +192,20 @@ def _fleet_fingerprint(
         ],
         "seed": seed,
     }
+    if fleet.hedging is not None:
+        # Key is absent (not None) with hedging off so fingerprints — and
+        # therefore journals — of pre-gray runs stay byte-identical.
+        h = fleet.hedging
+        payload["hedging"] = [
+            h.check_interval,
+            h.straggler_score,
+            h.min_samples,
+            h.ema_alpha,
+            h.window,
+            h.min_remaining_kernels,
+            h.budget_fraction,
+            h.max_hedges_per_app,
+        ]
     blob = json.dumps(payload, sort_keys=True).encode("utf-8")
     return hashlib.sha1(blob).hexdigest()
 
@@ -264,6 +290,37 @@ class FleetHarness:
         coordinator = FailoverCoordinator(
             env, registry, fleet, store, journal=fenced, fence=fence,
         )
+
+        # Gray-failure mitigation is built only when configured: with
+        # ``hedging=None`` no detector exists, no observation callbacks
+        # fire, no scan process runs — results stay byte-identical.
+        detector = None
+        hedges: Optional[HedgeManager] = None
+        if fleet.hedging is not None:
+            from ..resilience.gray import StragglerDetector
+
+            hcfg = fleet.hedging
+            detector = StragglerDetector(
+                fleet.num_devices,
+                ema_alpha=hcfg.ema_alpha,
+                window=hcfg.window,
+                min_samples=hcfg.min_samples,
+                straggler_score=hcfg.straggler_score,
+            )
+            hedges = HedgeManager(
+                env,
+                registry,
+                coordinator,
+                store,
+                fleet,
+                detector,
+                total_kernels={
+                    a.app_id: a.profile.kernel_launches for a in self.apps
+                },
+                journal=fenced,
+                fence=fence,
+            )
+
         monitor = HealthMonitor(
             env,
             registry,
@@ -272,6 +329,7 @@ class FleetHarness:
             detection_jitter=fleet.detection_jitter,
             seed=fleet.seed,
             on_lost=coordinator.device_detected_lost,
+            detector=detector,
         )
 
         # The first planned harness crash kills the run at its arm time —
@@ -291,6 +349,7 @@ class FleetHarness:
                 instrument_failover,
                 instrument_fleet_device,
                 instrument_health_monitor,
+                instrument_hedging,
                 instrument_integrity,
                 instrument_records,
             )
@@ -303,6 +362,8 @@ class FleetHarness:
             instrument_failover(telemetry, coordinator)
             instrument_records(telemetry, records)
             instrument_integrity(telemetry, None, fence=fence, journal=journal)
+            if hedges is not None:
+                instrument_hedging(telemetry, hedges, detector)
 
         def bind(thread: FleetAppThread, fdev) -> None:
             # (Re-)binding takes a fresh fencing token; snapshots carry
@@ -319,6 +380,18 @@ class FleetHarness:
             if fenced is not None:
                 fenced.record(snapshot.as_entry(), token=thread.fence_token)
 
+        def adopt_win(record: AppRecord, win: HedgeWin) -> None:
+            # The replica's result becomes the app's result; its measured
+            # events join the record so all executed work stays visible.
+            record.outcome = "completed"
+            record.complete_time = win.time
+            record.device_index = win.device
+            record.stream_index = win.stream
+            record.hedge_wins += 1
+            record.duplicate_kernels += win.duplicates
+            record.kernels.extend(win.kernels)
+            record.transfers.extend(win.transfers)
+
         def drive(thread: FleetAppThread, record: AppRecord):
             app_id = thread.app.app_id
             fault_failures = 0
@@ -326,6 +399,14 @@ class FleetHarness:
             pending_reexec: Optional[int] = None
             while True:
                 fdev = yield from coordinator.acquire_device(app_id)
+                if hedges is not None:
+                    # A replica may have finished while this driver was
+                    # parked mid-failover: adopt its win instead of
+                    # re-running from the checkpoint.
+                    win = hedges.claim_win(app_id)
+                    if win is not None:
+                        adopt_win(record, win)
+                        break
                 if fdev is None:
                     record.failed = True
                     record.outcome = "device-lost"
@@ -344,6 +425,9 @@ class FleetHarness:
                     break
                 except Interrupt as exc:
                     cause = exc.cause
+                    if isinstance(cause, HedgeWin):
+                        adopt_win(record, cause)
+                        break
                     if not isinstance(cause, DeviceLost):
                         raise
                     pending_reexec = thread.note_device_lost(cause)
@@ -363,6 +447,9 @@ class FleetHarness:
                     if not fleet.checkpoint:
                         thread.restart_from_scratch()
                     continue
+            if hedges is not None:
+                # Terminal either way: a still-racing replica stands down.
+                hedges.primary_terminal(app_id)
             coordinator.note_done(app_id)
             if fenced is not None:
                 # Tokenless on purpose: a "device-lost" terminal outcome
@@ -395,6 +482,7 @@ class FleetHarness:
                     checkpoint=_fresh_checkpoint(app.app_id),
                     on_checkpoint=on_checkpoint,
                 )
+                thread.detector = detector
                 fdev = coordinator.register(thread)
                 bind(thread, fdev)
                 threads.append(thread)
@@ -402,6 +490,8 @@ class FleetHarness:
 
             registry.start()
             monitor.start()
+            if hedges is not None:
+                hedges.start()
             if telemetry is not None:
                 telemetry.start()
             children = []
@@ -416,12 +506,16 @@ class FleetHarness:
                 children.append(proc)
             if children:
                 yield AllOf(env, children)
+            if hedges is not None:
+                hedges.stop()
             monitor.stop()
             registry.stop()
             if telemetry is not None:
                 telemetry.stop()
             for thread in threads:
                 yield from thread.cleanup()
+            if hedges is not None:
+                yield from hedges.cleanup_replicas()
 
         def crash_body():
             yield env.timeout(crash_at)
@@ -497,6 +591,10 @@ class FleetHarness:
             resumed=self.resume,
             fence_advances=fence.advances,
             stale_writes_rejected=coordinator.stale_writes_rejected,
+            hedges_launched=hedges.hedges_launched if hedges else 0,
+            hedge_wins=hedges.hedge_wins if hedges else 0,
+            duplicate_kernels=hedges.duplicate_kernels if hedges else 0,
+            hedge_events=list(hedges.events) if hedges else [],
             journal_file=(
                 str(self.journal_path)
                 if self.journal_path is not None

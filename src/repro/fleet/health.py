@@ -7,8 +7,11 @@ only reacts when the monitor's missed-heartbeat budget runs out.  Every
 flag + board power, the same signals a real fleet scrapes from NVML/DCGM)
 and classifies it:
 
-* **healthy** — alive, no throttle window open;
-* **degraded** — alive but inside a planned ``DEVICE_THROTTLE`` window;
+* **healthy** — alive, no throttle window open, not a straggler;
+* **degraded** — alive but inside a planned ``DEVICE_THROTTLE`` window,
+  *or* classified a straggler by the attached
+  :class:`~repro.resilience.gray.StragglerDetector` (graded health score
+  under threshold) — the gray-failure path heartbeats alone can't see;
 * **lost** — heartbeats have been missing for at least
   ``detection_latency + jitter``; the coordinator is notified *once*, at
   the declaring tick, and failover begins.
@@ -30,6 +33,7 @@ import numpy as np
 from .registry import DeviceRegistry, DeviceState
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..resilience.gray import HealthScore, StragglerDetector
     from ..sim.engine import Environment
 
 __all__ = ["HealthEvent", "HealthMonitor"]
@@ -59,6 +63,7 @@ class HealthMonitor:
         detection_jitter: float = 0.5e-3,
         seed: int = 0,
         on_lost: Optional[Callable[[int, float], None]] = None,
+        detector: Optional["StragglerDetector"] = None,
     ) -> None:
         if interval <= 0:
             raise ValueError("heartbeat interval must be positive")
@@ -66,6 +71,11 @@ class HealthMonitor:
         self.registry = registry
         self.interval = interval
         self.on_lost = on_lost
+        #: Optional straggler detector; when attached, its graded score
+        #: feeds the degraded/healthy classification alongside the
+        #: plan-known throttle windows.  ``None`` keeps the monitor's
+        #: pre-gray behaviour bit-for-bit.
+        self.detector = detector
         self.events: List[HealthEvent] = []
         self.heartbeats_read: int = 0
         self.missed_heartbeats: Dict[int, int] = {}
@@ -104,6 +114,12 @@ class HealthMonitor:
         """The monitor's current belief about one device."""
         return self._observed[index]
 
+    def scores(self) -> Dict[int, "HealthScore"]:
+        """Graded per-device health scores (empty with no detector)."""
+        if self.detector is None:
+            return {}
+        return self.detector.scores()
+
     # -- polling -----------------------------------------------------------
 
     def _poll_loop(self):
@@ -136,20 +152,26 @@ class HealthMonitor:
                         if self.on_lost is not None:
                             self.on_lost(device.index, now)
                     continue
+                throttled = device.throttled_at(now)
+                straggling = (
+                    self.detector is not None
+                    and self.detector.is_straggler(device.index)
+                )
                 wanted = (
                     DeviceState.DEGRADED
-                    if device.throttled_at(now)
+                    if throttled or straggling
                     else DeviceState.HEALTHY
                 )
                 if wanted is not seen:
-                    self._transition(
-                        device.index,
-                        seen,
-                        wanted,
-                        "throttle window"
-                        if wanted is DeviceState.DEGRADED
-                        else "throttle cleared",
-                    )
+                    if wanted is DeviceState.DEGRADED:
+                        detail = (
+                            "throttle window"
+                            if throttled
+                            else self.detector.score(device.index).describe()
+                        )
+                    else:
+                        detail = "degradation cleared"
+                    self._transition(device.index, seen, wanted, detail)
                     # Observed degradation is also the registry's public
                     # state (the registry owns only the lost/alive truth).
                     device.state = wanted

@@ -24,7 +24,7 @@ from ..framework.stream_manager import StreamManager
 from ..framework.sync import make_synchronizer
 from ..gpu.device import GPUDevice
 from ..gpu.specs import DeviceSpec, tesla_k20
-from ..resilience.faults import FaultInjector, FaultPlan
+from ..resilience.faults import GRAY_KINDS, FaultInjector, FaultPlan
 from .config import FleetConfig
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -85,6 +85,17 @@ class FleetDevice:
             (f.time, f.time + f.duration, f.factor)
             for f in plan
             if f.kind.value == "device_throttle"
+        ]
+        #: Gray-degradation windows from the plan (``(start, end,
+        #: factor)``).  Ground truth for tests and benchmarks only: the
+        #: health monitor deliberately does *not* read these — a gray
+        #: failure is exactly the degradation the plan knows about but
+        #: the heartbeat path cannot see, so classification must come
+        #: from the straggler detector's observed latency stretch.
+        self.gray_windows: List[Tuple[float, float, float]] = [
+            (f.time, f.time + f.duration, f.factor)
+            for f in plan
+            if f.kind in GRAY_KINDS
         ]
 
     def __repr__(self) -> str:

@@ -74,6 +74,14 @@ class FleetAppThread:
         #: Device index the app's device allocations currently live on;
         #: ``None`` forces (re-)allocation at the next attempt.
         self.bound_device: Optional[int] = None
+        #: Optional :class:`~repro.resilience.gray.StragglerDetector`
+        #: fed a latency-stretch observation per completed command (set
+        #: by the harness when gray-failure mitigation is enabled).
+        self.detector = None
+        # Bound per-device observers (see StragglerDetector.kernel_
+        # observer), created lazily per binding and dropped on re-bind.
+        self._kernel_observe = None
+        self._dma_observe = None
         self.ctx = AppContext(
             env=env,
             device=None,
@@ -89,6 +97,8 @@ class FleetAppThread:
         self.fdev = fdev
         self.ctx.device = fdev.gpu
         self.ctx.host_spec = fdev.gpu.spec.host
+        self._kernel_observe = None
+        self._dma_observe = None
 
     # -- parent-thread phases ----------------------------------------------
 
@@ -336,8 +346,24 @@ class FleetAppThread:
         cmd._fleet_seq = seq
         fdev = self.fdev
         ckpt = self.checkpoint
+        # The observation hook runs once per completed kernel — bind a
+        # per-device observer and the block duration now so the callback
+        # does no repeated attribute chasing.
+        observe = self._kernel_observe
+        if observe is None and self.detector is not None:
+            observe = self._kernel_observe = self.detector.kernel_observer(
+                fdev.index
+            )
+        block_duration = cmd.descriptor.block_duration
 
-        def note(_event, cmd=cmd, fdev=fdev, ckpt=ckpt):
+        def note(
+            _event,
+            cmd=cmd,
+            fdev=fdev,
+            ckpt=ckpt,
+            observe=observe,
+            block_duration=block_duration,
+        ):
             # Phantom completion on an abandoned device, a failed launch,
             # or an out-of-prefix completion (a failed command ahead of
             # this one broke the contiguous prefix): not progress.
@@ -348,6 +374,15 @@ class FleetAppThread:
             ckpt.kernel_index += 1
             ckpt.completed_kernels += 1
             cmd._fleet_counted = True
+            if observe is not None:
+                # Latency stretch: wall time over the kernel's ideal
+                # time at spec clocks (one block_duration per wave).
+                ideal = (cmd.waves or 1) * block_duration
+                if ideal > 0:
+                    # _event is cmd.done itself; the prefix check above
+                    # proves both events triggered, so read the raw
+                    # slots instead of the guarded properties.
+                    observe((_event._value - cmd.started._value) / ideal)
 
         cmd.done.callbacks.append(note)
 
@@ -355,8 +390,31 @@ class FleetAppThread:
         cmd._fleet_seq = seq
         fdev = self.fdev
         ckpt = self.checkpoint
+        observe = self._dma_observe
+        if observe is None and self.detector is not None:
+            observe = self._dma_observe = self.detector.dma_observer(
+                fdev.index
+            )
+        # The ideal wire time depends only on direction and payload, both
+        # fixed at enqueue: compute it once here, not per completion.
+        wire = 0.0
+        if observe is not None:
+            spec = fdev.gpu.spec
+            wire = (
+                spec.dma_htod
+                if direction is CopyDirection.HTOD
+                else spec.dma_dtoh
+            ).transfer_time(cmd.nbytes)
 
-        def note(_event, cmd=cmd, fdev=fdev, ckpt=ckpt, direction=direction):
+        def note(
+            _event,
+            cmd=cmd,
+            fdev=fdev,
+            ckpt=ckpt,
+            direction=direction,
+            observe=observe,
+            wire=wire,
+        ):
             if fdev.lost or not cmd.done.ok:
                 return
             if cmd._fleet_seq != ckpt.copy_index:
@@ -366,6 +424,8 @@ class FleetAppThread:
             if direction is CopyDirection.HTOD:
                 ckpt.restore_bytes += cmd.nbytes
             cmd._fleet_counted = True
+            if observe is not None and wire > 0:
+                observe((_event._value - cmd.started._value) / wire)
 
         cmd.done.callbacks.append(note)
 

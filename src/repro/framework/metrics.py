@@ -100,6 +100,9 @@ class AppRecord:
     device_index: int = 0        # device the app finally ran on
     migrations: int = 0          # device-loss failovers survived
     reexecuted_kernels: int = 0  # in-flight kernels re-run after failover
+    hedges: int = 0              # speculative replicas launched for this app
+    hedge_wins: int = 0          # hedges whose replica finished first
+    duplicate_kernels: int = 0   # kernels both primary and replica executed
     # -- scheduling accounting (lets reports attribute makespans) ---------
     order_policy: str = ""       # launch-order policy the run used
     memory_sync: bool = False    # whether the HtoD transfer mutex was on

@@ -156,6 +156,9 @@ class GridEngine:
             throttle = self.injector.throttle_factor(self.env.now)
             if throttle != 1.0:
                 hang_factor *= throttle
+            jitter = self.injector.clock_jitter(cmd.app_id, self.env.now)
+            if jitter != 1.0:
+                hang_factor *= jitter
         nblocks = cmd.descriptor.num_blocks
         grid = GridState(cmd=cmd, to_place=nblocks, hang_factor=hang_factor)
         if self.admission is not None:
@@ -234,6 +237,15 @@ class GridEngine:
     ) -> None:
         """Arrange for a cohort to retire after the kernel's block duration."""
         duration = grid.kernel.block_duration * grid.hang_factor
+        if self.injector is not None:
+            # Gray SMX slowdown acts per *cohort*, not per launch: a
+            # window opening mid-kernel slows its remaining waves, which
+            # is what makes the degradation visible to latency stretch
+            # while DEVICE_THROTTLE stays a submit-time property.
+            slow = self.injector.smx_slowdown(self.env.now)
+            self.smx.speed_scale = slow
+            if slow != 1.0:
+                duration *= slow
         q = self.retire_quantum
         if q > 0:
             # Round the absolute retirement instant up to the quantum so

@@ -182,6 +182,14 @@ class CopyEngine:
                             end=env.now,
                         )
             duration = self.spec.transfer_time(cmd.nbytes)
+            if self.injector is not None:
+                # Gray DMA degradation: a stretched link serves the copy
+                # at a fraction of spec bandwidth for the window's span.
+                stretch = self.injector.dma_stretch(
+                    self.direction.value, env.now
+                )
+                if stretch != 1.0:
+                    duration *= stretch
             start = env.now
             cmd.started.succeed(start)
             self.busy = True

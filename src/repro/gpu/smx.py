@@ -123,6 +123,12 @@ class SMXArray:
         # the power model's frequent queries stay O(1)).
         self._resident_blocks = 0
         self._resident_threads = 0
+        #: Effective compute speed scale the grid engine last observed
+        #: (1.0 = spec clocks, 4.0 = blocks retiring 4x slow).  Written
+        #: when cohorts are scheduled under a gray SMX_SLOWDOWN window so
+        #: telemetry/health probes can see the degradation ground truth;
+        #: placement math never reads it.
+        self.speed_scale: float = 1.0
 
     def __iter__(self) -> Iterator[SMXState]:
         return iter(self.smxs)

@@ -26,8 +26,16 @@ results.  See ``docs/resilience.md`` for the full model.
 
 from .config import ResilienceConfig, ResilienceSummary
 from .degradation import ConcurrencyLimiter, DegradationController, ladder_limit
-from .faults import FaultInjector, FaultKind, FaultPlan, FaultRecord, FaultSpec
-from .retry import RetryPolicy, app_rng
+from .faults import (
+    GRAY_KINDS,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    FaultRecord,
+    FaultSpec,
+)
+from .gray import HealthScore, StragglerDetector
+from .retry import RetryPolicy, app_rng, replica_rng
 from .supervisor import AppSupervisor
 from .watchdog import Watchdog, WatchdogGuard
 
@@ -37,8 +45,12 @@ __all__ = [
     "FaultRecord",
     "FaultPlan",
     "FaultInjector",
+    "GRAY_KINDS",
+    "HealthScore",
+    "StragglerDetector",
     "RetryPolicy",
     "app_rng",
+    "replica_rng",
     "Watchdog",
     "WatchdogGuard",
     "ConcurrencyLimiter",

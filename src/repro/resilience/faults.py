@@ -26,6 +26,7 @@ without cycles.
 
 from __future__ import annotations
 
+import zlib
 from collections import Counter, deque
 from dataclasses import dataclass, field
 from enum import Enum
@@ -41,6 +42,7 @@ __all__ = [
     "FaultRecord",
     "FaultPlan",
     "FaultInjector",
+    "GRAY_KINDS",
 ]
 
 #: Trace track that fault/retry instants are recorded on.
@@ -80,6 +82,24 @@ class FaultKind(str, Enum):
     #: Consumed by the grid engine; the fleet health monitor classifies
     #: the device *degraded* while a throttle window is open.
     DEVICE_THROTTLE = "device_throttle"
+    #: *Gray* compute degradation: every thread-block cohort *placed*
+    #: during ``[time, time + duration)`` retires ``factor``x slower.
+    #: Unlike DEVICE_THROTTLE (which stamps a whole grid at submit time)
+    #: this acts at scheduling-pass granularity, so a window opening
+    #: mid-kernel slows the kernel's remaining waves — the SMX clock
+    #: itself dropped, not one launch.  The device keeps heartbeating.
+    SMX_SLOWDOWN = "smx_slowdown"
+    #: *Gray* DMA degradation: every copy command *served* during
+    #: ``[time, time + duration)`` takes ``factor``x its wire time
+    #: (degraded PCIe link / copy-engine contention).  ``direction``
+    #: optionally pins the stretch to one engine.
+    DMA_STRETCH = "dma_stretch"
+    #: *Gray* timing jitter: each kernel submitted during
+    #: ``[time, time + duration)`` draws an independent slowdown uniform
+    #: in ``[1, factor)`` from a per-window seeded stream (unstable
+    #: boost clocks).  Deterministic for a given plan, noisy-looking to
+    #: any latency percentile.
+    CLOCK_JITTER = "clock_jitter"
     #: A runtime invariant probe found model state that violates a
     #: conservation law or calibrated bound (see
     #: :mod:`repro.integrity.invariants`).  Unlike the kinds above this is
@@ -89,6 +109,16 @@ class FaultKind(str, Enum):
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
+
+
+#: The gray-failure degradation kinds: the device stays alive (heartbeats
+#: keep flowing) but runs slow.  Detected by the straggler detector
+#: (:mod:`repro.resilience.gray`), never by the missed-heartbeat budget.
+GRAY_KINDS = (
+    FaultKind.SMX_SLOWDOWN,
+    FaultKind.DMA_STRETCH,
+    FaultKind.CLOCK_JITTER,
+)
 
 
 @dataclass(frozen=True)
@@ -143,6 +173,15 @@ class FaultSpec:
                 raise ValueError("device throttle factor must exceed 1.0")
             if self.duration <= 0:
                 raise ValueError("device throttle needs a positive duration")
+        if self.kind in GRAY_KINDS:
+            if self.factor <= 1.0:
+                raise ValueError(
+                    f"{self.kind.value} factor must exceed 1.0"
+                )
+            if self.duration <= 0:
+                raise ValueError(
+                    f"{self.kind.value} needs a positive duration"
+                )
         if self.device is not None and self.device < 0:
             raise ValueError(f"device index {self.device!r} is negative")
 
@@ -239,6 +278,71 @@ class FaultPlan:
         """Planned device losses, earliest first."""
         return [f for f in self.faults if f.kind is FaultKind.DEVICE_LOSS]
 
+    def gray_specs(self) -> List[FaultSpec]:
+        """Every planned gray degradation (slowdown/stretch/jitter)."""
+        return [f for f in self.faults if f.kind in GRAY_KINDS]
+
+    @classmethod
+    def gray(
+        cls,
+        device: int,
+        *,
+        kind: "FaultKind | str" = FaultKind.SMX_SLOWDOWN,
+        start: float = 0.0,
+        duration: float,
+        factor: float = 4.0,
+        period: Optional[float] = None,
+        duty: float = 0.5,
+        direction: Optional[str] = None,
+    ) -> "FaultPlan":
+        """A sustained or intermittent gray degradation on one device.
+
+        With ``period=None`` (default) the degradation is *sustained*: one
+        window covering ``[start, start + duration)``.  With a ``period``
+        the degradation is *intermittent*: a duty-cycled train of windows
+        each open for ``duty * period`` seconds, repeating until the total
+        span is covered — the oscillating thermal throttle that defeats
+        any single-shot health check.
+        """
+        kind = FaultKind(kind)
+        if kind not in GRAY_KINDS:
+            raise ValueError(f"{kind.value} is not a gray-failure kind")
+        if duration <= 0:
+            raise ValueError("gray degradation needs a positive duration")
+        specs: List[FaultSpec] = []
+        if period is None:
+            specs.append(
+                FaultSpec(
+                    kind,
+                    start,
+                    duration=duration,
+                    factor=factor,
+                    direction=direction,
+                    device=device,
+                )
+            )
+        else:
+            if period <= 0:
+                raise ValueError("period must be positive")
+            if not 0.0 < duty <= 1.0:
+                raise ValueError("duty must be in (0, 1]")
+            t = start
+            end = start + duration
+            while t < end:
+                window = min(duty * period, end - t)
+                specs.append(
+                    FaultSpec(
+                        kind,
+                        t,
+                        duration=window,
+                        factor=factor,
+                        direction=direction,
+                        device=device,
+                    )
+                )
+                t += period
+        return cls(specs)
+
     def for_device(self, index: int) -> "FaultPlan":
         """The sub-plan one fleet device's injector should consume.
 
@@ -276,6 +380,15 @@ class FaultPlan:
         device_throttle_rate: float = 0.0,
         throttle_factor: float = 4.0,
         throttle_duration: float = 2e-3,
+        smx_slowdown_rate: float = 0.0,
+        dma_stretch_rate: float = 0.0,
+        clock_jitter_rate: float = 0.0,
+        slowdown_factor: float = 4.0,
+        slowdown_duration: float = 2e-3,
+        stretch_factor: float = 4.0,
+        stretch_duration: float = 2e-3,
+        jitter_factor: float = 1.5,
+        jitter_duration: float = 2e-3,
     ) -> "FaultPlan":
         """Draw a seeded fault schedule over ``[0, horizon)``.
 
@@ -365,6 +478,42 @@ class FaultPlan:
                     device=pick_device(),
                 )
             )
+        # Gray kinds draw last, mirroring how the fleet kinds were
+        # appended after the original four: a zero rate consumes no
+        # draws, so plans generated with the pre-gray arguments stay
+        # bit-identical to what older seeds produced.
+        for t in times(smx_slowdown_rate):
+            faults.append(
+                FaultSpec(
+                    FaultKind.SMX_SLOWDOWN,
+                    t,
+                    duration=slowdown_duration,
+                    factor=slowdown_factor,
+                    device=pick_device(),
+                )
+            )
+        for t in times(dma_stretch_rate):
+            direction = "HtoD" if rng.random() < 0.5 else "DtoH"
+            faults.append(
+                FaultSpec(
+                    FaultKind.DMA_STRETCH,
+                    t,
+                    duration=stretch_duration,
+                    factor=stretch_factor,
+                    direction=direction,
+                    device=pick_device(),
+                )
+            )
+        for t in times(clock_jitter_rate):
+            faults.append(
+                FaultSpec(
+                    FaultKind.CLOCK_JITTER,
+                    t,
+                    duration=jitter_duration,
+                    factor=jitter_factor,
+                    device=pick_device(),
+                )
+            )
         return cls(faults)
 
 
@@ -399,6 +548,17 @@ class FaultInjector:
         self._dropout_noted: set = set()
         self._throttle_windows: List[FaultSpec] = []
         self._throttle_noted: set = set()
+        # Gray-degradation windows, one list per kind; each is recorded
+        # once, on the first activity it actually slows.
+        self._slowdown_windows: List[FaultSpec] = []
+        self._slowdown_noted: set = set()
+        self._stretch_windows: List[FaultSpec] = []
+        self._stretch_noted: set = set()
+        self._jitter_windows: List[FaultSpec] = []
+        self._jitter_noted: set = set()
+        # Per-window jitter streams, created lazily and seeded from the
+        # spec itself so every draw is independent of global rng state.
+        self._jitter_rng: Dict[int, np.random.Generator] = {}
         # Harness crashes are scheduled by the serving engine up front
         # (they kill the whole run, not one activity); armed specs are
         # parked here so they never leak into another kind's queue.
@@ -430,6 +590,12 @@ class FaultInjector:
                 self._armed_losses.append(spec)
             elif spec.kind is FaultKind.DEVICE_THROTTLE:
                 self._throttle_windows.append(spec)
+            elif spec.kind is FaultKind.SMX_SLOWDOWN:
+                self._slowdown_windows.append(spec)
+            elif spec.kind is FaultKind.DMA_STRETCH:
+                self._stretch_windows.append(spec)
+            elif spec.kind is FaultKind.CLOCK_JITTER:
+                self._jitter_windows.append(spec)
             else:
                 self._dropout_windows.append(spec)
 
@@ -547,6 +713,115 @@ class FaultInjector:
         return any(
             spec.time <= now < spec.time + spec.duration
             for spec in self._throttle_windows
+        )
+
+    def smx_slowdown(self, now: float) -> float:
+        """Combined gray compute slowdown at ``now`` (cohort placement).
+
+        Called by the grid engine once per cohort-retirement scheduling;
+        the returned factor multiplies the cohort's retirement duration.
+        ``1.0`` when no SMX_SLOWDOWN window is open.  Each window is
+        recorded once, on the first cohort it slows.
+        """
+        self.on_step(now)
+        factor = 1.0
+        keep: List[FaultSpec] = []
+        for spec in self._slowdown_windows:
+            if now >= spec.time + spec.duration:
+                continue  # window expired
+            keep.append(spec)
+            if now >= spec.time:
+                factor *= spec.factor
+                if id(spec) not in self._slowdown_noted:
+                    self._slowdown_noted.add(id(spec))
+                    self._record(
+                        spec,
+                        f"device-{spec.effective_device}",
+                        f"smx x{spec.factor:g} for {spec.duration:g}s",
+                    )
+        self._slowdown_windows = keep
+        return factor
+
+    def dma_stretch(self, direction: str, now: float) -> float:
+        """Combined gray DMA stretch for ``direction`` at ``now``.
+
+        Called by a copy engine once per served command; the returned
+        factor multiplies the command's wire time.  Windows pinned to the
+        other direction are skipped (but kept until they expire).
+        """
+        self.on_step(now)
+        factor = 1.0
+        keep: List[FaultSpec] = []
+        for spec in self._stretch_windows:
+            if now >= spec.time + spec.duration:
+                continue  # window expired
+            keep.append(spec)
+            if spec.direction is not None and spec.direction != direction:
+                continue
+            if now >= spec.time:
+                factor *= spec.factor
+                if id(spec) not in self._stretch_noted:
+                    self._stretch_noted.add(id(spec))
+                    self._record(
+                        spec,
+                        f"dma-{direction.lower()}",
+                        f"stretch x{spec.factor:g} for {spec.duration:g}s",
+                    )
+        self._stretch_windows = keep
+        return factor
+
+    def clock_jitter(self, app_id: Optional[str], now: float) -> float:
+        """Per-submission jitter multiplier at ``now`` (``>= 1.0``).
+
+        Each open CLOCK_JITTER window contributes an independent draw
+        uniform in ``[1, factor)`` from a stream seeded by the window's
+        own ``(time, device)`` identity — deterministic for a given plan
+        no matter what else the run draws.
+        """
+        self.on_step(now)
+        factor = 1.0
+        keep: List[FaultSpec] = []
+        for spec in self._jitter_windows:
+            if now >= spec.time + spec.duration:
+                continue  # window expired
+            keep.append(spec)
+            if now >= spec.time:
+                rng = self._jitter_rng.get(id(spec))
+                if rng is None:
+                    rng = np.random.default_rng(
+                        [
+                            zlib.crc32(b"clock-jitter"),
+                            int(round(spec.time * 1e9)) & 0x7FFFFFFF,
+                            spec.effective_device,
+                        ]
+                    )
+                    self._jitter_rng[id(spec)] = rng
+                factor *= 1.0 + (spec.factor - 1.0) * float(rng.random())
+                if id(spec) not in self._jitter_noted:
+                    self._jitter_noted.add(id(spec))
+                    self._record(
+                        spec,
+                        app_id,
+                        f"jitter <=x{spec.factor:g} for {spec.duration:g}s",
+                    )
+        self._jitter_windows = keep
+        return factor
+
+    def gray_active(self, now: float) -> bool:
+        """Whether any gray-degradation window is open at ``now``.
+
+        A read-only probe (mirrors :meth:`throttle_active`): does *not*
+        record windows as applied — only a slowed activity does.
+        """
+        self.on_step(now)
+        return any(
+            spec.time <= now < spec.time + spec.duration
+            for windows in (
+                self._slowdown_windows,
+                self._stretch_windows,
+                self._jitter_windows,
+            )
+            for spec in windows
         )
 
     def drop_power_sample(self, now: float) -> bool:

@@ -1,0 +1,329 @@
+"""Straggler detection: percentile-based health scoring for gray failures.
+
+A fail-stop loss is easy — heartbeats vanish and the missed-heartbeat
+budget runs out.  A *gray* failure keeps heartbeating while running 2-10x
+slow (thermal throttle, degraded DMA, jittery clocks), so the only
+evidence is in the latency the device's own work observes.  The detector
+turns that evidence into a graded :class:`HealthScore` per device:
+
+* every completed kernel/copy on a device contributes a **latency
+  stretch** observation — wall time divided by the operation's ideal
+  time (``waves * block_duration`` for kernels, wire time for copies), so
+  1.0 means "at spec" regardless of operation size;
+* per device the detector keeps an **EMA** of the stretch (the same
+  ``prior + alpha * (x - prior)`` blend the workload characterizer uses)
+  plus a bounded **window** of recent observations for a deterministic
+  nearest-rank p95;
+* a device's **score** compares its p95 stretch against the fleet median
+  of the per-device EMAs: ``score = clamp(fleet_median / p95, 0, 1]``.
+  A device at the fleet's pace scores ~1.0; a device running 4x slower
+  than its peers scores ~0.25.
+
+Scores are *graded*, not binary: the health monitor classifies a device
+degraded when its score falls under a threshold, and the serving gate can
+use the same number as a routing weight.  Everything is pure arithmetic
+over observations the simulation already produces — same inputs, same
+scores, byte-reproducible.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional
+
+__all__ = ["HealthScore", "StragglerDetector"]
+
+
+def _nearest_rank(sorted_values: List[float], quantile: float) -> float:
+    """Deterministic nearest-rank percentile of a pre-sorted list."""
+    if not sorted_values:
+        return 1.0
+    rank = max(0, -(-int(quantile * 100) * len(sorted_values) // 100) - 1)
+    return sorted_values[min(rank, len(sorted_values) - 1)]
+
+
+@dataclass(frozen=True)
+class HealthScore:
+    """One device's graded health at a scoring instant.
+
+    ``score`` is in ``(0, 1]``: 1.0 = at the fleet's pace, lower = slower.
+    ``kernel_stretch`` / ``dma_stretch`` are the per-path EMAs (1.0 = at
+    spec), ``p95_stretch`` the windowed tail, ``fleet_median`` the median
+    of every device's combined EMA, ``samples`` how many observations
+    back the number.
+    """
+
+    device: int
+    score: float
+    kernel_stretch: float
+    dma_stretch: float
+    p95_stretch: float
+    fleet_median: float
+    samples: int
+
+    def describe(self) -> str:
+        return (
+            f"dev{self.device} score={self.score:.2f} "
+            f"p95x{self.p95_stretch:.2f} vs fleet x{self.fleet_median:.2f} "
+            f"({self.samples} obs)"
+        )
+
+
+class _DeviceStats:
+    """Per-device EMA + bounded observation window.
+
+    ``combined`` is the worst of the two path EMAs, maintained at every
+    write (a device is as slow as its slowest path; averaging would let
+    a healthy DMA mask a dying SMX).  1.0 until the first observation.
+    """
+
+    __slots__ = ("kernel_ema", "dma_ema", "combined", "window", "samples")
+
+    def __init__(self, window: int) -> None:
+        self.kernel_ema: Optional[float] = None
+        self.dma_ema: Optional[float] = None
+        self.combined: float = 1.0
+        self.window: Deque[float] = deque(maxlen=window)
+        self.samples = 0
+
+
+class StragglerDetector:
+    """Scores per-device health from observed latency stretch.
+
+    Parameters
+    ----------
+    num_devices:
+        Fleet size; scores exist for every index from the start.
+    ema_alpha:
+        EMA blend weight for new observations (mirrors
+        :class:`~repro.scheduling.characterize.WorkloadCharacterizer`).
+    window:
+        Bounded per-device window backing the nearest-rank p95.
+    min_samples:
+        A device is never classified a straggler on fewer observations —
+        the first kernel of a run must not condemn its device.
+    straggler_score:
+        Classification threshold: ``is_straggler`` iff ``score`` falls
+        strictly below this with enough samples.
+    """
+
+    def __init__(
+        self,
+        num_devices: int,
+        *,
+        ema_alpha: float = 0.3,
+        window: int = 32,
+        min_samples: int = 4,
+        straggler_score: float = 0.5,
+    ) -> None:
+        if num_devices < 1:
+            raise ValueError("num_devices must be >= 1")
+        if not 0.0 < ema_alpha <= 1.0:
+            raise ValueError("ema_alpha must be in (0, 1]")
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        if min_samples < 1:
+            raise ValueError("min_samples must be >= 1")
+        if not 0.0 < straggler_score <= 1.0:
+            raise ValueError("straggler_score must be in (0, 1]")
+        self.num_devices = num_devices
+        self.ema_alpha = ema_alpha
+        self.min_samples = min_samples
+        self.straggler_score = straggler_score
+        self._stats: List[_DeviceStats] = [
+            _DeviceStats(window) for _ in range(num_devices)
+        ]
+        # Memoization: scores are pure functions of the observations fed
+        # so far, and the health monitor asks for them every heartbeat
+        # (far more often than observations arrive).  Caching by
+        # observation epoch keeps the idle hedging path off the hot
+        # path without changing a single returned value.
+        self._epoch = 0
+        self._median_cache: tuple = (-1, 1.0)
+        self._p95_cache: Dict[int, tuple] = {}
+        self._score_cache: Dict[int, tuple] = {}
+
+    # -- feeding -----------------------------------------------------------
+
+    # The two observe methods run once per completed kernel/copy in every
+    # hedging-enabled fleet — the single hottest detector path — so each
+    # is a flat, self-contained body rather than a shared helper.
+
+    def observe_kernel(self, device: int, stretch: float) -> None:
+        """One completed kernel's latency stretch on ``device``."""
+        if stretch <= 0:
+            return  # zero-duration op: no timing information
+        stats = self._stats[device]
+        prior = stats.kernel_ema
+        ema = stats.kernel_ema = (
+            stretch
+            if prior is None
+            else prior + self.ema_alpha * (stretch - prior)
+        )
+        other = stats.dma_ema
+        stats.combined = ema if (other is None or ema > other) else other
+        stats.window.append(stretch)
+        stats.samples += 1
+        self._epoch += 1
+
+    def observe_dma(self, device: int, stretch: float) -> None:
+        """One completed copy's latency stretch on ``device``."""
+        if stretch <= 0:
+            return  # zero-duration op: no timing information
+        stats = self._stats[device]
+        prior = stats.dma_ema
+        ema = stats.dma_ema = (
+            stretch
+            if prior is None
+            else prior + self.ema_alpha * (stretch - prior)
+        )
+        other = stats.kernel_ema
+        stats.combined = ema if (other is None or ema > other) else other
+        stats.window.append(stretch)
+        stats.samples += 1
+        self._epoch += 1
+
+    @property
+    def observations(self) -> int:
+        """Total observations accepted (diagnostics / telemetry)."""
+        return self._epoch
+
+    def kernel_observer(self, device: int) -> "Callable[[float], None]":
+        """Bound fast-path equivalent of :meth:`observe_kernel`.
+
+        Fleet threads call the returned closure once per completed
+        kernel on ``device``, so the per-device stats and config lookups
+        happen here — once per binding — instead of per call.
+        """
+        stats = self._stats[device]
+        window = stats.window
+        alpha = self.ema_alpha
+
+        def observe(stretch: float) -> None:
+            if stretch <= 0:
+                return
+            prior = stats.kernel_ema
+            ema = stats.kernel_ema = (
+                stretch
+                if prior is None
+                else prior + alpha * (stretch - prior)
+            )
+            other = stats.dma_ema
+            stats.combined = ema if (other is None or ema > other) else other
+            window.append(stretch)
+            stats.samples += 1
+            self._epoch += 1
+
+        return observe
+
+    def dma_observer(self, device: int) -> "Callable[[float], None]":
+        """Bound fast-path equivalent of :meth:`observe_dma`."""
+        stats = self._stats[device]
+        window = stats.window
+        alpha = self.ema_alpha
+
+        def observe(stretch: float) -> None:
+            if stretch <= 0:
+                return
+            prior = stats.dma_ema
+            ema = stats.dma_ema = (
+                stretch
+                if prior is None
+                else prior + alpha * (stretch - prior)
+            )
+            other = stats.kernel_ema
+            stats.combined = ema if (other is None or ema > other) else other
+            window.append(stretch)
+            stats.samples += 1
+            self._epoch += 1
+
+        return observe
+
+    # -- scoring -----------------------------------------------------------
+
+    def fleet_median(self) -> float:
+        """Median of the per-device combined EMAs (1.0 with no data).
+
+        Uses the *lower* middle element for even fleet sizes: the median
+        is the fleet's pace baseline, and in a two-device fleet the
+        midpoint convention would drag the baseline halfway toward the
+        straggler, masking exactly the asymmetry being measured.
+        """
+        cached_epoch, cached = self._median_cache
+        if cached_epoch == self._epoch:
+            return cached
+        emas = sorted(
+            s.combined for s in self._stats if s.samples > 0
+        )
+        value = 1.0 if not emas else emas[(len(emas) - 1) // 2]
+        self._median_cache = (self._epoch, value)
+        return value
+
+    def _p95(self, device: int, stats: _DeviceStats) -> float:
+        """Windowed nearest-rank p95, re-sorted only on new samples."""
+        cached_samples, cached = self._p95_cache.get(device, (-1, 1.0))
+        if cached_samples == stats.samples:
+            return cached
+        value = _nearest_rank(sorted(stats.window), 0.95)
+        self._p95_cache[device] = (stats.samples, value)
+        return value
+
+    def _score_value(self, device: int) -> float:
+        """The bare score number (the health monitor's per-heartbeat
+        fast path: no :class:`HealthScore` construction)."""
+        stats = self._stats[device]
+        if stats.samples == 0:
+            return 1.0
+        p95 = self._p95(device, stats)
+        if p95 <= 0:
+            return 1.0
+        return min(1.0, self.fleet_median() / p95)
+
+    def score(self, device: int) -> HealthScore:
+        """Graded health of ``device`` against the current fleet."""
+        cached_epoch, cached = self._score_cache.get(device, (-1, None))
+        if cached_epoch == self._epoch:
+            return cached
+        stats = self._stats[device]
+        median = self.fleet_median()
+        p95 = self._p95(device, stats)
+        value = self._score_value(device)
+        result = HealthScore(
+            device=device,
+            score=value,
+            kernel_stretch=stats.kernel_ema or 1.0,
+            dma_stretch=stats.dma_ema or 1.0,
+            p95_stretch=p95,
+            fleet_median=median,
+            samples=stats.samples,
+        )
+        self._score_cache[device] = (self._epoch, result)
+        return result
+
+    def scores(self) -> Dict[int, HealthScore]:
+        """Every device's current score (device index -> score)."""
+        return {i: self.score(i) for i in range(self.num_devices)}
+
+    def is_straggler(self, device: int) -> bool:
+        """Whether ``device`` is currently classified a straggler.
+
+        The health monitor and the hedge scanner both call this per
+        device per tick, so the body inlines :meth:`_score_value` and
+        works straight off the epoch/samples caches rather than going
+        through the call chain.
+        """
+        stats = self._stats[device]
+        samples = stats.samples
+        if samples < self.min_samples:
+            return False
+        cached_samples, p95 = self._p95_cache.get(device, (-1, 1.0))
+        if cached_samples != samples:
+            p95 = _nearest_rank(sorted(stats.window), 0.95)
+            self._p95_cache[device] = (samples, p95)
+        if p95 <= 0:
+            return False
+        epoch, median = self._median_cache
+        if epoch != self._epoch:
+            median = self.fleet_median()
+        return median / p95 < self.straggler_score

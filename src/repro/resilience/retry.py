@@ -15,7 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["RetryPolicy", "app_rng"]
+__all__ = ["RetryPolicy", "app_rng", "replica_rng"]
 
 
 def app_rng(seed: int, app_id: str) -> np.random.Generator:
@@ -26,6 +26,24 @@ def app_rng(seed: int, app_id: str) -> np.random.Generator:
     across interpreter invocations.
     """
     return np.random.default_rng([seed, zlib.crc32(app_id.encode("utf-8"))])
+
+
+def replica_rng(seed: int, app_id: str, replica_idx: int) -> np.random.Generator:
+    """A generator for one hedge replica of ``app_id``.
+
+    Seeded from ``(seed, crc32(app_id), replica_idx)`` so every
+    speculative replica's backoff jitter is drawn from its *own* stream:
+    launching (or not launching) a hedge never perturbs the primary's
+    :func:`app_rng` draws, which keeps hedged and unhedged runs each
+    deterministic.  ``replica_idx`` counts from 1 (0 would collide with
+    nothing — the primary uses the two-word seed — but 1-based matches
+    "replica #1" in the journal).
+    """
+    if replica_idx < 1:
+        raise ValueError("replica_idx counts from 1")
+    return np.random.default_rng(
+        [seed, zlib.crc32(app_id.encode("utf-8")), replica_idx]
+    )
 
 
 @dataclass(frozen=True)

@@ -11,20 +11,24 @@ capacity/routing model layered over the engine:
   never killed — the model constrains what is *admitted*, matching how a
   load balancer reacts to a node dropping out of its healthy set.
 * **routing** — each admitted job is stamped with a device index, drawn
-  round-robin over the devices healthy at admission time, so per-device
-  goodput is attributable in the results and journal.
+  by *smooth weighted round-robin* over per-device health weights: a lost
+  device weighs 0, a device inside a planned ``DEVICE_THROTTLE`` window
+  weighs ``1/factor`` (the graded health score a straggler detector would
+  assign it — running ``factor`` times slower earns ``factor`` times less
+  traffic), everything else weighs 1.  With uniform weights the sequence
+  degenerates to plain round-robin, so fault-free routing is unchanged.
 * **breaker scoping** — breaker keys become ``dev<i>:<type>`` so one sick
   device's failures fail fast only on that device, instead of opening
   the breaker for an app type fleet-wide.
 
-Everything is deterministic: loss/detection instants come from the fault
-plan, and the routing cursor advances in admission order.
+Everything is deterministic: loss/detection/throttle instants come from
+the fault plan, and the routing credits advance in admission order.
 """
 
 from __future__ import annotations
 
 import math
-from typing import TYPE_CHECKING, Dict, List, Mapping, Optional
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..resilience.faults import FaultKind, FaultPlan
 
@@ -45,6 +49,9 @@ class FleetCapacityGate:
         *,
         detection_latency: float = 2e-3,
         loss_times: Optional[Mapping[int, float]] = None,
+        throttle_windows: Optional[
+            Mapping[int, Sequence[Tuple[float, float, float]]]
+        ] = None,
         scope_breakers: bool = True,
     ) -> None:
         if num_devices < 1:
@@ -59,7 +66,14 @@ class FleetCapacityGate:
             int(dev) % num_devices: t + detection_latency
             for dev, t in (loss_times or {}).items()
         }
-        self._cursor = 0
+        #: device index -> ``(start, end, factor)`` throttle windows; a
+        #: device inside one is *degraded* (weight ``1/factor``), not dead.
+        self.throttle_windows: Dict[int, List[Tuple[float, float, float]]] = {
+            int(dev) % num_devices: sorted(windows)
+            for dev, windows in (throttle_windows or {}).items()
+        }
+        #: Smooth-weighted-round-robin credits, advanced per admission.
+        self._credits: List[float] = [0.0] * num_devices
         self.admitted_per_device: Dict[int, int] = {
             i: 0 for i in range(num_devices)
         }
@@ -71,22 +85,30 @@ class FleetCapacityGate:
         num_streams: int,
         plan: Optional[FaultPlan],
     ) -> "FleetCapacityGate":
-        """Build a gate from a config plus a fault plan's DEVICE_LOSS specs.
+        """Build a gate from a config plus a fault plan's device specs.
 
-        Only each device's *first* loss matters (a device dies once).
+        Only each device's *first* loss matters (a device dies once);
+        every ``DEVICE_THROTTLE`` window feeds the graded routing weights.
         """
         loss_times: Dict[int, float] = {}
+        throttles: Dict[int, List[Tuple[float, float, float]]] = {}
         if plan is not None:
             for spec in plan:
                 if spec.kind is FaultKind.DEVICE_LOSS:
                     dev = spec.effective_device % fleet.num_devices
                     if dev not in loss_times or spec.time < loss_times[dev]:
                         loss_times[dev] = spec.time
+                elif spec.kind is FaultKind.DEVICE_THROTTLE:
+                    dev = spec.effective_device % fleet.num_devices
+                    throttles.setdefault(dev, []).append(
+                        (spec.time, spec.time + spec.duration, spec.factor)
+                    )
         return cls(
             fleet.num_devices,
             num_streams,
             detection_latency=fleet.detection_latency,
             loss_times=loss_times,
+            throttle_windows=throttles,
             scope_breakers=fleet.scope_breakers,
         )
 
@@ -125,21 +147,56 @@ class FleetCapacityGate:
         """Whether another job fits under the current fleet capacity."""
         return in_flight < self.capacity(now)
 
-    def route(self, now: float) -> int:
-        """Pick the device for the job being admitted (round-robin).
+    def throttle_factor(self, index: int, now: float) -> float:
+        """Slowdown factor of ``index``'s open throttle window (1.0 = none)."""
+        for start, end, factor in self.throttle_windows.get(index, ()):
+            if start <= now < end:
+                return factor
+        return 1.0
 
-        Scans the full index space so the rotation is stable as devices
-        drop out; falls back to device 0 when nothing is healthy (the
-        capacity floor of 1 still admits, like a last-resort node).
+    def health_weight(self, index: int, now: float) -> float:
+        """Graded routing weight of one device at ``now``.
+
+        0 for a (detected) lost device; ``1/factor`` inside a throttle
+        window — the same "how much slower than the fleet" number a
+        straggler detector's :class:`~repro.resilience.gray.HealthScore`
+        grades a gray-degraded device with; 1.0 at full health.
         """
-        for _ in range(self.num_devices):
-            index = self._cursor % self.num_devices
-            self._cursor += 1
-            if not self.device_lost(index, now):
-                self.admitted_per_device[index] += 1
-                return index
-        self.admitted_per_device[0] += 1
-        return 0
+        if self.device_lost(index, now):
+            return 0.0
+        factor = self.throttle_factor(index, now)
+        return 1.0 / factor if factor > 1.0 else 1.0
+
+    def route(self, now: float) -> int:
+        """Pick the device for the job being admitted.
+
+        Smooth weighted round-robin (the nginx algorithm) over the
+        per-device health weights: every admission adds each device's
+        weight to its credit, the highest credit wins (lowest index on
+        ties), and the winner pays back the total weight.  Uniform
+        weights reproduce plain round-robin exactly; a half-weight
+        (throttled) device is interleaved at half rate instead of being
+        hammered equally while it crawls.  Falls back to device 0 when
+        every device is lost (the capacity floor of 1 still admits, like
+        a last-resort node).
+        """
+        weights = [
+            self.health_weight(i, now) for i in range(self.num_devices)
+        ]
+        total = sum(weights)
+        if total <= 0.0:
+            self.admitted_per_device[0] += 1
+            return 0
+        best = -1
+        for i, w in enumerate(weights):
+            if w <= 0.0:
+                continue
+            self._credits[i] += w
+            if best < 0 or self._credits[i] > self._credits[best] + 1e-12:
+                best = i
+        self._credits[best] -= total
+        self.admitted_per_device[best] += 1
+        return best
 
     # -- breaker scoping ---------------------------------------------------
 

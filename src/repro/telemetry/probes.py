@@ -35,6 +35,7 @@ __all__ = [
     "instrument_health_monitor",
     "instrument_fleet_device",
     "instrument_failover",
+    "instrument_hedging",
     "instrument_scheduler",
     "instrument_integrity",
 ]
@@ -396,6 +397,57 @@ def instrument_failover(
         seen[0] = len(recoveries)
 
     telemetry.add_probe(probe)
+
+
+def instrument_hedging(telemetry: Telemetry, manager, detector) -> None:
+    """Graded health scores plus hedge decision counters.
+
+    ``detector`` feeds a per-device score gauge (1.0 = at the fleet's
+    pace); ``manager`` feeds launch/win/duplicate/denial counters via the
+    delta pattern.
+    """
+    score = telemetry.gauge(
+        "repro_fleet_health_score",
+        "Graded straggler-detector health score (1.0 = at fleet pace)",
+        labelnames=("device",),
+    )
+
+    def score_probe() -> None:
+        for index, health in detector.scores().items():
+            score.set(health.score, device=str(index))
+
+    telemetry.add_probe(score_probe)
+
+    launched = telemetry.counter(
+        "repro_fleet_hedges_total", "Speculative hedge replicas launched"
+    )
+    wins = telemetry.counter(
+        "repro_fleet_hedge_wins_total", "Hedges whose replica finished first"
+    )
+    duplicates = telemetry.counter(
+        "repro_fleet_duplicate_kernels_total",
+        "Kernels executed twice because of hedging",
+    )
+    denials = telemetry.counter(
+        "repro_fleet_hedge_denials_total",
+        "Hedge candidates denied, by reason",
+        labelnames=("reason",),
+    )
+    telemetry.add_probe(
+        _pull_counter(launched, lambda: manager.hedges_launched)
+    )
+    telemetry.add_probe(_pull_counter(wins, lambda: manager.hedge_wins))
+    telemetry.add_probe(
+        _pull_counter(duplicates, lambda: manager.duplicate_kernels)
+    )
+    telemetry.add_probe(
+        _pull_counter(denials, lambda: manager.budget_denials, reason="budget")
+    )
+    telemetry.add_probe(
+        _pull_counter(
+            denials, lambda: manager.no_target_denials, reason="no-target"
+        )
+    )
 
 
 # -- integrity -------------------------------------------------------------

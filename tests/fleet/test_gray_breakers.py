@@ -1,0 +1,84 @@
+"""Device-scoped breakers driven by an oscillating gray device.
+
+The serving layer scopes breaker keys per device (``dev<i>:<type>``);
+the fleet layer grades device health with the straggler detector.  This
+test wires the two together: a device that flaps between slow and
+healthy phases drives its *own* breaker through the full
+OPEN → HALF_OPEN → CLOSED → OPEN oscillation, while the same app type on
+the healthy peer never trips.
+"""
+
+import pytest
+
+from repro.resilience.gray import StragglerDetector
+from repro.serving import BreakerConfig, BreakerState, CircuitBreakerPanel
+
+pytestmark = pytest.mark.fleet
+
+SLOW, AT_SPEC = 6.0, 1.0
+
+
+def feed(det, device, stretch, count=8):
+    for _ in range(count):
+        det.observe_kernel(device, stretch)
+
+
+class TestOscillatingGrayDevice:
+    def _parts(self):
+        det = StragglerDetector(
+            2, min_samples=2, window=8, ema_alpha=0.5, straggler_score=0.5
+        )
+        breakers = CircuitBreakerPanel(
+            BreakerConfig(threshold=1, cooldown=1.0, jitter=0.0), seed=0
+        )
+        return det, breakers
+
+    def test_breaker_follows_detector_classification(self):
+        det, breakers = self._parts()
+        sick, healthy = "dev0:nn", "dev1:nn"
+        transitions = []
+        for cycle in range(3):
+            t = 3.0 * cycle
+            # Slow phase: device 0 crawls, its peers stay at spec.
+            feed(det, 0, SLOW)
+            feed(det, 1, AT_SPEC)
+            assert det.is_straggler(0)
+            assert not det.is_straggler(1)
+            # A classified straggler's timeout is a breaker failure on
+            # *its* key only.
+            breakers.on_failure(sick, t)
+            breakers.on_success(healthy, t)
+            assert breakers.state(sick) == BreakerState.OPEN
+            transitions.append(("open", cycle))
+            # Probe before the cooldown: fast-failed, still slow → re-trip.
+            assert not breakers.allow(sick, t + 0.5)
+            assert breakers.allow(sick, t + 1.5)
+            assert breakers.state(sick) == BreakerState.HALF_OPEN
+            if det.is_straggler(0):
+                breakers.on_failure(sick, t + 1.6)
+                assert breakers.state(sick) == BreakerState.OPEN
+            # Healthy phase: fresh at-spec observations wash the window
+            # out and the detector clears the classification.
+            feed(det, 0, AT_SPEC, count=16)
+            assert not det.is_straggler(0)
+            assert breakers.allow(sick, t + 2.7)
+            breakers.on_success(sick, t + 2.8)
+            assert breakers.state(sick) == BreakerState.CLOSED
+            transitions.append(("closed", cycle))
+        # The healthy device never tripped; the sick one tripped twice
+        # per cycle (slow-phase failure + failed half-open probe).
+        assert breakers.state(healthy) == BreakerState.CLOSED
+        assert breakers.trips == 6
+        assert transitions == [
+            (s, c) for c in range(3) for s in ("open", "closed")
+        ]
+
+    def test_detector_score_recovers_between_phases(self):
+        det, _ = self._parts()
+        feed(det, 0, SLOW)
+        feed(det, 1, AT_SPEC)
+        slow_score = det.score(0).score
+        assert slow_score < 0.5
+        feed(det, 0, AT_SPEC, count=16)
+        assert det.score(0).score > slow_score
+        assert not det.is_straggler(0)

@@ -1,0 +1,132 @@
+"""Gray-failure scenario matrix: slowdown magnitude x detection window.
+
+The full matrix is chaos-soak material (``REPRO_SOAK=1``, the fleet
+lane's soak step): every combination of sustained-slowdown factor and
+detector p95 window runs hedged vs. unhedged and must satisfy the gray
+subsystem's invariants, whatever the cell:
+
+* every app terminates, nothing is lost to the speculative race;
+* hedge accounting is internally consistent and duplicate work stays
+  within the configured budget;
+* a slowdown too mild to classify (factor 2 sits exactly at the default
+  ``straggler_score`` threshold, which is *strict*) launches no hedges
+  and leaves results byte-identical to the unhedged run;
+* a clear straggler (factor >= 4) is detected at every window size and
+  hedging never makes the batch later;
+* the same seed replays the same bytes — hedged runs stay deterministic.
+
+The per-PR fleet lane runs the strided diagonal of the same matrix so
+regressions surface before the soak lane ever spins.
+"""
+
+import os
+
+import pytest
+
+from repro.fleet import FleetHarness, HedgeConfig
+from repro.resilience.faults import FaultKind, FaultPlan
+
+from .conftest import fast_fleet, make_apps
+
+pytestmark = pytest.mark.fleet
+
+NUM_APPS = 6
+DEVICES = 3
+STREAMS = 2
+SEED = 1
+
+#: Sustained-slowdown magnitude: at-threshold, clear, severe.
+FACTORS = (2.0, 4.0, 8.0)
+#: Detector p95 window (observations) — the detection-latency knob.
+WINDOWS = (8, 16, 32)
+FULL_MATRIX = [(f, w) for f in FACTORS for w in WINDOWS]
+#: Strided diagonal for the per-PR lane: one cell per factor, each with
+#: a different window, so both axes stay covered at 1/3 the cost.
+FAST_CELLS = [(2.0, 8), (4.0, 16), (8.0, 32)]
+
+#: Generous duplicate-work budget so the budget gate is not the thing
+#: under test in most cells (its own tests live in test_hedging.py).
+BUDGET_FRACTION = 0.5
+
+
+def _hedge_config(window):
+    return HedgeConfig(
+        check_interval=0.2e-3,
+        budget_fraction=BUDGET_FRACTION,
+        window=window,
+    )
+
+
+def _run_cell(factor, window):
+    """(unhedged result, hedged result) for one matrix cell."""
+    plan = FaultPlan.gray(
+        0,
+        kind=FaultKind.SMX_SLOWDOWN,
+        start=0.0,
+        duration=1.0,
+        factor=factor,
+    )
+    unhedged = FleetHarness(
+        make_apps(NUM_APPS),
+        fast_fleet(num_devices=DEVICES, seed=SEED),
+        num_streams=STREAMS,
+        plan=plan,
+    ).run()
+    hedged = FleetHarness(
+        make_apps(NUM_APPS),
+        fast_fleet(num_devices=DEVICES, seed=SEED, hedging=_hedge_config(window)),
+        num_streams=STREAMS,
+        plan=plan,
+    ).run()
+    return unhedged, hedged
+
+
+def _record_key(result):
+    return [
+        (r.app_id, r.outcome, r.complete_time) for r in result.records
+    ]
+
+
+def _check_cell(factor, window, unhedged, hedged):
+    # Termination: the race never loses an app.
+    assert unhedged.completed == NUM_APPS
+    assert hedged.completed == NUM_APPS
+
+    # Accounting is internally consistent.
+    assert 0 <= hedged.hedge_wins <= hedged.hedges_launched
+    assert hedged.hedges_launched <= NUM_APPS
+    assert hedged.duplicate_kernels >= 0
+    batch_kernels = sum(a.profile.kernel_launches for a in make_apps(NUM_APPS))
+    assert hedged.duplicate_kernels <= int(BUDGET_FRACTION * batch_kernels)
+
+    if factor >= 4.0:
+        # A clear straggler is detected at every window size, and the
+        # hedge never makes the batch later.
+        assert hedged.hedges_launched >= 1
+        assert hedged.makespan <= unhedged.makespan
+    if not hedged.hedges_launched:
+        # Enabled-but-idle hedging is invisible: identical results.
+        assert hedged.makespan == unhedged.makespan
+        assert _record_key(hedged) == _record_key(unhedged)
+
+
+@pytest.mark.soak
+@pytest.mark.skipif(
+    os.environ.get("REPRO_SOAK") != "1",
+    reason="full gray matrix is opt-in: set REPRO_SOAK=1",
+)
+@pytest.mark.parametrize(("factor", "window"), FULL_MATRIX)
+def test_gray_matrix_full(factor, window):
+    unhedged, hedged = _run_cell(factor, window)
+    _check_cell(factor, window, unhedged, hedged)
+
+    # Determinism under a live gray fault: same seed, same bytes.
+    _, again = _run_cell(factor, window)
+    assert _record_key(again) == _record_key(hedged)
+    assert again.hedge_events == hedged.hedge_events
+
+
+@pytest.mark.parametrize(("factor", "window"), FAST_CELLS)
+def test_gray_matrix_fast_subset(factor, window):
+    unhedged, hedged = _run_cell(factor, window)
+    _check_cell(factor, window, unhedged, hedged)

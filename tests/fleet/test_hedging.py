@@ -1,0 +1,258 @@
+"""Hedged execution: straggler-triggered speculative replicas.
+
+End-to-end coverage of the gray-failure mitigation path: detection of a
+gray-slowed device from observed latency stretch, the hedge decision
+(budget, target choice, journaling), the primary/replica race in both
+directions, target-device loss mid-hedge, and byte-identical crash/resume
+of a hedged journaled run.
+"""
+
+import pytest
+
+from repro.fleet import FleetHarness, HedgeConfig
+from repro.resilience.faults import FaultKind, FaultPlan, FaultSpec
+from repro.sim.errors import HarnessCrash
+
+from .conftest import fast_fleet, make_apps
+
+pytestmark = pytest.mark.fleet
+
+NUM_APPS = 4
+DEVICES = 2
+SEED = 7
+
+#: Scan fast enough for tiny-scale runs; budget generous so the gating
+#: tests control their own limits explicitly.
+FAST_HEDGE = HedgeConfig(check_interval=0.2e-3, budget_fraction=0.5)
+
+#: Sustained 4x compute slowdown on device 0 for the whole run.
+GRAY_PLAN = FaultPlan.gray(
+    0, kind=FaultKind.SMX_SLOWDOWN, start=0.0, duration=1.0, factor=4.0
+)
+
+
+def run(plan=None, hedging=FAST_HEDGE, apps=NUM_APPS, **overrides):
+    fleet = fast_fleet(
+        num_devices=DEVICES, seed=SEED, hedging=hedging, **overrides
+    )
+    return FleetHarness(make_apps(apps), fleet, plan=plan).run()
+
+
+@pytest.fixture(scope="module")
+def hedged():
+    return run(plan=GRAY_PLAN)
+
+
+@pytest.fixture(scope="module")
+def unhedged():
+    return run(plan=GRAY_PLAN, hedging=None)
+
+
+class TestReplicaWin:
+    def test_hedge_launched_and_won(self, hedged):
+        assert hedged.hedges_launched == 1
+        assert hedged.hedge_wins == 1
+        assert hedged.completed == NUM_APPS
+
+    def test_hedged_app_finishes_earlier(self, hedged, unhedged):
+        by_id = lambda result: {
+            r.app_id: r for r in result.records
+        }
+        winner = next(r for r in hedged.records if r.hedge_wins)
+        assert winner.complete_time < by_id(unhedged)[winner.app_id].complete_time
+        # Everyone else is untouched by the race.
+        for r in hedged.records:
+            if r.hedge_wins:
+                continue
+            assert r.complete_time == by_id(unhedged)[r.app_id].complete_time
+
+    def test_winner_record_accounting(self, hedged):
+        winner = next(r for r in hedged.records if r.hedge_wins)
+        assert winner.hedges == 1
+        assert winner.outcome == "completed"
+        # The replica won, so the app's terminal device is the target.
+        hedge = hedged.hedge_events[0]
+        assert winner.device_index == hedge["to"]
+        assert winner.duplicate_kernels == hedged.duplicate_kernels > 0
+
+    def test_decision_log_shape(self, hedged):
+        launch, done = hedged.hedge_events
+        assert launch["event"] == "hedge"
+        assert (launch["from"], launch["to"]) == (0, 1)
+        assert launch["remaining"] >= FAST_HEDGE.min_remaining_kernels
+        assert done["event"] == "hedge-done"
+        assert done["winner"] == "replica"
+        assert done["dup"] == hedged.duplicate_kernels
+        assert done["t"] > launch["t"]
+
+    def test_duplicates_bounded_by_budget(self, hedged):
+        batch = sum(a.profile.kernel_launches for a in make_apps(NUM_APPS))
+        assert hedged.duplicate_kernels <= FAST_HEDGE.budget_fraction * batch
+
+    def test_straggler_flagged_degraded_by_monitor(self, hedged):
+        degraded = [
+            e for e in hedged.health_events if e.new_state == "degraded"
+        ]
+        assert degraded and degraded[0].device == 0
+        assert "score=" in degraded[0].detail
+
+
+class TestPrimaryWin:
+    def test_recovered_primary_beats_replica(self):
+        # The slowdown ends early; the detector's window is still hot so a
+        # hedge launches, but the recovered primary finishes first.
+        plan = FaultPlan.gray(
+            0,
+            kind=FaultKind.SMX_SLOWDOWN,
+            start=0.0,
+            duration=3e-3,
+            factor=6.0,
+        )
+        result = run(plan=plan)
+        assert result.hedges_launched == 1
+        assert result.hedge_wins == 0
+        assert result.completed == NUM_APPS
+        done = result.hedge_events[-1]
+        assert done["winner"] == "primary"
+        # The loser's wasted work is attributed to the app's record.
+        hedged_app = next(r for r in result.records if r.hedges)
+        assert hedged_app.hedge_wins == 0
+        assert hedged_app.duplicate_kernels == done["dup"]
+
+
+class TestTargetLoss:
+    def test_replica_device_death_abandons_hedge(self):
+        plan = FaultPlan(
+            list(GRAY_PLAN)
+            + [FaultSpec(FaultKind.DEVICE_LOSS, 3.2e-3, device=1)]
+        )
+        result = run(plan=plan)
+        assert result.hedges_launched == 1
+        assert result.hedge_wins == 0
+        done = result.hedge_events[-1]
+        assert done["winner"] == "abandoned"
+        assert done["t"] == pytest.approx(3.2e-3)
+        # The primary still completes every app (it was on device 0).
+        assert result.completed == NUM_APPS
+
+
+class TestGating:
+    def test_healthy_fleet_never_hedges(self):
+        result = run(plan=None)
+        assert result.hedges_launched == 0
+        assert result.hedge_events == []
+        assert result.duplicate_kernels == 0
+
+    def test_enabled_but_idle_hedging_is_invisible(self):
+        # With no gray fault the detector observes but never classifies,
+        # so enabling hedging must not move a single timestamp.
+        on = run(plan=None)
+        off = run(plan=None, hedging=None)
+        key = lambda r: (r.app_id, r.complete_time, r.gpu_start, r.outcome)
+        assert [key(r) for r in on.records] == [key(r) for r in off.records]
+        assert on.makespan == off.makespan
+        assert on.energy == off.energy
+
+    def test_budget_denial(self):
+        tight = HedgeConfig(check_interval=0.2e-3, budget_fraction=0.01)
+        result = run(plan=GRAY_PLAN, hedging=tight)
+        assert result.hedges_launched == 0
+
+    def test_min_remaining_gate(self):
+        lazy = HedgeConfig(
+            check_interval=0.2e-3,
+            budget_fraction=0.5,
+            min_remaining_kernels=10_000,
+        )
+        result = run(plan=GRAY_PLAN, hedging=lazy)
+        assert result.hedges_launched == 0
+
+    def test_max_hedges_per_app_caps_relaunch(self, hedged):
+        # One hedge per app by default; the winner app never re-hedges
+        # even though its device stays gray for the whole run.
+        assert all(r.hedges <= 1 for r in hedged.records)
+
+
+class TestDeterminism:
+    def test_hedged_run_is_reproducible(self, hedged):
+        again = run(plan=GRAY_PLAN)
+        key = lambda r: (
+            r.app_id,
+            r.complete_time,
+            r.device_index,
+            r.hedges,
+            r.hedge_wins,
+            r.duplicate_kernels,
+        )
+        assert [key(r) for r in again.records] == [
+            key(r) for r in hedged.records
+        ]
+        assert again.hedge_events == hedged.hedge_events
+        assert again.makespan == hedged.makespan
+
+
+class TestJournaledHedging:
+    def _journal_run(self, plan, path, resume=False):
+        return FleetHarness(
+            make_apps(NUM_APPS),
+            fast_fleet(num_devices=DEVICES, seed=SEED, hedging=FAST_HEDGE),
+            plan=plan,
+            journal_path=path,
+            resume=resume,
+        ).run()
+
+    def test_hedge_decisions_are_journaled(self, tmp_path):
+        from repro.integrity import decode_line
+
+        path = tmp_path / "hedged.jsonl"
+        result = self._journal_run(GRAY_PLAN, path)
+        assert result.hedges_launched == 1
+        events = [
+            decode_line(line)["event"]
+            for line in path.read_bytes().splitlines()[1:]
+        ]
+        assert "hedge" in events
+        assert "hedge-done" in events
+        assert events.index("hedge") < events.index("hedge-done")
+
+    def test_crash_resume_replays_hedges_byte_identically(self, tmp_path):
+        ref_path = tmp_path / "reference.jsonl"
+        reference = self._journal_run(GRAY_PLAN, ref_path)
+        launch_t = reference.hedge_events[0]["t"]
+        done_t = reference.hedge_events[-1]["t"]
+
+        # Crash mid-race: the hedge is journaled, its outcome is not.
+        crash_at = (launch_t + done_t) / 2
+        crash_plan = FaultPlan(
+            list(GRAY_PLAN)
+            + [FaultSpec(FaultKind.HARNESS_CRASH, crash_at)]
+        )
+        crash_path = tmp_path / "crashed.jsonl"
+        with pytest.raises(HarnessCrash):
+            self._journal_run(crash_plan, crash_path)
+
+        resumed = self._journal_run(crash_plan, crash_path, resume=True)
+        assert resumed.resumed
+        assert resumed.recovered_entries > 0
+        assert crash_path.read_bytes() == ref_path.read_bytes()
+        assert resumed.hedge_events == reference.hedge_events
+        key = lambda r: (r.app_id, r.outcome, r.complete_time, r.hedge_wins)
+        assert [key(r) for r in resumed.records] == [
+            key(r) for r in reference.records
+        ]
+
+    def test_hedging_config_fences_the_fingerprint(self, tmp_path):
+        # A journal written by a hedged run must not resume a run with
+        # different (or absent) hedge parameters.
+        from repro.serving import JournalMismatchError
+
+        path = tmp_path / "hedged.jsonl"
+        self._journal_run(GRAY_PLAN, path)
+        with pytest.raises(JournalMismatchError):
+            FleetHarness(
+                make_apps(NUM_APPS),
+                fast_fleet(num_devices=DEVICES, seed=SEED, hedging=None),
+                plan=GRAY_PLAN,
+                journal_path=path,
+                resume=True,
+            ).run()

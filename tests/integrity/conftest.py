@@ -160,10 +160,52 @@ def fleet_store(base: Path) -> Store:
     )
 
 
+def hedge_store(base: Path) -> Store:
+    """The fleet journal of a *hedged* run under a gray slowdown.
+
+    A sustained 4x SMX slowdown on device 0 makes the straggler detector
+    fire and the hedge manager journal ``hedge`` / ``hedge-done``
+    decisions plus fenced replica checkpoints — record types the plain
+    ``fleet`` store never writes, so crash points inside a speculative
+    race get swept too.
+    """
+    from repro.fleet import HedgeConfig
+
+    fleet = FleetConfig(
+        num_devices=2,
+        seed=SEED,
+        hedging=HedgeConfig(check_interval=0.2e-3, budget_fraction=0.5),
+        **FAST_HEALTH,
+    )
+    plan = FaultPlan.gray(
+        0, kind=FaultKind.SMX_SLOWDOWN, start=0.0, duration=1.0, factor=4.0
+    )
+
+    def run(path: Path, resume: bool = False) -> None:
+        FleetHarness(
+            _fleet_apps(),
+            fleet,
+            plan=plan,
+            journal_path=path,
+            resume=resume,
+        ).run()
+
+    ref = base / "hedge-ref.jsonl"
+    run(ref)
+    return Store(
+        "hedge",
+        ref.read_bytes(),
+        lambda p: run(p, resume=True),
+        run,
+        (JournalError,),
+    )
+
+
 STORE_BUILDERS = {
     "serving": serving_store,
     "scheduler": scheduler_store,
     "fleet": fleet_store,
+    "hedge": hedge_store,
 }
 
 

@@ -1,0 +1,274 @@
+"""Gray-failure faults and straggler detection.
+
+Covers the three degradation fault kinds (sustained/intermittent SMX
+slowdown, DMA latency stretch, clock jitter), their injector-side window
+semantics, seed bit-compatibility of :meth:`FaultPlan.generate`, and the
+percentile-based :class:`StragglerDetector` that scores device health
+from observed latency stretch.
+"""
+
+import pytest
+
+from repro.resilience.faults import (
+    GRAY_KINDS,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+)
+from repro.resilience.gray import HealthScore, StragglerDetector
+from repro.sim.engine import Environment
+
+pytestmark = pytest.mark.resilience
+
+
+class TestGraySpecs:
+    def test_gray_kinds_tuple(self):
+        assert GRAY_KINDS == (
+            FaultKind.SMX_SLOWDOWN,
+            FaultKind.DMA_STRETCH,
+            FaultKind.CLOCK_JITTER,
+        )
+
+    @pytest.mark.parametrize("kind", GRAY_KINDS)
+    def test_factor_must_exceed_one(self, kind):
+        with pytest.raises(ValueError):
+            FaultSpec(kind=kind, time=0.0, duration=1e-3, factor=1.0)
+
+    @pytest.mark.parametrize("kind", GRAY_KINDS)
+    def test_duration_must_be_positive(self, kind):
+        with pytest.raises(ValueError):
+            FaultSpec(kind=kind, time=0.0, duration=0.0, factor=2.0)
+
+    def test_gray_sustained_is_one_window(self):
+        plan = FaultPlan.gray(1, start=2e-3, duration=8e-3, factor=3.0)
+        specs = plan.gray_specs()
+        assert len(specs) == 1
+        spec = specs[0]
+        assert spec.kind is FaultKind.SMX_SLOWDOWN
+        assert spec.effective_device == 1
+        assert (spec.time, spec.duration, spec.factor) == (2e-3, 8e-3, 3.0)
+
+    def test_gray_intermittent_duty_cycle(self):
+        plan = FaultPlan.gray(
+            0, start=0.0, duration=8e-3, factor=4.0, period=2e-3, duty=0.5
+        )
+        specs = plan.gray_specs()
+        assert len(specs) == 4
+        assert [s.time for s in specs] == [0.0, 2e-3, 4e-3, 6e-3]
+        assert all(s.duration == pytest.approx(1e-3) for s in specs)
+
+    def test_gray_direction_pin(self):
+        plan = FaultPlan.gray(
+            0,
+            kind=FaultKind.DMA_STRETCH,
+            duration=1e-3,
+            direction="htod",
+        )
+        assert plan.gray_specs()[0].direction == "htod"
+
+
+class TestSeedCompatibility:
+    """New gray kinds must not perturb pre-existing seeded draws."""
+
+    OLD_KWARGS = dict(
+        num_devices=2,
+        device_loss_rate=100.0,
+        device_throttle_rate=200.0,
+        kernel_hang_rate=150.0,
+        launch_fail_rate=150.0,
+        hang_factor=4.0,
+        targets=("gaussian", "needle"),
+    )
+
+    def test_zero_gray_rates_change_nothing(self):
+        for seed in range(5):
+            old = FaultPlan.generate(seed, 10e-3, **self.OLD_KWARGS)
+            new = FaultPlan.generate(
+                seed,
+                10e-3,
+                smx_slowdown_rate=0.0,
+                dma_stretch_rate=0.0,
+                clock_jitter_rate=0.0,
+                **self.OLD_KWARGS,
+            )
+            assert list(old) == list(new)
+
+    def test_gray_rates_append_after_existing_kinds(self):
+        old = FaultPlan.generate(3, 10e-3, **self.OLD_KWARGS)
+        new = FaultPlan.generate(
+            3,
+            10e-3,
+            smx_slowdown_rate=300.0,
+            dma_stretch_rate=300.0,
+            clock_jitter_rate=300.0,
+            **self.OLD_KWARGS,
+        )
+        # The old plan's specs survive verbatim inside the new plan.
+        new_specs = list(new)
+        for spec in old:
+            assert spec in new_specs
+        assert any(s.kind in GRAY_KINDS for s in new_specs)
+
+    def test_generated_gray_specs_are_valid(self):
+        plan = FaultPlan.generate(
+            11,
+            10e-3,
+            num_devices=3,
+            smx_slowdown_rate=500.0,
+            dma_stretch_rate=500.0,
+            clock_jitter_rate=500.0,
+        )
+        for spec in plan.gray_specs():
+            assert spec.factor > 1.0
+            assert spec.duration > 0
+
+
+class TestInjectorWindows:
+    def _injector(self, specs):
+        env = Environment()
+        return env, FaultInjector(env, FaultPlan(list(specs)))
+
+    def test_smx_slowdown_inside_and_outside(self):
+        _, inj = self._injector(
+            [
+                FaultSpec(
+                    kind=FaultKind.SMX_SLOWDOWN,
+                    time=1e-3,
+                    duration=2e-3,
+                    factor=4.0,
+                )
+            ]
+        )
+        assert inj.smx_slowdown(0.5e-3) == 1.0
+        assert inj.smx_slowdown(1.5e-3) == 4.0
+        assert inj.smx_slowdown(4e-3) == 1.0
+
+    def test_dma_stretch_direction_pinning(self):
+        _, inj = self._injector(
+            [
+                FaultSpec(
+                    kind=FaultKind.DMA_STRETCH,
+                    time=0.0,
+                    duration=1e-3,
+                    factor=3.0,
+                    direction="htod",
+                )
+            ]
+        )
+        assert inj.dma_stretch("dtoh", 0.5e-3) == 1.0
+        assert inj.dma_stretch("htod", 0.5e-3) == 3.0
+
+    def test_clock_jitter_is_deterministic_and_bounded(self):
+        spec = FaultSpec(
+            kind=FaultKind.CLOCK_JITTER, time=0.0, duration=1e-3, factor=1.5
+        )
+        _, a = self._injector([spec])
+        _, b = self._injector([spec])
+        fa = [a.clock_jitter("app#0", 1e-4 * i) for i in range(5)]
+        fb = [b.clock_jitter("app#0", 1e-4 * i) for i in range(5)]
+        assert fa == fb  # replay-identical
+        assert all(1.0 <= f < 1.5 for f in fa)
+        assert len(set(fa)) > 1  # actually jitters draw to draw
+
+    def test_gray_active_probe(self):
+        _, inj = self._injector(
+            [
+                FaultSpec(
+                    kind=FaultKind.SMX_SLOWDOWN,
+                    time=1e-3,
+                    duration=1e-3,
+                    factor=2.0,
+                )
+            ]
+        )
+        assert not inj.gray_active(0.0)
+        assert inj.gray_active(1.5e-3)
+        assert not inj.gray_active(3e-3)
+
+
+class TestStragglerDetector:
+    def test_no_samples_scores_perfect(self):
+        det = StragglerDetector(2)
+        score = det.score(0)
+        assert isinstance(score, HealthScore)
+        assert score.score == 1.0
+        assert not det.is_straggler(0)
+
+    def test_min_samples_gate(self):
+        det = StragglerDetector(2, min_samples=4, straggler_score=0.5)
+        for _ in range(3):
+            det.observe_kernel(0, 8.0)
+            det.observe_kernel(1, 1.0)
+        assert not det.is_straggler(0)  # only 3 samples
+        det.observe_kernel(0, 8.0)
+        assert det.is_straggler(0)
+
+    def test_straggler_scored_against_fleet_median(self):
+        det = StragglerDetector(4, min_samples=2)
+        for dev in range(4):
+            stretch = 4.0 if dev == 0 else 1.0
+            for _ in range(8):
+                det.observe_kernel(dev, stretch)
+        s0 = det.score(0)
+        assert s0.score == pytest.approx(0.25)
+        assert det.is_straggler(0)
+        for dev in (1, 2, 3):
+            assert det.score(dev).score == pytest.approx(1.0)
+            assert not det.is_straggler(dev)
+
+    def test_two_device_fleet_uses_healthy_baseline(self):
+        # The lower-median convention: one straggler out of two must not
+        # drag the fleet baseline halfway up to itself.
+        det = StragglerDetector(2, min_samples=2)
+        for _ in range(8):
+            det.observe_kernel(0, 4.0)
+            det.observe_kernel(1, 1.0)
+        assert det.fleet_median() == pytest.approx(1.0)
+        assert det.score(0).score == pytest.approx(0.25)
+        assert det.is_straggler(0)
+        assert not det.is_straggler(1)
+
+    def test_worst_path_dominates(self):
+        # Healthy kernels must not mask a dying DMA path.
+        det = StragglerDetector(2, min_samples=1)
+        det.observe_kernel(0, 1.0)
+        det.observe_dma(0, 5.0)
+        det.observe_kernel(1, 1.0)
+        s = det.score(0)
+        assert s.dma_stretch == pytest.approx(5.0)
+        assert s.kernel_stretch == pytest.approx(1.0)
+        assert det._stats[0].combined == pytest.approx(5.0)
+
+    def test_ema_blend_matches_characterizer_idiom(self):
+        det = StragglerDetector(1, ema_alpha=0.5, min_samples=1)
+        det.observe_kernel(0, 1.0)
+        det.observe_kernel(0, 3.0)
+        assert det.score(0).kernel_stretch == pytest.approx(2.0)
+
+    def test_recovery_clears_classification(self):
+        det = StragglerDetector(2, min_samples=2, window=8, ema_alpha=0.5)
+        for _ in range(8):
+            det.observe_kernel(0, 6.0)
+            det.observe_kernel(1, 1.0)
+        assert det.is_straggler(0)
+        # Device recovers: fresh at-spec observations wash the window out.
+        for _ in range(16):
+            det.observe_kernel(0, 1.0)
+        assert not det.is_straggler(0)
+
+    def test_zero_stretch_is_ignored(self):
+        det = StragglerDetector(1)
+        det.observe_kernel(0, 0.0)
+        det.observe_dma(0, -1.0)
+        assert det.observations == 0
+
+    def test_scores_covers_all_devices(self):
+        det = StragglerDetector(3)
+        assert sorted(det.scores()) == [0, 1, 2]
+
+    def test_describe_is_human_readable(self):
+        det = StragglerDetector(1, min_samples=1)
+        det.observe_kernel(0, 2.0)
+        text = det.score(0).describe()
+        assert "dev0" in text and "score=" in text

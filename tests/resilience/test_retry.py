@@ -1,10 +1,18 @@
 """Unit tests for :mod:`repro.resilience.retry`."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.resilience.retry import RetryPolicy, app_rng
+from repro.resilience.retry import RetryPolicy, app_rng, replica_rng
 
 pytestmark = pytest.mark.resilience
+
+app_ids = st.sampled_from(
+    ["gaussian#0", "needle#1", "srad#2", "nn#3", "gaussian#7"]
+)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+replica_idxs = st.integers(min_value=1, max_value=8)
 
 
 class TestAppRng:
@@ -22,6 +30,57 @@ class TestAppRng:
         a = app_rng(1, "needle#0")
         b = app_rng(2, "needle#0")
         assert a.random() != b.random()
+
+
+class TestReplicaRng:
+    """Property tests: replica streams are deterministic and disjoint."""
+
+    def test_counts_from_one(self):
+        with pytest.raises(ValueError):
+            replica_rng(0, "gaussian#0", 0)
+
+    @settings(deadline=None, max_examples=50)
+    @given(seed=seeds, app_id=app_ids, idx=replica_idxs)
+    def test_deterministic_across_instances(self, seed, app_id, idx):
+        a = replica_rng(seed, app_id, idx)
+        b = replica_rng(seed, app_id, idx)
+        assert [a.random() for _ in range(4)] == [
+            b.random() for _ in range(4)
+        ]
+
+    @settings(deadline=None, max_examples=50)
+    @given(seed=seeds, app_id=app_ids, idx=replica_idxs)
+    def test_disjoint_from_primary_stream(self, seed, app_id, idx):
+        # A hedge launching must not perturb the primary's jitter draws:
+        # the replica's stream never reproduces the primary's prefix.
+        primary = [app_rng(seed, app_id).random() for _ in range(8)]
+        replica = [replica_rng(seed, app_id, idx).random() for _ in range(8)]
+        assert primary != replica
+
+    @settings(deadline=None, max_examples=50)
+    @given(seed=seeds, app_id=app_ids, idx=replica_idxs)
+    def test_distinct_per_replica_index(self, seed, app_id, idx):
+        a = replica_rng(seed, app_id, idx)
+        b = replica_rng(seed, app_id, idx + 1)
+        assert [a.random() for _ in range(4)] != [
+            b.random() for _ in range(4)
+        ]
+
+    @settings(deadline=None, max_examples=25)
+    @given(seed=seeds, idx=replica_idxs)
+    def test_distinct_per_app(self, seed, idx):
+        a = replica_rng(seed, "gaussian#0", idx)
+        b = replica_rng(seed, "needle#0", idx)
+        assert a.random() != b.random()
+
+    @settings(deadline=None, max_examples=25)
+    @given(seed=seeds, app_id=app_ids, idx=replica_idxs)
+    def test_policy_delays_stay_in_jitter_bounds(self, seed, app_id, idx):
+        policy = RetryPolicy(base_delay=1e-3, backoff=2.0, jitter=0.25)
+        rng = replica_rng(seed, app_id, idx)
+        for attempt in range(1, 4):
+            base = 1e-3 * 2.0 ** (attempt - 1)
+            assert base * 0.75 <= policy.delay(attempt, rng) < base * 1.25
 
 
 class TestRetryPolicy:

@@ -92,6 +92,61 @@ class TestStateMachine:
         assert 0.5 <= windows[0] <= 1.5
 
 
+class TestDeviceScopedOscillation:
+    """Half-open transitions when one device flaps slow/healthy.
+
+    Keys follow the fleet gate's ``dev<i>:<type>`` scoping, so the sick
+    device oscillates through OPEN/HALF_OPEN alone while the same app
+    type on its healthy peer never leaves CLOSED.
+    """
+
+    def test_oscillating_device_retrips_through_half_open(self):
+        p = panel(threshold=1, cooldown=1.0)
+        sick, healthy = "dev0:nn", "dev1:nn"
+        reopen_times = []
+        for cycle in range(3):
+            t = 3.0 * cycle
+            # Slow phase: the device times out, its breaker trips.
+            p.on_failure(sick, t)
+            assert p.state(sick) == BreakerState.OPEN
+            assert not p.allow(sick, t + 0.5)
+            # Cooldown elapses mid-slow-phase: the probe fails, re-trip.
+            assert p.allow(sick, t + 1.5)
+            assert p.state(sick) == BreakerState.HALF_OPEN
+            p.on_failure(sick, t + 1.6)
+            assert p.state(sick) == BreakerState.OPEN
+            reopen_times.append(t + 1.6)
+            # Healthy phase: the next probe succeeds and closes it.
+            assert p.allow(sick, t + 2.7)
+            p.on_success(sick, t + 2.8)
+            assert p.state(sick) == BreakerState.CLOSED
+            # The healthy device serves the type throughout.
+            assert p.allow(healthy, t + 0.5)
+            p.on_success(healthy, t + 0.5)
+        assert p.state(healthy) == BreakerState.CLOSED
+        # One trip per failure that found the breaker CLOSED or HALF_OPEN:
+        # 3 slow-phase trips + 3 failed probes.
+        assert p.trips == 6
+        assert len(reopen_times) == 3
+
+    def test_fast_fails_count_only_on_the_sick_device(self):
+        p = panel(threshold=1, cooldown=10.0)
+        p.on_failure("dev0:nn", 0.0)
+        for t in (0.1, 0.2, 0.3):
+            assert not p.allow("dev0:nn", t)
+            assert p.allow("dev1:nn", t)
+        assert p.fast_fails == 3
+
+    def test_states_snapshot_separates_devices(self):
+        p = panel(threshold=1)
+        p.on_failure("dev0:nn", 0.0)
+        p.on_success("dev1:nn", 0.0)
+        assert p.states() == {
+            "dev0:nn": BreakerState.OPEN,
+            "dev1:nn": BreakerState.CLOSED,
+        }
+
+
 class TestBreakerIntegration:
     def test_breaker_sheds_doomed_type_under_faults(self):
         arrivals = poisson_arrivals(

@@ -79,6 +79,84 @@ class TestRouting:
         assert gate.route(1.0) == 0
 
 
+class TestGradedRouting:
+    """Smooth-weighted-round-robin over graded health weights."""
+
+    def test_throttle_factor_window_semantics(self):
+        gate = FleetCapacityGate(
+            2, 4, throttle_windows={0: [(1e-3, 3e-3, 2.0)]}
+        )
+        assert gate.throttle_factor(0, 0.5e-3) == 1.0  # before
+        assert gate.throttle_factor(0, 1e-3) == 2.0    # inclusive start
+        assert gate.throttle_factor(0, 3e-3) == 1.0    # exclusive end
+        assert gate.throttle_factor(1, 2e-3) == 1.0    # other device
+
+    def test_health_weight_grades(self):
+        gate = FleetCapacityGate(
+            3,
+            6,
+            detection_latency=0.0,
+            loss_times={2: 0.0},
+            throttle_windows={1: [(0.0, 1.0, 4.0)]},
+        )
+        assert gate.health_weight(0, 0.5) == 1.0
+        assert gate.health_weight(1, 0.5) == 0.25
+        assert gate.health_weight(2, 0.5) == 0.0  # lost dominates
+
+    def test_half_weight_device_interleaved_at_half_rate(self):
+        # weights [0.5, 1.0]: the SWRR sequence has period 3 — the
+        # throttled device serves one admission for the healthy one's two.
+        gate = FleetCapacityGate(
+            2, 4, throttle_windows={0: [(0.0, 1.0, 2.0)]}
+        )
+        assert [gate.route(0.5) for _ in range(6)] == [1, 0, 1, 1, 0, 1]
+        assert gate.admitted_per_device == {0: 2, 1: 4}
+
+    def test_quarter_weight_straggler_pinned_sequence(self):
+        # weights [1, 0.25, 1]: period 9, traffic split 4:1:4 — the 4x
+        # straggler earns a quarter of a healthy device's admissions.
+        gate = FleetCapacityGate(
+            3, 6, throttle_windows={1: [(0.0, 1.0, 4.0)]}
+        )
+        seq = [gate.route(0.5) for _ in range(9)]
+        assert seq == [0, 2, 0, 2, 1, 0, 2, 0, 2]
+        assert gate.admitted_per_device == {0: 4, 1: 1, 2: 4}
+
+    def test_routing_recovers_after_window_closes(self):
+        gate = FleetCapacityGate(
+            2, 4, throttle_windows={0: [(0.0, 1e-3, 2.0)]}
+        )
+        [gate.route(0.5e-3) for _ in range(3)]  # drain one throttled period
+        assert [gate.route(2e-3) for _ in range(4)] == [0, 1, 0, 1]
+
+    def test_from_plan_collects_throttle_windows(self):
+        plan = FaultPlan(
+            [
+                FaultSpec(
+                    FaultKind.DEVICE_THROTTLE,
+                    2e-3,
+                    device=1,
+                    duration=1e-3,
+                    factor=4.0,
+                ),
+                FaultSpec(
+                    FaultKind.DEVICE_THROTTLE,
+                    0.0,
+                    device=1,
+                    duration=1e-3,
+                    factor=2.0,
+                ),
+            ]
+        )
+        gate = FleetCapacityGate.from_plan(
+            FleetServingConfig(num_devices=2), 4, plan
+        )
+        assert gate.throttle_windows == {
+            1: [(0.0, 1e-3, 2.0), (2e-3, 3e-3, 4.0)]
+        }
+        assert gate.health_weight(1, 2.5e-3) == 0.25
+
+
 class TestBreakerScoping:
     def test_scoped_key_includes_device(self):
         gate = FleetCapacityGate(4, 8, scope_breakers=True)

@@ -248,3 +248,63 @@ class TestFleetMetricsTruthful:
         assert final["repro_fleet_failover_duration_seconds_count"] == len(
             [r for r in result.recoveries if r.get("resumed") is not None]
         )
+
+
+class TestHedgingMetricsTruthful:
+    @pytest.fixture(scope="class")
+    def run(self):
+        from repro.fleet import HedgeConfig
+
+        fleet = FleetConfig(
+            num_devices=2,
+            heartbeat_interval=2e-5,
+            detection_latency=5e-5,
+            detection_jitter=1e-5,
+            seed=7,
+            hedging=HedgeConfig(check_interval=0.2e-3, budget_fraction=0.5),
+        )
+        plan = FaultPlan.gray(
+            0, kind=FaultKind.SMX_SLOWDOWN, start=0.0, duration=1.0, factor=4.0
+        )
+        telemetry = Telemetry(interval=INTERVAL)
+        result = FleetHarness(
+            _apps(4), fleet, plan=plan, telemetry=telemetry
+        ).run()
+        return result, telemetry.snapshots[-1].values
+
+    def test_hedge_counters_match_result(self, run):
+        result, final = run
+        assert result.hedges_launched > 0
+        assert final["repro_fleet_hedges_total"] == result.hedges_launched
+        assert final["repro_fleet_hedge_wins_total"] == result.hedge_wins
+        assert (
+            final["repro_fleet_duplicate_kernels_total"]
+            == result.duplicate_kernels
+        )
+
+    def test_straggler_health_score_gauge(self, run):
+        _, final = run
+        assert final['repro_fleet_health_score{device="0"}'] < 0.5
+        assert final['repro_fleet_health_score{device="1"}'] > 0.9
+
+    def test_results_identical_with_telemetry(self, run):
+        result, _ = run
+        from repro.fleet import HedgeConfig
+
+        fleet = FleetConfig(
+            num_devices=2,
+            heartbeat_interval=2e-5,
+            detection_latency=5e-5,
+            detection_jitter=1e-5,
+            seed=7,
+            hedging=HedgeConfig(check_interval=0.2e-3, budget_fraction=0.5),
+        )
+        plan = FaultPlan.gray(
+            0, kind=FaultKind.SMX_SLOWDOWN, start=0.0, duration=1.0, factor=4.0
+        )
+        clean = FleetHarness(_apps(4), fleet, plan=plan).run()
+        assert clean.makespan == result.makespan
+        assert clean.hedge_events == result.hedge_events
+        assert [r.complete_time for r in clean.records] == [
+            r.complete_time for r in result.records
+        ]
