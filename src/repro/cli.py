@@ -240,6 +240,28 @@ def build_parser() -> argparse.ArgumentParser:
                    help="degradation window length (simulated seconds)")
     p.add_argument("--gray-factor", type=float, default=4.0,
                    help="latency stretch inside the gray window")
+    p.add_argument("--domains", type=int, default=None, metavar="RAILS",
+                   help="attach a fault-domain topology with this many "
+                   "power rails (devices split into contiguous blocks)")
+    p.add_argument("--blast", nargs=2, default=None,
+                   metavar=("LEVEL", "INDEX"),
+                   help="correlated loss of one whole fault domain, e.g. "
+                   "'--blast rail 0' (requires --domains)")
+    p.add_argument("--blast-at", type=float, default=None, metavar="T",
+                   help="absolute simulated time of the blast (default: "
+                   "mid-run, measured from a clean baseline)")
+    p.add_argument("--blast-skew", type=float, default=0.0, metavar="S",
+                   help="stagger the domain members' failures uniformly "
+                   "over [0, S) seconds (rails collapse, not step)")
+    p.add_argument("--storm-control", action="store_true",
+                   help="pace failover through the capacity-aware "
+                   "migration queue instead of migrating all at once")
+    p.add_argument("--storm-inflight", type=int, default=None,
+                   help="recovery slots per surviving device "
+                   "(default: StormControlConfig)")
+    p.add_argument("--storm-pace", type=float, default=None,
+                   help="migration queue drain period in simulated "
+                   "seconds (default: StormControlConfig)")
     p.add_argument("--hedge", action="store_true",
                    help="enable straggler detection and hedged execution")
     p.add_argument("--hedge-budget", type=float, default=None,
@@ -657,7 +679,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         import numpy as np
 
         from .core.workload import Workload
-        from .fleet import FleetConfig, FleetHarness, HedgeConfig
+        from .fleet import (
+            FleetConfig,
+            FleetHarness,
+            HedgeConfig,
+            StormControlConfig,
+            TopologyConfig,
+        )
+        from .fleet.topology import FleetTopology
         from .framework.scheduler import SchedulingOrder
         from .resilience.faults import FaultKind, FaultPlan, FaultSpec
         from .sim.errors import HarnessCrash
@@ -686,28 +715,62 @@ def main(argv: Optional[List[str]] = None) -> int:
             if args.hedge_interval is not None:
                 hedge_kwargs["check_interval"] = args.hedge_interval
             fleet_kwargs["hedging"] = HedgeConfig(**hedge_kwargs)
+        topology = None
+        if args.domains is not None:
+            fleet_kwargs["topology"] = TopologyConfig(rails=args.domains)
+            topology = FleetTopology(args.devices, fleet_kwargs["topology"])
+        if args.storm_control:
+            storm_kwargs = {}
+            if args.storm_inflight is not None:
+                storm_kwargs["max_inflight_per_device"] = args.storm_inflight
+            if args.storm_pace is not None:
+                storm_kwargs["pace_interval"] = args.storm_pace
+            fleet_kwargs["storm"] = StormControlConfig(**storm_kwargs)
         fleet = FleetConfig(**fleet_kwargs)
 
-        lose_at = args.lose_at
-        if args.lose is not None and lose_at is None:
+        blast_members = ()
+        if args.blast is not None:
+            if topology is None:
+                print("--blast requires --domains", file=sys.stderr)
+                return 2
+            level, index = args.blast[0], int(args.blast[1])
+            blast_members = topology.members(level, index)
+
+        def _mid_run(devices):
             # Measure a clean baseline to place the loss mid-run on the
-            # target device (fault times are absolute simulated seconds,
-            # and the interesting window depends on the schedule).
+            # target device(s) (fault times are absolute simulated
+            # seconds, and the interesting window depends on the
+            # schedule).
             baseline = FleetHarness(
                 instantiate(), fleet,
                 num_streams=args.streams, seed=args.seed,
             ).run()
             spans = [
-                r for r in baseline.records
-                if r.device_index == args.lose % args.devices
+                r for r in baseline.records if r.device_index in devices
             ]
             if spans:
                 target = max(spans, key=lambda r: r.complete_time - r.gpu_start)
-                lose_at = (target.gpu_start + target.complete_time) / 2
-            else:
-                lose_at = baseline.makespan / 2
+                return (target.gpu_start + target.complete_time) / 2
+            return baseline.makespan / 2
+
+        lose_at = args.lose_at
+        if args.lose is not None and lose_at is None:
+            lose_at = _mid_run({args.lose % args.devices})
 
         faults = []
+        if blast_members:
+            blast_at = args.blast_at
+            if blast_at is None:
+                blast_at = _mid_run(set(blast_members))
+            faults.extend(
+                FaultPlan.correlated(
+                    blast_members,
+                    kind=FaultKind.DEVICE_LOSS,
+                    time=blast_at,
+                    skew=args.blast_skew,
+                    seed=args.seed,
+                ).faults
+            )
         if args.lose is not None:
             faults.append(
                 FaultSpec(
@@ -763,6 +826,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         rows = [
             {
                 "device": d.index,
+                **({"domain": d.domain} if d.domain is not None else {}),
                 "state": d.state,
                 "lost_at_ms": (
                     d.loss_time * 1e3 if d.loss_time is not None else ""
@@ -790,6 +854,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                 [
                     {
                         "device": r["device"],
+                        **(
+                            {"domain": topology.label(r["device"])}
+                            if topology is not None
+                            else {}
+                        ),
                         "lost_ms": r["lost"] * 1e3,
                         "detected_ms": r["detected"] * 1e3,
                         "resumed_ms": r["resumed"] * 1e3,
@@ -798,9 +867,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                     }
                     for r in result.recoveries
                 ],
-                "Failover recoveries",
+                "Recovery timeline",
                 out,
                 "fleet_recoveries",
+            )
+        if result.storm_queued:
+            print(
+                f"storm control: {result.storm_queued} migrations queued "
+                f"({result.storm_peak_depth} peak depth), "
+                f"{result.storm_released} paced onto survivors, "
+                f"{result.storm_failed} failed with no target"
             )
         if result.hedges_launched:
             _emit(

@@ -20,25 +20,37 @@ and keeps them running through device loss:
   :class:`HedgeManager` races speculative replicas (forked from the
   latest checkpoint) against apps stuck on straggler devices, under a
   per-batch duplicate-work budget, with fenced journaled decisions.
+* :mod:`~repro.fleet.topology` — seeded fault-domain structure (power
+  rail / PCIe switch / rack) for correlated blast-radius injection.
+* :mod:`~repro.fleet.storm` — failover-storm control: the paced,
+  capacity-aware :class:`MigrationQueue` replacing immediate mass
+  migration after a correlated loss.
 
 The whole layer is opt-in: nothing here is imported by the single-device
 paper pipeline, so fleet-off runs stay byte-identical.
 """
 
 from .checkpoint import AppCheckpoint, CheckpointStore
-from .config import FleetConfig, HedgeConfig
+from .config import FleetConfig, HedgeConfig, StormControlConfig
 from .coordinator import FailoverCoordinator, RecoveryEvent
 from .harness import DeviceSummary, FleetHarness, FleetResult, run_fleet
 from .health import HealthEvent, HealthMonitor
 from .hedging import Hedge, HedgeCancelled, HedgeManager, HedgeWin
 from .registry import DeviceRegistry, DeviceState, FleetDevice
+from .storm import MigrationQueue
 from .thread import FleetAppThread
+from .topology import DOMAIN_LEVELS, FleetTopology, TopologyConfig
 
 __all__ = [
     "AppCheckpoint",
     "CheckpointStore",
     "FleetConfig",
     "HedgeConfig",
+    "StormControlConfig",
+    "TopologyConfig",
+    "FleetTopology",
+    "DOMAIN_LEVELS",
+    "MigrationQueue",
     "Hedge",
     "HedgeCancelled",
     "HedgeManager",

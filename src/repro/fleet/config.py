@@ -14,7 +14,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-__all__ = ["FleetConfig", "HedgeConfig", "PLACEMENT_POLICIES"]
+from ..resilience.budget import RetryBudgetConfig
+from ..resilience.metastable import BrownoutConfig
+from ..resilience.retry import RetryPolicy
+from .topology import TopologyConfig
+
+__all__ = [
+    "FleetConfig",
+    "HedgeConfig",
+    "StormControlConfig",
+    "PLACEMENT_POLICIES",
+]
 
 #: App->device placement policies (mirroring the stream-assignment ones).
 PLACEMENT_POLICIES = ("round-robin", "least-loaded")
@@ -83,6 +93,39 @@ class HedgeConfig:
 
 
 @dataclass(frozen=True)
+class StormControlConfig:
+    """Pacing parameters for failover after a correlated loss.
+
+    Without storm control the coordinator re-admits every app of a lost
+    device the instant the loss is *detected* — fine for one device, but
+    a whole fault domain dying dumps a quarter of the fleet's work onto
+    the survivors in a single simulated instant: the failover storm that
+    seeds a metastable collapse.  With a :class:`StormControlConfig`
+    attached (``FleetConfig.storm``) migrations instead pass through a
+    paced queue with capacity-aware admission.
+
+    Attributes
+    ----------
+    max_inflight_per_device:
+        Migration slots per surviving device: how many *migrating* apps
+        (re-admitted but not yet running a full attempt) one survivor
+        absorbs at a time.
+    pace_interval:
+        Queue drain period (simulated seconds).  Each tick re-admits as
+        many queued apps as open slots allow, oldest deadline first.
+    """
+
+    max_inflight_per_device: int = 2
+    pace_interval: float = 0.5e-3
+
+    def __post_init__(self) -> None:
+        if self.max_inflight_per_device < 1:
+            raise ValueError("max_inflight_per_device must be >= 1")
+        if self.pace_interval <= 0:
+            raise ValueError("pace_interval must be positive")
+
+
+@dataclass(frozen=True)
 class FleetConfig:
     """Parameters of one multi-device fleet run.
 
@@ -120,6 +163,34 @@ class FleetConfig:
         ``None`` to disable straggler detection and hedged execution
         entirely (the default; results stay byte-identical to a build
         without the gray path).
+    topology:
+        Fault-domain shape (:class:`~repro.fleet.topology.TopologyConfig`)
+        attached to the registry, or ``None`` for the historical
+        flat fleet.  Pure bookkeeping until a plan targets a domain.
+    storm:
+        Failover-storm pacing (:class:`StormControlConfig`), or ``None``
+        (default) for the historical immediate mass-migration.
+    retry_budget:
+        Per-class retry token bucket
+        (:class:`~repro.resilience.budget.RetryBudgetConfig`) shared by
+        fleet fault retries, deadline re-runs and hedge launches, or
+        ``None`` for unbudgeted retries.
+    brownout:
+        Metastability detection + brownout ladder
+        (:class:`~repro.resilience.metastable.BrownoutConfig`), or
+        ``None`` for no probe.
+    retry_backoff:
+        Backoff applied by the fleet driver between fault retries
+        (:class:`~repro.resilience.retry.RetryPolicy`), or ``None``
+        (default) to retry immediately as every PR before this one did.
+    shed_unfinishable:
+        When ``True`` the driver sheds work that can no longer meet its
+        deadline (``outcome == "shed-deadline"``) instead of running or
+        retrying it.  Only meaningful when the run supplies deadlines.
+
+    Every one of the six knobs above defaults *off*; a config that sets
+    none of them produces byte-identical journals and results to the
+    previous release.
     """
 
     num_devices: int = 2
@@ -132,6 +203,12 @@ class FleetConfig:
     placement: str = "round-robin"
     seed: int = 0
     hedging: Optional[HedgeConfig] = None
+    topology: Optional[TopologyConfig] = None
+    storm: Optional[StormControlConfig] = None
+    retry_budget: Optional[RetryBudgetConfig] = None
+    brownout: Optional[BrownoutConfig] = None
+    retry_backoff: Optional[RetryPolicy] = None
+    shed_unfinishable: bool = False
 
     def __post_init__(self) -> None:
         if self.num_devices < 1:

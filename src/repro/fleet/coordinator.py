@@ -28,6 +28,7 @@ from ..sim.events import Event
 from .checkpoint import CheckpointStore
 from .config import FleetConfig
 from .registry import DeviceRegistry, FleetDevice
+from .storm import MigrationQueue
 from .thread import FleetAppThread
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -57,6 +58,7 @@ class FailoverCoordinator:
         store: CheckpointStore,
         journal=None,
         fence: Optional[GenerationFence] = None,
+        deadlines: Optional[Dict[str, float]] = None,
     ) -> None:
         self.env = env
         self.registry = registry
@@ -67,6 +69,8 @@ class FailoverCoordinator:
         #: loss so checkpoint writes from the superseded binding are
         #: fenced off (see :mod:`repro.integrity.fencing`).
         self.fence = fence if fence is not None else GenerationFence()
+        #: Absolute SLO deadlines per app (queue priority; may be empty).
+        self.deadlines: Dict[str, float] = dict(deadlines or {})
         self.assignment: Dict[str, Optional[int]] = {}
         self.threads: Dict[str, FleetAppThread] = {}
         self.procs: Dict[str, object] = {}
@@ -75,6 +79,19 @@ class FailoverCoordinator:
         self.recoveries: List[RecoveryEvent] = []
         #: Migrated apps that have not yet landed on their new device.
         self._pending_resume: Dict[str, RecoveryEvent] = {}
+        #: Queued migrations: app -> (from device, loss RecoveryEvent).
+        self._queued: Dict[str, tuple] = {}
+        #: Paced migration queue; ``None`` keeps the historical
+        #: immediate mass-migration path byte-identical.
+        self.storm: Optional[MigrationQueue] = None
+        if fleet.storm is not None and fleet.failover:
+            self.storm = MigrationQueue(
+                env,
+                fleet.storm,
+                candidates=self._storm_candidates,
+                release=self._storm_release,
+                journal=journal,
+            )
         self._rr_cursor = 0
         registry.on_down = self.device_down
 
@@ -155,10 +172,65 @@ class FailoverCoordinator:
         if recovery is not None:
             recovery["resumed"] = max(recovery["resumed"], self.env.now)
 
+    def note_warmed(self, app_id: str) -> None:
+        """A migrant checkpointed (or terminated) on its new device.
+
+        Frees the recovery slot it held in the paced migration queue;
+        a no-op without storm control or for non-migrating apps.
+        """
+        if self.storm is not None:
+            self.storm.free_slot(app_id)
+
     @property
     def stale_writes_rejected(self) -> int:
         """Journal writes fenced off for carrying a superseded token."""
         return self.fence.rejected
+
+    # -- storm-control callbacks -------------------------------------------
+
+    def _storm_candidates(self) -> List[tuple]:
+        """Healthy ``(device, live load)`` pairs for paced admission."""
+        counts = self._live_counts()
+        return [(d.index, counts[d.index]) for d in self.registry.healthy()]
+
+    def _storm_release(self, app_id: str, target: Optional[int]) -> None:
+        """Apply one paced migration (the queue's release callback).
+
+        Mirrors the immediate path's bookkeeping: assignment update,
+        recovery accounting, ``failover`` journal entry, waiter wake-up —
+        just at queue-drain time instead of detection time.
+        """
+        now = self.env.now
+        from_device, recovery = self._queued.pop(app_id, (None, None))
+        self.assignment[app_id] = target
+        checkpoint = self.store.get(app_id)
+        if recovery is not None:
+            if target is None:
+                recovery["failed_apps"].append(app_id)
+            else:
+                recovery["apps"].append(app_id)
+                self._pending_resume[app_id] = recovery
+        if self.journal is not None:
+            self.journal.record(
+                {
+                    "event": "failover",
+                    "app": app_id,
+                    "from": -1 if from_device is None else from_device,
+                    "to": -1 if target is None else target,
+                    "t": now,
+                    "phase": (
+                        checkpoint.phase_index if checkpoint is not None else 0
+                    ),
+                    "kernels": (
+                        checkpoint.completed_kernels
+                        if checkpoint is not None
+                        else 0
+                    ),
+                }
+            )
+        waiter = self._waiters.pop(app_id, None)
+        if waiter is not None and not waiter.triggered:
+            waiter.succeed(target)
 
     # -- loss handling -----------------------------------------------------
 
@@ -198,6 +270,30 @@ class FailoverCoordinator:
             failed_apps=[],
             reexecuted_kernels=0,
         )
+        if self.storm is not None:
+            # Paced path: the dead device's recovery slots stop gating
+            # admission, and its apps join the queue instead of storming
+            # the survivors.  One capacity-capped wave drains now; the
+            # rest follow on pacer ticks as slots free up.
+            self.storm.note_device_lost(index)
+            for app_id, assigned in self.assignment.items():
+                if assigned != index or self.status.get(app_id) == "done":
+                    continue
+                checkpoint = self.store.get(app_id)
+                self._queued[app_id] = (index, recovery)
+                self.storm.enqueue(
+                    app_id,
+                    from_device=index,
+                    deadline=self.deadlines.get(app_id),
+                    checkpoint_kernels=(
+                        checkpoint.completed_kernels
+                        if checkpoint is not None
+                        else 0
+                    ),
+                )
+            self.recoveries.append(recovery)
+            self.storm.drain()
+            return
         for app_id, assigned in self.assignment.items():
             if assigned != index or self.status.get(app_id) == "done":
                 continue

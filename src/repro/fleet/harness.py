@@ -31,7 +31,11 @@ from typing import Dict, List, Optional, Sequence
 from ..framework.kernel import KernelApp
 from ..framework.metrics import AppRecord, makespan
 from ..gpu.specs import DeviceSpec
+from ..resilience.budget import RetryBudget, unfinishable
+from ..resilience.degradation import ConcurrencyLimiter
 from ..resilience.faults import FaultPlan
+from ..resilience.metastable import MetastabilityProbe
+from ..resilience.retry import app_rng
 from ..sim.engine import Environment
 from ..sim.errors import DeviceLost, FaultError, HarnessCrash, Interrupt
 from ..sim.events import AllOf
@@ -46,6 +50,10 @@ from .thread import FleetAppThread
 __all__ = ["DeviceSummary", "FleetResult", "FleetHarness", "run_fleet"]
 
 
+class _ShedWork(Exception):
+    """Raised at a checkpoint boundary to abandon deadline-doomed work."""
+
+
 @dataclass
 class DeviceSummary:
     """End-of-run accounting for one fleet device."""
@@ -57,6 +65,9 @@ class DeviceSummary:
     apps_completed: int
     energy: float
     peak_power: float
+    #: ``rail<r>/sw<s>/rack<k>`` fault-domain tag; ``None`` without a
+    #: configured topology.
+    domain: Optional[str] = None
 
     def goodput(self, span: float) -> float:
         """Completed apps per second of fleet makespan."""
@@ -89,6 +100,19 @@ class FleetResult:
     hedge_wins: int = 0
     duplicate_kernels: int = 0
     hedge_events: List[dict] = field(default_factory=list)
+    #: Failover-storm control accounting (all zero with storm=None).
+    storm_queued: int = 0
+    storm_released: int = 0
+    storm_failed: int = 0
+    storm_peak_depth: int = 0
+    #: Shared retry-budget accounting (all zero with retry_budget=None).
+    retry_budget_granted: int = 0
+    retry_budget_denied: int = 0
+    #: Metastability accounting (all zero/empty with brownout=None).
+    metastable_windows: int = 0
+    brownout_level: int = 0
+    brownout_events: List[dict] = field(default_factory=list)
+    goodput_windows: List[dict] = field(default_factory=list)
     journal_file: Optional[str] = None
     #: The run's telemetry (same object passed to the harness), if enabled.
     telemetry: object = None
@@ -97,6 +121,25 @@ class FleetResult:
     def completed(self) -> int:
         """Apps that ran to completion."""
         return sum(1 for r in self.records if not r.failed)
+
+    @property
+    def shed_apps(self) -> int:
+        """Apps shed by deadline propagation or a level-2 brownout."""
+        return sum(
+            1 for r in self.records if r.outcome.startswith("shed-")
+        )
+
+    @property
+    def deadline_misses(self) -> int:
+        """Apps that finished (or gave up) past their deadline."""
+        return sum(
+            1 for r in self.records if r.outcome == "deadline-missed"
+        )
+
+    @property
+    def retries_denied(self) -> int:
+        """Retries/re-runs refused by the shared retry budget."""
+        return sum(r.retries_denied for r in self.records)
 
     @property
     def failed(self) -> int:
@@ -160,6 +203,7 @@ def _fleet_fingerprint(
     power_interval: float,
     plan: FaultPlan,
     seed: int,
+    deadlines: Optional[Dict[str, float]] = None,
 ) -> str:
     """Content hash of everything that determines the run's journal."""
     payload = {
@@ -206,6 +250,44 @@ def _fleet_fingerprint(
             h.budget_fraction,
             h.max_hedges_per_app,
         ]
+    # Like "hedging": every containment key is absent — not None — when
+    # its feature is off, so pre-cascade journals stay byte-identical.
+    if fleet.topology is not None:
+        t = fleet.topology
+        payload["topology"] = [t.rails, t.switches, t.racks, t.shuffle_seed]
+    if fleet.storm is not None:
+        s = fleet.storm
+        payload["storm"] = [s.max_inflight_per_device, s.pace_interval]
+    if fleet.retry_budget is not None:
+        b = fleet.retry_budget
+        payload["retry_budget"] = [b.rate, b.burst, b.shared]
+    if fleet.brownout is not None:
+        bo = fleet.brownout
+        payload["brownout"] = [
+            bo.window,
+            bo.floor,
+            bo.trip_windows,
+            bo.recover_windows,
+            bo.max_level,
+            bo.width_factor,
+            list(bo.shed_types),
+            bo.per_device_rate,
+        ]
+    if fleet.retry_backoff is not None:
+        rb = fleet.retry_backoff
+        payload["retry_backoff"] = [
+            rb.max_attempts,
+            rb.base_delay,
+            rb.backoff,
+            rb.jitter,
+            rb.mode,
+        ]
+    if fleet.shed_unfinishable:
+        payload["shed_unfinishable"] = True
+    if deadlines:
+        payload["deadlines"] = sorted(
+            [app_id, float(t)] for app_id, t in deadlines.items()
+        )
     blob = json.dumps(payload, sort_keys=True).encode("utf-8")
     return hashlib.sha1(blob).hexdigest()
 
@@ -228,12 +310,21 @@ class FleetHarness:
         journal_path=None,
         resume: bool = False,
         telemetry=None,
+        deadlines: Optional[Dict[str, float]] = None,
     ) -> None:
         if not apps:
             raise ValueError("empty schedule")
         if resume and journal_path is None:
             raise ValueError("resume=True requires a journal_path")
         self.apps = list(apps)
+        #: Absolute SLO deadlines per app id (may cover a subset).
+        #: Drives queue priority under storm control, deadline shedding
+        #: (``shed_unfinishable``), and the late-completion re-run model.
+        self.deadlines: Dict[str, float] = dict(deadlines or {})
+        known = {a.app_id for a in apps}
+        for app_id in self.deadlines:
+            if app_id not in known:
+                raise ValueError(f"deadline for unknown app {app_id!r}")
         self.fleet = fleet if fleet is not None else FleetConfig()
         self.num_streams = num_streams
         self.memory_sync = memory_sync
@@ -279,6 +370,7 @@ class FleetHarness:
                 self.power_interval,
                 self.plan,
                 self.seed,
+                self.deadlines,
             )
             recovered = journal.begin(fingerprint, resume=self.resume)
 
@@ -289,7 +381,15 @@ class FleetHarness:
         fenced = FencedJournal(journal, fence) if journal is not None else None
         coordinator = FailoverCoordinator(
             env, registry, fleet, store, journal=fenced, fence=fence,
+            deadlines=self.deadlines,
         )
+        deadline_of = self.deadlines
+
+        # Shared retry budget: one token bucket gating supervisor-style
+        # fault retries, deadline re-runs *and* hedge launches.
+        budget: Optional[RetryBudget] = None
+        if fleet.retry_budget is not None:
+            budget = RetryBudget(fleet.retry_budget, lambda: env.now)
 
         # Gray-failure mitigation is built only when configured: with
         # ``hedging=None`` no detector exists, no observation callbacks
@@ -319,6 +419,45 @@ class FleetHarness:
                 },
                 journal=fenced,
                 fence=fence,
+                budget=budget,
+            )
+
+        # Metastability probe + brownout ladder: built only when
+        # configured, like hedging — otherwise no process, no gates,
+        # byte-identical results.
+        probe: Optional[MetastabilityProbe] = None
+        width_gates: Optional[Dict[int, ConcurrencyLimiter]] = None
+        if fleet.brownout is not None:
+            width_gates = {
+                d.index: ConcurrencyLimiter(
+                    env, self.num_streams, name=f"width-dev{d.index}"
+                )
+                for d in registry
+            }
+
+            def on_brownout(level: int, old: int) -> None:
+                # Level >= 1: narrow per-device admission width so running
+                # attempts stop time-sharing with the recovery backlog,
+                # and stand the hedge scanner down (speculative duplicates
+                # are the last thing an overloaded fleet needs).
+                if level >= 1:
+                    width = max(
+                        1,
+                        int(self.num_streams * fleet.brownout.width_factor),
+                    )
+                else:
+                    width = self.num_streams
+                for gate in width_gates.values():
+                    gate.set_limit(width)
+                if hedges is not None:
+                    hedges.suspended = level >= 1
+
+            probe = MetastabilityProbe(
+                env,
+                fleet.brownout,
+                lambda: len(registry.healthy()),
+                journal=fenced,
+                on_level=on_brownout,
             )
 
         monitor = HealthMonitor(
@@ -364,6 +503,19 @@ class FleetHarness:
             instrument_integrity(telemetry, None, fence=fence, journal=journal)
             if hedges is not None:
                 instrument_hedging(telemetry, hedges, detector)
+            if (
+                probe is not None
+                or coordinator.storm is not None
+                or budget is not None
+            ):
+                from ..telemetry.probes import instrument_cascade
+
+                instrument_cascade(
+                    telemetry,
+                    probe=probe,
+                    storm=coordinator.storm,
+                    budget=budget,
+                )
 
         def bind(thread: FleetAppThread, fdev) -> None:
             # (Re-)binding takes a fresh fencing token; snapshots carry
@@ -372,13 +524,41 @@ class FleetHarness:
             thread.fence_token = fence.token(fdev.index)
             thread.checkpoint.generation = thread.fence_token.generation
 
-        def on_checkpoint(thread: FleetAppThread) -> None:
-            if not fleet.checkpoint:
+        # Per-app high-water mark of checkpointed kernels: the probe is
+        # fed only *new* progress, and only while the app can still meet
+        # its deadline — work re-executed for doomed attempts is retry
+        # amplification, not goodput.
+        progress_seen: Dict[str, int] = {}
+
+        def note_progress(thread: FleetAppThread) -> None:
+            if probe is None:
                 return
-            snapshot = dataclasses.replace(thread.checkpoint)
-            store.save(snapshot)
-            if fenced is not None:
-                fenced.record(snapshot.as_entry(), token=thread.fence_token)
+            app_id = thread.app.app_id
+            completed = thread.checkpoint.completed_kernels
+            seen = progress_seen.get(app_id, 0)
+            if completed > seen:
+                deadline = deadline_of.get(app_id)
+                if deadline is None or env.now <= deadline:
+                    probe.note_progress(completed - seen)
+                progress_seen[app_id] = completed
+
+        def on_checkpoint(thread: FleetAppThread) -> None:
+            app_id = thread.app.app_id
+            note_progress(thread)
+            # A migrant that reached a phase boundary on its new device
+            # is warmed up: its recovery slot stops gating the queue.
+            coordinator.note_warmed(app_id)
+            if fleet.checkpoint:
+                snapshot = dataclasses.replace(thread.checkpoint)
+                store.save(snapshot)
+                if fenced is not None:
+                    fenced.record(snapshot.as_entry(), token=thread.fence_token)
+            if fleet.shed_unfinishable and unfinishable(
+                env.now, deadline_of.get(app_id)
+            ):
+                # Deadline propagation: the attempt cannot produce useful
+                # output anymore, so stop burning capacity on it.
+                raise _ShedWork()
 
         def adopt_win(record: AppRecord, win: HedgeWin) -> None:
             # The replica's result becomes the app's result; its measured
@@ -394,9 +574,20 @@ class FleetHarness:
 
         def drive(thread: FleetAppThread, record: AppRecord):
             app_id = thread.app.app_id
+            backoff_rng = (
+                app_rng(self.seed, app_id)
+                if fleet.retry_backoff is not None
+                else None
+            )
             fault_failures = 0
             attempts = 0
             pending_reexec: Optional[int] = None
+
+            def terminal(outcome: str) -> None:
+                record.failed = outcome != "completed"
+                record.outcome = outcome
+                record.complete_time = env.now
+
             while True:
                 fdev = yield from coordinator.acquire_device(app_id)
                 if hedges is not None:
@@ -408,9 +599,18 @@ class FleetHarness:
                         adopt_win(record, win)
                         break
                 if fdev is None:
-                    record.failed = True
-                    record.outcome = "device-lost"
-                    record.complete_time = env.now
+                    terminal("device-lost")
+                    break
+                deadline = deadline_of.get(app_id)
+                if fleet.shed_unfinishable and unfinishable(env.now, deadline):
+                    # Deadline propagation at admission: do not start
+                    # (or restart) work that can no longer finish.
+                    terminal("shed-deadline")
+                    break
+                if probe is not None and probe.shed_class(record.type_name):
+                    # Level-2 brownout: low-priority classes are dropped
+                    # at their next admission point.
+                    terminal("shed-brownout")
                     break
                 if pending_reexec is not None:
                     record.migrations += 1
@@ -419,9 +619,19 @@ class FleetHarness:
                 bind(thread, fdev)
                 attempts += 1
                 record.attempts = attempts
+                gate = (
+                    width_gates.get(fdev.index)
+                    if width_gates is not None
+                    else None
+                )
+                holding = False
                 try:
+                    if gate is not None:
+                        yield from gate.acquire()
+                        holding = True
                     yield from thread.run_attempt()
-                    record.outcome = "completed"
+                except _ShedWork:
+                    terminal("shed-deadline")
                     break
                 except Interrupt as exc:
                     cause = exc.cause
@@ -438,15 +648,58 @@ class FleetHarness:
                     fault_failures += 1
                     record.faults_detected += 1
                     if fault_failures >= fleet.max_attempts:
-                        record.failed = True
-                        record.outcome = "failed"
-                        record.complete_time = env.now
+                        terminal("failed")
+                        break
+                    if fleet.shed_unfinishable and unfinishable(
+                        env.now, deadline
+                    ):
+                        terminal("shed-deadline")
+                        break
+                    if budget is not None and not budget.try_spend(
+                        record.type_name, env.now
+                    ):
+                        # The attempt cap would allow a retry, but the
+                        # shared budget is empty: shed, don't amplify.
+                        record.retries_denied += 1
+                        terminal("retry-budget")
                         break
                     record.retries += 1
                     thread.reset_attempt()
                     if not fleet.checkpoint:
                         thread.restart_from_scratch()
+                    if backoff_rng is not None:
+                        delay = fleet.retry_backoff.delay(
+                            fault_failures, backoff_rng
+                        )
+                        if delay > 0:
+                            yield env.timeout(delay)
                     continue
+                finally:
+                    if holding:
+                        gate.release()
+                # The attempt finished cleanly — but did it finish in
+                # time?  A late completion is worthless to its client.
+                if deadline is not None and env.now > deadline:
+                    if fleet.shed_unfinishable or attempts >= fleet.max_attempts:
+                        terminal("deadline-missed")
+                        break
+                    if budget is not None and not budget.try_spend(
+                        record.type_name, env.now
+                    ):
+                        record.retries_denied += 1
+                        terminal("deadline-missed")
+                        break
+                    # Uncontained client behaviour: the response arrived
+                    # too late, so the whole request is re-submitted from
+                    # scratch — the deadline-driven retry storm that
+                    # containment exists to break.
+                    record.retries += 1
+                    thread.reset_attempt()
+                    record.reexecuted_kernels += thread.restart_from_scratch()
+                    continue
+                record.outcome = "completed"
+                break
+            coordinator.note_warmed(app_id)
             if hedges is not None:
                 # Terminal either way: a still-racing replica stands down.
                 hedges.primary_terminal(app_id)
@@ -476,6 +729,8 @@ class FleetHarness:
                     stream_index=-1,
                     launch_index=launch_index,
                 )
+                if app.app_id in deadline_of:
+                    record.slo_deadline = deadline_of[app.app_id]
                 records.append(record)
                 thread = FleetAppThread(
                     env, app, record,
@@ -492,6 +747,10 @@ class FleetHarness:
             monitor.start()
             if hedges is not None:
                 hedges.start()
+            if coordinator.storm is not None:
+                coordinator.storm.start()
+            if probe is not None:
+                probe.start()
             if telemetry is not None:
                 telemetry.start()
             children = []
@@ -508,6 +767,10 @@ class FleetHarness:
                 yield AllOf(env, children)
             if hedges is not None:
                 hedges.stop()
+            if coordinator.storm is not None:
+                coordinator.storm.stop()
+            if probe is not None:
+                probe.stop()
             monitor.stop()
             registry.stop()
             if telemetry is not None:
@@ -567,6 +830,11 @@ class FleetHarness:
                     ),
                     energy=energy,
                     peak_power=device.monitor.peak_power(),
+                    domain=(
+                        registry.topology.label(device.index)
+                        if registry.topology is not None
+                        else None
+                    ),
                 )
             )
         for recovery in coordinator.recoveries:
@@ -595,6 +863,24 @@ class FleetHarness:
             hedge_wins=hedges.hedge_wins if hedges else 0,
             duplicate_kernels=hedges.duplicate_kernels if hedges else 0,
             hedge_events=list(hedges.events) if hedges else [],
+            storm_queued=(
+                coordinator.storm.queued_total if coordinator.storm else 0
+            ),
+            storm_released=(
+                coordinator.storm.released_total if coordinator.storm else 0
+            ),
+            storm_failed=(
+                coordinator.storm.failed_total if coordinator.storm else 0
+            ),
+            storm_peak_depth=(
+                coordinator.storm.peak_depth if coordinator.storm else 0
+            ),
+            retry_budget_granted=budget.granted_total if budget else 0,
+            retry_budget_denied=budget.denied_total if budget else 0,
+            metastable_windows=probe.metastable_windows if probe else 0,
+            brownout_level=probe.level if probe else 0,
+            brownout_events=list(probe.events) if probe else [],
+            goodput_windows=list(probe.windows) if probe else [],
             journal_file=(
                 str(self.journal_path)
                 if self.journal_path is not None

@@ -138,6 +138,7 @@ class HedgeManager:
         total_kernels: Dict[str, int],
         journal=None,
         fence=None,
+        budget=None,
     ) -> None:
         if fleet.hedging is None:
             raise ValueError("fleet config has no hedging section")
@@ -169,6 +170,17 @@ class HedgeManager:
         self.budget_denials = 0
         #: Candidates skipped because no healthy non-straggler target existed.
         self.no_target_denials = 0
+        #: Shared per-class retry budget
+        #: (:class:`~repro.resilience.budget.RetryBudget`) or ``None``.
+        #: A hedge is duplicate work exactly like a retry, so launches
+        #: spend from the same bucket supervisor retries do.
+        self.retry_budget = budget
+        #: Candidates skipped because the shared retry budget was empty.
+        self.retry_budget_denials = 0
+        #: Brownout suspension: at ladder level >= 1 the probe stands the
+        #: scanner down — speculative duplicates are the last thing an
+        #: overloaded fleet needs.
+        self.suspended = False
         self._hedges_per_app: Dict[str, int] = {}
         #: Worst-case duplicated kernels committed so far: realized
         #: duplicates of settled hedges + full remaining work of active
@@ -209,6 +221,8 @@ class HedgeManager:
             self._scan()
 
     def _scan(self) -> None:
+        if self.suspended:
+            return
         now = self.env.now
         # Launch order (dict insertion order) keeps the scan deterministic.
         for app_id, thread in self.coordinator.threads.items():
@@ -237,6 +251,11 @@ class HedgeManager:
             target = self._pick_target(fdev.index)
             if target is None:
                 self.no_target_denials += 1
+                continue
+            if self.retry_budget is not None and not self.retry_budget.try_spend(
+                thread.record.type_name, now
+            ):
+                self.retry_budget_denials += 1
                 continue
             self._launch(app_id, thread, ckpt, fdev.index, target,
                          remaining, now)

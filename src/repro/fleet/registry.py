@@ -26,6 +26,7 @@ from ..gpu.device import GPUDevice
 from ..gpu.specs import DeviceSpec, tesla_k20
 from ..resilience.faults import GRAY_KINDS, FaultInjector, FaultPlan
 from .config import FleetConfig
+from .topology import FleetTopology
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..sim.engine import Environment
@@ -149,6 +150,13 @@ class DeviceRegistry:
         self.plan = plan if plan is not None else FaultPlan()
         spec = spec or tesla_k20()
         self.spec = spec
+        #: Fault-domain structure (rail/switch/rack), or ``None`` for the
+        #: historical flat fleet.  Pure bookkeeping: build-time only.
+        self.topology: Optional[FleetTopology] = (
+            FleetTopology(fleet.num_devices, fleet.topology)
+            if fleet.topology is not None
+            else None
+        )
         self.devices: List[FleetDevice] = [
             FleetDevice(
                 env,

@@ -1,0 +1,158 @@
+"""Fault-domain topology: which devices share a power rail, PCIe switch
+and rack.
+
+The paper's failure model (and every fleet PR before this one) treats
+device losses as independent, but real deployments lose *domains*: a
+power rail browns out and takes its whole tray of boards with it, a PCIe
+switch wedges and every device behind it disappears from the bus at once.
+:class:`FleetTopology` gives the registry that structure, deterministically:
+
+* devices are partitioned into ``rails`` power-rail domains, ``switches``
+  PCIe-switch domains and ``racks`` rack domains (contiguous balanced
+  blocks by default);
+* with a ``shuffle_seed`` the device order is first permuted by a seeded
+  draw, modelling the cabling randomness of a real install while staying
+  byte-reproducible — the same seed always yields the same topology;
+* :meth:`FleetTopology.members` hands a domain's device set to
+  :meth:`~repro.resilience.faults.FaultPlan.correlated`, which arms a
+  blast-radius fault (loss, power dropout or gray degradation) across
+  every member at once.
+
+The topology is pure bookkeeping: attaching one to a fleet changes no
+simulated behaviour until a plan actually targets a domain.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["TopologyConfig", "FleetTopology", "DOMAIN_LEVELS"]
+
+#: The domain hierarchy, innermost (smallest blast radius) first.
+DOMAIN_LEVELS = ("rail", "switch", "rack")
+
+
+@dataclass(frozen=True)
+class TopologyConfig:
+    """Shape of the fleet's fault-domain hierarchy.
+
+    Attributes
+    ----------
+    rails:
+        Power-rail domains (the smallest blast radius — a rail dropout
+        takes out ``num_devices / rails`` devices at once).
+    switches:
+        PCIe-switch domains.
+    racks:
+        Rack domains (the largest blast radius).
+    shuffle_seed:
+        ``None`` assigns devices to domains in contiguous index blocks;
+        an integer first permutes the device order with a seeded draw, so
+        domain membership is scrambled but reproducible.
+    """
+
+    rails: int = 1
+    switches: int = 1
+    racks: int = 1
+    shuffle_seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for name in ("rails", "switches", "racks"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1")
+
+
+class FleetTopology:
+    """Seeded device -> (rail, switch, rack) assignment for one fleet."""
+
+    def __init__(self, num_devices: int, config: TopologyConfig) -> None:
+        if num_devices < 1:
+            raise ValueError("num_devices must be >= 1")
+        counts = {
+            "rail": config.rails,
+            "switch": config.switches,
+            "rack": config.racks,
+        }
+        for level, count in counts.items():
+            if count > num_devices:
+                raise ValueError(
+                    f"{count} {level} domains cannot partition "
+                    f"{num_devices} devices"
+                )
+        self.num_devices = num_devices
+        self.config = config
+        order = list(range(num_devices))
+        if config.shuffle_seed is not None:
+            rng = np.random.default_rng(
+                [config.shuffle_seed, zlib.crc32(b"fleet-topology")]
+            )
+            order = [int(i) for i in rng.permutation(num_devices)]
+        #: level -> device index -> domain id.
+        self._domain: Dict[str, List[int]] = {}
+        #: level -> domain id -> member device indices (ascending).
+        self._members: Dict[str, Dict[int, Tuple[int, ...]]] = {}
+        for level, count in counts.items():
+            assign = [0] * num_devices
+            members: Dict[int, List[int]] = {d: [] for d in range(count)}
+            for position, device in enumerate(order):
+                # Balanced contiguous blocks over the (possibly shuffled)
+                # position order: domain sizes differ by at most one.
+                domain = position * count // num_devices
+                assign[device] = domain
+                members[domain].append(device)
+            self._domain[level] = assign
+            self._members[level] = {
+                d: tuple(sorted(devs)) for d, devs in members.items()
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        cfg = self.config
+        return (
+            f"<FleetTopology {self.num_devices} devices, "
+            f"{cfg.rails} rails / {cfg.switches} switches / "
+            f"{cfg.racks} racks>"
+        )
+
+    def domains(self, level: str) -> range:
+        """Domain ids at ``level`` (``"rail"``/``"switch"``/``"rack"``)."""
+        self._check_level(level)
+        return range(len(self._members[level]))
+
+    def domain_of(self, level: str, device: int) -> int:
+        """The ``level`` domain that ``device`` belongs to."""
+        self._check_level(level)
+        return self._domain[level][device]
+
+    def members(self, level: str, domain: int) -> Tuple[int, ...]:
+        """Device indices inside one domain, ascending."""
+        self._check_level(level)
+        try:
+            return self._members[level][domain]
+        except KeyError:
+            raise ValueError(
+                f"no {level} domain {domain} "
+                f"(have {len(self._members[level])})"
+            ) from None
+
+    def labels(self, device: int) -> Dict[str, int]:
+        """``{"rail": r, "switch": s, "rack": k}`` for one device."""
+        return {
+            level: self._domain[level][device] for level in DOMAIN_LEVELS
+        }
+
+    def label(self, device: int) -> str:
+        """Compact ``rail<r>/sw<s>/rack<k>`` tag for tables and journals."""
+        lab = self.labels(device)
+        return f"rail{lab['rail']}/sw{lab['switch']}/rack{lab['rack']}"
+
+    @staticmethod
+    def _check_level(level: str) -> None:
+        if level not in DOMAIN_LEVELS:
+            raise ValueError(
+                f"unknown domain level {level!r}; "
+                f"expected one of {DOMAIN_LEVELS}"
+            )

@@ -90,6 +90,7 @@ class AppRecord:
     # -- resilience accounting (all zero/False in fault-free runs) --------
     attempts: int = 1            # total attempts, including the first
     retries: int = 0             # attempts after a detected fault
+    retries_denied: int = 0      # retries refused by the retry budget
     faults_detected: int = 0     # faults that killed an attempt
     deadline_hits: int = 0       # watchdog cancellations among those
     failed: bool = False         # gave up after exhausting the retry budget

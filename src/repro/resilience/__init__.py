@@ -24,9 +24,11 @@ harness takes its original code paths and produces byte-identical
 results.  See ``docs/resilience.md`` for the full model.
 """
 
+from .budget import RetryBudget, RetryBudgetConfig, unfinishable
 from .config import ResilienceConfig, ResilienceSummary
 from .degradation import ConcurrencyLimiter, DegradationController, ladder_limit
 from .faults import (
+    CORRELATED_KINDS,
     GRAY_KINDS,
     FaultInjector,
     FaultKind,
@@ -35,6 +37,7 @@ from .faults import (
     FaultSpec,
 )
 from .gray import HealthScore, StragglerDetector
+from .metastable import BrownoutConfig, MetastabilityProbe
 from .retry import RetryPolicy, app_rng, replica_rng
 from .supervisor import AppSupervisor
 from .watchdog import Watchdog, WatchdogGuard
@@ -46,6 +49,12 @@ __all__ = [
     "FaultPlan",
     "FaultInjector",
     "GRAY_KINDS",
+    "CORRELATED_KINDS",
+    "RetryBudget",
+    "RetryBudgetConfig",
+    "unfinishable",
+    "BrownoutConfig",
+    "MetastabilityProbe",
     "HealthScore",
     "StragglerDetector",
     "RetryPolicy",

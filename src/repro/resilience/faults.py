@@ -43,6 +43,7 @@ __all__ = [
     "FaultPlan",
     "FaultInjector",
     "GRAY_KINDS",
+    "CORRELATED_KINDS",
 ]
 
 #: Trace track that fault/retry instants are recorded on.
@@ -343,6 +344,79 @@ class FaultPlan:
                 t += period
         return cls(specs)
 
+    #: Kinds a correlated blast may arm (fail-stop, power, gray).
+    CORRELATED_KINDS = (
+        FaultKind.DEVICE_LOSS,
+        FaultKind.POWER_DROPOUT,
+        FaultKind.DEVICE_THROTTLE,
+    ) + GRAY_KINDS
+
+    @classmethod
+    def correlated(
+        cls,
+        devices: Sequence[int],
+        *,
+        kind: "FaultKind | str" = FaultKind.DEVICE_LOSS,
+        time: float = 0.0,
+        skew: float = 0.0,
+        seed: int = 0,
+        duration: float = 0.0,
+        factor: float = 4.0,
+        direction: Optional[str] = None,
+    ) -> "FaultPlan":
+        """A blast-radius fault: one failure hits a whole domain at once.
+
+        Models a correlated loss — a power rail browning out, a PCIe
+        switch wedging — by arming the same fault on every device in
+        ``devices`` (typically one :class:`~repro.fleet.topology.
+        FleetTopology` domain's member set).  ``kind`` may be a fail-stop
+        ``DEVICE_LOSS``, a ``POWER_DROPOUT``/``DEVICE_THROTTLE``, or any
+        gray degradation kind (the domain browns out instead of dying).
+
+        With ``skew=0`` (default) every member fails at exactly ``time``.
+        A positive ``skew`` staggers the arms by per-device draws uniform
+        in ``[0, skew)`` from a stream seeded by ``(seed, time)`` — real
+        rails collapse over milliseconds, not instantaneously — while
+        staying byte-reproducible for a given plan.
+        """
+        kind = FaultKind(kind)
+        if kind not in cls.CORRELATED_KINDS:
+            raise ValueError(
+                f"{kind.value} cannot be armed as a correlated blast"
+            )
+        if not devices:
+            raise ValueError("a correlated blast needs at least one device")
+        if len(set(devices)) != len(devices):
+            raise ValueError("duplicate device in correlated blast")
+        if skew < 0:
+            raise ValueError("skew must be >= 0")
+        needs_window = kind is not FaultKind.DEVICE_LOSS
+        if needs_window and duration <= 0:
+            raise ValueError(f"{kind.value} needs a positive duration")
+        rng = None
+        if skew > 0:
+            rng = np.random.default_rng(
+                [
+                    seed,
+                    zlib.crc32(b"correlated-blast"),
+                    int(round(time * 1e9)) & 0x7FFFFFFF,
+                ]
+            )
+        specs: List[FaultSpec] = []
+        for device in devices:
+            offset = skew * float(rng.random()) if rng is not None else 0.0
+            specs.append(
+                FaultSpec(
+                    kind,
+                    time + offset,
+                    duration=duration if needs_window else 0.0,
+                    factor=factor,
+                    direction=direction,
+                    device=int(device),
+                )
+            )
+        return cls(specs)
+
     def for_device(self, index: int) -> "FaultPlan":
         """The sub-plan one fleet device's injector should consume.
 
@@ -515,6 +589,11 @@ class FaultPlan:
                 )
             )
         return cls(faults)
+
+
+#: Module-level alias of :attr:`FaultPlan.CORRELATED_KINDS` (mirrors how
+#: ``GRAY_KINDS`` is exposed).
+CORRELATED_KINDS = FaultPlan.CORRELATED_KINDS
 
 
 class FaultInjector:

@@ -1,0 +1,260 @@
+"""Metastability detection and the brownout ladder.
+
+A *metastable* failure is the state where a system has capacity but no
+goodput: every server is busy, yet nothing useful completes, because the
+work being done is retries, re-runs and restores of work that already
+missed its deadline.  The trigger (a fault domain dying, a load spike)
+can end and the system *stays* collapsed — the amplification loop is
+self-sustaining.
+
+:class:`MetastabilityProbe` watches for that state from telemetry-shaped
+signals: callers feed it *useful* progress (kernel completions of work
+that can still meet its deadline) and it compares each detection window's
+goodput against the fleet's current healthy capacity.  Sustained
+goodput-below-floor trips the **brownout ladder**:
+
+* level 1 — degrade stream width: per-device admission narrows so the
+  attempts already running stop time-sharing with the backlog, finish,
+  and count as goodput again (the hedge manager also stands down);
+* level 2 — shed low-priority classes: configured app types are dropped
+  at their next admission point instead of queued.
+
+Recovery is symmetric: ``recover_windows`` consecutive healthy windows
+step the ladder back down.  Every transition is journaled (through the
+run's fenced journal when one is attached) and mirrored into an events
+list, in the same style as every prior decision-making subsystem; with
+``BrownoutConfig`` absent the probe is never constructed and results are
+byte-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim.engine import Environment
+
+__all__ = ["BrownoutConfig", "MetastabilityProbe"]
+
+
+@dataclass(frozen=True)
+class BrownoutConfig:
+    """Detection-window and ladder parameters for metastability control.
+
+    Attributes
+    ----------
+    window:
+        Detection window length (simulated seconds).  Goodput is
+        evaluated once per window.
+    floor:
+        Goodput floor as a fraction of current healthy capacity; a
+        window whose ratio falls strictly below it is *unhealthy*.
+    trip_windows:
+        Consecutive unhealthy windows that trip the ladder one level up.
+        The system is counted *metastable* only past this point — the
+        ladder is supposed to fire first.
+    recover_windows:
+        Consecutive healthy windows that step the ladder one level down.
+    max_level:
+        Ladder ceiling (2 = width degrade + load shed).
+    width_factor:
+        Stream-width multiplier applied per device at level >= 1
+        (``0.5`` halves per-device admission width).
+    shed_types:
+        Low-priority application type names shed at level >= 2.
+    per_device_rate:
+        Expected *useful* kernel completions per second per healthy
+        device — the capacity calibration the goodput ratio divides by.
+        ``0`` leaves the probe observational (no window ever trips).
+    """
+
+    window: float = 1e-3
+    floor: float = 0.5
+    trip_windows: int = 2
+    recover_windows: int = 2
+    max_level: int = 2
+    width_factor: float = 0.5
+    shed_types: Tuple[str, ...] = ()
+    per_device_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.window <= 0:
+            raise ValueError("window must be positive")
+        if not 0.0 < self.floor <= 1.0:
+            raise ValueError("floor must be in (0, 1]")
+        if self.trip_windows < 1:
+            raise ValueError("trip_windows must be >= 1")
+        if self.recover_windows < 1:
+            raise ValueError("recover_windows must be >= 1")
+        if not 1 <= self.max_level <= 2:
+            raise ValueError("max_level must be 1 or 2")
+        if not 0.0 < self.width_factor <= 1.0:
+            raise ValueError("width_factor must be in (0, 1]")
+        if self.per_device_rate < 0:
+            raise ValueError("per_device_rate must be >= 0")
+        object.__setattr__(
+            self, "shed_types", tuple(str(t) for t in self.shed_types)
+        )
+
+
+class MetastabilityProbe:
+    """Windowed goodput-vs-capacity watcher driving the brownout ladder.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment (the probe owns one periodic process).
+    config:
+        :class:`BrownoutConfig` thresholds and ladder shape.
+    healthy_devices:
+        Zero-argument callable returning the current healthy device
+        count (capacity shrinks with the fleet, so a domain loss does
+        not by itself read as a goodput collapse).
+    journal:
+        Optional fenced journal; every ladder transition is recorded
+        tokenless (a brownout decision is legitimate in any generation).
+    on_level:
+        Optional callback invoked as ``on_level(new_level, old_level)``
+        at every transition — the harness uses it to resize per-device
+        width gates.
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        config: BrownoutConfig,
+        healthy_devices: Callable[[], int],
+        *,
+        journal=None,
+        on_level: Optional[Callable[[int, int], None]] = None,
+    ) -> None:
+        self.env = env
+        self.config = config
+        self.healthy_devices = healthy_devices
+        self.journal = journal
+        self.on_level = on_level
+        self.level = 0
+        #: Windows spent metastable (below floor *past* the trip budget).
+        self.metastable_windows = 0
+        #: Admissions shed because of a level-2 brownout.
+        self.sheds = 0
+        #: Per-window series: ``{"t", "goodput", "capacity", "ratio",
+        #: "level"}`` — the recovery timeline benchmarks read.
+        self.windows: List[dict] = []
+        #: Journal-shaped ladder transitions (kept even without a journal).
+        self.events: List[dict] = []
+        self._progress = 0.0
+        self._below = 0
+        self._above = 0
+        self._running = False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<MetastabilityProbe level={self.level} "
+            f"windows={len(self.windows)}>"
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin the periodic window evaluation (idempotent)."""
+        if self._running:
+            return
+        self._running = True
+        self.env.process(self._poll_loop(), name="metastability-probe")
+
+    def stop(self) -> None:
+        """Stop evaluating after the next window boundary."""
+        self._running = False
+
+    def _poll_loop(self):
+        while self._running:
+            yield self.env.timeout(self.config.window)
+            if not self._running:
+                return
+            self._close_window()
+
+    # -- signal feed -------------------------------------------------------
+
+    def note_progress(self, kernels: float) -> None:
+        """Account useful work completed inside the current window.
+
+        Callers feed only work that can still meet its deadline — a
+        kernel executed for an already-doomed attempt is amplification,
+        not goodput, and counting it would hide exactly the state this
+        probe exists to detect.
+        """
+        self._progress += kernels
+
+    def shed_class(self, type_name: str) -> bool:
+        """Whether a level-2 brownout sheds ``type_name`` right now."""
+        if self.level < 2:
+            return False
+        if type_name not in self.config.shed_types:
+            return False
+        self.sheds += 1
+        return True
+
+    @property
+    def brownout_active(self) -> bool:
+        """Whether any ladder level is currently engaged."""
+        return self.level > 0
+
+    # -- the window evaluation ---------------------------------------------
+
+    def _close_window(self) -> None:
+        cfg = self.config
+        now = self.env.now
+        goodput = self._progress / cfg.window
+        self._progress = 0.0
+        capacity = self.healthy_devices() * cfg.per_device_rate
+        ratio = goodput / capacity if capacity > 0 else 1.0
+        below = ratio < cfg.floor
+        if below:
+            self._below += 1
+            self._above = 0
+            if self._below > cfg.trip_windows:
+                self.metastable_windows += 1
+        else:
+            self._above += 1
+            self._below = 0
+        self.windows.append(
+            {
+                "t": now,
+                "goodput": goodput,
+                "capacity": capacity,
+                "ratio": ratio,
+                "level": self.level,
+            }
+        )
+        if (
+            below
+            and self._below >= cfg.trip_windows
+            and self.level < cfg.max_level
+        ):
+            self._transition(self.level + 1, ratio, now)
+            self._below = 0
+        elif (
+            not below and self._above >= cfg.recover_windows and self.level > 0
+        ):
+            self._transition(self.level - 1, ratio, now)
+            self._above = 0
+
+    def _transition(self, level: int, ratio: float, now: float) -> None:
+        old = self.level
+        self.level = level
+        entry = {
+            "event": "brownout",
+            "level": level,
+            "from": old,
+            "ratio": ratio,
+            "t": now,
+        }
+        self.events.append(dict(entry))
+        if self.journal is not None:
+            # Tokenless on purpose: a ladder decision is legitimate no
+            # matter which device generations advanced around it.
+            self.journal.record(entry)
+        if self.on_level is not None:
+            self.on_level(level, old)

@@ -60,14 +60,26 @@ class RetryPolicy:
     backoff:
         Multiplier applied per additional retry (``base * backoff**k``).
     jitter:
-        Relative jitter amplitude: each delay is scaled by a factor drawn
-        uniformly from ``[1 - jitter, 1 + jitter)``.  ``0`` disables it.
+        Relative jitter amplitude (``"equal"`` mode): each delay is
+        scaled by a factor drawn uniformly from ``[1 - jitter,
+        1 + jitter)``.  ``0`` disables it.
+    mode:
+        Jitter shape.  ``"equal"`` (default, the historical behaviour)
+        spreads delays in a narrow band around the exponential schedule —
+        fine against isolated faults, but apps failed by one *shared*
+        event retry within ``±jitter`` of each other: a synchronized
+        storm.  ``"full"`` draws each delay uniformly from ``[0, base *
+        backoff**k)`` (AWS-style full jitter), decorrelating concurrent
+        retries across the whole backoff window so a fault domain's worth
+        of apps does not stampede the survivors in lockstep.  Both modes
+        consume exactly one uniform variate per delay.
     """
 
     max_attempts: int = 3
     base_delay: float = 1e-3
     backoff: float = 2.0
     jitter: float = 0.1
+    mode: str = "equal"
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -78,6 +90,11 @@ class RetryPolicy:
             raise ValueError("backoff must be >= 1.0")
         if not 0.0 <= self.jitter < 1.0:
             raise ValueError("jitter must be in [0, 1)")
+        if self.mode not in ("equal", "full"):
+            raise ValueError(
+                f"unknown jitter mode {self.mode!r}; "
+                "expected 'equal' or 'full'"
+            )
 
     def allows_retry(self, attempt: int) -> bool:
         """Whether another attempt may follow failed attempt ``attempt``."""
@@ -94,6 +111,10 @@ class RetryPolicy:
         if attempt < 1:
             raise ValueError("attempt counts from 1")
         base = self.base_delay * self.backoff ** (attempt - 1)
+        if self.mode == "full":
+            # Full jitter: uniform over the whole window, so retries
+            # triggered by one shared event land decorrelated.
+            return base * float(rng.random())
         if self.jitter > 0.0:
             scale = 1.0 + self.jitter * (2.0 * float(rng.random()) - 1.0)
         else:

@@ -67,6 +67,12 @@ class AppSupervisor:
         instants); may be ``None``.
     seed:
         Base seed combined with the app id for backoff jitter.
+    budget:
+        Shared :class:`~repro.resilience.budget.RetryBudget`, or ``None``
+        for unbudgeted retries (the historical behaviour).  When the
+        app's class bucket is empty a retry that the policy would allow
+        is *denied* instead: the app fails with ``retries_denied``
+        incremented, capping system-wide retry amplification.
     """
 
     def __init__(
@@ -81,6 +87,7 @@ class AppSupervisor:
         controller: Optional["DegradationController"] = None,
         injector: Optional["FaultInjector"] = None,
         seed: int = 0,
+        budget=None,
     ) -> None:
         self.env = env
         self.thread = thread
@@ -90,6 +97,7 @@ class AppSupervisor:
         self.limiter = limiter
         self.controller = controller
         self.injector = injector
+        self.budget = budget
         self.app_id: str = thread.app.app_id
         self._rng = app_rng(seed, self.app_id)
 
@@ -133,6 +141,15 @@ class AppSupervisor:
                     self.controller.note_fault()
 
                 if not self.policy.allows_retry(attempt):
+                    record.failed = True
+                    record.complete_time = env.now
+                    return
+                if self.budget is not None and not self.budget.try_spend(
+                    record.type_name, env.now
+                ):
+                    # The policy would retry, but the shared budget is
+                    # exhausted: fail rather than amplify.
+                    record.retries_denied += 1
                     record.failed = True
                     record.complete_time = env.now
                     return

@@ -37,7 +37,17 @@ class BreakerState:
 class _TypeBreaker:
     """State machine for one application type."""
 
-    __slots__ = ("state", "consecutive_failures", "open_until", "probing", "rng")
+    __slots__ = (
+        "state",
+        "consecutive_failures",
+        "open_until",
+        "probing",
+        "rng",
+        "ramp_start",
+        "ramp_until",
+        "ramp_step",
+        "ramp_count",
+    )
 
     def __init__(self, rng: np.random.Generator) -> None:
         self.state = BreakerState.CLOSED
@@ -45,6 +55,13 @@ class _TypeBreaker:
         self.open_until = 0.0
         self.probing = False
         self.rng = rng
+        # Slow-start ramp after a half-open -> closed transition: while
+        # ``now < ramp_until`` at most ``initial << step`` releases pass
+        # per interval.  All zero when slow-start is disabled.
+        self.ramp_start = 0.0
+        self.ramp_until = 0.0
+        self.ramp_step = -1
+        self.ramp_count = 0
 
 
 class CircuitBreakerPanel:
@@ -63,6 +80,8 @@ class CircuitBreakerPanel:
         self.trips = 0
         #: Releases refused because a breaker was open.
         self.fast_fails = 0
+        #: Releases deferred by a post-recovery slow-start ramp.
+        self.slow_start_rejects = 0
         # Optional repro.telemetry.Telemetry: state transitions and fast
         # fails are cold events, so pushing them costs nothing on the hot
         # path and nothing at all when telemetry is None.
@@ -110,6 +129,7 @@ class CircuitBreakerPanel:
         breaker.state = BreakerState.OPEN
         breaker.open_until = now + cfg.cooldown * (1.0 + cfg.jitter * u)
         breaker.probing = False
+        breaker.ramp_until = 0.0
         self.trips += 1
         self._note_state(type_name, BreakerState.OPEN)
 
@@ -119,6 +139,25 @@ class CircuitBreakerPanel:
         """Whether a job of ``type_name`` may be released at ``now``."""
         breaker = self._get(type_name)
         if breaker.state == BreakerState.CLOSED:
+            if now < breaker.ramp_until:
+                # Slow-start: the breaker just recovered; re-admit
+                # 1x, 2x, 4x... per interval instead of snapping to
+                # full concurrency on one good probe.
+                cfg = self.config
+                step = int(
+                    (now - breaker.ramp_start) / cfg.slow_start_interval
+                )
+                if step != breaker.ramp_step:
+                    breaker.ramp_step = step
+                    breaker.ramp_count = 0
+                cap = cfg.slow_start_initial << step
+                if breaker.ramp_count >= cap:
+                    self.slow_start_rejects += 1
+                    self.fast_fails += 1
+                    if self._fast_fail_counter is not None:
+                        self._fast_fail_counter.inc(type=type_name)
+                    return False
+                breaker.ramp_count += 1
             return True
         if breaker.state == BreakerState.OPEN and now >= breaker.open_until:
             # Cooldown elapsed: half-open, admit exactly one probe.
@@ -140,6 +179,14 @@ class CircuitBreakerPanel:
         if breaker.state == BreakerState.HALF_OPEN:
             breaker.state = BreakerState.CLOSED
             breaker.probing = False
+            cfg = self.config
+            if cfg.slow_start_initial > 0:
+                breaker.ramp_start = now
+                breaker.ramp_until = (
+                    now + cfg.slow_start_steps * cfg.slow_start_interval
+                )
+                breaker.ramp_step = -1
+                breaker.ramp_count = 0
             self._note_state(type_name, BreakerState.CLOSED)
 
     def on_failure(self, type_name: str, now: float) -> None:

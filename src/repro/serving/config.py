@@ -43,11 +43,28 @@ class BreakerConfig:
         ``cooldown * (1 + jitter * u)`` with ``u ~ Uniform(-1, 1)`` drawn
         from a seeded per-type stream, so breakers for different types do
         not re-probe in lockstep (and the schedule stays reproducible).
+    slow_start_initial:
+        ``0`` (default) keeps the historical half-open -> closed *snap*:
+        one successful probe re-admits unlimited traffic at once, which
+        after a correlated outage re-ignites the very overload that
+        opened the breaker.  ``> 0`` enables slow-start re-admission:
+        after the probe succeeds, at most ``initial << step`` releases
+        are allowed per ``slow_start_interval`` (1, 2, 4, ... for
+        ``initial=1``), doubling each interval for ``slow_start_steps``
+        intervals before the cap lifts.
+    slow_start_interval:
+        Ramp step length in simulated seconds (required positive when
+        slow-start is enabled).
+    slow_start_steps:
+        Number of doubling intervals before traffic is unrestricted.
     """
 
     threshold: int = 3
     cooldown: float = 50e-3
     jitter: float = 0.1
+    slow_start_initial: int = 0
+    slow_start_interval: float = 0.0
+    slow_start_steps: int = 3
 
     def __post_init__(self) -> None:
         if self.threshold < 1:
@@ -56,6 +73,15 @@ class BreakerConfig:
             raise ValueError("breaker cooldown must be positive")
         if not 0.0 <= self.jitter < 1.0:
             raise ValueError("breaker jitter must be in [0, 1)")
+        if self.slow_start_initial < 0:
+            raise ValueError("slow_start_initial must be >= 0")
+        if self.slow_start_initial > 0 and self.slow_start_interval <= 0:
+            raise ValueError(
+                "slow_start_interval must be positive when slow-start "
+                "is enabled"
+            )
+        if self.slow_start_steps < 1:
+            raise ValueError("slow_start_steps must be >= 1")
 
 
 @dataclass(frozen=True)
@@ -81,17 +107,33 @@ class FleetServingConfig:
         Scope circuit breakers per ``(device, app type)`` instead of per
         app type, so one sick device's failures do not open the breaker
         for the whole fleet.
+    slow_start_window:
+        ``0`` (default) lets admission capacity stay at the full
+        surviving share the instant a loss is detected.  ``> 0`` ramps
+        capacity after each detection: starting at ``slow_start_floor``
+        of the post-loss steady capacity and rising linearly back to it
+        over this many seconds, so survivors absorb the redistributed
+        load gradually instead of all at once.
+    slow_start_floor:
+        Fraction of post-loss capacity admitted at the detection
+        instant when the ramp is enabled.
     """
 
     num_devices: int = 1
     detection_latency: float = 2e-3
     scope_breakers: bool = True
+    slow_start_window: float = 0.0
+    slow_start_floor: float = 0.25
 
     def __post_init__(self) -> None:
         if self.num_devices < 1:
             raise ValueError("num_devices must be >= 1")
         if self.detection_latency < 0:
             raise ValueError("detection_latency must be >= 0")
+        if self.slow_start_window < 0:
+            raise ValueError("slow_start_window must be >= 0")
+        if not 0.0 < self.slow_start_floor <= 1.0:
+            raise ValueError("slow_start_floor must be in (0, 1]")
 
 
 @dataclass(frozen=True)

@@ -53,6 +53,8 @@ class FleetCapacityGate:
             Mapping[int, Sequence[Tuple[float, float, float]]]
         ] = None,
         scope_breakers: bool = True,
+        slow_start_window: float = 0.0,
+        slow_start_floor: float = 0.25,
     ) -> None:
         if num_devices < 1:
             raise ValueError("num_devices must be >= 1")
@@ -61,6 +63,8 @@ class FleetCapacityGate:
         self.num_devices = num_devices
         self.num_streams = num_streams
         self.scope_breakers = scope_breakers
+        self.slow_start_window = slow_start_window
+        self.slow_start_floor = slow_start_floor
         #: device index -> absolute instant its loss is *detected*.
         self.detect_times: Dict[int, float] = {
             int(dev) % num_devices: t + detection_latency
@@ -110,6 +114,8 @@ class FleetCapacityGate:
             loss_times=loss_times,
             throttle_windows=throttles,
             scope_breakers=fleet.scope_breakers,
+            slow_start_window=fleet.slow_start_window,
+            slow_start_floor=fleet.slow_start_floor,
         )
 
     # -- health ------------------------------------------------------------
@@ -137,11 +143,25 @@ class FleetCapacityGate:
         Never below 1: even a fleet reduced to its last device keeps
         serving (matching the degraded-but-alive philosophy of the
         dispatchers' starvation guard).
+
+        With ``slow_start_window > 0`` the ceiling does not jump to the
+        full surviving share the instant a loss is detected: it starts at
+        ``slow_start_floor`` of the post-loss steady value and rises
+        linearly over the window, so the survivors absorb redistributed
+        load gradually instead of in one step.
         """
         healthy = len(self.healthy_devices(now))
-        return max(
-            1, math.ceil(self.num_streams * healthy / self.num_devices)
-        )
+        steady = self.num_streams * healthy / self.num_devices
+        if self.slow_start_window > 0:
+            latest = max(
+                (t for t in self.detect_times.values() if t <= now),
+                default=None,
+            )
+            if latest is not None and now < latest + self.slow_start_window:
+                progress = (now - latest) / self.slow_start_window
+                floor = self.slow_start_floor
+                steady *= floor + (1.0 - floor) * progress
+        return max(1, math.ceil(steady))
 
     def may_admit(self, in_flight: int, now: float) -> bool:
         """Whether another job fits under the current fleet capacity."""

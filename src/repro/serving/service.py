@@ -238,6 +238,17 @@ def _fingerprint(
         payload["plan_devices"] = (
             [f.device for f in plan] if plan is not None else []
         )
+        if config.fleet.slow_start_window > 0:
+            payload["fleet_slow_start"] = [
+                config.fleet.slow_start_window,
+                config.fleet.slow_start_floor,
+            ]
+    if config.breaker is not None and config.breaker.slow_start_initial > 0:
+        payload["breaker_slow_start"] = [
+            config.breaker.slow_start_initial,
+            config.breaker.slow_start_interval,
+            config.breaker.slow_start_steps,
+        ]
     blob = json.dumps(payload, sort_keys=True).encode("utf-8")
     return hashlib.sha1(blob).hexdigest()
 

@@ -36,6 +36,7 @@ __all__ = [
     "instrument_fleet_device",
     "instrument_failover",
     "instrument_hedging",
+    "instrument_cascade",
     "instrument_scheduler",
     "instrument_integrity",
 ]
@@ -266,6 +267,10 @@ def instrument_records(telemetry: Telemetry, records: Iterable) -> None:
     retries = telemetry.counter(
         "repro_resilience_retries_total", "Application retry attempts"
     )
+    denied = telemetry.counter(
+        "repro_resilience_retries_denied_total",
+        "Retries refused by the shared retry budget",
+    )
     faults = telemetry.counter(
         "repro_resilience_faults_detected_total", "Faults detected by supervisors"
     )
@@ -275,6 +280,9 @@ def instrument_records(telemetry: Telemetry, records: Iterable) -> None:
 
     telemetry.add_probe(
         _pull_counter(retries, lambda: sum(r.retries for r in records))
+    )
+    telemetry.add_probe(
+        _pull_counter(denied, lambda: sum(r.retries_denied for r in records))
     )
     telemetry.add_probe(
         _pull_counter(faults, lambda: sum(r.faults_detected for r in records))
@@ -448,6 +456,81 @@ def instrument_hedging(telemetry: Telemetry, manager, detector) -> None:
             denials, lambda: manager.no_target_denials, reason="no-target"
         )
     )
+    telemetry.add_probe(
+        _pull_counter(
+            denials,
+            lambda: manager.retry_budget_denials,
+            reason="retry-budget",
+        )
+    )
+
+
+def instrument_cascade(
+    telemetry: Telemetry, probe=None, storm=None, budget=None
+) -> None:
+    """Correlated-failure containment signals.
+
+    ``probe`` is a :class:`~repro.resilience.metastable.MetastabilityProbe`
+    (brownout ladder level, metastable windows, sheds), ``storm`` a
+    :class:`~repro.fleet.storm.MigrationQueue` (depth plus queue/release
+    counters), ``budget`` a :class:`~repro.resilience.budget.RetryBudget`
+    (grants/denials).  Any of them may be ``None``; read-only pulls only.
+    """
+    if probe is None and storm is None and budget is None:
+        return
+    if probe is not None:
+        level = telemetry.gauge(
+            "repro_fleet_brownout_level",
+            "Current brownout-ladder level (0 = off)",
+        )
+        metastable = telemetry.counter(
+            "repro_fleet_metastable_windows_total",
+            "Detection windows spent metastable (goodput below floor "
+            "past the trip budget)",
+        )
+        sheds = telemetry.counter(
+            "repro_fleet_brownout_sheds_total",
+            "Admissions shed by a level-2 brownout",
+        )
+        telemetry.add_probe(lambda: level.set(float(probe.level)))
+        telemetry.add_probe(
+            _pull_counter(metastable, lambda: probe.metastable_windows)
+        )
+        telemetry.add_probe(_pull_counter(sheds, lambda: probe.sheds))
+    if storm is not None:
+        depth = telemetry.gauge(
+            "repro_fleet_migration_queue_depth",
+            "Apps queued for paced failover re-admission",
+        )
+        queued = telemetry.counter(
+            "repro_fleet_migrations_queued_total",
+            "Detected-lost apps entering the paced migration queue",
+        )
+        released = telemetry.counter(
+            "repro_fleet_migrations_released_total",
+            "Queued apps released into a survivor's recovery slot",
+        )
+        telemetry.add_probe(lambda: depth.set(float(storm.depth)))
+        telemetry.add_probe(_pull_counter(queued, lambda: storm.queued_total))
+        telemetry.add_probe(
+            _pull_counter(released, lambda: storm.released_total)
+        )
+    if budget is not None:
+        spends = telemetry.counter(
+            "repro_resilience_retry_budget_total",
+            "Retry-budget spend attempts, by verdict",
+            labelnames=("verdict",),
+        )
+        telemetry.add_probe(
+            _pull_counter(
+                spends, lambda: budget.granted_total, verdict="granted"
+            )
+        )
+        telemetry.add_probe(
+            _pull_counter(
+                spends, lambda: budget.denied_total, verdict="denied"
+            )
+        )
 
 
 # -- integrity -------------------------------------------------------------

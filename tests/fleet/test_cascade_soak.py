@@ -1,0 +1,140 @@
+"""Domain-loss scenario matrix: blast radius x skew x failure kind.
+
+The full matrix is chaos-soak material (``REPRO_SOAK=1``, the fleet
+lane's soak step): every fault domain of a topology-aware fleet is taken
+out — fail-stop or gray, instantaneously or skewed over a real rail's
+collapse time — under full containment (paced migration queue, retry
+budget), and every cell must satisfy the containment invariants:
+
+* every app terminates; a whole-domain loss with survivors left never
+  loses work;
+* the storm queue's accounting balances — everything queued is released
+  exactly once, nothing is stranded, and the queue actually paced (the
+  migrants outnumber the survivors' instant capacity);
+* a gray domain browns out instead of dying: no migrations, no queue
+  traffic, everything completes on its home device;
+* a generous retry budget is never the binding constraint on a clean
+  failover (denials would mean containment ate real recovery work);
+* the same seed replays the same bytes — contained runs, skewed or not,
+  stay deterministic.
+
+The per-PR fleet lane runs a strided subset covering both kinds and
+both skews so regressions surface before the soak lane ever spins.
+"""
+
+import os
+
+import pytest
+
+from repro.fleet import FleetHarness, StormControlConfig, TopologyConfig
+from repro.fleet.topology import FleetTopology
+from repro.resilience import RetryBudgetConfig
+from repro.resilience.faults import FaultKind, FaultPlan
+
+from .conftest import fast_fleet, make_apps
+
+pytestmark = pytest.mark.fleet
+
+NUM_APPS = 8
+DEVICES = 4
+STREAMS = 2
+SEED = 1
+
+TOPOLOGY = TopologyConfig(rails=2)
+#: One migrant admitted per survivor at a time: with a whole rail's apps
+#: displaced at once, the queue must actually hold a backlog.
+STORM = StormControlConfig(max_inflight_per_device=1, pace_interval=2e-4)
+BUDGET = RetryBudgetConfig(rate=1e4, burst=8.0)
+
+#: Mid-run, while every app still has work in flight.
+BLAST_AT = 1.5e-3
+
+#: (rail index, arm skew, fault kind) — fail-stop and gray blasts.
+DOMAINS = (0, 1)
+SKEWS = (0.0, 1e-4)
+KINDS = (FaultKind.DEVICE_LOSS, FaultKind.SMX_SLOWDOWN)
+FULL_MATRIX = [(d, s, k) for d in DOMAINS for s in SKEWS for k in KINDS]
+#: Strided subset for the per-PR lane: both kinds, both skews, both
+#: domains stay covered at 1/2 the cost.
+FAST_CELLS = [
+    (0, 0.0, FaultKind.DEVICE_LOSS),
+    (1, 1e-4, FaultKind.DEVICE_LOSS),
+    (1, 0.0, FaultKind.SMX_SLOWDOWN),
+    (0, 1e-4, FaultKind.SMX_SLOWDOWN),
+]
+
+
+def _blast(domain, skew, kind):
+    members = FleetTopology(DEVICES, TOPOLOGY).members("rail", domain)
+    gray = dict(duration=1.0, factor=4.0) if kind is not FaultKind.DEVICE_LOSS else {}
+    return FaultPlan.correlated(
+        members, kind=kind, time=BLAST_AT, skew=skew, seed=SEED, **gray
+    )
+
+
+def _run_cell(domain, skew, kind):
+    return FleetHarness(
+        make_apps(NUM_APPS),
+        fast_fleet(
+            num_devices=DEVICES,
+            seed=SEED,
+            topology=TOPOLOGY,
+            storm=STORM,
+            retry_budget=BUDGET,
+        ),
+        num_streams=STREAMS,
+        seed=SEED,
+        plan=_blast(domain, skew, kind),
+    ).run()
+
+
+def _record_key(result):
+    return [
+        (r.app_id, r.outcome, r.device_index, r.complete_time)
+        for r in result.records
+    ]
+
+
+def _check_cell(domain, skew, kind, result):
+    # Termination: a domain loss with survivors left never loses work.
+    assert result.completed == NUM_APPS
+
+    if kind is FaultKind.DEVICE_LOSS:
+        # Both rail members died; every survivor-bound app funneled
+        # through the paced queue and drained exactly once.
+        lost = set(FleetTopology(DEVICES, TOPOLOGY).members("rail", domain))
+        assert all(r.device_index not in lost for r in result.records)
+        # Round-robin placement homes half the batch on the dead rail.
+        assert result.storm_queued == NUM_APPS // 2
+        assert result.storm_released == result.storm_queued
+        assert result.storm_failed == 0
+        # More migrants than instant slots: the queue actually held.
+        assert result.storm_peak_depth >= 1
+    else:
+        # A gray blast browns the domain out without killing it: no
+        # fail-stop path, no queue traffic, everyone stays home.
+        assert result.storm_queued == 0
+        assert {r.device_index for r in result.records} == set(range(DEVICES))
+
+    # A generous budget must never deny on a clean failover.
+    assert result.retry_budget_denied == 0
+
+
+@pytest.mark.soak
+@pytest.mark.skipif(
+    os.environ.get("REPRO_SOAK") != "1",
+    reason="full domain-loss matrix is opt-in: set REPRO_SOAK=1",
+)
+@pytest.mark.parametrize(("domain", "skew", "kind"), FULL_MATRIX)
+def test_domain_loss_matrix_full(domain, skew, kind):
+    result = _run_cell(domain, skew, kind)
+    _check_cell(domain, skew, kind, result)
+
+    # Determinism under a correlated blast: same seed, same bytes.
+    again = _run_cell(domain, skew, kind)
+    assert _record_key(again) == _record_key(result)
+
+
+@pytest.mark.parametrize(("domain", "skew", "kind"), FAST_CELLS)
+def test_domain_loss_matrix_fast_subset(domain, skew, kind):
+    _check_cell(domain, skew, kind, _run_cell(domain, skew, kind))

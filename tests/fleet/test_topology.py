@@ -1,0 +1,165 @@
+"""Fault-domain topology and correlated blast-radius plans.
+
+The topology is pure bookkeeping — attaching one must change nothing —
+but its domain memberships feed ``FaultPlan.correlated``, which arms a
+whole domain's worth of faults at once.  These tests pin the balanced
+partitioning, the seeded shuffle, the blast-plan construction and the
+end-to-end domain-loss recovery path.
+"""
+
+import pytest
+
+from repro.fleet import DOMAIN_LEVELS, FleetHarness, FleetTopology, TopologyConfig
+from repro.resilience.faults import (
+    CORRELATED_KINDS,
+    FaultKind,
+    FaultPlan,
+)
+
+from .conftest import fast_fleet, make_apps
+
+pytestmark = pytest.mark.fleet
+
+DEVICES = 8
+
+
+def topo(**overrides):
+    base = dict(rails=4, switches=2, racks=2)
+    base.update(overrides)
+    return FleetTopology(DEVICES, TopologyConfig(**base))
+
+
+class TestTopologyPartitioning:
+    def test_contiguous_balanced_blocks(self):
+        t = topo()
+        assert t.members("rail", 0) == (0, 1)
+        assert t.members("rail", 3) == (6, 7)
+        assert t.members("switch", 0) == (0, 1, 2, 3)
+        assert t.members("rack", 1) == (4, 5, 6, 7)
+
+    def test_every_device_in_exactly_one_domain_per_level(self):
+        t = topo()
+        for level in DOMAIN_LEVELS:
+            seen = []
+            for domain in t.domains(level):
+                seen.extend(t.members(level, domain))
+            assert sorted(seen) == list(range(DEVICES))
+            for device in range(DEVICES):
+                assert device in t.members(level, t.domain_of(level, device))
+
+    def test_domain_sizes_differ_by_at_most_one(self):
+        t = FleetTopology(7, TopologyConfig(rails=3))
+        sizes = [len(t.members("rail", d)) for d in t.domains("rail")]
+        assert max(sizes) - min(sizes) <= 1
+        assert sum(sizes) == 7
+
+    def test_shuffle_is_reproducible_and_different(self):
+        plain = topo()
+        a = topo(shuffle_seed=11)
+        b = topo(shuffle_seed=11)
+        for level in DOMAIN_LEVELS:
+            assert a._domain[level] == b._domain[level]
+        # The permutation actually scrambles at least one level.
+        assert any(
+            a._domain[level] != plain._domain[level]
+            for level in DOMAIN_LEVELS
+        )
+
+    def test_labels(self):
+        t = topo()
+        assert t.labels(0) == {"rail": 0, "switch": 0, "rack": 0}
+        assert t.label(7) == "rail3/sw1/rack1"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TopologyConfig(rails=0)
+        with pytest.raises(ValueError):
+            FleetTopology(2, TopologyConfig(rails=4))
+        with pytest.raises(ValueError):
+            topo().members("rail", 99)
+        with pytest.raises(ValueError):
+            topo().domain_of("pod", 0)
+
+
+class TestCorrelatedPlan:
+    def test_loss_blast_arms_every_member(self):
+        members = topo().members("switch", 1)
+        plan = FaultPlan.correlated(members, time=2e-3)
+        assert len(plan.faults) == len(members)
+        assert {f.device for f in plan.faults} == set(members)
+        assert all(f.kind is FaultKind.DEVICE_LOSS for f in plan.faults)
+        assert all(f.time == 2e-3 for f in plan.faults)
+
+    def test_skew_staggers_within_window_reproducibly(self):
+        members = (0, 1, 2, 3)
+        a = FaultPlan.correlated(members, time=1e-3, skew=0.5e-3, seed=3)
+        b = FaultPlan.correlated(members, time=1e-3, skew=0.5e-3, seed=3)
+        times = [f.time for f in a.faults]
+        assert times == [f.time for f in b.faults]
+        assert all(1e-3 <= t < 1.5e-3 for t in times)
+        assert len(set(times)) == len(members)
+
+    def test_gray_blast_needs_duration(self):
+        with pytest.raises(ValueError):
+            FaultPlan.correlated((0, 1), kind=FaultKind.SMX_SLOWDOWN)
+        plan = FaultPlan.correlated(
+            (0, 1), kind="smx_slowdown", duration=1e-3, factor=3.0
+        )
+        assert all(f.duration == 1e-3 for f in plan.faults)
+
+    def test_invalid_blasts_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan.correlated((0, 1), kind=FaultKind.HARNESS_CRASH)
+        with pytest.raises(ValueError):
+            FaultPlan.correlated(())
+        with pytest.raises(ValueError):
+            FaultPlan.correlated((0, 0))
+        with pytest.raises(ValueError):
+            FaultPlan.correlated((0,), skew=-1.0)
+        assert FaultKind.DEVICE_LOSS in CORRELATED_KINDS
+
+
+class TestTopologyInFleet:
+    def run(self, fleet, plan=None):
+        return FleetHarness(
+            make_apps(8), fleet, num_streams=2, seed=0, plan=plan
+        ).run()
+
+    def test_attaching_topology_changes_nothing(self):
+        plain = self.run(fast_fleet(num_devices=4))
+        tagged = self.run(
+            fast_fleet(
+                num_devices=4, topology=TopologyConfig(rails=2, racks=2)
+            )
+        )
+        assert tagged.makespan == plain.makespan
+        assert [r.complete_time for r in tagged.records] == [
+            r.complete_time for r in plain.records
+        ]
+
+    def test_device_summaries_carry_domain_labels(self):
+        fleet = fast_fleet(
+            num_devices=4, topology=TopologyConfig(rails=2, racks=2)
+        )
+        result = self.run(fleet)
+        assert [d.domain for d in result.devices] == [
+            "rail0/sw0/rack0",
+            "rail0/sw0/rack0",
+            "rail1/sw0/rack1",
+            "rail1/sw0/rack1",
+        ]
+        plain = self.run(fast_fleet(num_devices=4))
+        assert all(d.domain is None for d in plain.devices)
+
+    def test_domain_loss_recovers_with_failover(self):
+        fleet = fast_fleet(
+            num_devices=4, topology=TopologyConfig(rails=2, racks=2)
+        )
+        members = FleetTopology(4, fleet.topology).members("rail", 0)
+        plan = FaultPlan.correlated(members, time=1.5e-3)
+        result = self.run(fleet, plan=plan)
+        assert result.devices_lost == len(members)
+        assert result.completed == 8
+        assert result.failed == 0
+        for record in result.records:
+            assert record.device_index not in members

@@ -201,11 +201,67 @@ def hedge_store(base: Path) -> Store:
     )
 
 
+def cascade_store(base: Path) -> Store:
+    """The fleet journal of a contained correlated-failure run.
+
+    A skewed rail loss under storm control and a tripped brownout ladder
+    makes the journal carry ``migration-queued`` pacing records and
+    ``brownout`` ladder transitions — the record types the containment
+    work added — so crash points inside a paced failover or a level
+    change get swept alongside the older stores.
+    """
+    from repro.fleet import StormControlConfig, TopologyConfig
+    from repro.fleet.topology import FleetTopology
+    from repro.resilience import BrownoutConfig
+
+    fleet = FleetConfig(
+        num_devices=4,
+        seed=SEED,
+        topology=TopologyConfig(rails=2),
+        storm=StormControlConfig(max_inflight_per_device=1, pace_interval=2e-4),
+        brownout=BrownoutConfig(
+            window=2e-4, trip_windows=1, per_device_rate=1e9, max_level=1
+        ),
+        **FAST_HEALTH,
+    )
+    # Rail 0 (devices 0 and 1) collapses over ~0.1 ms mid-run: four apps
+    # funnel through the migration queue onto the two survivors.
+    plan = FaultPlan.correlated(
+        FleetTopology(4, fleet.topology).members("rail", 0),
+        kind=FaultKind.DEVICE_LOSS,
+        time=1.5e-3,
+        skew=1e-4,
+        seed=SEED,
+    )
+
+    def run(path: Path, resume: bool = False) -> None:
+        FleetHarness(
+            _fleet_apps(8),
+            fleet,
+            num_streams=2,
+            seed=SEED,
+            plan=plan,
+            journal_path=path,
+            resume=resume,
+        ).run()
+
+    ref = base / "cascade-ref.jsonl"
+    run(ref)
+    return Store(
+        "cascade",
+        ref.read_bytes(),
+        lambda p: run(p, resume=True),
+        run,
+        (JournalError,),
+    )
+
+
 STORE_BUILDERS = {
     "serving": serving_store,
     "scheduler": scheduler_store,
     "fleet": fleet_store,
     "hedge": hedge_store,
+    "cascade": cascade_store,
 }
 
 

@@ -1,0 +1,99 @@
+"""Retry budgets: the shared token bucket and deadline shedding helper.
+
+Every duplicate-work source (supervisor retries, fleet fault retries,
+deadline re-runs, hedge launches) spends from the same bucket shape, so
+the unit behaviour here bounds retry amplification everywhere.
+"""
+
+import pytest
+
+from repro.resilience import RetryBudget, RetryBudgetConfig, unfinishable
+
+pytestmark = pytest.mark.resilience
+
+
+class Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def make(clock=None, **overrides):
+    cfg = dict(rate=10.0, burst=2.0)
+    cfg.update(overrides)
+    clock = clock if clock is not None else Clock()
+    return RetryBudget(RetryBudgetConfig(**cfg), clock), clock
+
+
+class TestTokenBucket:
+    def test_burst_then_denied(self):
+        budget, _ = make()
+        assert budget.try_spend("gaussian")
+        assert budget.try_spend("gaussian")
+        assert not budget.try_spend("gaussian")
+        assert budget.granted_total == 2
+        assert budget.denied_total == 1
+
+    def test_refills_with_simulated_time(self):
+        budget, clock = make()
+        assert budget.try_spend("needle")
+        assert budget.try_spend("needle")
+        assert not budget.try_spend("needle")
+        clock.now = 0.1  # rate=10/s -> one token back
+        assert budget.try_spend("needle")
+        assert not budget.try_spend("needle")
+
+    def test_refill_capped_at_burst(self):
+        budget, clock = make()
+        clock.now = 100.0
+        assert budget.tokens("srad") == pytest.approx(2.0)
+        assert budget.try_spend("srad")
+        assert budget.try_spend("srad")
+        assert not budget.try_spend("srad")
+
+    def test_per_class_buckets_independent(self):
+        budget, _ = make()
+        assert budget.try_spend("a")
+        assert budget.try_spend("a")
+        assert not budget.try_spend("a")
+        # Class "b" has its own untouched bucket.
+        assert budget.try_spend("b")
+        assert budget.granted["b"] == 1
+        assert budget.denied["a"] == 1
+
+    def test_shared_pool_couples_classes(self):
+        budget, _ = make(shared=True)
+        assert budget.try_spend("a")
+        assert budget.try_spend("b")
+        # Both classes drew from one pooled bucket of burst=2.
+        assert not budget.try_spend("c")
+        assert budget.granted_total == 2
+        assert budget.denied_total == 1
+
+    def test_explicit_now_and_cost(self):
+        budget, _ = make(burst=4.0)
+        assert budget.try_spend("a", now=0.0, cost=3.0)
+        assert not budget.try_spend("a", now=0.0, cost=2.0)
+        assert budget.try_spend("a", now=0.1, cost=1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryBudgetConfig(rate=0.0)
+        with pytest.raises(ValueError):
+            RetryBudgetConfig(burst=0.0)
+
+
+class TestUnfinishable:
+    def test_no_deadline_is_always_finishable(self):
+        assert not unfinishable(5.0, None)
+
+    def test_past_deadline(self):
+        assert unfinishable(2.0, 1.0)
+        assert not unfinishable(0.5, 1.0)
+
+    def test_estimated_remaining_projects_forward(self):
+        # 0.4s of work left against a deadline 0.3s away: doomed now.
+        assert unfinishable(0.7, 1.0, estimated_remaining=0.4)
+        assert not unfinishable(0.5, 1.0, estimated_remaining=0.4)

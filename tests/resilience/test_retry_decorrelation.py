@@ -1,0 +1,82 @@
+"""Retry decorrelation across apps failed by one shared event.
+
+The lockstep bug: with equal-jitter backoff, every app a correlated
+fault kills at instant ``t`` retries inside ``t + base * [1 - j, 1 + j)``
+— a synchronized stampede onto the surviving devices.  Full jitter
+(``mode="full"``) spreads the same retries uniformly over ``[0, base)``,
+so concurrent retry timestamps are provably *not* synchronized.  These
+property tests pin that contract.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.resilience.retry import RetryPolicy, app_rng
+
+pytestmark = pytest.mark.resilience
+
+#: One fault domain's worth of applications, killed at the same instant.
+DOMAIN_APPS = tuple(f"gaussian#{i}" for i in range(8))
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+attempts = st.integers(min_value=1, max_value=4)
+
+EQUAL = RetryPolicy(jitter=0.1, mode="equal")
+FULL = RetryPolicy(jitter=0.1, mode="full")
+
+
+def domain_delays(policy, seed, attempt):
+    """Backoff delays the domain's apps draw for the same failed attempt."""
+    return [
+        policy.delay(attempt, app_rng(seed, app)) for app in DOMAIN_APPS
+    ]
+
+
+class TestLockstepBug:
+    @settings(deadline=None, max_examples=50)
+    @given(seed=seeds, attempt=attempts)
+    def test_equal_jitter_is_a_synchronized_band(self, seed, attempt):
+        # The bug being fixed: every delay lands within +/-10% of the
+        # same exponential step, no matter the app or seed.
+        base = EQUAL.base_delay * EQUAL.backoff ** (attempt - 1)
+        for delay in domain_delays(EQUAL, seed, attempt):
+            assert base * 0.9 <= delay < base * 1.1
+
+    @settings(deadline=None, max_examples=50, derandomize=True)
+    @given(seed=seeds, attempt=attempts)
+    def test_full_jitter_escapes_the_band(self, seed, attempt):
+        # Full jitter must spread one domain's retries wider than the
+        # entire equal-jitter band (2j * base), i.e. the retry instants
+        # cannot be synchronized the way the equal mode forces.
+        base = FULL.base_delay * FULL.backoff ** (attempt - 1)
+        delays = domain_delays(FULL, seed, attempt)
+        assert all(0.0 <= d < base for d in delays)
+        assert max(delays) - min(delays) > 2 * FULL.jitter * base
+
+    @settings(deadline=None, max_examples=50, derandomize=True)
+    @given(seed=seeds, attempt=attempts)
+    def test_no_two_apps_retry_at_the_same_instant(self, seed, attempt):
+        delays = domain_delays(FULL, seed, attempt)
+        assert len(set(delays)) == len(delays)
+
+    @settings(deadline=None, max_examples=50)
+    @given(seed=seeds, attempt=attempts)
+    def test_both_modes_consume_exactly_one_draw(self, seed, attempt):
+        # A mode switch must not desynchronize later draws from the same
+        # generator (checkpoint jitter, hedge draws ride the same rng).
+        for policy in (EQUAL, FULL):
+            rng = app_rng(seed, "gaussian#0")
+            policy.delay(attempt, rng)
+            witness = app_rng(seed, "gaussian#0")
+            witness.random()
+            assert rng.random() == witness.random()
+
+    def test_full_jitter_deterministic_per_app(self):
+        a = domain_delays(FULL, 7, 2)
+        b = domain_delays(FULL, 7, 2)
+        assert a == b
+
+    def test_mode_validated(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(mode="decorrelated")

@@ -1,0 +1,162 @@
+"""Slow-start re-admission after recovery (breaker and fleet gate).
+
+Half-open -> closed must not snap to full concurrency: one good probe
+says the dependency breathes, not that it can absorb the whole backlog.
+The breaker ramp admits ``initial << step`` releases per interval
+(pinned here as 1, 2, 4 for ``initial=1``); the fleet gate ramps
+admission capacity linearly back after each loss detection.
+"""
+
+import math
+
+import pytest
+
+from repro.serving.breaker import BreakerState, CircuitBreakerPanel
+from repro.serving.config import BreakerConfig, FleetServingConfig
+from repro.serving.fleet_gate import FleetCapacityGate
+
+pytestmark = pytest.mark.serving
+
+COOLDOWN = 10e-3
+INTERVAL = 1e-3
+
+
+def recovered_panel(**overrides):
+    """A panel whose breaker just closed after a successful probe."""
+    cfg = dict(
+        threshold=2,
+        cooldown=COOLDOWN,
+        jitter=0.0,
+        slow_start_initial=1,
+        slow_start_interval=INTERVAL,
+        slow_start_steps=3,
+    )
+    cfg.update(overrides)
+    panel = CircuitBreakerPanel(BreakerConfig(**cfg), seed=0)
+    panel.on_failure("nn", 0.0)
+    panel.on_failure("nn", 0.0)
+    assert panel.state("nn") == BreakerState.OPEN
+    assert panel.allow("nn", COOLDOWN)  # half-open probe
+    panel.on_success("nn", COOLDOWN)
+    assert panel.state("nn") == BreakerState.CLOSED
+    return panel
+
+
+def admitted_per_interval(panel, start, intervals, per_interval=16):
+    """How many of ``per_interval`` release attempts pass in each interval."""
+    counts = []
+    for step in range(intervals):
+        t = start + step * INTERVAL + INTERVAL / 2
+        counts.append(
+            sum(1 for _ in range(per_interval) if panel.allow("nn", t))
+        )
+    return counts
+
+
+class TestBreakerSlowStart:
+    def test_ramp_schedule_pinned(self):
+        panel = recovered_panel()
+        # Doubling per interval from initial=1 for 3 steps, then the cap
+        # lifts entirely.
+        assert admitted_per_interval(panel, COOLDOWN, 4) == [1, 2, 4, 16]
+
+    def test_rejects_counted_truthfully(self):
+        panel = recovered_panel()
+        admitted_per_interval(panel, COOLDOWN, 1)
+        assert panel.slow_start_rejects == 15
+        assert panel.fast_fails == 15
+
+    def test_disabled_keeps_historical_snap(self):
+        panel = recovered_panel(slow_start_initial=0)
+        assert admitted_per_interval(panel, COOLDOWN, 1) == [16]
+        assert panel.slow_start_rejects == 0
+
+    def test_reopen_clears_the_ramp(self):
+        panel = recovered_panel()
+        t = COOLDOWN + INTERVAL / 2
+        panel.on_failure("nn", t)
+        panel.on_failure("nn", t)
+        assert panel.state("nn") == BreakerState.OPEN
+        # A fresh recovery restarts the ramp from step 0.
+        t2 = t + COOLDOWN
+        assert panel.allow("nn", t2)
+        panel.on_success("nn", t2)
+        assert admitted_per_interval(panel, t2, 3) == [1, 2, 4]
+
+    def test_other_types_unaffected_by_ramp(self):
+        panel = recovered_panel()
+        assert all(
+            panel.allow("needle", COOLDOWN + INTERVAL / 2) for _ in range(16)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BreakerConfig(slow_start_initial=1)  # needs an interval
+        with pytest.raises(ValueError):
+            BreakerConfig(slow_start_initial=-1)
+        with pytest.raises(ValueError):
+            BreakerConfig(
+                slow_start_initial=1,
+                slow_start_interval=1e-3,
+                slow_start_steps=0,
+            )
+
+
+STREAMS = 8
+WINDOW = 4e-3
+
+
+class TestFleetGateSlowStart:
+    def gate(self, **overrides):
+        base = dict(
+            detection_latency=0.0,
+            loss_times={0: 10e-3},
+            slow_start_window=WINDOW,
+            slow_start_floor=0.25,
+        )
+        base.update(overrides)
+        return FleetCapacityGate(4, STREAMS, **base)
+
+    def test_capacity_ramps_linearly_after_detection(self):
+        gate = self.gate()
+        steady = STREAMS * 3 / 4  # 6 streams across the 3 survivors
+        assert gate.capacity(9e-3) == STREAMS  # pre-loss
+        assert gate.capacity(10e-3) == math.ceil(steady * 0.25)
+        assert gate.capacity(12e-3) == math.ceil(steady * 0.625)  # halfway
+        assert gate.capacity(14e-3) == math.ceil(steady)  # window over
+
+    def test_ramp_monotone_and_never_below_one(self):
+        gate = self.gate(slow_start_floor=0.01)
+        samples = [gate.capacity(10e-3 + f * WINDOW) for f in
+                   (0.0, 0.25, 0.5, 0.75, 1.0)]
+        assert samples == sorted(samples)
+        assert samples[0] >= 1
+
+    def test_window_zero_keeps_historical_step(self):
+        gate = self.gate(slow_start_window=0.0)
+        assert gate.capacity(10e-3) == math.ceil(STREAMS * 3 / 4)
+
+    def test_second_detection_restarts_the_ramp(self):
+        gate = self.gate(loss_times={0: 10e-3, 1: 20e-3})
+        # Fully ramped after the first loss...
+        assert gate.capacity(15e-3) == math.ceil(STREAMS * 3 / 4)
+        # ...then the second detection drops to the new floor again.
+        steady2 = STREAMS * 2 / 4
+        assert gate.capacity(20e-3) == math.ceil(steady2 * 0.25)
+        assert gate.capacity(24e-3) == math.ceil(steady2)
+
+    def test_config_carries_ramp_to_gate(self):
+        fleet = FleetServingConfig(
+            num_devices=4, slow_start_window=WINDOW, slow_start_floor=0.5
+        )
+        gate = FleetCapacityGate.from_plan(fleet, STREAMS, None)
+        assert gate.slow_start_window == WINDOW
+        assert gate.slow_start_floor == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FleetServingConfig(slow_start_window=-1.0)
+        with pytest.raises(ValueError):
+            FleetServingConfig(slow_start_floor=0.0)
+        with pytest.raises(ValueError):
+            FleetServingConfig(slow_start_floor=1.5)
