@@ -1,6 +1,12 @@
 """Reporting: ASCII timelines, tables and summary statistics."""
 
 from .chrome_trace import to_chrome_trace, write_chrome_trace
+from .critical_path import (
+    CriticalPath,
+    aggregate_critical_paths,
+    extract_critical_paths,
+    top_slowest,
+)
 from .profile_summary import kernel_summary, stream_summary, transfer_summary
 from .report import SECTIONS, Section, build_report, read_results_csv
 from .stats import (
@@ -17,6 +23,10 @@ from .timeline import GLYPHS, render_timeline, timeline_rows
 __all__ = [
     "to_chrome_trace",
     "write_chrome_trace",
+    "CriticalPath",
+    "extract_critical_paths",
+    "aggregate_critical_paths",
+    "top_slowest",
     "kernel_summary",
     "transfer_summary",
     "stream_summary",

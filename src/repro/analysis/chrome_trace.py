@@ -16,6 +16,10 @@ Telemetry counter events (``"ph": "C"`` from
 merged in via ``counter_events``: they land in their own process
 (:data:`~repro.telemetry.exporters.TELEMETRY_PID`) so Perfetto draws the
 metric charts under a separate expandable header below the GPU timeline.
+Causal-tracing spans (async ``"ph": "b"/"e"`` pairs from
+:func:`repro.telemetry.tracing.spans_to_chrome_events`) merge the same
+way via ``span_events`` under their own process
+(:data:`~repro.telemetry.tracing.TRACING_PID`).
 """
 
 from __future__ import annotations
@@ -53,6 +57,8 @@ def to_chrome_trace(
     process_name: str = "Simulated GPU",
     counter_events: Optional[Sequence[Dict[str, object]]] = None,
     telemetry_process_name: str = "Telemetry",
+    span_events: Optional[Sequence[Dict[str, object]]] = None,
+    tracing_process_name: str = "Tracing",
 ) -> Dict[str, object]:
     """Build the Trace Event JSON object (``traceEvents`` + metadata)."""
     events: List[Dict[str, object]] = []
@@ -153,6 +159,32 @@ def to_chrome_trace(
         )
         events.extend(dict(e) for e in counter_events)
 
+    if span_events:
+        # Causal traces likewise ride in their own process: one async
+        # track per trace id, grouped under a "Tracing" header.
+        tracing_pid = next(
+            (int(e["pid"]) for e in span_events if "pid" in e), GPU_PID + 2
+        )
+        events.append(
+            {
+                "ph": "M",
+                "pid": tracing_pid,
+                "tid": 0,
+                "name": "process_name",
+                "args": {"name": tracing_process_name},
+            }
+        )
+        events.append(
+            {
+                "ph": "M",
+                "pid": tracing_pid,
+                "tid": 0,
+                "name": "process_sort_index",
+                "args": {"sort_index": tracing_pid},
+            }
+        )
+        events.extend(dict(e) for e in span_events)
+
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",
@@ -165,6 +197,7 @@ def write_chrome_trace(
     path: Union[str, Path],
     process_name: str = "Simulated GPU",
     counter_events: Optional[Sequence[Dict[str, object]]] = None,
+    span_events: Optional[Sequence[Dict[str, object]]] = None,
 ) -> Path:
     """Serialize the trace to ``path`` (JSON); returns the path.
 
@@ -178,6 +211,7 @@ def write_chrome_trace(
                 trace,
                 process_name=process_name,
                 counter_events=counter_events,
+                span_events=span_events,
             ),
             fh,
         )

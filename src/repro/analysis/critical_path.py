@@ -1,0 +1,202 @@
+"""Critical-path extraction over causal traces.
+
+Decomposes each traced app's sojourn (arrival -> terminal outcome) into
+named wait categories that **sum exactly to the sojourn**: the host
+thread's sequential wait spans (admission queue, stream occupancy,
+transfer mutex, DMA burst, sync waits, backoffs, migration stalls) are
+measured directly, and whatever they do not cover is the computed
+``service-other`` remainder — a partition by construction, so the sum
+is exact rather than approximately reconciled.
+
+Synchronization waits are further *sub-attributed* against the trace's
+engine-level leaf spans (harvested from completed GPU commands): time
+inside a ``sync-wait`` interval covered by a kernel's execution window
+is ``smx-exec``, time covered by a DMA copy in service is
+``dma-service``, time a kernel sat enqueued behind the Hyper-Q slot
+limit is ``hyperq-slot``, and the uncovered residue stays ``sync-wait``.
+Overlaps resolve by a fixed priority (exec > DMA > queue), so the
+attribution is deterministic and the pieces still telescope to the
+interval length.
+
+The fleet-wide aggregation answers questions like *"the p99
+deadline-miss critical path is 62% transfer-mutex"*: filter the paths,
+sum per category, report shares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from ..telemetry.tracing import ENGINE_CATEGORIES, WAIT_CATEGORIES, Span, Tracer
+
+__all__ = [
+    "CriticalPath",
+    "extract_critical_paths",
+    "aggregate_critical_paths",
+    "top_slowest",
+]
+
+#: Higher priority wins when engine intervals overlap inside a sync wait.
+_SUB_PRIORITY = ("smx-exec", "dma-service", "hyperq-slot")
+
+
+@dataclass
+class CriticalPath:
+    """One app's sojourn, partitioned into named wait categories."""
+
+    app: str
+    trace_id: str
+    outcome: str
+    start: float
+    end: float
+    #: category -> seconds; values sum to :attr:`sojourn` exactly.
+    categories: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def sojourn(self) -> float:
+        return self.end - self.start
+
+    def share(self, category: str) -> float:
+        """Fraction of the sojourn spent in ``category``."""
+        if self.sojourn <= 0:
+            return 0.0
+        return self.categories.get(category, 0.0) / self.sojourn
+
+    @property
+    def dominant(self) -> str:
+        """The category holding the largest share (ties -> name order)."""
+        if not self.categories:
+            return "service-other"
+        return min(self.categories, key=lambda c: (-self.categories[c], c))
+
+
+def _clip(start: float, end: float, lo: float, hi: float) -> Optional[Tuple[float, float]]:
+    a, b = max(start, lo), min(end, hi)
+    if b <= a:
+        return None
+    return (a, b)
+
+
+def _sub_attribute(
+    lo: float, hi: float, engine_spans: List[Span]
+) -> Dict[str, float]:
+    """Partition ``[lo, hi]`` across engine categories by priority sweep.
+
+    Returns per-category seconds whose values telescope to ``hi - lo``
+    (the uncovered residue is returned under ``""``).
+    """
+    clipped: List[Tuple[float, float, str]] = []
+    bounds = {lo, hi}
+    for span in engine_spans:
+        seg = _clip(span.start, span.end, lo, hi)
+        if seg is None:
+            continue
+        clipped.append((seg[0], seg[1], span.category))
+        bounds.update(seg)
+    out: Dict[str, float] = {}
+    if not clipped:
+        out[""] = hi - lo
+        return out
+    edges = sorted(bounds)
+    for a, b in zip(edges, edges[1:]):
+        label = ""
+        for category in _SUB_PRIORITY:
+            if any(
+                c == category and s <= a and b <= e
+                for s, e, c in clipped
+            ):
+                label = category
+                break
+        out[label] = out.get(label, 0.0) + (b - a)
+    return out
+
+
+def _path_from_spans(spans: List[Span]) -> CriticalPath:
+    root = next(s for s in spans if s.parent_id == "")
+    engine = [s for s in spans if s.category in ENGINE_CATEGORIES]
+    categories: Dict[str, float] = {}
+
+    def add(category: str, seconds: float) -> None:
+        if seconds != 0.0:
+            categories[category] = categories.get(category, 0.0) + seconds
+
+    for span in spans:
+        if span.category not in WAIT_CATEGORIES:
+            continue
+        seg = _clip(span.start, span.end, root.start, root.end)
+        if seg is None:
+            continue
+        lo, hi = seg
+        if span.category == "sync-wait" and engine:
+            for label, seconds in _sub_attribute(lo, hi, engine).items():
+                add(label or "sync-wait", seconds)
+        else:
+            add(span.category, hi - lo)
+
+    # The remainder closes the partition: measured waits + service-other
+    # == sojourn by construction, so the categories sum exactly.
+    measured = sum(categories.values())
+    add("service-other", (root.end - root.start) - measured)
+    return CriticalPath(
+        app=root.app,
+        trace_id=root.trace_id,
+        outcome=str(root.meta.get("outcome", "")),
+        start=root.start,
+        end=root.end,
+        categories=categories,
+    )
+
+
+def extract_critical_paths(tracer: Tracer) -> List[CriticalPath]:
+    """One :class:`CriticalPath` per trace, in trace-start order.
+
+    Accepts either a bare :class:`~repro.telemetry.Tracer` or the
+    user-facing :class:`~repro.telemetry.Tracing` handle.
+    """
+    tracer = getattr(tracer, "tracer", tracer)
+    by_trace: Dict[str, List[Span]] = {}
+    for span in tracer.spans:
+        by_trace.setdefault(span.trace_id, []).append(span)
+    return [
+        _path_from_spans(by_trace[trace_id])
+        for trace_id in tracer.trace_ids()
+        if trace_id in by_trace
+    ]
+
+
+def aggregate_critical_paths(
+    paths: Iterable[CriticalPath],
+    predicate: Optional[Callable[[CriticalPath], bool]] = None,
+) -> List[dict]:
+    """Fleet-wide per-category totals over (a filtered subset of) paths.
+
+    Rows are ``{"category", "seconds", "share"}`` sorted by descending
+    seconds (ties by name); shares are fractions of the summed sojourn.
+    Pass ``predicate`` to slice — e.g. deadline misses only.
+    """
+    totals: Dict[str, float] = {}
+    sojourn = 0.0
+    for path in paths:
+        if predicate is not None and not predicate(path):
+            continue
+        sojourn += path.sojourn
+        for category, seconds in path.categories.items():
+            totals[category] = totals.get(category, 0.0) + seconds
+    rows = [
+        {
+            "category": category,
+            "seconds": seconds,
+            "share": (seconds / sojourn) if sojourn > 0 else 0.0,
+        }
+        for category, seconds in totals.items()
+    ]
+    rows.sort(key=lambda r: (-r["seconds"], r["category"]))
+    return rows
+
+
+def top_slowest(
+    paths: Iterable[CriticalPath], k: int = 5
+) -> List[CriticalPath]:
+    """The ``k`` longest sojourns, slowest first (ties by app name)."""
+    return sorted(paths, key=lambda p: (-p.sojourn, p.app))[:k]

@@ -310,6 +310,38 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write JSONL metric snapshots here")
 
     p = sub.add_parser(
+        "trace",
+        help="causal tracing: per-app critical paths, SLO burn-rate "
+        "alerts, Chrome/OTLP span export",
+    )
+    p.add_argument("--rate", type=float, default=12000.0,
+                   help="mean arrivals per second")
+    p.add_argument("--duration", type=float, default=0.006,
+                   help="arrival-trace length (simulated seconds)")
+    p.add_argument("--streams", type=int, default=16)
+    p.add_argument("--cap", type=int, default=4,
+                   help="concurrency cap (0 = greedy/unbounded)")
+    p.add_argument("--slo", type=float, default=4.0,
+                   help="SLO deadline as a multiple of the serial-baseline "
+                   "runtime (0 disables SLOs)")
+    p.add_argument("--slo-jitter", type=float, default=0.1,
+                   help="relative per-job deadline jitter")
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--top", type=int, default=5,
+                   help="how many slowest traces to break down")
+    p.add_argument("--burn-budget", type=float, default=0.05,
+                   help="SLO error budget for the burn-rate monitor "
+                   "(fraction of requests allowed to miss)")
+    p.add_argument("--chrome", type=Path, default=None, metavar="FILE",
+                   help="write a Chrome/Perfetto trace with the causal "
+                   "spans merged in")
+    p.add_argument("--otlp", type=Path, default=None, metavar="FILE",
+                   help="write OTLP-shaped JSONL spans here")
+    p.add_argument("--alerts", type=Path, default=None, metavar="FILE",
+                   help="journal burn-rate alert records here (fenced, "
+                   "crash-safe)")
+
+    p = sub.add_parser(
         "verify",
         help="scan (and optionally repair) crash-safe journals offline",
     )
@@ -357,7 +389,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(
             "experiments: fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 "
             "timeline table3 headline homog autotune streaming serve "
-            "schedule resilience fleet telemetry verify report"
+            "schedule resilience fleet telemetry trace verify report"
         )
         return 0
 
@@ -952,6 +984,130 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.jsonl.parent.mkdir(parents=True, exist_ok=True)
             write_jsonl(telemetry.snapshots, args.jsonl)
             print(f"(wrote {args.jsonl})")
+        return 0
+
+    if args.command == "trace":
+        from .analysis import (
+            aggregate_critical_paths,
+            extract_critical_paths,
+            to_chrome_trace,
+            top_slowest,
+        )
+        from .core.streaming import (
+            ConcurrencyCapDispatcher,
+            GreedyDispatcher,
+            poisson_arrivals,
+        )
+        from .serving import ServingConfig, run_serving
+        from .sim.trace import TraceRecorder
+        from .telemetry import (
+            BurnRateConfig,
+            Tracing,
+            spans_to_chrome_events,
+            write_otlp_jsonl,
+        )
+
+        arrivals = poisson_arrivals(
+            rate=args.rate,
+            duration=args.duration,
+            type_mix=[("nn", 2), ("needle", 1)],
+            seed=args.seed,
+        )
+        config = ServingConfig(
+            slo_factor=args.slo,
+            slo_jitter=args.slo_jitter,
+            seed=args.seed,
+        )
+        dispatcher = (
+            ConcurrencyCapDispatcher(args.cap) if args.cap > 0
+            else GreedyDispatcher()
+        )
+        tracing = Tracing(
+            seed=args.seed,
+            burn=BurnRateConfig(budget=args.burn_budget),
+            alert_journal=args.alerts,
+        )
+        result = run_serving(
+            arrivals,
+            dispatcher,
+            config,
+            num_streams=args.streams,
+            scale=scale,
+            tracing=tracing,
+        )
+        paths = extract_critical_paths(tracing.tracer)
+        rows = [
+            {
+                "category": r["category"],
+                "seconds_ms": r["seconds"] * 1e3,
+                "share_pct": r["share"] * 100.0,
+            }
+            for r in aggregate_critical_paths(paths)
+        ]
+        _emit(
+            rows,
+            f"Fleet critical path ({len(paths)} traces, "
+            f"{len(tracing.spans)} spans)",
+            out,
+            "trace_aggregate",
+        )
+        missed = [p for p in paths if p.outcome != "completed"]
+        if missed and len(missed) < len(paths):
+            rows = [
+                {
+                    "category": r["category"],
+                    "seconds_ms": r["seconds"] * 1e3,
+                    "share_pct": r["share"] * 100.0,
+                }
+                for r in aggregate_critical_paths(
+                    paths, predicate=lambda p: p.outcome != "completed"
+                )
+            ]
+            _emit(
+                rows,
+                f"Critical path of degraded traces ({len(missed)} "
+                "shed/failed/missed)",
+                out,
+                "trace_degraded",
+            )
+        rows = []
+        for p in top_slowest(paths, args.top):
+            dominant = p.dominant
+            rows.append(
+                {
+                    "app": p.app,
+                    "outcome": p.outcome,
+                    "sojourn_ms": p.sojourn * 1e3,
+                    "dominant": dominant,
+                    "dominant_pct": p.share(dominant) * 100.0,
+                }
+            )
+        _emit(rows, f"Top {args.top} slowest traces", out, "trace_slowest")
+        if tracing.alerts:
+            fired = sum(
+                1 for a in tracing.alerts if a["event"] == "alert"
+            )
+            print(
+                f"burn-rate alerts: {fired} fired, "
+                f"{len(tracing.alerts) - fired} resolved"
+            )
+            if args.alerts is not None:
+                print(f"(alert journal at {args.alerts})")
+        print(result.summary())
+        if args.chrome is not None:
+            args.chrome.parent.mkdir(parents=True, exist_ok=True)
+            payload = to_chrome_trace(
+                TraceRecorder(),
+                span_events=spans_to_chrome_events(tracing.spans),
+            )
+            import json as _json
+
+            args.chrome.write_text(_json.dumps(payload))
+            print(f"(wrote {args.chrome})")
+        if args.otlp is not None:
+            args.otlp.parent.mkdir(parents=True, exist_ok=True)
+            write_otlp_jsonl(args.otlp, tracing.spans)
+            print(f"(wrote {args.otlp})")
         return 0
 
     if args.command == "report":

@@ -57,6 +57,9 @@ class RunConfig:
     #: preconfigured checker.  ``None``/``False`` = off (byte-identical
     #: results, zero probe cost).  Single-device cells only.
     integrity: object = None
+    #: Optional :class:`~repro.telemetry.Tracing`: per-app causal traces
+    #: for the run (single-device or fleet).  ``None`` = untraced.
+    tracing: object = None
 
     @property
     def num_apps(self) -> int:
@@ -146,6 +149,7 @@ class ExperimentRunner:
                 plan=resilience.plan if resilience is not None else None,
                 seed=config.seed,
                 telemetry=config.telemetry,
+                tracing=config.tracing,
             ).run()
             self.runs_executed += 1
             return RunResult(config=config, harness=fleet_result)
@@ -166,6 +170,7 @@ class ExperimentRunner:
             telemetry=config.telemetry,
             order_label=str(config.order),
             integrity=config.integrity,
+            tracing=config.tracing,
         )
         result = TestHarness(harness_config).run()
         self.runs_executed += 1

@@ -331,6 +331,7 @@ def run_streaming(
     power_interval: float = 1e-3,
     serving: Optional[ServingHooks] = None,
     telemetry=None,
+    tracing=None,
 ) -> StreamingResult:
     """Execute an arrival trace under an online dispatch policy.
 
@@ -339,7 +340,11 @@ def run_streaming(
     shedding, circuit breaking and journaling on the same code path.
     ``telemetry`` (a :class:`~repro.telemetry.Telemetry`) additionally
     samples queue depths, in-flight count, outcome counters and sojourn
-    histograms; ``None`` leaves every code path untouched.
+    histograms; ``None`` leaves every code path untouched.  ``tracing``
+    (a :class:`~repro.telemetry.Tracing`) records one causal trace per
+    arrival — admission queue, stream, mutex and DMA waits — and feeds
+    terminal outcomes to the SLO burn-rate monitor when one is
+    configured; ``None`` likewise leaves results byte-identical.
     """
     if not arrivals:
         raise ValueError("empty arrival trace")
@@ -381,6 +386,13 @@ def run_streaming(
         if fleet_gate is not None:
             return fleet_gate.breaker_key(record)
         return record.type_name
+
+    tracer = tracing.tracer if tracing is not None else None
+    burn_monitor = tracing.monitor if tracing is not None else None
+    if tracer is not None:
+        env.attach_tracer(tracer)
+    #: launch_index -> root SpanContext for every traced arrival.
+    trace_ctxs: Dict[int, object] = {}
 
     outcome_counter = None
     sojourn_hist = None
@@ -452,6 +464,12 @@ def run_streaming(
     def finalize(record: AppRecord, outcome: str, arrival_time: float) -> None:
         """Stamp a terminal outcome and journal it (host-side only)."""
         record.outcome = outcome
+        if tracer is not None:
+            ctx = trace_ctxs.get(record.launch_index)
+            if ctx is not None:
+                tracer.end_trace(ctx, env.now, outcome=outcome)
+        if burn_monitor is not None:
+            burn_monitor.observe(env.now, outcome == "completed")
         if outcome_counter is not None:
             outcome_counter.inc(outcome=outcome)
             if outcome == "completed":
@@ -513,7 +531,23 @@ def run_streaming(
         # Per-job host thread: allocate/initialize concurrently with other
         # arrivals, then join the admission queue.
         thread = make_thread(arrival)
+        if tracer is not None:
+            ctx = tracer.start_trace(
+                thread.record.app_id,
+                arrival.time,
+                type=arrival.type_name,
+                index=arrival.index,
+            )
+            thread.trace_ctx = ctx
+            trace_ctxs[arrival.index] = ctx
+        prepare_from = env.now
         yield from thread.prepare()
+        if tracer is not None and env.now > prepare_from:
+            tracer.record_leaf(
+                thread.trace_ctx, "host.prepare", "prepare",
+                prepare_from, env.now,
+            )
+        thread._trace_ready_at = env.now
         if hooks.queue_depth > 0 and len(ready) >= hooks.queue_depth:
             if hooks.queue_policy == "reject":
                 shed(thread.record, "shed-reject", arrival.time)
@@ -607,6 +641,13 @@ def run_streaming(
                 continue
             state["settled"] += 1
             queue_delays.append(env.now - arrival_time)
+            if tracer is not None and thread.trace_ctx is not None:
+                ready_at = getattr(thread, "_trace_ready_at", arrival_time)
+                if env.now > ready_at:
+                    tracer.record_leaf(
+                        thread.trace_ctx, "admission.queue",
+                        "admission-queue", ready_at, env.now,
+                    )
             stream = manager.acquire(thread.app.app_id)
             thread.assign_stream(stream)
             thread.record.stream_index = stream.index

@@ -310,6 +310,7 @@ class FleetHarness:
         journal_path=None,
         resume: bool = False,
         telemetry=None,
+        tracing=None,
         deadlines: Optional[Dict[str, float]] = None,
     ) -> None:
         if not apps:
@@ -336,6 +337,9 @@ class FleetHarness:
         self.journal_path = journal_path
         self.resume = resume
         self.telemetry = telemetry
+        #: Optional repro.telemetry.Tracing: per-app causal traces with
+        #: migration-stall / checkpoint / hedge spans.  None = untraced.
+        self.tracing = tracing
 
     def run(self) -> FleetResult:
         """Build the fleet, run the schedule to completion, measure."""
@@ -344,6 +348,9 @@ class FleetHarness:
 
         fleet = self.fleet
         env = Environment()
+        tracer = self.tracing.tracer if self.tracing is not None else None
+        if tracer is not None:
+            env.attach_tracer(tracer)
         registry = DeviceRegistry(
             env,
             fleet,
@@ -545,6 +552,13 @@ class FleetHarness:
         def on_checkpoint(thread: FleetAppThread) -> None:
             app_id = thread.app.app_id
             note_progress(thread)
+            if tracer is not None:
+                ctx = getattr(thread, "trace_ctx", None)
+                if ctx is not None:
+                    tracer.instant(
+                        ctx, "checkpoint", "checkpoint", env.now,
+                        kernels=thread.checkpoint.completed_kernels,
+                    )
             # A migrant that reached a phase boundary on its new device
             # is warmed up: its recovery slot stops gating the queue.
             coordinator.note_warmed(app_id)
@@ -574,6 +588,8 @@ class FleetHarness:
 
         def drive(thread: FleetAppThread, record: AppRecord):
             app_id = thread.app.app_id
+            trace_ctx = getattr(thread, "trace_ctx", None)
+            traced = tracer is not None and trace_ctx is not None
             backoff_rng = (
                 app_rng(self.seed, app_id)
                 if fleet.retry_backoff is not None
@@ -589,7 +605,15 @@ class FleetHarness:
                 record.complete_time = env.now
 
             while True:
+                acquire_from = env.now
                 fdev = yield from coordinator.acquire_device(app_id)
+                if traced and env.now > acquire_from:
+                    # Parked waiting for a surviving device: the failover/
+                    # re-placement stall the critical path should show.
+                    tracer.record(
+                        trace_ctx, "migration.stall", "migration-stall",
+                        acquire_from, env.now, attempt=attempts + 1,
+                    )
                 if hedges is not None:
                     # A replica may have finished while this driver was
                     # parked mid-failover: adopt its win instead of
@@ -627,8 +651,14 @@ class FleetHarness:
                 holding = False
                 try:
                     if gate is not None:
+                        gate_from = env.now
                         yield from gate.acquire()
                         holding = True
+                        if traced and env.now > gate_from:
+                            tracer.record_leaf(
+                                trace_ctx, "brownout.gate",
+                                "admission-limiter", gate_from, env.now,
+                            )
                     yield from thread.run_attempt()
                 except _ShedWork:
                     terminal("shed-deadline")
@@ -672,7 +702,14 @@ class FleetHarness:
                             fault_failures, backoff_rng
                         )
                         if delay > 0:
+                            backoff_from = env.now
                             yield env.timeout(delay)
+                            if traced:
+                                tracer.record(
+                                    trace_ctx, "retry.backoff",
+                                    "retry-backoff", backoff_from, env.now,
+                                    attempt=attempts,
+                                )
                     continue
                 finally:
                     if holding:
@@ -719,6 +756,9 @@ class FleetHarness:
                     }
                 )
 
+        #: launch_index -> root SpanContext for every traced app.
+        trace_ctxs: Dict[int, object] = {}
+
         def parent():
             threads: List[FleetAppThread] = []
             for launch_index, app in enumerate(self.apps):
@@ -741,7 +781,19 @@ class FleetHarness:
                 fdev = coordinator.register(thread)
                 bind(thread, fdev)
                 threads.append(thread)
+                if tracer is not None:
+                    thread.trace_ctx = tracer.start_trace(
+                        record.app_id, env.now,
+                        type=record.type_name, index=launch_index,
+                    )
+                    trace_ctxs[launch_index] = thread.trace_ctx
+                prepare_from = env.now
                 yield from thread.prepare()
+                if tracer is not None and env.now > prepare_from:
+                    tracer.record_leaf(
+                        thread.trace_ctx, "host.prepare", "prepare",
+                        prepare_from, env.now,
+                    )
 
             registry.start()
             monitor.start()
@@ -806,6 +858,16 @@ class FleetHarness:
                     "entries; the journal belongs to a longer run"
                 )
             journal.close()
+
+        if tracer is not None:
+            for record in records:
+                ctx = trace_ctxs.get(record.launch_index)
+                if ctx is not None:
+                    tracer.end_trace(
+                        ctx, record.complete_time, outcome=record.outcome
+                    )
+            if hedges is not None:
+                self._trace_hedges(tracer, trace_ctxs, records, hedges)
 
         span = makespan(records)
         t0 = min(r.spawn_time for r in records)
@@ -888,6 +950,42 @@ class FleetHarness:
             ),
             telemetry=telemetry,
         )
+
+    @staticmethod
+    def _trace_hedges(tracer, trace_ctxs, records, hedges) -> None:
+        """Convert the hedge manager's event log into trace spans.
+
+        Each ``hedge`` / ``hedge-done`` pair becomes one ``hedge`` span
+        on the primary app's trace (launch -> win/cancel); a launch with
+        no terminal event (crashed run) becomes an instant.
+        """
+        ctx_of = {
+            r.app_id: trace_ctxs.get(r.launch_index) for r in records
+        }
+        open_hedges = {}
+        for event in hedges.events:
+            ctx = ctx_of.get(event["app"])
+            if ctx is None:
+                continue
+            key = (event["app"], event["replica"])
+            if event["event"] == "hedge":
+                open_hedges[key] = event
+            elif event["event"] == "hedge-done" and key in open_hedges:
+                launch = open_hedges.pop(key)
+                tracer.record(
+                    ctx, "hedge.replica", "hedge",
+                    launch["t"], event["t"],
+                    replica=event["replica"],
+                    winner=event["winner"],
+                    duplicates=event["dup"],
+                )
+        for key, launch in open_hedges.items():
+            ctx = ctx_of.get(launch["app"])
+            if ctx is not None:
+                tracer.instant(
+                    ctx, "hedge.launch", "hedge", launch["t"],
+                    replica=launch["replica"],
+                )
 
 
 def _fresh_checkpoint(app_id: str):

@@ -118,6 +118,10 @@ class AppThread:
         self.stream: Optional[Stream] = None
         self.synchronizer = synchronizer
         self.record = record
+        # Causal-tracing context for this app, set by the engine that
+        # admitted it (None in untraced runs: every site below is one
+        # attribute check and results stay byte-identical).
+        self.trace_ctx = None
         self.ctx = AppContext(
             env=env,
             device=device,
@@ -160,9 +164,14 @@ class AppThread:
         ctx = self.ctx
         record = self.record
 
+        traced = env.tracer is not None and self.trace_ctx is not None
+
         # Serialize with other applications sharing this stream.
+        occupy_from = env.now
         lock_request = yield from self.stream.occupy(app.app_id)
         record.gpu_start = env.now
+        if traced:
+            self._trace("stream.occupy", "stream-occupy", occupy_from)
         try:
             for phase in app.profile.phases:
                 if isinstance(phase, TransferPhase):
@@ -170,14 +179,23 @@ class AppThread:
                 elif isinstance(phase, KernelPhase):
                     yield from app.execute_kernel(ctx, phase)
                 elif isinstance(phase, SyncPhase):
+                    sync_from = env.now
                     yield ctx.stream.synchronize_event()
+                    if traced:
+                        self._trace("stream.sync", "sync-wait", sync_from)
                 elif isinstance(phase, HostComputePhase):
+                    host_from = env.now
                     yield env.timeout(phase.duration)
+                    if traced:
+                        self._trace("host.compute", "host-compute", host_from)
                 else:  # pragma: no cover - defensive
                     raise TypeError(f"unknown phase {phase!r}")
 
             # Final cudaStreamSynchronize: wait for everything enqueued.
+            sync_from = env.now
             yield ctx.stream.synchronize_event()
+            if traced:
+                self._trace("stream.sync.final", "sync-wait", sync_from)
             # A failed command that was not the stream tail completes the
             # sync successfully; surface it the way a CUDA error code
             # returned by cudaStreamSynchronize would be.
@@ -220,14 +238,21 @@ class AppThread:
             and phase.direction is CopyDirection.HTOD
             and phase.synchronized
         )
+        traced = self.env.tracer is not None and self.trace_ctx is not None
         if use_mutex:
+            mutex_from = self.env.now
             token = yield from self.synchronizer.acquire(app.app_id)
+            if traced:
+                self._trace("transfer.mutex", "transfer-mutex", mutex_from)
             try:
                 yield from app.transfer_memory(ctx, phase)
                 pending = [c.done for c in ctx.drain_new_transfers()]
                 if pending:
                     # Hold the mutex until this app's burst fully lands.
+                    burst_from = self.env.now
                     yield AllOf(self.env, pending)
+                    if traced:
+                        self._trace("transfer.burst", "dma-burst", burst_from)
             finally:
                 self.synchronizer.release(app.app_id, token)
         else:
@@ -235,6 +260,18 @@ class AppThread:
             ctx.drain_new_transfers()
 
     # -- measurement ------------------------------------------------------------
+
+    def _trace(self, name: str, category: str, start: float, end=None):
+        """Record one completed wait span on this app's trace.
+
+        Skips empty intervals so untouched waits (an already-free mutex,
+        an already-drained stream) do not clutter the tree.
+        """
+        end = self.env.now if end is None else end
+        if end > start:
+            self.env.tracer.record_leaf(
+                self.trace_ctx, name, category, start, end
+            )
 
     def _harvest(self) -> None:
         """Convert completed commands into metric events."""
@@ -265,3 +302,41 @@ class AppThread:
                     waves=cmd.waves,
                 )
             )
+        if self.env.tracer is not None and self.trace_ctx is not None:
+            self._harvest_spans()
+
+    def _harvest_spans(self) -> None:
+        """Engine-level leaf spans from this attempt's completed events.
+
+        Kernel enqueue->start is Hyper-Q slot wait, start->complete is
+        SMX execution; copy enqueue->start is DMA queueing, start->
+        complete is DMA service.  The critical-path extractor uses these
+        to sub-attribute time spent inside synchronization waits.
+        """
+        # Tight loop over every completed command: bind the fast-path
+        # recorder locally, it runs twice per kernel and per burst.
+        leaf = self.env.tracer.record_leaf
+        ctx = self.trace_ctx
+        for ev in self.record.transfers:
+            if ev.started > ev.enqueued:
+                leaf(ctx, "dma.queue", "dma-queue", ev.enqueued, ev.started)
+            if ev.completed > ev.started:
+                # Direction rides in the span name (an existing interned
+                # string pair, not a per-span meta dict): detailed copy
+                # identity lives in record.transfers / the GPU trace
+                # tracks, the span only needs the wait category.
+                leaf(
+                    ctx,
+                    "dma.service.htod"
+                    if ev.direction is CopyDirection.HTOD
+                    else "dma.service.dtoh",
+                    "dma-service", ev.started, ev.completed,
+                )
+        for ev in self.record.kernels:
+            if ev.started > ev.enqueued:
+                leaf(
+                    ctx, "hyperq.slot", "hyperq-slot", ev.enqueued,
+                    ev.started,
+                )
+            if ev.completed > ev.started:
+                leaf(ctx, ev.name, "smx-exec", ev.started, ev.completed)

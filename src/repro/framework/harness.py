@@ -106,6 +106,11 @@ class HarnessConfig:
     #: Launch-order policy label stamped onto every AppRecord ("" = unset),
     #: so reports can attribute makespan differences to the ordering used.
     order_label: str = ""
+    #: Optional repro.telemetry.Tracing (untyped, same convention as
+    #: telemetry): one causal trace per app with engine-level wait spans.
+    #: ``None`` keeps every layer untraced — byte-identical results,
+    #: pinned by ``bench_tracing_overhead.py``.
+    tracing: object = None
     #: Runtime invariant checking (see :mod:`repro.integrity.invariants`):
     #: ``None``/``False`` = off (byte-identical results, pinned by
     #: ``bench_integrity_overhead.py``); ``True`` = strided probes with
@@ -241,6 +246,10 @@ class TestHarness:
             integrity.watch_device(device)
             integrity.attach(env)
 
+        tracer = cfg.tracing.tracer if cfg.tracing is not None else None
+        if tracer is not None:
+            env.attach_tracer(tracer)
+
         telemetry = cfg.telemetry
         if telemetry is not None:
             from ..telemetry.probes import (
@@ -258,6 +267,9 @@ class TestHarness:
             instrument_injector(telemetry, injector)
             instrument_integrity(telemetry, integrity)
 
+        #: launch_index -> root SpanContext for every traced app.
+        trace_ctxs: Dict[int, object] = {}
+
         def parent():
             # Paper flow: instantiate + allocate + initialize every
             # application on the parent thread, sequentially, up front.
@@ -273,7 +285,20 @@ class TestHarness:
                 records.append(record)
                 thread = AppThread(env, device, app, synchronizer, record)
                 threads.append(thread)
+                if tracer is not None:
+                    thread.trace_ctx = tracer.start_trace(
+                        record.app_id, env.now,
+                        type=record.type_name, index=launch_index,
+                    )
+                    trace_ctxs[launch_index] = thread.trace_ctx
+                prepare_from = env.now
                 yield from thread.prepare()
+                if tracer is not None and env.now > prepare_from:
+                    tracer.record_leaf(
+                        thread.trace_ctx, "host.prepare", "prepare",
+                        prepare_from, env.now,
+                    )
+                thread._trace_ready_at = env.now
 
             # Then start the power-monitor thread and launch each
             # application on its own child thread, in schedule order.
@@ -293,6 +318,13 @@ class TestHarness:
                 thread.assign_stream(stream)
                 thread.record.stream_index = stream.index
                 thread.record.spawn_time = env.now
+                if tracer is not None and env.now > thread._trace_ready_at:
+                    # Spawn stagger: time between being prepared and the
+                    # parent reaching this app in launch order.
+                    tracer.record_leaf(
+                        thread.trace_ctx, "admission.stagger",
+                        "admission-queue", thread._trace_ready_at, env.now,
+                    )
                 if resil is None:
                     children.append(
                         env.process(
@@ -352,6 +384,12 @@ class TestHarness:
             record.outcome = "failed" if record.failed else "completed"
             record.order_policy = cfg.order_label
             record.memory_sync = cfg.memory_sync
+            if tracer is not None:
+                ctx = trace_ctxs.get(record.launch_index)
+                if ctx is not None:
+                    tracer.end_trace(
+                        ctx, record.complete_time, outcome=record.outcome
+                    )
         span = makespan(records)
         t0 = min(r.spawn_time for r in records)
         t1 = max(r.complete_time for r in records)

@@ -107,13 +107,25 @@ class AppSupervisor:
         thread = self.thread
         record = thread.record
         attempt = 0
+        # Causal tracing: the supervisor annotates the supervised app's
+        # trace (backoffs, watchdog fires, budget denials).  Both checks
+        # default to None, so unsupervised-style runs pay nothing.
+        tracer = env.tracer
+        trace_ctx = getattr(thread, "trace_ctx", None)
+        traced = tracer is not None and trace_ctx is not None
 
         while True:
             attempt += 1
             record.attempts = attempt
 
             if self.limiter is not None:
+                limiter_from = env.now
                 yield from self.limiter.acquire()
+                if traced and env.now > limiter_from:
+                    tracer.record(
+                        trace_ctx, "admission.limiter", "admission-limiter",
+                        limiter_from, env.now, attempt=attempt,
+                    )
 
             child = env.process(
                 thread.run(), name=f"thread-{self.app_id}#a{attempt}"
@@ -137,6 +149,11 @@ class AppSupervisor:
                     record.deadline_hits += 1
                     if self.injector is not None:
                         self.injector.mark_deadline(self.app_id, self.deadline)
+                    if traced:
+                        tracer.instant(
+                            trace_ctx, "watchdog.deadline", "watchdog",
+                            env.now, attempt=attempt, deadline=self.deadline,
+                        )
                 if self.controller is not None:
                     self.controller.note_fault()
 
@@ -152,6 +169,11 @@ class AppSupervisor:
                     record.retries_denied += 1
                     record.failed = True
                     record.complete_time = env.now
+                    if traced:
+                        tracer.instant(
+                            trace_ctx, "retry.denied", "retry-denied",
+                            env.now, attempt=attempt,
+                        )
                     return
                 record.retries += 1
                 delay = self.policy.delay(attempt, self._rng)
@@ -159,7 +181,13 @@ class AppSupervisor:
                     self.injector.mark_retry(self.app_id, attempt, delay)
                 thread.reset_for_retry()
                 if delay > 0:
+                    backoff_from = env.now
                     yield env.timeout(delay)
+                    if traced:
+                        tracer.record(
+                            trace_ctx, "retry.backoff", "retry-backoff",
+                            backoff_from, env.now, attempt=attempt,
+                        )
                 continue
 
             # Attempt finished cleanly inside its budget.

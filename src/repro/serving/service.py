@@ -290,6 +290,7 @@ def run_serving(
     journal_path=None,
     resume: bool = False,
     telemetry=None,
+    tracing=None,
 ) -> ServingResult:
     """Execute an arrival trace under the overload-resilient serving layer.
 
@@ -298,9 +299,17 @@ def run_serving(
     Raises :class:`~repro.sim.errors.HarnessCrash` when the fault plan
     kills the harness mid-run — the journal keeps everything committed up
     to that instant; call again with ``resume=True`` to recover.
+
+    ``tracing`` (a :class:`~repro.telemetry.Tracing`) records one causal
+    trace per arrival.  When it also carries a burn-rate config and an
+    ``alert_journal`` path, SLO burn-rate alerts are journaled there —
+    fenced, crash-safe and replay-verified on resume exactly like the
+    outcome journal.  ``None`` leaves results byte-identical.
     """
     config = config or ServingConfig()
-    if resume and journal_path is None:
+    if resume and journal_path is None and (
+        tracing is None or tracing.alert_journal is None
+    ):
         raise ValueError("resume=True requires a journal_path")
     scale_name = resolve_scale(scale)
 
@@ -349,6 +358,45 @@ def run_serving(
         )
         recovered = journal.begin(fingerprint, resume=resume)
 
+    # The burn-rate monitor's alert journal: its own file, fingerprinted
+    # by the run *plus* the alert policy, with every write fenced.  The
+    # main journal's fingerprint is untouched (tracing cannot change the
+    # outcome log), so pre-tracing journals stay valid.
+    alert_journal: Optional[RunJournal] = None
+    if (
+        tracing is not None
+        and tracing.monitor is not None
+        and tracing.alert_journal is not None
+    ):
+        from ..integrity.fencing import FencedJournal, GenerationFence
+
+        burn = tracing.burn
+        alert_fpr = hashlib.sha1(
+            json.dumps(
+                {
+                    "run": _fingerprint(
+                        arrivals,
+                        dispatcher,
+                        num_streams,
+                        memory_sync,
+                        scale_name,
+                        power_interval,
+                        config,
+                        baselines,
+                    ),
+                    "budget": burn.budget,
+                    "windows": [list(w) for w in burn.windows],
+                    "min_events": burn.min_events,
+                },
+                sort_keys=True,
+            ).encode("utf-8")
+        ).hexdigest()
+        alert_journal = RunJournal(tracing.alert_journal)
+        alert_journal.begin(alert_fpr, resume=resume)
+        fence = GenerationFence()
+        tracing.monitor.journal = FencedJournal(alert_journal, fence)
+        tracing.monitor.token = fence.token(0)
+
     panel: Optional[CircuitBreakerPanel] = None
     if config.breaker is not None:
         panel = CircuitBreakerPanel(
@@ -385,6 +433,7 @@ def run_serving(
             power_interval=power_interval,
             serving=hooks,
             telemetry=telemetry,
+            tracing=tracing,
         )
     except HarnessCrash as crash:
         # The journal holds everything committed before the crash; stamp
@@ -392,6 +441,9 @@ def run_serving(
         if journal is not None:
             journal.mark_crash(crash.time)
             journal.close()
+        if alert_journal is not None:
+            alert_journal.mark_crash(crash.time)
+            alert_journal.close()
         raise
     if journal is not None:
         if journal.pending:
@@ -401,6 +453,13 @@ def run_serving(
                 "the journal belongs to a longer run"
             )
         journal.close()
+    if alert_journal is not None:
+        if alert_journal.pending:
+            raise JournalMismatchError(
+                "resumed run did not re-emit every journaled alert record; "
+                "the alert journal belongs to a longer run"
+            )
+        alert_journal.close()
 
     outcomes = Counter(r.outcome for r in base.records)
     return ServingResult(
@@ -511,6 +570,7 @@ def run_batched_serving(
     resume: bool = False,
     crash_after: Optional[int] = None,
     telemetry=None,
+    tracing=None,
 ) -> BatchedServingResult:
     """Serve admitted batches through the adaptive batch scheduler.
 
@@ -583,6 +643,25 @@ def run_batched_serving(
                 workload.types, device=device, width=width
             )
             apps = workload.instantiate(decision.schedule)
+            batch_ctx = None
+            if tracing is not None:
+                # Scope the tracer so per-app trace names stay unique
+                # across batches (each batch reuses instance numbers),
+                # and record the scheduler's decision as its own trace.
+                tracing.tracer.set_scope(f"batch-{i}")
+                batch_ctx = tracing.tracer.start_trace(
+                    "batch", 0.0, policy=sched_policy
+                )
+                tracing.tracer.instant(
+                    batch_ctx,
+                    "schedule.decision",
+                    "scheduler-decision",
+                    0.0,
+                    order=decision.order_label,
+                    num_streams=decision.num_streams,
+                    memory_sync=decision.memory_sync,
+                    predicted=decision.predicted_makespan,
+                )
             harness = TestHarness(
                 HarnessConfig(
                     apps=apps,
@@ -591,9 +670,15 @@ def run_batched_serving(
                     spec=spec,
                     seed=seed,
                     order_label=decision.order_label,
+                    tracing=tracing,
                 )
             )
             result = harness.run()
+            if batch_ctx is not None:
+                tracing.tracer.end_trace(
+                    batch_ctx, result.makespan, outcome="completed"
+                )
+                tracing.tracer.set_scope("")
             scheduler.observe(decision, result.makespan, records=result.records)
             outcomes.append(
                 BatchOutcome(

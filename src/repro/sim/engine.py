@@ -55,6 +55,11 @@ class Environment:
         self._probe: Optional[Any] = None
         self._probe_stride: int = 0
         self._probe_countdown: int = 0
+        # Optional causal tracer (see repro.telemetry.tracing).  Purely
+        # passive: the step loop never consults it — instrumented layers
+        # reach it through :attr:`tracer` with one attribute check, so an
+        # untraced run is byte-identical to one that never heard of it.
+        self._tracer: Optional[Any] = None
 
     # -- introspection ---------------------------------------------------
 
@@ -131,6 +136,22 @@ class Environment:
         self._probe = None
         self._probe_stride = 0
         self._probe_countdown = 0
+
+    @property
+    def tracer(self) -> Optional[Any]:
+        """The attached causal tracer, if any (see :mod:`repro.telemetry`)."""
+        return self._tracer
+
+    def attach_tracer(self, tracer: Any) -> None:
+        """Attach a causal tracer so instrumented layers can reach it.
+
+        The event loop itself never calls the tracer — spans are
+        record-complete and written by the waiting layer — so attaching
+        one cannot perturb the calendar.  Pass ``None`` to detach.
+        """
+        if tracer is not None and not hasattr(tracer, "record"):
+            raise TypeError(f"{tracer!r} has no record(...) method")
+        self._tracer = tracer
 
     # -- event factories ---------------------------------------------------
 

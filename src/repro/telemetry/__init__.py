@@ -21,6 +21,7 @@ from .exporters import (
     snapshots_to_jsonl,
     write_jsonl,
 )
+from .burnrate import BurnRateConfig, BurnRateMonitor
 from .console import metrics_table, sparkline
 from .httpd import CONTENT_TYPE_LATEST, MetricsServer
 from .registry import (
@@ -31,6 +32,18 @@ from .registry import (
     MetricRegistry,
 )
 from .sampler import DEFAULT_SAMPLE_INTERVAL, Sampler, Snapshot, Telemetry
+from .tracing import (
+    ENGINE_CATEGORIES,
+    TRACING_PID,
+    WAIT_CATEGORIES,
+    Span,
+    SpanContext,
+    Tracer,
+    Tracing,
+    spans_to_chrome_events,
+    spans_to_otlp_jsonl,
+    write_otlp_jsonl,
+)
 from .trajectory import load_trajectory, record_trajectory_point
 
 __all__ = [
@@ -54,4 +67,16 @@ __all__ = [
     "sparkline",
     "record_trajectory_point",
     "load_trajectory",
+    "Tracing",
+    "Tracer",
+    "Span",
+    "SpanContext",
+    "TRACING_PID",
+    "WAIT_CATEGORIES",
+    "ENGINE_CATEGORIES",
+    "spans_to_chrome_events",
+    "spans_to_otlp_jsonl",
+    "write_otlp_jsonl",
+    "BurnRateConfig",
+    "BurnRateMonitor",
 ]

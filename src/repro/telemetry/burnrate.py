@@ -1,0 +1,160 @@
+"""Multi-window SLO burn-rate monitors on the simulation clock.
+
+Classic SRE error-budget alerting (the 1h/6h multi-window pattern),
+scaled to simulated time: the serving layer grants an error budget —
+a fraction of arrivals allowed to miss their deadline — and the monitor
+watches how fast the budget burns.  ``burn rate = observed bad fraction
+/ budget``; a burn rate of 1.0 spends exactly the budget over the
+period, 14.4 spends a 30-day budget in 2 days.
+
+Each configured window is a ``(short, long, threshold)`` triple: the
+alert fires only when *both* the short and the long lookback exceed the
+threshold — the short window makes the alert fast, the long window keeps
+a transient blip from paging.  Alerts resolve symmetrically when both
+windows drop back under.
+
+Alert records are plain dicts, appended to :attr:`BurnRateMonitor.
+alerts` in simulation order and — when the caller binds a journal —
+written through it immediately, so an alert stream survives a harness
+crash and replays byte-identically on resume.  Timestamps use the
+``"t"`` key so the integrity scanner's clock-regression probe covers
+alert journals too.
+
+Everything is a pure function of the observed outcome sequence: no wall
+clock, no randomness, deterministic across replays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+__all__ = ["BurnRateConfig", "BurnRateMonitor"]
+
+
+@dataclass(frozen=True)
+class BurnRateConfig:
+    """Error budget plus multi-window alert policy.
+
+    ``windows`` holds ``(short, long, threshold)`` triples in simulation
+    seconds.  The defaults mirror the canonical fast-page / slow-ticket
+    pair, scaled to millisecond-class serving runs.
+    """
+
+    #: Fraction of arrivals allowed to miss their deadline.
+    budget: float = 0.05
+    #: ``(short_window_s, long_window_s, burn_rate_threshold)`` triples.
+    windows: Tuple[Tuple[float, float, float], ...] = (
+        (1e-3, 6e-3, 14.4),
+        (3e-3, 18e-3, 6.0),
+    )
+    #: Ignore windows holding fewer observations than this (cold start).
+    min_events: int = 5
+
+
+class BurnRateMonitor:
+    """Streaming multi-window burn-rate evaluator.
+
+    Engines call :meth:`observe` once per terminal outcome (in
+    simulation-time order); the monitor re-evaluates every window and
+    emits ``alert`` / ``alert-resolved`` records on state transitions.
+    """
+
+    def __init__(
+        self,
+        config: Optional[BurnRateConfig] = None,
+        journal=None,
+        token=None,
+    ) -> None:
+        self.config = config or BurnRateConfig()
+        if self.config.budget <= 0:
+            raise ValueError("error budget must be positive")
+        #: Journal duck type (``record(entry)`` or fenced
+        #: ``record(entry, token=...)``); bound by the serving layer.
+        self.journal = journal
+        #: Fence token presented with every journaled alert record.
+        self.token = token
+        #: Alert / alert-resolved records in simulation order.
+        self.alerts: List[dict] = []
+        self.observed: int = 0
+        self.bad: int = 0
+        self._events: List[Tuple[float, int]] = []  # (time, bad?)
+        self._active = [False] * len(self.config.windows)
+
+    # -- observation -------------------------------------------------------
+
+    def observe(self, now: float, good: bool) -> None:
+        """Feed one terminal outcome at simulation time ``now``."""
+        now = float(now)
+        self.observed += 1
+        if not good:
+            self.bad += 1
+        self._events.append((now, 0 if good else 1))
+        horizon = max(long for _, long, _ in self.config.windows or [(0, 0, 0)])
+        cutoff = now - horizon
+        while self._events and self._events[0][0] < cutoff:
+            self._events.pop(0)
+        for i, (short, long, threshold) in enumerate(self.config.windows):
+            burn_short, n_short = self._burn(now, short)
+            burn_long, _ = self._burn(now, long)
+            firing = (
+                n_short >= self.config.min_events
+                and burn_short >= threshold
+                and burn_long >= threshold
+            )
+            if firing and not self._active[i]:
+                self._active[i] = True
+                self._emit("alert", now, i, burn_short, burn_long)
+            elif self._active[i] and not firing:
+                self._active[i] = False
+                self._emit("alert-resolved", now, i, burn_short, burn_long)
+
+    def _burn(self, now: float, window: float) -> Tuple[float, int]:
+        """(burn rate, sample count) over ``[now - window, now]``."""
+        cutoff = now - window
+        total = bad = 0
+        for t, is_bad in reversed(self._events):
+            if t < cutoff:
+                break
+            total += 1
+            bad += is_bad
+        if total == 0:
+            return 0.0, 0
+        return (bad / total) / self.config.budget, total
+
+    def _emit(
+        self, event: str, now: float, index: int,
+        burn_short: float, burn_long: float,
+    ) -> None:
+        short, long, threshold = self.config.windows[index]
+        record = {
+            "event": event,
+            "t": float(now),
+            "window": index,
+            "short": short,
+            "long": long,
+            "threshold": threshold,
+            "burn_short": burn_short,
+            "burn_long": burn_long,
+        }
+        self.alerts.append(record)
+        if self.journal is not None:
+            if self.token is not None:
+                self.journal.record(record, token=self.token)
+            else:
+                self.journal.record(record)
+
+    # -- summary -----------------------------------------------------------
+
+    @property
+    def firing(self) -> bool:
+        """True while any window's alert is active."""
+        return any(self._active)
+
+    def summary(self) -> dict:
+        return {
+            "observed": self.observed,
+            "bad": self.bad,
+            "alerts": sum(1 for a in self.alerts if a["event"] == "alert"),
+            "firing": self.firing,
+        }

@@ -37,16 +37,19 @@ def sparkline(values: Sequence[float], width: int = 40) -> str:
     """Render ``values`` as a fixed-height block-character sparkline.
 
     The series is bucket-averaged down to ``width`` columns and scaled to
-    its own min..max range; a flat series renders as a run of the lowest
-    block so "never moved" is visually distinct from "climbed".
+    its own min..max range.  Degenerate inputs never divide by a zero
+    range: an empty series renders a full-width run of the middle block
+    (so table layouts keep their column), and a constant series renders
+    the same flat middle-block line at its sampled length.
     """
+    flat = SPARK_BLOCKS[len(SPARK_BLOCKS) // 2]
     if not values:
-        return ""
+        return flat * max(1, width)
     sampled = _resample(values, max(1, width))
     lo = min(sampled)
     hi = max(sampled)
     if hi <= lo:
-        return SPARK_BLOCKS[0] * len(sampled)
+        return flat * len(sampled)
     span = hi - lo
     top = len(SPARK_BLOCKS) - 1
     return "".join(

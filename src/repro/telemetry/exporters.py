@@ -73,7 +73,13 @@ def _label_text(labelnames: Sequence[str], values: Sequence[str]) -> str:
 
 
 def _q(value: str) -> str:
-    return '"' + value.replace("\\", "\\\\").replace('"', '\\"') + '"'
+    # Exposition-format label escaping: backslash first, then the
+    # newline (a literal "\n" in the value would split the sample line),
+    # then the quote.
+    escaped = (
+        value.replace("\\", "\\\\").replace("\n", "\\n").replace('"', '\\"')
+    )
+    return '"' + escaped + '"'
 
 
 def _join(base: str, extra: str) -> str:

@@ -150,6 +150,72 @@ class TestCounterMerge:
         assert [e for e in loaded["traceEvents"] if e["ph"] == "C"]
 
 
+class TestSpanMerge:
+    @pytest.fixture
+    def span_events(self):
+        from repro.telemetry import Tracer, spans_to_chrome_events
+
+        tracer = Tracer(seed=7)
+        ctx = tracer.start_trace("app-0", 0.0)
+        tracer.record_leaf(ctx, "queue", "admission-queue", 0.0, 1e-3)
+        tracer.end_trace(ctx, 2e-3, outcome="completed")
+        return spans_to_chrome_events(tracer.spans)
+
+    def test_async_pairs_and_process_metadata(self, trace, span_events):
+        from repro.telemetry import TRACING_PID
+
+        doc = to_chrome_trace(trace, span_events=span_events)
+        events = doc["traceEvents"]
+        merged = [e for e in events if e["ph"] in ("b", "e")]
+        assert len(merged) == 4  # root + leaf, begin/end each
+        assert all(e["pid"] == TRACING_PID for e in merged)
+        meta = {
+            e["name"]: e["args"]
+            for e in events
+            if e["ph"] == "M" and e["pid"] == TRACING_PID
+        }
+        assert meta["process_name"] == {"name": "Tracing"}
+        assert meta["process_sort_index"] == {"sort_index": TRACING_PID}
+
+    def test_default_pid_when_events_carry_none(self, trace):
+        events = [{"ph": "b", "ts": 0.0, "name": "x", "id": "t0"}]
+        doc = to_chrome_trace(trace, span_events=events)
+        meta = [
+            e for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+            and e["args"]["name"] == "Tracing"
+        ]
+        assert meta[0]["pid"] == GPU_PID + 2
+
+    def test_counter_and_span_processes_coexist(self, trace, span_events):
+        counters = [
+            {"name": "repro_w", "ph": "C", "pid": 2, "ts": 0.0,
+             "args": {"value": 1.0}},
+        ]
+        doc = to_chrome_trace(
+            trace, counter_events=counters, span_events=span_events
+        )
+        pids = {e["pid"] for e in doc["traceEvents"]}
+        assert {GPU_PID, 2, 3} <= pids
+        # The merge leaves the GPU thread ordering pinned by
+        # _track_sort_key untouched.
+        names = [
+            e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        ]
+        assert names == ["stream-0", "stream-1"]
+
+    def test_no_span_events_no_tracing_process(self, trace):
+        doc = to_chrome_trace(trace)
+        names = [
+            e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        ]
+        assert "Tracing" not in names
+
+
 class TestWrite:
     def test_roundtrip_json(self, trace, tmp_path):
         path = write_chrome_trace(trace, tmp_path / "sub" / "trace.json")

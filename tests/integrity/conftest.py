@@ -5,9 +5,10 @@ journal at a caller-chosen path, exposing exactly the interface
 :func:`repro.integrity.crashfuzz.run_crash_sweep` consumes: the
 uninterrupted run's reference bytes plus ``resume``/``fresh`` callables
 that re-run the *same* configuration against an arbitrary path.  The
-three stores cover every persisted-write site in the repo: the serving
-outcome journal, the fleet checkpoint/failover journal and the batch
-scheduler's decision journal.
+stores cover every persisted-write site in the repo: the serving
+outcome journal, the fleet checkpoint/failover journal (plain, hedged
+and cascade variants), the batch scheduler's decision journal and the
+burn-rate monitor's alert-record journal.
 """
 
 from __future__ import annotations
@@ -28,6 +29,7 @@ from repro.serving import (
     run_batched_serving,
     run_serving,
 )
+from repro.telemetry import BurnRateConfig, Tracing
 
 SEED = 7
 
@@ -256,12 +258,59 @@ def cascade_store(base: Path) -> Store:
     )
 
 
+def alerts_store(base: Path) -> Store:
+    """The burn-rate monitor's fenced alert-record journal.
+
+    An overloaded serving run (tight SLO, small cap) drives the monitor
+    through alert / alert-resolved cycles on both lookback windows, so
+    the journal carries the observability PR's record type.  The store
+    journals *only* alerts — no outcome journal — exercising the
+    serving path that resumes from the alert journal alone.
+    """
+    arrivals = lambda: poisson_arrivals(
+        rate=4000.0,
+        duration=0.006,
+        type_mix=[("nn", 2), ("needle", 1)],
+        seed=SEED,
+    )
+
+    def run(path: Path, resume: bool = False) -> None:
+        tracing = Tracing(
+            seed=SEED,
+            burn=BurnRateConfig(
+                budget=0.05,
+                windows=((1e-3, 6e-3, 2.0), (3e-3, 18e-3, 1.0)),
+                min_events=2,
+            ),
+            alert_journal=path,
+        )
+        run_serving(
+            arrivals(),
+            ConcurrencyCapDispatcher(3),
+            ServingConfig(seed=SEED, slo_factor=2.5),
+            num_streams=8,
+            resume=resume,
+            tracing=tracing,
+        )
+
+    ref = base / "alerts-ref.jsonl"
+    run(ref)
+    return Store(
+        "alerts",
+        ref.read_bytes(),
+        lambda p: run(p, resume=True),
+        run,
+        (JournalError,),
+    )
+
+
 STORE_BUILDERS = {
     "serving": serving_store,
     "scheduler": scheduler_store,
     "fleet": fleet_store,
     "hedge": hedge_store,
     "cascade": cascade_store,
+    "alerts": alerts_store,
 }
 
 

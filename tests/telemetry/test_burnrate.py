@@ -1,0 +1,120 @@
+"""Multi-window SLO burn-rate monitor: transitions, guards, journaling."""
+
+import pytest
+
+from repro.telemetry import BurnRateConfig, BurnRateMonitor
+
+pytestmark = pytest.mark.tracing
+
+#: One fast window: 1ms short / 6ms long lookback, fire at burn rate 2
+#: (i.e. bad fraction >= 2 * budget) once 3 events are in the short
+#: window.
+CONFIG = BurnRateConfig(
+    budget=0.1, windows=((1e-3, 6e-3, 2.0),), min_events=3
+)
+
+
+def feed(monitor, outcomes, dt=1e-4, t0=0.0):
+    for i, good in enumerate(outcomes):
+        monitor.observe(t0 + i * dt, good)
+
+
+class TestConfig:
+    def test_budget_must_be_positive(self):
+        with pytest.raises(ValueError, match="budget"):
+            BurnRateMonitor(BurnRateConfig(budget=0.0))
+
+    def test_defaults_are_multi_window(self):
+        assert len(BurnRateConfig().windows) == 2
+
+
+class TestTransitions:
+    def test_all_good_never_fires(self):
+        monitor = BurnRateMonitor(CONFIG)
+        feed(monitor, [True] * 50)
+        assert monitor.alerts == []
+        assert not monitor.firing
+
+    def test_sustained_bad_fires_once(self):
+        monitor = BurnRateMonitor(CONFIG)
+        feed(monitor, [False] * 20)
+        fired = [a for a in monitor.alerts if a["event"] == "alert"]
+        assert len(fired) == 1
+        assert monitor.firing
+        assert fired[0]["window"] == 0
+        assert fired[0]["burn_short"] >= 2.0
+
+    def test_recovery_resolves(self):
+        monitor = BurnRateMonitor(CONFIG)
+        feed(monitor, [False] * 10 + [True] * 80)
+        events = [a["event"] for a in monitor.alerts]
+        assert events == ["alert", "alert-resolved"]
+        assert not monitor.firing
+
+    def test_min_events_guards_cold_start(self):
+        monitor = BurnRateMonitor(CONFIG)
+        feed(monitor, [False, False])  # 100% burn, but too few samples
+        assert monitor.alerts == []
+
+    def test_long_window_guards_transient_blip(self):
+        # A short burst of misses inside an otherwise healthy long
+        # lookback must not page: short exceeds, long stays under.
+        monitor = BurnRateMonitor(
+            BurnRateConfig(budget=0.1, windows=((1e-3, 6e-3, 5.0),), min_events=3)
+        )
+        feed(monitor, [True] * 50, dt=1e-4)        # healthy 5ms of history
+        feed(monitor, [False] * 4, dt=1e-5, t0=5.1e-3)  # 40us blip
+        assert monitor.alerts == []
+
+    def test_alert_records_use_t_key(self):
+        # The integrity scanner's clock-regression probe keys on "t".
+        monitor = BurnRateMonitor(CONFIG)
+        feed(monitor, [False] * 10)
+        assert all("t" in a for a in monitor.alerts)
+        times = [a["t"] for a in monitor.alerts]
+        assert times == sorted(times)
+
+
+class TestDeterminism:
+    def test_same_sequence_same_alerts(self):
+        a, b = BurnRateMonitor(CONFIG), BurnRateMonitor(CONFIG)
+        seq = [i % 3 != 0 for i in range(100)]
+        feed(a, seq)
+        feed(b, seq)
+        assert a.alerts == b.alerts
+        assert a.summary() == b.summary()
+
+
+class _StubJournal:
+    def __init__(self):
+        self.entries = []
+        self.tokens = []
+
+    def record(self, entry, token=None):
+        self.entries.append(entry)
+        self.tokens.append(token)
+
+
+class TestJournaling:
+    def test_alerts_written_through(self):
+        journal = _StubJournal()
+        monitor = BurnRateMonitor(CONFIG, journal=journal)
+        feed(monitor, [False] * 10)
+        assert journal.entries == monitor.alerts
+
+    def test_fence_token_presented(self):
+        journal = _StubJournal()
+        monitor = BurnRateMonitor(CONFIG, journal=journal, token="fence-1")
+        feed(monitor, [False] * 10)
+        assert journal.tokens == ["fence-1"] * len(monitor.alerts)
+
+
+class TestSummary:
+    def test_counts(self):
+        monitor = BurnRateMonitor(CONFIG)
+        feed(monitor, [False] * 10 + [True] * 80)
+        summary = monitor.summary()
+        assert summary["observed"] == 90
+        assert summary["bad"] == 10
+        assert summary["alerts"] == 1
+        assert summary["firing"] is False

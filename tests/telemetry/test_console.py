@@ -9,11 +9,16 @@ pytestmark = pytest.mark.telemetry
 
 
 class TestSparkline:
-    def test_empty_series(self):
-        assert sparkline([]) == ""
+    def test_empty_series_renders_flat_midline(self):
+        mid = SPARK_BLOCKS[len(SPARK_BLOCKS) // 2]
+        assert sparkline([]) == mid * 40
+        assert sparkline([], width=8) == mid * 8
 
-    def test_flat_series_is_lowest_block(self):
-        assert sparkline([5.0, 5.0, 5.0]) == SPARK_BLOCKS[0] * 3
+    def test_flat_series_is_mid_block(self):
+        mid = SPARK_BLOCKS[len(SPARK_BLOCKS) // 2]
+        assert sparkline([5.0, 5.0, 5.0]) == mid * 3
+        # Zero constants too: no zero-range division either way.
+        assert sparkline([0.0, 0.0]) == mid * 2
 
     def test_ramp_spans_full_range(self):
         line = sparkline([0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0])

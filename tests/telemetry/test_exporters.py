@@ -78,6 +78,34 @@ class TestPrometheusText:
         text = generate_latest(reg)
         assert r'why="say \"hi\"\\now"' in text
 
+    def test_newline_in_label_value_stays_on_one_line(self):
+        # A literal newline would split the sample line and corrupt the
+        # exposition; it must escape to the two characters backslash-n.
+        reg = MetricRegistry()
+        reg.counter("repro_odd_total", labelnames=("why",)).inc(
+            why="line1\nline2"
+        )
+        text = generate_latest(reg)
+        assert r'why="line1\nline2"' in text
+        (sample_line,) = [
+            l for l in text.splitlines() if not l.startswith("#")
+        ]
+        assert sample_line.endswith(" 1")
+        # And the escaped text still parses as one series.
+        parsed = parse_prometheus(text)
+        assert parsed[r'repro_odd_total{why="line1\nline2"}'] == 1.0
+
+    def test_backslash_escaped_before_newline(self):
+        # Escaping order matters: a literal backslash-then-n in the value
+        # must not collide with the newline escape — backslash doubles
+        # first, so the two stay distinguishable to a decoder.
+        reg = MetricRegistry()
+        reg.counter("repro_odd_total", labelnames=("why",)).inc(
+            why="raw\\n vs \n"
+        )
+        text = generate_latest(reg)
+        assert 'why="raw\\\\n vs \\n"' in text
+
     def test_empty_registry(self):
         assert generate_latest(MetricRegistry()) == ""
 

@@ -15,7 +15,7 @@ class TestParser:
             "list", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
             "fig9", "fig10", "timeline", "table3", "headline",
             "autotune", "streaming", "report", "homog", "resilience",
-            "serve", "schedule", "fleet", "telemetry", "verify",
+            "serve", "schedule", "fleet", "telemetry", "trace", "verify",
         }
 
     def test_requires_command(self, capsys):
@@ -228,6 +228,30 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "repro_gpu_power_watts" in out
         assert "repro_sim_events_total" not in out
+
+    def test_trace_tiny_with_exports(self, tmp_path, capsys):
+        import json
+
+        chrome = tmp_path / "trace.json"
+        otlp = tmp_path / "spans.jsonl"
+        alerts = tmp_path / "alerts.jsonl"
+        code = main([
+            "--scale", "tiny", "--out", str(tmp_path),
+            "trace", "--rate", "9000", "--duration", "0.003",
+            "--streams", "8", "--cap", "3",
+            "--chrome", str(chrome), "--otlp", str(otlp),
+            "--alerts", str(alerts),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Fleet critical path" in out
+        assert "slowest traces" in out
+        assert (tmp_path / "trace_aggregate.csv").exists()
+        assert (tmp_path / "trace_slowest.csv").exists()
+        doc = json.loads(chrome.read_text())
+        assert any(e["ph"] in ("b", "e") for e in doc["traceEvents"])
+        assert json.loads(otlp.read_text().splitlines()[0])["traceId"]
+        assert alerts.exists()
 
     def test_report_missing_sections(self, tmp_path, capsys):
         code = main(["report", "--results", str(tmp_path)])
