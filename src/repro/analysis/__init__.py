@@ -19,6 +19,13 @@ from .stats import (
 )
 from .tables import format_markdown, format_table, format_value, write_csv
 from .timeline import GLYPHS, render_timeline, timeline_rows
+from .waterfall import (
+    build_leaderboard,
+    build_waterfall,
+    render_leaderboard,
+    render_waterfall,
+    write_leaderboard_json,
+)
 
 __all__ = [
     "to_chrome_trace",
@@ -47,4 +54,9 @@ __all__ = [
     "gpu_utilization",
     "dma_utilization",
     "concurrency_profile",
+    "build_leaderboard",
+    "build_waterfall",
+    "render_leaderboard",
+    "render_waterfall",
+    "write_leaderboard_json",
 ]

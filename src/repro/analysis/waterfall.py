@@ -1,0 +1,178 @@
+"""Per-policy leaderboards and win/regression waterfalls over scenarios.
+
+The workload layer's reporting surface: a sweep of (scenario x policy)
+cells — each a flat metrics dict from :meth:`repro.workload.\
+BatchedTrafficResult.metrics` or :meth:`~repro.workload.TrafficResult.\
+metrics` — becomes
+
+* a **leaderboard**: per scenario, policies ranked by SLO goodput
+  (ties broken by SLO attainment, then name, so ranking is total and
+  deterministic);
+* a **waterfall**: one policy vs a baseline policy across scenarios,
+  sorted by relative goodput delta — wins at the top, regressions at the
+  bottom, *both* always shown (a policy that loses a scenario loses it
+  in public).
+
+Everything renders to the repo's usual aligned-table text and serializes
+to canonical JSON (sorted keys, newline-terminated, no timestamps) so
+two identical sweeps produce byte-identical artifacts under
+``results/``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from .tables import format_table
+
+__all__ = [
+    "build_leaderboard",
+    "build_waterfall",
+    "render_leaderboard",
+    "render_waterfall",
+    "write_leaderboard_json",
+]
+
+#: The metric every ranking sorts on.
+SCORE_KEY = "goodput"
+
+
+def build_leaderboard(cells: Sequence[Mapping]) -> Dict:
+    """(scenario x policy) metric cells -> ranked per-scenario leaderboard.
+
+    Each cell must carry ``scenario``, ``policy`` and ``goodput`` (plus
+    any other metrics, which are preserved).  Returns::
+
+        {scenario: {"policies": {policy: cell}, "ranking": [policy, ...]}}
+    """
+    board: Dict[str, Dict] = {}
+    for cell in cells:
+        scenario = cell["scenario"]
+        policy = cell["policy"]
+        entry = board.setdefault(scenario, {"policies": {}, "ranking": []})
+        if policy in entry["policies"]:
+            raise ValueError(
+                f"duplicate leaderboard cell ({scenario}, {policy})"
+            )
+        entry["policies"][policy] = dict(cell)
+    for entry in board.values():
+        entry["ranking"] = sorted(
+            entry["policies"],
+            key=lambda p: (
+                -entry["policies"][p][SCORE_KEY],
+                -entry["policies"][p].get("slo_attainment", 0.0),
+                p,
+            ),
+        )
+    return dict(sorted(board.items()))
+
+
+def build_waterfall(
+    leaderboard: Mapping[str, Mapping],
+    policy: str,
+    baseline: str,
+) -> List[Dict]:
+    """Sorted win/regression rows of ``policy`` vs ``baseline``.
+
+    One row per scenario both policies ran, sorted by relative goodput
+    delta, best first.  Regressions (negative delta) are *kept*, not
+    filtered — the waterfall's whole point is showing both tails.
+    """
+    rows: List[Dict] = []
+    for scenario, entry in leaderboard.items():
+        cells = entry["policies"]
+        if policy not in cells or baseline not in cells:
+            continue
+        ours = cells[policy][SCORE_KEY]
+        base = cells[baseline][SCORE_KEY]
+        delta = ours - base
+        rows.append(
+            {
+                "scenario": scenario,
+                "policy": policy,
+                "baseline": baseline,
+                "policy_goodput": ours,
+                "baseline_goodput": base,
+                "delta": delta,
+                "delta_pct": (delta / base * 100.0) if base > 0 else 0.0,
+                "verdict": (
+                    "win" if delta > 0 else "regression" if delta < 0 else "tie"
+                ),
+            }
+        )
+    rows.sort(key=lambda r: (-r["delta_pct"], r["scenario"]))
+    return rows
+
+
+def render_leaderboard(leaderboard: Mapping[str, Mapping]) -> str:
+    """Aligned text tables, one per scenario, policies in rank order."""
+    blocks: List[str] = []
+    for scenario, entry in leaderboard.items():
+        rows = []
+        for rank, policy in enumerate(entry["ranking"], start=1):
+            cell = entry["policies"][policy]
+            rows.append(
+                {
+                    "rank": rank,
+                    "policy": policy,
+                    "goodput": round(cell[SCORE_KEY], 1),
+                    "slo_attainment": round(
+                        cell.get("slo_attainment", 0.0), 3
+                    ),
+                    "deadline_met": cell.get("deadline_met", ""),
+                    "arrivals": cell.get("arrivals", ""),
+                }
+            )
+        blocks.append(format_table(rows, title=f"[scenario: {scenario}]"))
+    return "\n\n".join(blocks)
+
+
+def render_waterfall(rows: Sequence[Mapping]) -> str:
+    """The waterfall as an aligned table with a signed-delta bar."""
+    if not rows:
+        return "(no waterfall rows)"
+    peak = max(abs(r["delta_pct"]) for r in rows) or 1.0
+    rendered = []
+    for r in rows:
+        width = int(round(abs(r["delta_pct"]) / peak * 20))
+        bar = ("+" if r["delta"] >= 0 else "-") * width
+        rendered.append(
+            {
+                "scenario": r["scenario"],
+                "verdict": r["verdict"],
+                "delta_pct": round(r["delta_pct"], 1),
+                "policy_goodput": round(r["policy_goodput"], 1),
+                "baseline_goodput": round(r["baseline_goodput"], 1),
+                "bar": bar,
+            }
+        )
+    title = (
+        f"[waterfall: {rows[0]['policy']} vs {rows[0]['baseline']} "
+        "(sorted by delta)]"
+    )
+    return format_table(rendered, title=title)
+
+
+def write_leaderboard_json(
+    leaderboard: Mapping,
+    path,
+    waterfall: Optional[Sequence[Mapping]] = None,
+    meta: Optional[Mapping] = None,
+) -> Path:
+    """Serialize the leaderboard (+ optional waterfall) deterministically.
+
+    Canonical JSON: sorted keys, 2-space indent, trailing newline, and —
+    deliberately — no timestamps or host details, so the same sweep
+    always writes the same bytes (the determinism tests diff this file).
+    """
+    payload: Dict = {"leaderboard": leaderboard}
+    if waterfall is not None:
+        payload["waterfall"] = list(waterfall)
+    if meta is not None:
+        payload["meta"] = dict(meta)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

@@ -342,6 +342,46 @@ def build_parser() -> argparse.ArgumentParser:
                    "crash-safe)")
 
     p = sub.add_parser(
+        "traffic",
+        help="multi-tenant traffic scenarios: open-loop serving, trace "
+        "record/replay, per-policy SLO-goodput leaderboards",
+    )
+    p.add_argument("--scenario", default="steady",
+                   help="canonical scenario: steady, burst, diurnal or "
+                   "overload")
+    p.add_argument("--requests", type=int, default=2000,
+                   help="arrivals to stream through the scenario")
+    p.add_argument("--policy", default="reject",
+                   help="queue policy (block/reject/shed-oldest) or "
+                   "'greedy' (unbounded admission)")
+    p.add_argument("--cap", type=int, default=None,
+                   help="concurrency cap (default: the scenario's)")
+    p.add_argument("--qdepth", type=int, default=64,
+                   help="admission queue depth")
+    p.add_argument("--streams", type=int, default=16)
+    p.add_argument("--seed", type=int, default=None,
+                   help="override the scenario's seed")
+    p.add_argument("--record", type=Path, default=None, metavar="FILE",
+                   help="record the arrival trace to FILE (checksummed, "
+                   "with a FILE.cursor sidecar for crash-resume) and exit")
+    p.add_argument("--replay", type=Path, default=None, metavar="FILE",
+                   help="serve from a recorded trace instead of generating "
+                   "inline (fingerprint-checked)")
+    p.add_argument("--journal", type=Path, default=None,
+                   help="crash-safe serving outcome journal path")
+    p.add_argument("--resume", action="store_true",
+                   help="resume a crashed run (serving journal or trace "
+                   "recording)")
+    p.add_argument("--batched", action="store_true",
+                   help="score batch-scheduler policies on the scenario "
+                   "instead (SLO-goodput leaderboard)")
+    p.add_argument("--policies", nargs="+",
+                   default=["bandit", "naive-fifo", "reverse-fifo"],
+                   help="with --batched: scheduler policies to sweep")
+    p.add_argument("--batch-size", type=int, default=8,
+                   help="with --batched: admission batch size")
+
+    p = sub.add_parser(
         "verify",
         help="scan (and optionally repair) crash-safe journals offline",
     )
@@ -389,7 +429,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(
             "experiments: fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 "
             "timeline table3 headline homog autotune streaming serve "
-            "schedule resilience fleet telemetry trace verify report"
+            "schedule resilience fleet telemetry trace traffic verify report"
         )
         return 0
 
@@ -1312,6 +1352,108 @@ def main(argv: Optional[List[str]] = None) -> int:
                 "verified against the replay"
             )
         print(result.summary())
+        return 0
+
+    if args.command == "traffic":
+        from dataclasses import replace as _replace
+
+        from .analysis import (
+            build_leaderboard,
+            render_leaderboard,
+            write_leaderboard_json,
+        )
+        from .sim.errors import HarnessCrash
+        from .workload import (
+            get_scenario,
+            record_trace,
+            run_traffic,
+            run_traffic_batched,
+        )
+
+        scenario = get_scenario(args.scenario)
+        if args.seed is not None:
+            scenario = _replace(scenario, seed=args.seed)
+        built = scenario.build(args.requests, scale=scale)
+
+        if args.record is not None:
+            cursor = args.record.with_name(args.record.name + ".cursor")
+            try:
+                count = record_trace(
+                    built.stream(),
+                    args.record,
+                    built.fingerprint(),
+                    cursor_path=cursor,
+                    resume=args.resume,
+                )
+            except HarnessCrash as crash:
+                print(f"recording crashed: {crash}; rerun with --resume")
+                return 3
+            print(
+                f"recorded {count} arrivals to {args.record} "
+                f"(cursors: {cursor})"
+            )
+            return 0
+
+        if args.batched:
+            cells = []
+            for policy in args.policies:
+                result = run_traffic_batched(
+                    built, policy, batch_size=args.batch_size, scale=scale
+                )
+                cells.append(result.metrics())
+            board = build_leaderboard(cells)
+            print(render_leaderboard(board))
+            if out is not None:
+                path = write_leaderboard_json(
+                    board,
+                    out / "traffic_leaderboard.json",
+                    meta={
+                        "scenario": args.scenario,
+                        "requests": args.requests,
+                        "batch_size": args.batch_size,
+                    },
+                )
+                print(f"(wrote {path})")
+            return 0
+
+        try:
+            result = run_traffic(
+                built,
+                policy=args.policy,
+                cap=args.cap,
+                queue_depth=args.qdepth,
+                num_streams=args.streams,
+                scale=scale,
+                trace_path=args.replay,
+                journal_path=args.journal,
+                resume=args.resume,
+            )
+        except HarnessCrash as crash:
+            print(f"harness crashed mid-run: {crash}")
+            if args.journal is not None:
+                print(
+                    f"journal preserved at {args.journal}; rerun with "
+                    "--resume to recover deterministically"
+                )
+            return 3
+        metrics = result.metrics()
+        classes = metrics.pop("classes")
+        summary_rows = [
+            {"metric": k, "value": v} for k, v in metrics.items()
+        ]
+        print(
+            format_table(
+                summary_rows,
+                title=f"[traffic: {built.name} / {args.policy}]",
+            )
+        )
+        class_rows = [{"class": n, **p} for n, p in sorted(classes.items())]
+        _emit(
+            class_rows,
+            "[per tenant class]",
+            out,
+            f"traffic_{built.name}_{args.policy}",
+        )
         return 0
 
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

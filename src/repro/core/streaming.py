@@ -40,9 +40,10 @@ the same event sequence as a plain run — results are byte-identical.
 from __future__ import annotations
 
 import heapq
+import itertools
 import warnings
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -83,11 +84,34 @@ class AdmissionStallWarning(RuntimeWarning):
 
 @dataclass(frozen=True)
 class Arrival:
-    """One job of a streaming trace."""
+    """One job of a streaming trace.
+
+    The last four fields are the multi-tenant extension used by
+    :mod:`repro.workload`; their defaults are inert, so traces built by
+    :func:`poisson_arrivals` (and every pre-existing caller) behave — and
+    fingerprint — exactly as before.
+
+    Attributes
+    ----------
+    tenant:
+        Tenant-class name, or ``""`` outside multi-tenant traffic.
+    tenant_id:
+        Sub-tenant index within the class (seeded popularity draw).
+    deadline:
+        Absolute SLO deadline carried *on the arrival* (seconds); ``0``
+        means none.  Used only when the serving layer does not compute a
+        deadline table of its own.
+    priority:
+        Tenant-class priority (higher = more important); informational.
+    """
 
     index: int
     time: float
     type_name: str
+    tenant: str = ""
+    tenant_id: int = 0
+    deadline: float = 0.0
+    priority: int = 0
 
 
 def poisson_arrivals(
@@ -246,6 +270,24 @@ class ServingHooks:
         ``None``.  When set, admission is additionally capped by the
         fleet's surviving capacity, each admitted job is stamped with a
         device index, and breakers are scoped by the gate's key.
+    on_settle:
+        Callback ``(record, arrival_time)`` invoked once per terminal
+        outcome, right after the journal write.  The workload layer's
+        streaming statistics sink; ``None`` changes nothing.
+    retain_records:
+        ``False`` drops each :class:`AppRecord` from the result list at
+        settle time (after ``on_settle``), and stops accumulating the
+        per-job sojourn/queue-delay lists — the bounded-memory mode for
+        million-request traces.  The default keeps every record, exactly
+        as before.
+    front_door:
+        Shed arrivals *at the front door* — inside the arrival source,
+        before the application object is even constructed — whenever the
+        admission pipeline (preparing + ready jobs) is already at
+        ``queue_depth``.  Requires the ``"reject"`` queue policy; the
+        bound then covers host-side preparation as well as the ready
+        queue, which is what keeps an overloaded million-request run
+        O(queue_depth) in memory and O(1) per shed arrival.
     """
 
     queue_depth: int = 0
@@ -258,12 +300,22 @@ class ServingHooks:
     crash_at: Optional[float] = None
     fault_plan: Optional[object] = None
     fleet_gate: Optional[object] = None
+    on_settle: Optional[object] = None
+    retain_records: bool = True
+    front_door: bool = False
 
     def __post_init__(self) -> None:
         if self.queue_depth < 0:
             raise ValueError("queue_depth must be >= 0")
         if self.queue_policy not in ("block", "reject", "shed-oldest"):
             raise ValueError(f"unknown queue policy {self.queue_policy!r}")
+        if self.front_door and (
+            self.queue_policy != "reject" or self.queue_depth <= 0
+        ):
+            raise ValueError(
+                "front_door shedding requires queue_policy='reject' "
+                "and a positive queue_depth"
+            )
 
 
 @dataclass
@@ -322,7 +374,7 @@ _EPS = 1e-15
 
 
 def run_streaming(
-    arrivals: Sequence[Arrival],
+    arrivals: Iterable[Arrival],
     dispatcher: Dispatcher,
     num_streams: int = 32,
     memory_sync: bool = True,
@@ -345,9 +397,24 @@ def run_streaming(
     arrival — admission queue, stream, mutex and DMA waits — and feeds
     terminal outcomes to the SLO burn-rate monitor when one is
     configured; ``None`` likewise leaves results byte-identical.
+
+    ``arrivals`` may be any iterable ordered by arrival time — a
+    materialized list (the original contract) or a lazy generator such as
+    a :mod:`repro.workload` traffic stream, which is consumed one arrival
+    at a time so the trace is never held in memory.
     """
-    if not arrivals:
-        raise ValueError("empty arrival trace")
+    arrival_iter: Iterator[Arrival]
+    if isinstance(arrivals, Sequence):
+        if not arrivals:
+            raise ValueError("empty arrival trace")
+        arrival_iter = iter(arrivals)
+    else:
+        arrival_iter = iter(arrivals)
+        try:
+            head = next(arrival_iter)
+        except StopIteration:
+            raise ValueError("empty arrival trace") from None
+        arrival_iter = itertools.chain((head,), arrival_iter)
     hooks = serving if serving is not None else ServingHooks()
     scale_name = resolve_scale(scale)
     spec = spec or tesla_k20()
@@ -363,11 +430,26 @@ def run_streaming(
     manager = StreamManager(env, device, num_streams)
     synchronizer = make_synchronizer(env, memory_sync)
     monitor = PowerMonitor(env, device, interval=power_interval, injector=injector)
+    if not hooks.retain_records:
+        # Bounded-memory mode: drop the O(simulated-time) power history.
+        # The exact running energy integral and the monitor's aggregate
+        # stats survive; only retrospective series queries are given up.
+        device.power.retain_segments = False
+        monitor.retain_samples = False
 
     records: List[AppRecord] = []
     sojourns: List[float] = []
     queue_delays: List[float] = []
-    state = {"in_flight": 0, "peak": 0, "settled": 0}
+    state = {
+        "in_flight": 0,
+        "peak": 0,
+        "settled": 0,
+        "produced": 0,       # arrivals emitted by the source so far
+        "source_done": False,
+        "front_queue": 0,    # preparing + ready jobs (front-door bound)
+        "last_complete": 0.0,
+        "last_energy": 0.0,  # exact J integral at last_complete (bounded mode)
+    }
     #: Jobs ready for admission, ordered by (arrival time, arrival index):
     #: strict FIFO release by arrival, deterministic tie-break by index.
     ready: List[Tuple[float, int, AppThread]] = []
@@ -453,6 +535,11 @@ def run_streaming(
         )
         if deadlines is not None:
             record.slo_deadline = deadlines[arrival.index]
+        elif arrival.deadline > 0.0:
+            record.slo_deadline = arrival.deadline
+        if arrival.tenant:
+            record.tenant = arrival.tenant
+            record.tenant_id = arrival.tenant_id
         records.append(record)
         return AppThread(env, device, app, synchronizer, record)
 
@@ -465,7 +552,7 @@ def run_streaming(
         """Stamp a terminal outcome and journal it (host-side only)."""
         record.outcome = outcome
         if tracer is not None:
-            ctx = trace_ctxs.get(record.launch_index)
+            ctx = trace_ctxs.pop(record.launch_index, None)
             if ctx is not None:
                 tracer.end_trace(ctx, env.now, outcome=outcome)
         if burn_monitor is not None:
@@ -497,8 +584,29 @@ def run_streaming(
                         if fleet_gate is not None
                         else {}
                     ),
+                    # Tenant keys exist only in multi-tenant traffic runs.
+                    **(
+                        {"tenant": record.tenant, "user": record.tenant_id}
+                        if record.tenant
+                        else {}
+                    ),
                 }
             )
+        if record.ran and record.complete_time > state["last_complete"]:
+            state["last_complete"] = record.complete_time
+            if not hooks.retain_records:
+                # Snapshot now, while complete_time is still the present:
+                # without the segment history a later retrospective
+                # energy(completion_time) query would be unanswerable.
+                state["last_energy"] = device.power.energy(record.complete_time)
+        if hooks.on_settle is not None:
+            hooks.on_settle(record, arrival_time)
+        if not hooks.retain_records:
+            # Identity-based removal: the live window is O(in-flight).
+            for i in range(len(records) - 1, -1, -1):
+                if records[i] is record:
+                    del records[i]
+                    break
 
     def shed(record: AppRecord, outcome: str, arrival_time: float) -> None:
         """Terminal outcome for a job that never starts; unblocks the loop."""
@@ -520,7 +628,8 @@ def run_streaming(
                 breaker.on_failure(breaker_key(record), env.now)
             finalize(record, "failed", arrival_time)
         else:
-            sojourns.append(env.now - arrival_time)
+            if hooks.retain_records:
+                sojourns.append(env.now - arrival_time)
             if breaker is not None:
                 breaker.on_success(breaker_key(record), env.now)
             late = 0 < record.slo_deadline < env.now - _EPS
@@ -548,7 +657,13 @@ def run_streaming(
                 prepare_from, env.now,
             )
         thread._trace_ready_at = env.now
-        if hooks.queue_depth > 0 and len(ready) >= hooks.queue_depth:
+        # With front-door shedding the bound was already enforced at the
+        # source (over preparing + ready), so the ready-only check is off.
+        if (
+            not hooks.front_door
+            and hooks.queue_depth > 0
+            and len(ready) >= hooks.queue_depth
+        ):
             if hooks.queue_policy == "reject":
                 shed(thread.record, "shed-reject", arrival.time)
                 return
@@ -563,18 +678,52 @@ def run_streaming(
         heapq.heappush(ready, (arrival.time, arrival.index, thread))
         poke()
 
+    def front_door_shed(arrival: Arrival) -> None:
+        """Shed an arrival before constructing its application object.
+
+        The O(1)-per-arrival overload path: no app, no host thread, no
+        ready-queue churn — just a terminal record, so a run drowning in
+        traffic costs microseconds per excess arrival.
+        """
+        record = AppRecord(
+            app_id=f"{arrival.type_name}#fd{arrival.index}",
+            type_name=arrival.type_name,
+            instance=-1,
+            stream_index=-1,
+            launch_index=arrival.index,
+        )
+        if deadlines is not None:
+            record.slo_deadline = deadlines[arrival.index]
+        elif arrival.deadline > 0.0:
+            record.slo_deadline = arrival.deadline
+        if arrival.tenant:
+            record.tenant = arrival.tenant
+            record.tenant_id = arrival.tenant_id
+        if hooks.retain_records:
+            records.append(record)
+        shed(record, "shed-reject", arrival.time)
+
     def source():
         now = 0.0
-        for arrival in arrivals:
+        for arrival in arrival_iter:
             yield env.timeout(arrival.time - now)
             now = arrival.time
+            state["produced"] += 1
+            if hooks.front_door and state["front_queue"] >= hooks.queue_depth:
+                front_door_shed(arrival)
+                continue
+            if hooks.front_door:
+                state["front_queue"] += 1
             env.process(arrival_body(arrival), name=f"arrival-{arrival.index}")
+        state["source_done"] = True
+        poke()
 
     completions: List[Event] = []
 
     def admitter():
-        total = len(arrivals)
-        while state["settled"] < total:
+        while not (
+            state["source_done"] and state["settled"] >= state["produced"]
+        ):
             if not ready:
                 # Wait for an enqueue (or a shed that settles the count).
                 gate = Event(env)
@@ -616,6 +765,8 @@ def run_streaming(
                 yield env.any_of([gate, tick])
                 admit_poke["event"] = None
             arrival_time, _, thread = heapq.heappop(ready)
+            if hooks.front_door:
+                state["front_queue"] -= 1
             if blocked:
                 # A queue slot freed: wake the oldest back-pressured arrival.
                 _, _, gate = heapq.heappop(blocked)
@@ -640,7 +791,8 @@ def run_streaming(
                 shed(record, "breaker-open", arrival_time)
                 continue
             state["settled"] += 1
-            queue_delays.append(env.now - arrival_time)
+            if hooks.retain_records:
+                queue_delays.append(env.now - arrival_time)
             if tracer is not None and thread.trace_ctx is not None:
                 ready_at = getattr(thread, "_trace_ready_at", arrival_time)
                 if env.now > ready_at:
@@ -654,11 +806,21 @@ def run_streaming(
             thread.record.spawn_time = env.now
             state["in_flight"] += 1
             state["peak"] = max(state["peak"], state["in_flight"])
-            completions.append(
-                env.process(job_body(thread, arrival_time), name=thread.app.app_id)
+            proc = env.process(
+                job_body(thread, arrival_time), name=thread.app.app_id
             )
+            if hooks.retain_records:
+                completions.append(proc)
         if completions:
             yield AllOf(env, completions)
+        # Bounded-memory mode retains no process list: drain by count.
+        # job_body pokes on every completion, so this wakes precisely
+        # when the in-flight population changes.
+        while state["in_flight"] > 0:
+            gate = Event(env)
+            admit_poke["event"] = gate
+            yield gate
+            admit_poke["event"] = None
         monitor.stop()
         if telemetry is not None:
             telemetry.stop()
@@ -681,11 +843,15 @@ def run_streaming(
     if telemetry is not None:
         telemetry.finalize()
 
-    completion_time = max((r.complete_time for r in records), default=0.0)
-    energy = device.power.energy(completion_time)
+    if hooks.retain_records:
+        completion_time = max((r.complete_time for r in records), default=0.0)
+        energy = device.power.energy(completion_time)
+    else:
+        completion_time = state["last_complete"]
+        energy = state["last_energy"]
     return StreamingResult(
         dispatcher=dispatcher.name,
-        jobs=len(arrivals),
+        jobs=state["produced"],
         completion_time=completion_time,
         records=records,
         sojourn_times=sojourns,

@@ -97,6 +97,8 @@ class AppRecord:
     # -- serving accounting (inert outside repro.serving runs) ------------
     slo_deadline: float = 0.0    # absolute SLO deadline; 0 = no SLO
     outcome: str = ""            # terminal serving outcome ("" = not set)
+    tenant: str = ""             # tenant-class name ("" = single-tenant)
+    tenant_id: int = 0           # sub-tenant index within the class
     # -- fleet accounting (inert outside repro.fleet runs) ----------------
     device_index: int = 0        # device the app finally ran on
     migrations: int = 0          # device-loss failovers survived

@@ -60,6 +60,14 @@ class PowerMonitor:
         self.injector = injector
         self.samples: List[PowerSample] = []
         self.dropped_samples: int = 0
+        #: Keep every reading.  Bounded-memory streamed runs flip this
+        #: off; the running aggregates (count / sum / max) stay exact so
+        #: ``average_power``/``peak_power``/``energy_estimate`` still
+        #: work, only the raw series is gone.
+        self.retain_samples: bool = True
+        self._count: int = 0
+        self._sum: float = 0.0
+        self._max: float = 0.0
         self._running = False
         self._process: Optional["Process"] = None
 
@@ -83,9 +91,12 @@ class PowerMonitor:
             ):
                 self.dropped_samples += 1
             else:
-                self.samples.append(
-                    PowerSample(self.env.now, self.device.power.current_power)
-                )
+                watts = self.device.power.current_power
+                self._count += 1
+                self._sum += watts
+                self._max = max(self._max, watts)
+                if self.retain_samples:
+                    self.samples.append(PowerSample(self.env.now, watts))
             yield self.env.timeout(self.interval)
 
     # -- analysis --------------------------------------------------------------
@@ -93,10 +104,14 @@ class PowerMonitor:
     @property
     def sample_count(self) -> int:
         """Number of readings taken."""
-        return len(self.samples)
+        return self._count
 
     def as_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
         """(times, watts) as numpy arrays."""
+        if self._count and not self.retain_samples:
+            raise RuntimeError(
+                "raw samples not retained (retain_samples=False)"
+            )
         if not self.samples:
             return np.empty(0), np.empty(0)
         t = np.fromiter((s.time for s in self.samples), dtype=float)
@@ -105,13 +120,17 @@ class PowerMonitor:
 
     def average_power(self) -> float:
         """Mean of the sampled readings (W)."""
-        _, w = self.as_arrays()
-        return float(w.mean()) if w.size else 0.0
+        if self.retain_samples:
+            _, w = self.as_arrays()
+            return float(w.mean()) if w.size else 0.0
+        return self._sum / self._count if self._count else 0.0
 
     def peak_power(self) -> float:
         """Max sampled reading (W)."""
-        _, w = self.as_arrays()
-        return float(w.max()) if w.size else 0.0
+        if self.retain_samples:
+            _, w = self.as_arrays()
+            return float(w.max()) if w.size else 0.0
+        return self._max
 
     def energy_estimate(self) -> float:
         """Left-Riemann energy estimate (J): sum(power_i * interval).
@@ -119,5 +138,7 @@ class PowerMonitor:
         This is exactly the paper's measurement procedure; compare with
         ``device.power.energy()`` for the true integral.
         """
-        _, w = self.as_arrays()
-        return float(w.sum() * self.interval)
+        if self.retain_samples:
+            _, w = self.as_arrays()
+            return float(w.sum() * self.interval)
+        return self._sum * self.interval

@@ -60,6 +60,11 @@ class PowerModel:
         self._last_change: float = env.now
         self._energy_before: float = 0.0  # J accumulated in closed segments
         self.peak_power: float = self._current_power
+        #: Keep the full segment history.  Long streamed runs flip this
+        #: off (bounded-memory mode): the running integral stays exact,
+        #: but retrospective ``energy(until<now)`` / ``segments()``
+        #: queries need the history and raise instead of silently lying.
+        self.retain_segments: bool = True
 
     # -- formula -----------------------------------------------------------
 
@@ -88,7 +93,8 @@ class PowerModel:
             return
         dt = now - self._last_change
         if dt > 0:
-            self._segments.append((self._last_change, self._current_power))
+            if self.retain_segments:
+                self._segments.append((self._last_change, self._current_power))
             self._energy_before += self._current_power * dt
         self._current_power = new_power
         self._last_change = now
@@ -105,6 +111,11 @@ class PowerModel:
         """Exact energy (J) consumed from t=0 to ``until`` (default: now)."""
         t = self.env.now if until is None else until
         if t < self._last_change:
+            if not self.retain_segments:
+                raise RuntimeError(
+                    "energy(until=<past>) needs the segment history, which "
+                    "this model does not retain (retain_segments=False)"
+                )
             # Integrate only closed segments up to t.
             total = 0.0
             segs = self._segments + [(self._last_change, self._current_power)]
@@ -125,4 +136,8 @@ class PowerModel:
 
     def segments(self) -> List[Tuple[float, float]]:
         """Closed (start_time, watts) segments plus the open tail."""
+        if not self.retain_segments:
+            raise RuntimeError(
+                "segment history not retained (retain_segments=False)"
+            )
         return self._segments + [(self._last_change, self._current_power)]

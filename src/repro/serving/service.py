@@ -278,7 +278,7 @@ def _compute_deadlines(
 
 
 def run_serving(
-    arrivals: Sequence[Arrival],
+    arrivals,
     dispatcher: Dispatcher,
     config: Optional[ServingConfig] = None,
     *,
@@ -291,6 +291,9 @@ def run_serving(
     resume: bool = False,
     telemetry=None,
     tracing=None,
+    fingerprint: Optional[str] = None,
+    sink=None,
+    front_door: bool = False,
 ) -> ServingResult:
     """Execute an arrival trace under the overload-resilient serving layer.
 
@@ -305,6 +308,19 @@ def run_serving(
     ``alert_journal`` path, SLO burn-rate alerts are journaled there —
     fenced, crash-safe and replay-verified on resume exactly like the
     outcome journal.  ``None`` leaves results byte-identical.
+
+    **Streamed traces.**  ``arrivals`` may also be a lazy iterable (a
+    :mod:`repro.workload` traffic stream).  In that mode the trace is
+    never materialized, so per-arrival deadlines must travel on the
+    arrivals themselves (``config.slo_factor`` must be 0), a journal
+    needs an explicit ``fingerprint`` (the identity hash normally derived
+    from the materialized trace), and outcome aggregation moves to the
+    ``sink`` — an object with a ``settle(record, arrival_time)`` method
+    plus ``outcomes``/``deadline_met`` views, e.g.
+    :class:`repro.workload.TrafficStats`.  With a sink the engine runs in
+    bounded-memory mode (records are dropped once settled);
+    ``front_door=True`` additionally sheds overload arrivals before app
+    construction (see :class:`~repro.core.streaming.ServingHooks`).
     """
     config = config or ServingConfig()
     if resume and journal_path is None and (
@@ -312,10 +328,16 @@ def run_serving(
     ):
         raise ValueError("resume=True requires a journal_path")
     scale_name = resolve_scale(scale)
+    streamed = not isinstance(arrivals, Sequence)
 
     deadlines: Optional[List[float]] = None
     baselines: Optional[Dict[str, float]] = None
     if config.slo_factor > 0:
+        if streamed:
+            raise ValueError(
+                "slo_factor requires a materialized trace; streamed "
+                "arrivals carry their own deadlines"
+            )
         if config.baseline_runtimes is not None:
             baselines = dict(config.baseline_runtimes)
         else:
@@ -323,6 +345,10 @@ def run_serving(
                 (a.type_name for a in arrivals), scale=scale_name, spec=spec
             )
         deadlines = _compute_deadlines(arrivals, baselines, config)
+    elif streamed and config.baseline_runtimes is not None:
+        # Streamed mode: deadlines ride on the arrivals; the baselines
+        # feed the deadline-reachability shed check.
+        baselines = dict(config.baseline_runtimes)
 
     # Split the plan: device faults go to the injector, the first
     # HARNESS_CRASH kills the run (unless we are resuming past it).
@@ -346,16 +372,23 @@ def run_serving(
     recovered = 0
     if journal_path is not None:
         journal = RunJournal(journal_path)
-        fingerprint = _fingerprint(
-            arrivals,
-            dispatcher,
-            num_streams,
-            memory_sync,
-            scale_name,
-            power_interval,
-            config,
-            baselines,
-        )
+        if fingerprint is None:
+            if streamed:
+                raise ValueError(
+                    "journaling a streamed trace requires an explicit "
+                    "fingerprint (the trace cannot be materialized to "
+                    "derive one)"
+                )
+            fingerprint = _fingerprint(
+                arrivals,
+                dispatcher,
+                num_streams,
+                memory_sync,
+                scale_name,
+                power_interval,
+                config,
+                baselines,
+            )
         recovered = journal.begin(fingerprint, resume=resume)
 
     # The burn-rate monitor's alert journal: its own file, fingerprinted
@@ -371,19 +404,28 @@ def run_serving(
         from ..integrity.fencing import FencedJournal, GenerationFence
 
         burn = tracing.burn
+        if fingerprint is not None:
+            run_fpr = fingerprint
+        elif streamed:
+            raise ValueError(
+                "an alert journal over a streamed trace requires an "
+                "explicit fingerprint"
+            )
+        else:
+            run_fpr = _fingerprint(
+                arrivals,
+                dispatcher,
+                num_streams,
+                memory_sync,
+                scale_name,
+                power_interval,
+                config,
+                baselines,
+            )
         alert_fpr = hashlib.sha1(
             json.dumps(
                 {
-                    "run": _fingerprint(
-                        arrivals,
-                        dispatcher,
-                        num_streams,
-                        memory_sync,
-                        scale_name,
-                        power_interval,
-                        config,
-                        baselines,
-                    ),
+                    "run": run_fpr,
                     "budget": burn.budget,
                     "windows": [list(w) for w in burn.windows],
                     "min_events": burn.min_events,
@@ -414,12 +456,16 @@ def run_serving(
         queue_policy=config.queue_policy,
         deadlines=deadlines,
         service_estimates=baselines,
-        shed_unreachable=config.shed_unreachable and deadlines is not None,
+        shed_unreachable=config.shed_unreachable
+        and (deadlines is not None or (streamed and baselines is not None)),
         breaker=panel,
         journal=journal,
         crash_at=crash_at,
         fault_plan=device_plan,
         fleet_gate=gate,
+        on_settle=sink.settle if sink is not None else None,
+        retain_records=sink is None,
+        front_door=front_door,
     )
 
     try:
@@ -461,11 +507,16 @@ def run_serving(
             )
         alert_journal.close()
 
-    outcomes = Counter(r.outcome for r in base.records)
+    if sink is not None:
+        outcomes = dict(sink.outcomes)
+        met = int(sink.deadline_met)
+    else:
+        outcomes = dict(Counter(r.outcome for r in base.records))
+        met = deadline_met_count(base.records)
     return ServingResult(
         **vars(base),
-        outcomes=dict(outcomes),
-        deadline_met=deadline_met_count(base.records),
+        outcomes=outcomes,
+        deadline_met=met,
         breaker_trips=panel.trips if panel is not None else 0,
         breaker_fast_fails=panel.fast_fails if panel is not None else 0,
         recovered_entries=recovered,

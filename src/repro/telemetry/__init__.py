@@ -26,6 +26,8 @@ from .console import metrics_table, sparkline
 from .httpd import CONTENT_TYPE_LATEST, MetricsServer
 from .registry import (
     DEFAULT_LATENCY_BUCKETS,
+    OVERFLOW_LABEL,
+    OVERFLOW_METRIC,
     Counter,
     Gauge,
     Histogram,
@@ -52,6 +54,8 @@ __all__ = [
     "Histogram",
     "MetricRegistry",
     "DEFAULT_LATENCY_BUCKETS",
+    "OVERFLOW_LABEL",
+    "OVERFLOW_METRIC",
     "Sampler",
     "Snapshot",
     "Telemetry",

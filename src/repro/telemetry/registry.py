@@ -31,7 +31,15 @@ __all__ = [
     "Histogram",
     "MetricRegistry",
     "DEFAULT_LATENCY_BUCKETS",
+    "OVERFLOW_LABEL",
+    "OVERFLOW_METRIC",
 ]
+
+#: Label value absorbing updates past a metric's series cap.
+OVERFLOW_LABEL = "__other__"
+
+#: Registry counter tracking updates aggregated into :data:`OVERFLOW_LABEL`.
+OVERFLOW_METRIC = "repro_telemetry_series_overflow_total"
 
 #: Fixed latency bucket edges (seconds), log-spaced over the simulator's
 #: microsecond-to-second dynamic range.  Deterministic by construction:
@@ -54,16 +62,43 @@ def _format_series(name: str, labelnames: Sequence[str], values: LabelValues) ->
 
 
 class Metric:
-    """Base class: one named metric with a fixed label schema."""
+    """Base class: one named metric with a fixed label schema.
+
+    ``max_series`` bounds the number of *distinct* label-value
+    combinations the metric will track (a cardinality guard for
+    high-cardinality labels like per-tenant ids).  Once the cap is
+    reached, updates for unseen combinations are deterministically
+    aggregated into one overflow series whose every label value is
+    :data:`OVERFLOW_LABEL` (allowed to exist beyond the cap), and each
+    such update is counted — on the metric (:attr:`overflowed`) and, when
+    the metric lives in a registry, on the registry-level
+    :data:`OVERFLOW_METRIC` counter.  Which series win the cap is
+    first-come-first-kept, so a deterministic run admits a deterministic
+    series set.  Reads (:meth:`Counter.value` etc.) are never routed.
+    ``None`` (the default) leaves behavior — and memory — exactly as
+    before the guard existed.
+    """
 
     kind = "untyped"
 
-    def __init__(self, name: str, help: str, labelnames: Sequence[str] = ()) -> None:
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        labelnames: Sequence[str] = (),
+        max_series: Optional[int] = None,
+    ) -> None:
         if not name or not name.replace("_", "").replace(":", "").isalnum():
             raise ValueError(f"invalid metric name {name!r}")
+        if max_series is not None and max_series < 1:
+            raise ValueError(f"{name}: max_series must be >= 1")
         self.name = name
         self.help = help
         self.labelnames: Tuple[str, ...] = tuple(labelnames)
+        self.max_series = max_series
+        self.overflowed = 0  # updates aggregated into the overflow series
+        self._admitted: set = set()
+        self._on_overflow = None  # registry hook (counts dropped updates)
 
     def _key(self, labels: Mapping[str, str]) -> LabelValues:
         if set(labels) != set(self.labelnames):
@@ -72,6 +107,20 @@ class Metric:
                 f"got {tuple(sorted(labels))}"
             )
         return tuple(str(labels[k]) for k in self.labelnames)
+
+    def _route(self, key: LabelValues) -> LabelValues:
+        """Cardinality-guarded key for *update* paths (reads stay exact)."""
+        if self.max_series is None or not self.labelnames:
+            return key
+        if key in self._admitted:
+            return key
+        if len(self._admitted) < self.max_series:
+            self._admitted.add(key)
+            return key
+        self.overflowed += 1
+        if self._on_overflow is not None:
+            self._on_overflow(self)
+        return (OVERFLOW_LABEL,) * len(self.labelnames)
 
     def series(self) -> Iterator[Tuple[LabelValues, float]]:  # pragma: no cover
         raise NotImplementedError
@@ -86,15 +135,21 @@ class Counter(Metric):
 
     kind = "counter"
 
-    def __init__(self, name: str, help: str, labelnames: Sequence[str] = ()) -> None:
-        super().__init__(name, help, labelnames)
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        labelnames: Sequence[str] = (),
+        max_series: Optional[int] = None,
+    ) -> None:
+        super().__init__(name, help, labelnames, max_series=max_series)
         self._values: Dict[LabelValues, float] = {}
 
     def inc(self, amount: float = 1.0, **labels: str) -> None:
         """Add ``amount`` (must be >= 0) to one labelled series."""
         if amount < 0:
             raise ValueError(f"{self.name}: counters cannot decrease")
-        key = self._key(labels)
+        key = self._route(self._key(labels))
         self._values[key] = self._values.get(key, 0.0) + amount
 
     def value(self, **labels: str) -> float:
@@ -110,17 +165,23 @@ class Gauge(Metric):
 
     kind = "gauge"
 
-    def __init__(self, name: str, help: str, labelnames: Sequence[str] = ()) -> None:
-        super().__init__(name, help, labelnames)
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        labelnames: Sequence[str] = (),
+        max_series: Optional[int] = None,
+    ) -> None:
+        super().__init__(name, help, labelnames, max_series=max_series)
         self._values: Dict[LabelValues, float] = {}
 
     def set(self, value: float, **labels: str) -> None:
         """Set one labelled series to ``value``."""
-        self._values[self._key(labels)] = float(value)
+        self._values[self._route(self._key(labels))] = float(value)
 
     def inc(self, amount: float = 1.0, **labels: str) -> None:
         """Adjust one series by ``amount`` (may be negative)."""
-        key = self._key(labels)
+        key = self._route(self._key(labels))
         self._values[key] = self._values.get(key, 0.0) + amount
 
     def dec(self, amount: float = 1.0, **labels: str) -> None:
@@ -163,8 +224,9 @@ class Histogram(Metric):
         help: str,
         buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
         labelnames: Sequence[str] = (),
+        max_series: Optional[int] = None,
     ) -> None:
-        super().__init__(name, help, labelnames)
+        super().__init__(name, help, labelnames, max_series=max_series)
         edges = tuple(float(b) for b in buckets)
         if not edges:
             raise ValueError(f"{name}: need at least one bucket edge")
@@ -175,7 +237,7 @@ class Histogram(Metric):
 
     def observe(self, value: float, **labels: str) -> None:
         """Record one observation."""
-        key = self._key(labels)
+        key = self._route(self._key(labels))
         series = self._series.get(key)
         if series is None:
             series = _HistogramSeries(len(self.edges) + 1)
@@ -224,6 +286,7 @@ class MetricRegistry:
         return self._metrics.get(name)
 
     def _register(self, cls, name: str, help: str, **kwargs) -> Metric:
+        max_series = kwargs.pop("max_series", None)
         existing = self._metrics.get(name)
         if existing is not None:
             if not isinstance(existing, cls):
@@ -236,22 +299,53 @@ class MetricRegistry:
                     f"metric {name!r} re-registered with labels {labelnames}, "
                     f"was {existing.labelnames}"
                 )
+            # max_series=None means "no opinion"; an explicit, different
+            # cap is a coordination bug worth surfacing.
+            if max_series is not None and existing.max_series != max_series:
+                raise ValueError(
+                    f"metric {name!r} re-registered with max_series="
+                    f"{max_series}, was {existing.max_series}"
+                )
             return existing
-        metric = cls(name, help, **kwargs)
+        metric = cls(name, help, max_series=max_series, **kwargs)
+        metric._on_overflow = self._record_overflow
         self._metrics[name] = metric
         return metric
 
+    def _record_overflow(self, metric: Metric) -> None:
+        """Count one update absorbed by ``metric``'s overflow series."""
+        counter = self._register(
+            Counter,
+            OVERFLOW_METRIC,
+            "updates aggregated into the __other__ series after a metric "
+            "reached its max_series cardinality cap",
+            labelnames=("metric",),
+        )
+        counter.inc(metric=metric.name)
+
     def counter(
-        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        max_series: Optional[int] = None,
     ) -> Counter:
         """Get or create a :class:`Counter`."""
-        return self._register(Counter, name, help, labelnames=labelnames)
+        return self._register(
+            Counter, name, help, labelnames=labelnames, max_series=max_series
+        )
 
     def gauge(
-        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        max_series: Optional[int] = None,
     ) -> Gauge:
         """Get or create a :class:`Gauge`."""
-        return self._register(Gauge, name, help, labelnames=labelnames)
+        return self._register(
+            Gauge, name, help, labelnames=labelnames, max_series=max_series
+        )
 
     def histogram(
         self,
@@ -259,10 +353,16 @@ class MetricRegistry:
         help: str = "",
         buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
         labelnames: Sequence[str] = (),
+        max_series: Optional[int] = None,
     ) -> Histogram:
         """Get or create a :class:`Histogram` with fixed ``buckets``."""
         return self._register(
-            Histogram, name, help, buckets=buckets, labelnames=labelnames
+            Histogram,
+            name,
+            help,
+            buckets=buckets,
+            labelnames=labelnames,
+            max_series=max_series,
         )
 
     # -- snapshots ---------------------------------------------------------

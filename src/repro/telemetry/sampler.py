@@ -125,13 +125,25 @@ class Telemetry:
 
     # -- registry passthrough ---------------------------------------------
 
-    def counter(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> Counter:
+    def counter(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        max_series: Optional[int] = None,
+    ) -> Counter:
         """Get or create a counter on the shared registry."""
-        return self.registry.counter(name, help, labelnames)
+        return self.registry.counter(name, help, labelnames, max_series=max_series)
 
-    def gauge(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> Gauge:
+    def gauge(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        max_series: Optional[int] = None,
+    ) -> Gauge:
         """Get or create a gauge on the shared registry."""
-        return self.registry.gauge(name, help, labelnames)
+        return self.registry.gauge(name, help, labelnames, max_series=max_series)
 
     def histogram(
         self,
@@ -139,9 +151,12 @@ class Telemetry:
         help: str = "",
         buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
         labelnames: Sequence[str] = (),
+        max_series: Optional[int] = None,
     ) -> Histogram:
         """Get or create a histogram on the shared registry."""
-        return self.registry.histogram(name, help, buckets, labelnames)
+        return self.registry.histogram(
+            name, help, buckets, labelnames, max_series=max_series
+        )
 
     def add_probe(self, probe: Probe) -> None:
         """Register a probe; queued until :meth:`attach` if needed."""

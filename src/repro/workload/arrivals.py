@@ -1,0 +1,347 @@
+"""Seeded, resumable arrival processes for open-loop traffic generation.
+
+Every process is an infinite iterator of strictly-ordered absolute
+arrival times (Python floats), generated **chunk-seeded**: times come in
+fixed-size chunks and chunk ``j`` is a pure function of
+``(seed, kind, name, j)`` plus the chunk's start time ``t0`` — never of
+how much of the stream was consumed before.  That one property buys
+everything the workload layer needs:
+
+* **determinism** — the same ``(seed, name)`` always yields the same
+  stream, independently of other tenants' streams;
+* **O(1) resume** — a cursor is just ``(chunk, offset, t0)``; restoring
+  regenerates one chunk and skips ``offset`` elements, so crash-resume
+  never replays or skips an arrival (the property the hypothesis suite
+  pins);
+* **bounded memory** — one chunk of float64s is live at a time, whether
+  the stream runs for ten arrivals or ten million.
+
+Processes:
+
+* :class:`PoissonProcess` — exponential inter-arrivals (steady traffic).
+* :class:`ParetoProcess` — Pareto inter-arrivals with tail index
+  ``alpha``; bursts separated by heavy-tailed lulls.
+* :class:`LogNormalProcess` — log-normal inter-arrivals with shape
+  ``sigma``; milder burstiness than Pareto.
+* :class:`DiurnalProcess` — thinning modulation of *any* base process by
+  ``1 + amplitude * sin(2*pi*t/period + phase)``; composable, so
+  "diurnal-modulated heavy-tail" is one spec away.
+
+:class:`ArrivalSpec` is the declarative form used by tenant classes and
+scenario fingerprints.
+"""
+
+from __future__ import annotations
+
+import math
+import zlib
+from dataclasses import asdict, dataclass, replace
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "DEFAULT_CHUNK",
+    "ArrivalSpec",
+    "ArrivalProcess",
+    "PoissonProcess",
+    "ParetoProcess",
+    "LogNormalProcess",
+    "DiurnalProcess",
+    "build_process",
+]
+
+#: Arrival times generated per chunk (one float64 array live at a time).
+DEFAULT_CHUNK = 1024
+
+_TWO_PI = 2.0 * math.pi
+
+
+def _salt(text: str) -> int:
+    return zlib.crc32(text.encode("utf-8"))
+
+
+class ArrivalProcess:
+    """Base chunk-seeded process; see the module docstring.
+
+    Subclasses implement :meth:`_generate`, a *pure* function from
+    ``(chunk_no, t0)`` to ``(times, next_t0)`` where ``times`` is an
+    ascending float64 array of absolute arrival times (possibly empty)
+    and ``next_t0`` the start time handed to the following chunk.
+    """
+
+    kind = "abstract"
+
+    def __init__(self, seed: int, name: str = "", chunk: int = DEFAULT_CHUNK):
+        if chunk < 1:
+            raise ValueError("chunk must be >= 1")
+        self.seed = int(seed)
+        self.name = name
+        self.chunk = int(chunk)
+        self._chunk_no = 0
+        self._t0 = 0.0
+        self._offset = 0
+        self._buf: Optional[np.ndarray] = None
+        self._next_t0 = 0.0
+
+    # -- subclass surface --------------------------------------------------
+
+    def _rng(self, chunk_no: int, purpose: str = "times") -> np.random.Generator:
+        """The chunk's dedicated generator (pure function of its key)."""
+        return np.random.default_rng(
+            [self.seed, _salt(self.kind), _salt(self.name), _salt(purpose), chunk_no]
+        )
+
+    def _generate(self, chunk_no: int, t0: float):  # pragma: no cover
+        raise NotImplementedError
+
+    # -- iteration ---------------------------------------------------------
+
+    def __iter__(self) -> Iterator[float]:
+        return self
+
+    def __next__(self) -> float:
+        while self._buf is None or self._offset >= len(self._buf):
+            if self._buf is not None:
+                self._chunk_no += 1
+                self._t0 = self._next_t0
+                self._offset = 0
+            self._buf, self._next_t0 = self._generate(self._chunk_no, self._t0)
+        value = float(self._buf[self._offset])
+        self._offset += 1
+        return value
+
+    # -- cursors -----------------------------------------------------------
+
+    def state(self) -> Dict:
+        """O(1) resume cursor: regenerating one chunk restores the stream."""
+        return {
+            "chunk": self._chunk_no,
+            "offset": self._offset,
+            "t0": self._t0,
+        }
+
+    def restore(self, state: Dict) -> None:
+        """Rewind/forward to a cursor taken from an identical process."""
+        self._chunk_no = int(state["chunk"])
+        self._t0 = float(state["t0"])
+        self._offset = int(state["offset"])
+        self._buf, self._next_t0 = self._generate(self._chunk_no, self._t0)
+        if self._offset > len(self._buf):
+            raise ValueError(
+                f"cursor offset {self._offset} beyond chunk of "
+                f"{len(self._buf)} arrivals; cursor belongs to a "
+                "different process"
+            )
+
+
+class PoissonProcess(ArrivalProcess):
+    """Memoryless arrivals at a constant mean rate (jobs/second)."""
+
+    kind = "poisson"
+
+    def __init__(
+        self,
+        rate: float,
+        seed: int = 0,
+        name: str = "",
+        chunk: int = DEFAULT_CHUNK,
+    ):
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        super().__init__(seed, name, chunk)
+        self.rate = float(rate)
+
+    def _generate(self, chunk_no: int, t0: float):
+        deltas = self._rng(chunk_no).exponential(1.0 / self.rate, self.chunk)
+        times = t0 + np.cumsum(deltas)
+        return times, float(times[-1])
+
+
+class ParetoProcess(ArrivalProcess):
+    """Pareto inter-arrivals: bursts separated by heavy-tailed lulls.
+
+    ``alpha`` is the tail index (must exceed 1 so the mean exists); the
+    scale is chosen so the *mean* rate equals ``rate``.  Small ``alpha``
+    (1.1–1.5) gives the classic bursty profile: most gaps tiny, a few
+    enormous.
+    """
+
+    kind = "pareto"
+
+    def __init__(
+        self,
+        rate: float,
+        alpha: float = 1.5,
+        seed: int = 0,
+        name: str = "",
+        chunk: int = DEFAULT_CHUNK,
+    ):
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        if alpha <= 1.0:
+            raise ValueError("alpha must be > 1 (finite mean)")
+        super().__init__(seed, name, chunk)
+        self.rate = float(rate)
+        self.alpha = float(alpha)
+        #: Pareto scale x_m with mean x_m * alpha / (alpha - 1) = 1/rate.
+        self._xm = (self.alpha - 1.0) / (self.alpha * self.rate)
+
+    def _generate(self, chunk_no: int, t0: float):
+        draws = self._rng(chunk_no).pareto(self.alpha, self.chunk)
+        deltas = self._xm * (1.0 + draws)
+        times = t0 + np.cumsum(deltas)
+        return times, float(times[-1])
+
+
+class LogNormalProcess(ArrivalProcess):
+    """Log-normal inter-arrivals with shape ``sigma``, mean rate ``rate``."""
+
+    kind = "lognormal"
+
+    def __init__(
+        self,
+        rate: float,
+        sigma: float = 1.0,
+        seed: int = 0,
+        name: str = "",
+        chunk: int = DEFAULT_CHUNK,
+    ):
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        if sigma <= 0:
+            raise ValueError("sigma must be positive")
+        super().__init__(seed, name, chunk)
+        self.rate = float(rate)
+        self.sigma = float(sigma)
+        #: mu with E[delta] = exp(mu + sigma^2/2) = 1/rate.
+        self._mu = math.log(1.0 / self.rate) - 0.5 * self.sigma**2
+
+    def _generate(self, chunk_no: int, t0: float):
+        deltas = self._rng(chunk_no).lognormal(self._mu, self.sigma, self.chunk)
+        times = t0 + np.cumsum(deltas)
+        return times, float(times[-1])
+
+
+class DiurnalProcess(ArrivalProcess):
+    """Sinusoidal modulation of a base process by deterministic thinning.
+
+    Candidates come from ``base`` (built at the *peak* rate); each
+    candidate at time ``t`` is accepted with probability
+
+        ``(1 + amplitude * sin(2*pi*t/period + phase)) / (1 + amplitude)``
+
+    with the accept draws chunk-seeded alongside the base chunks, so the
+    composition stays deterministic and O(1)-resumable.  With the base
+    rate set to ``mean_rate * (1 + amplitude)`` the thinned stream's mean
+    rate is approximately ``mean_rate`` (exact for a Poisson base).
+    """
+
+    kind = "diurnal"
+
+    def __init__(
+        self,
+        base: ArrivalProcess,
+        amplitude: float,
+        period: float,
+        phase: float = 0.0,
+        seed: int = 0,
+        name: str = "",
+        chunk: int = DEFAULT_CHUNK,
+    ):
+        if not 0.0 <= amplitude <= 1.0:
+            raise ValueError("amplitude must be in [0, 1]")
+        if period <= 0:
+            raise ValueError("period must be positive")
+        super().__init__(seed, name, chunk)
+        self.base = base
+        self.amplitude = float(amplitude)
+        self.period = float(period)
+        self.phase = float(phase)
+
+    def _generate(self, chunk_no: int, t0: float):
+        candidates, next_t0 = self.base._generate(chunk_no, t0)
+        if self.amplitude == 0.0:
+            return candidates, next_t0
+        u = self._rng(chunk_no, "accept").random(len(candidates))
+        weight = (
+            1.0
+            + self.amplitude
+            * np.sin(_TWO_PI * candidates / self.period + self.phase)
+        ) / (1.0 + self.amplitude)
+        return candidates[u < weight], next_t0
+
+
+@dataclass(frozen=True)
+class ArrivalSpec:
+    """Declarative arrival-process description (tenant-class building block).
+
+    ``rate`` is always the *mean* arrivals/second of the resulting
+    stream.  For ``kind="diurnal"`` the base process (``base``, default
+    Poisson) is built at ``rate * (1 + amplitude)`` so thinning lands the
+    mean back on ``rate``.
+    """
+
+    kind: str = "poisson"
+    rate: float = 1.0
+    alpha: float = 1.5       # pareto tail index
+    sigma: float = 1.0       # lognormal shape
+    amplitude: float = 0.0   # diurnal swing in [0, 1]
+    period: float = 1.0      # diurnal period (simulated seconds)
+    phase: float = 0.0       # diurnal phase offset (radians)
+    base: Optional["ArrivalSpec"] = None  # diurnal carrier (default poisson)
+
+    _KINDS = ("poisson", "pareto", "lognormal", "diurnal")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self._KINDS:
+            raise ValueError(
+                f"unknown arrival kind {self.kind!r}; choose from {self._KINDS}"
+            )
+        if self.rate <= 0:
+            raise ValueError("rate must be positive")
+        if self.base is not None and self.kind != "diurnal":
+            raise ValueError("base processes only compose under 'diurnal'")
+
+    def scaled(self, rate: float) -> "ArrivalSpec":
+        """The same shape at a different mean rate (load normalization)."""
+        return replace(self, rate=float(rate))
+
+    def payload(self) -> Dict:
+        """JSON-able form for scenario fingerprints."""
+        return asdict(self)
+
+    def build(
+        self, seed: int, name: str = "", chunk: int = DEFAULT_CHUNK
+    ) -> ArrivalProcess:
+        """Instantiate the process for one ``(seed, tenant-name)`` stream."""
+        if self.kind == "poisson":
+            return PoissonProcess(self.rate, seed=seed, name=name, chunk=chunk)
+        if self.kind == "pareto":
+            return ParetoProcess(
+                self.rate, alpha=self.alpha, seed=seed, name=name, chunk=chunk
+            )
+        if self.kind == "lognormal":
+            return LogNormalProcess(
+                self.rate, sigma=self.sigma, seed=seed, name=name, chunk=chunk
+            )
+        carrier = self.base or ArrivalSpec("poisson")
+        base = carrier.scaled(self.rate * (1.0 + self.amplitude)).build(
+            seed, name=name, chunk=chunk
+        )
+        return DiurnalProcess(
+            base,
+            amplitude=self.amplitude,
+            period=self.period,
+            phase=self.phase,
+            seed=seed,
+            name=name,
+            chunk=chunk,
+        )
+
+
+def build_process(
+    spec: ArrivalSpec, seed: int, name: str = "", chunk: int = DEFAULT_CHUNK
+) -> ArrivalProcess:
+    """Functional alias for :meth:`ArrivalSpec.build`."""
+    return spec.build(seed, name=name, chunk=chunk)

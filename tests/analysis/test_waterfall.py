@@ -1,0 +1,116 @@
+"""Leaderboard and win/regression waterfall construction + rendering."""
+
+import pytest
+
+from repro.analysis import (
+    build_leaderboard,
+    build_waterfall,
+    render_leaderboard,
+    render_waterfall,
+    write_leaderboard_json,
+)
+
+pytestmark = pytest.mark.workload
+
+
+def cell(scenario, policy, goodput, slo=0.5, **extra):
+    out = {
+        "scenario": scenario,
+        "policy": policy,
+        "goodput": goodput,
+        "slo_attainment": slo,
+    }
+    out.update(extra)
+    return out
+
+
+CELLS = [
+    cell("steady", "bandit", 100.0, slo=0.9),
+    cell("steady", "naive-fifo", 80.0, slo=0.7),
+    cell("overload", "bandit", 30.0, slo=0.3),
+    cell("overload", "naive-fifo", 45.0, slo=0.4),
+    cell("burst", "bandit", 60.0, slo=0.6),
+    cell("burst", "naive-fifo", 60.0, slo=0.5),
+]
+
+
+class TestLeaderboard:
+    def test_ranking_by_goodput(self):
+        board = build_leaderboard(CELLS)
+        assert list(board) == ["burst", "overload", "steady"]  # sorted
+        assert board["steady"]["ranking"] == ["bandit", "naive-fifo"]
+        assert board["overload"]["ranking"] == ["naive-fifo", "bandit"]
+
+    def test_goodput_tie_broken_by_slo_then_name(self):
+        board = build_leaderboard(CELLS)
+        assert board["burst"]["ranking"] == ["bandit", "naive-fifo"]
+        tied = [
+            cell("x", "a", 10.0, slo=0.5),
+            cell("x", "b", 10.0, slo=0.5),
+        ]
+        assert build_leaderboard(tied)["x"]["ranking"] == ["a", "b"]
+
+    def test_duplicate_cell_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            build_leaderboard([CELLS[0], CELLS[0]])
+
+    def test_cells_preserved(self):
+        board = build_leaderboard(CELLS)
+        assert board["steady"]["policies"]["bandit"]["slo_attainment"] == 0.9
+
+
+class TestWaterfall:
+    def test_wins_and_regressions_both_kept_sorted(self):
+        board = build_leaderboard(CELLS)
+        rows = build_waterfall(board, "bandit", "naive-fifo")
+        assert [r["scenario"] for r in rows] == ["steady", "burst", "overload"]
+        assert [r["verdict"] for r in rows] == ["win", "tie", "regression"]
+        assert rows[0]["delta_pct"] == pytest.approx(25.0)
+        assert rows[-1]["delta"] == pytest.approx(-15.0)
+
+    def test_missing_policy_scenarios_skipped(self):
+        board = build_leaderboard(CELLS + [cell("extra", "bandit", 1.0)])
+        rows = build_waterfall(board, "bandit", "naive-fifo")
+        assert "extra" not in {r["scenario"] for r in rows}
+
+    def test_empty_renders(self):
+        assert "no waterfall" in render_waterfall([])
+
+
+class TestRendering:
+    def test_leaderboard_text(self):
+        text = render_leaderboard(build_leaderboard(CELLS))
+        assert "[scenario: steady]" in text
+        assert "bandit" in text and "naive-fifo" in text
+
+    def test_waterfall_text_has_signed_bars(self):
+        rows = build_waterfall(
+            build_leaderboard(CELLS), "bandit", "naive-fifo"
+        )
+        text = render_waterfall(rows)
+        assert "win" in text and "regression" in text
+        assert "+" in text and "-" in text
+
+
+class TestSerialization:
+    def test_byte_identical_writes(self, tmp_path):
+        board = build_leaderboard(CELLS)
+        rows = build_waterfall(board, "bandit", "naive-fifo")
+        a = write_leaderboard_json(
+            board, tmp_path / "a.json", waterfall=rows, meta={"scale": "tiny"}
+        )
+        b = write_leaderboard_json(
+            board, tmp_path / "b.json", waterfall=rows, meta={"scale": "tiny"}
+        )
+        assert a.read_bytes() == b.read_bytes()
+        assert a.read_text().endswith("\n")
+
+    def test_payload_shape(self, tmp_path):
+        import json
+
+        path = write_leaderboard_json(
+            build_leaderboard(CELLS), tmp_path / "lb.json"
+        )
+        payload = json.loads(path.read_text())
+        assert set(payload) == {"leaderboard"}
+        assert payload["leaderboard"]["steady"]["ranking"][0] == "bandit"

@@ -23,6 +23,7 @@ from repro.apps.registry import get_app
 from repro.core.streaming import ConcurrencyCapDispatcher, poisson_arrivals
 from repro.fleet import FleetConfig, FleetHarness
 from repro.resilience.faults import FaultKind, FaultPlan, FaultSpec
+from repro.integrity.record import JournalIntegrityError
 from repro.serving import (
     JournalError,
     ServingConfig,
@@ -304,6 +305,61 @@ def alerts_store(base: Path) -> Store:
     )
 
 
+def traffic_cursor_store(base: Path) -> Store:
+    """The workload recorder's trace-cursor checkpoint journal.
+
+    Recording a small multi-tenant trace with tight checkpoints packs
+    many cursor records (plus the terminal ``end`` record) into the
+    store.  On resume the recorder either fast-forwards from the newest
+    usable cursor or — when the sweep's scratch dir has destroyed the
+    trace file — regenerates from scratch while replay-verifying every
+    surviving cursor, so both recovery paths converge byte-identically.
+    """
+    from repro.workload import ArrivalSpec, TenantClass, TenantModel, record_trace
+
+    model = TenantModel(
+        classes=(
+            TenantClass(
+                name="interactive",
+                arrival=ArrivalSpec("poisson", rate=2000.0),
+                app_mix=(("nn", 0.7), ("gaussian", 0.3)),
+                slo_factor=4.0,
+                tenants=50,
+                popularity="zipf",
+            ),
+            TenantClass(
+                name="batch",
+                arrival=ArrivalSpec("pareto", rate=1000.0, alpha=1.4),
+                app_mix=(("needle", 1.0),),
+                slo_factor=0.0,
+            ),
+        ),
+        seed=SEED,
+    )
+    baselines = {"nn": 1e-3, "gaussian": 2e-3, "needle": 4e-3}
+    fingerprint = "traffic-cursor-store-test"
+
+    def run(path: Path, resume: bool = False) -> None:
+        record_trace(
+            model.stream(baselines, limit=200),
+            path.parent / (path.name + ".trace"),
+            fingerprint,
+            cursor_path=path,
+            cursor_every=16,
+            resume=resume,
+        )
+
+    ref = base / "traffic-cursor-ref.jsonl"
+    run(ref)
+    return Store(
+        "traffic-cursor",
+        ref.read_bytes(),
+        lambda p: run(p, resume=True),
+        run,
+        (JournalError, JournalIntegrityError),
+    )
+
+
 STORE_BUILDERS = {
     "serving": serving_store,
     "scheduler": scheduler_store,
@@ -311,6 +367,7 @@ STORE_BUILDERS = {
     "hedge": hedge_store,
     "cascade": cascade_store,
     "alerts": alerts_store,
+    "traffic-cursor": traffic_cursor_store,
 }
 
 

@@ -1,0 +1,150 @@
+"""Pinned behavior of the label-cardinality guard (``max_series``)."""
+
+import pytest
+
+from repro.telemetry import (
+    Counter,
+    MetricRegistry,
+    OVERFLOW_LABEL,
+    OVERFLOW_METRIC,
+    Telemetry,
+)
+
+pytestmark = pytest.mark.telemetry
+
+
+class TestRouting:
+    def test_first_come_first_kept(self):
+        c = Counter("repro_card_total", "", labelnames=("tenant",), max_series=2)
+        c.inc(tenant="a")
+        c.inc(tenant="b")
+        c.inc(tenant="c")
+        c.inc(tenant="d")
+        assert c.value(tenant="a") == 1.0
+        assert c.value(tenant="b") == 1.0
+        # c and d were aggregated, not tracked.
+        assert c.value(tenant="c") == 0.0
+        assert c.value(tenant="d") == 0.0
+        assert c.value(tenant=OVERFLOW_LABEL) == 2.0
+        assert c.overflowed == 2
+
+    def test_admitted_series_never_overflow_later(self):
+        c = Counter("repro_card_total", "", labelnames=("tenant",), max_series=1)
+        c.inc(tenant="a")
+        c.inc(tenant="b")  # overflows
+        c.inc(5.0, tenant="a")  # still exact
+        assert c.value(tenant="a") == 6.0
+        assert c.overflowed == 1
+
+    def test_reads_do_not_admit(self):
+        c = Counter("repro_card_total", "", labelnames=("t",), max_series=1)
+        assert c.value(t="x") == 0.0  # read before any update
+        c.inc(t="y")  # first update takes the only slot
+        assert c.value(t="y") == 1.0
+        c.inc(t="x")
+        assert c.value(t="x") == 0.0
+        assert c.value(t=OVERFLOW_LABEL) == 1.0
+
+    def test_unlabelled_metric_ignores_cap(self):
+        c = Counter("repro_card_total", "", max_series=1)
+        c.inc()
+        c.inc()
+        assert c.value() == 2.0
+        assert c.overflowed == 0
+
+    def test_overflow_key_spans_all_labels(self):
+        c = Counter(
+            "repro_card_total", "", labelnames=("a", "b"), max_series=1
+        )
+        c.inc(a="1", b="2")
+        c.inc(a="3", b="4")
+        assert c.value(a=OVERFLOW_LABEL, b=OVERFLOW_LABEL) == 1.0
+
+    def test_gauge_and_histogram_are_guarded(self):
+        from repro.telemetry import Gauge, Histogram
+
+        g = Gauge("repro_card_depth", "", labelnames=("t",), max_series=1)
+        g.set(3.0, t="a")
+        g.set(9.0, t="b")
+        g.inc(1.0, t="b")
+        assert g.value(t="a") == 3.0
+        assert g.value(t=OVERFLOW_LABEL) == 10.0
+
+        h = Histogram(
+            "repro_card_lat", "", buckets=(1.0,), labelnames=("t",),
+            max_series=1,
+        )
+        h.observe(0.5, t="a")
+        h.observe(0.5, t="b")
+        keys = {key for key, _ in h.series()}
+        assert keys == {("a",), (OVERFLOW_LABEL,)}
+
+    def test_max_series_validated(self):
+        with pytest.raises(ValueError, match="max_series"):
+            Counter("repro_card_total", "", labelnames=("t",), max_series=0)
+
+
+class TestRegistryAccounting:
+    def test_overflow_counter_tracks_dropped_updates(self):
+        reg = MetricRegistry()
+        c = reg.counter("repro_card_total", "", labelnames=("t",), max_series=1)
+        c.inc(t="a")
+        assert reg.get(OVERFLOW_METRIC) is None  # lazily registered
+        c.inc(t="b")
+        c.inc(t="c")
+        overflow = reg.get(OVERFLOW_METRIC)
+        assert overflow.value(metric="repro_card_total") == 2.0
+
+    def test_reregistration_cap_conflict(self):
+        reg = MetricRegistry()
+        reg.counter("repro_card_total", "", labelnames=("t",), max_series=3)
+        # No opinion is fine; a different explicit cap is a bug.
+        reg.counter("repro_card_total", "", labelnames=("t",))
+        with pytest.raises(ValueError, match="max_series"):
+            reg.counter("repro_card_total", "", labelnames=("t",), max_series=4)
+
+    def test_snapshot_exposes_overflow_series(self):
+        reg = MetricRegistry()
+        c = reg.counter("repro_card_total", "", labelnames=("t",), max_series=1)
+        c.inc(t="a")
+        c.inc(t="b")
+        snap = reg.snapshot()
+        assert snap['repro_card_total{t="a"}'] == 1.0
+        assert snap[f'repro_card_total{{t="{OVERFLOW_LABEL}"}}'] == 1.0
+        assert (
+            snap[f'{OVERFLOW_METRIC}{{metric="repro_card_total"}}'] == 1.0
+        )
+
+    def test_deterministic_admission(self):
+        def run():
+            reg = MetricRegistry()
+            c = reg.counter(
+                "repro_card_total", "", labelnames=("t",), max_series=8
+            )
+            for i in range(50):
+                c.inc(t=str(i * 7 % 20))
+            return reg.snapshot()
+
+        assert run() == run()
+
+    def test_telemetry_facade_passes_cap_through(self):
+        t = Telemetry()
+        c = t.counter("repro_card_total", "", labelnames=("x",), max_series=1)
+        c.inc(x="a")
+        c.inc(x="b")
+        assert c.value(x=OVERFLOW_LABEL) == 1.0
+        h = t.histogram(
+            "repro_card_lat", "", labelnames=("x",), max_series=1
+        )
+        g = t.gauge("repro_card_depth", "", labelnames=("x",), max_series=1)
+        assert h.max_series == 1
+        assert g.max_series == 1
+
+    def test_uncapped_default_unchanged(self):
+        reg = MetricRegistry()
+        c = reg.counter("repro_card_total", "", labelnames=("t",))
+        for i in range(200):
+            c.inc(t=str(i))
+        assert c.overflowed == 0
+        assert len(list(c.series())) == 200
+        assert reg.get(OVERFLOW_METRIC) is None

@@ -15,7 +15,8 @@ class TestParser:
             "list", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
             "fig9", "fig10", "timeline", "table3", "headline",
             "autotune", "streaming", "report", "homog", "resilience",
-            "serve", "schedule", "fleet", "telemetry", "trace", "verify",
+            "serve", "schedule", "fleet", "telemetry", "trace", "traffic",
+            "verify",
         }
 
     def test_requires_command(self, capsys):

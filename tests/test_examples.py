@@ -116,3 +116,16 @@ def test_overload_shedding_service(monkeypatch, capsys):
     assert "shedding lifts goodput" in out
     assert "safely journaled" in out
     assert "resume matches the uninterrupted run exactly: yes" in out
+
+
+def test_multi_tenant_service(monkeypatch, capsys):
+    out = run_example(
+        monkeypatch, capsys, "multi_tenant_service.py",
+        ["--scale", "tiny", "--requests", "120"],
+    )
+    assert "open-loop serving over 4 devices" in out
+    assert "interactive" in out and "analytics" in out and "batch" in out
+    assert "[scenario: three-tenants]" in out
+    assert "bandit" in out
+    assert "waterfall" in out
+    assert "bandit vs worst static order" in out

@@ -1,0 +1,52 @@
+"""Shared fixtures for the workload suite: a small two-class tenant model.
+
+The model mirrors the canonical scenarios' shape (latency-sensitive
+interactive class over a throughput batch class) at rates small enough
+that every test streams in milliseconds.  Baselines are hard-coded so
+the generation-side tests are hermetic — they never depend on the
+measured service times of the active scale.
+"""
+
+import pytest
+
+from repro.workload import ArrivalSpec, TenantClass, TenantModel
+
+SEED = 7
+
+#: Hermetic per-type serial baselines (seconds) for deadline stamping.
+BASELINES = {"nn": 1e-3, "gaussian": 2e-3, "needle": 4e-3, "srad": 8e-3}
+
+
+def interactive_class(**overrides) -> TenantClass:
+    kwargs = dict(
+        name="interactive",
+        arrival=ArrivalSpec("poisson", rate=500.0),
+        app_mix=(("nn", 0.7), ("gaussian", 0.3)),
+        slo_factor=4.0,
+        priority=2,
+        tenants=1_000_000,
+        popularity="zipf",
+        zipf_s=1.3,
+    )
+    kwargs.update(overrides)
+    return TenantClass(**kwargs)
+
+
+def batch_class(**overrides) -> TenantClass:
+    kwargs = dict(
+        name="batch",
+        arrival=ArrivalSpec("pareto", rate=200.0, alpha=1.4),
+        app_mix=(("needle", 1.0),),
+        slo_factor=0.0,
+    )
+    kwargs.update(overrides)
+    return TenantClass(**kwargs)
+
+
+def two_class_model(seed: int = SEED) -> TenantModel:
+    return TenantModel(classes=(interactive_class(), batch_class()), seed=seed)
+
+
+@pytest.fixture
+def model() -> TenantModel:
+    return two_class_model()

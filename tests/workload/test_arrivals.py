@@ -1,0 +1,215 @@
+"""Property-based tests of the arrival processes (hypothesis).
+
+Pins the chunk-seeded contract the whole workload layer leans on:
+determinism per ``(seed, name)``, O(1) cursors that never replay or skip
+an arrival, and the statistical shape each process advertises (Poisson
+mean rate, Pareto tail index, log-normal mean rate, diurnal period and
+swing).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workload import (
+    ArrivalSpec,
+    DiurnalProcess,
+    LogNormalProcess,
+    ParetoProcess,
+    PoissonProcess,
+    build_process,
+)
+
+pytestmark = pytest.mark.workload
+
+KINDS = ("poisson", "pareto", "lognormal", "diurnal")
+
+
+def spec_for(kind: str, rate: float = 200.0) -> ArrivalSpec:
+    if kind == "pareto":
+        return ArrivalSpec("pareto", rate=rate, alpha=1.4)
+    if kind == "lognormal":
+        return ArrivalSpec("lognormal", rate=rate, sigma=1.2)
+    if kind == "diurnal":
+        return ArrivalSpec("diurnal", rate=rate, amplitude=0.6, period=0.5)
+    return ArrivalSpec("poisson", rate=rate)
+
+
+def take(process, n: int):
+    return [next(process) for _ in range(n)]
+
+
+class TestDeterminism:
+    @given(
+        kind=st.sampled_from(KINDS),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        n=st.integers(min_value=1, max_value=300),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_same_seed_and_name_same_stream(self, kind, seed, n):
+        a = spec_for(kind).build(seed, name="tenant")
+        b = spec_for(kind).build(seed, name="tenant")
+        assert take(a, n) == take(b, n)
+
+    @given(
+        kind=st.sampled_from(KINDS),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_name_isolates_streams(self, kind, seed):
+        a = spec_for(kind).build(seed, name="alpha")
+        b = spec_for(kind).build(seed, name="beta")
+        assert take(a, 50) != take(b, 50)
+
+    @given(kind=st.sampled_from(KINDS))
+    @settings(max_examples=8, deadline=None)
+    def test_times_strictly_ordered(self, kind):
+        times = take(spec_for(kind).build(3, name="t"), 400)
+        assert all(b > a for a, b in zip(times, times[1:]))
+        assert times[0] > 0.0
+
+
+class TestCursors:
+    @given(
+        kind=st.sampled_from(KINDS),
+        seed=st.integers(min_value=0, max_value=1000),
+        consumed=st.integers(min_value=0, max_value=60),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_resume_never_replays_or_skips(self, kind, seed, consumed):
+        # chunk=8 so cursors routinely sit mid-chunk and across chunks.
+        cont = spec_for(kind).build(seed, name="t", chunk=8)
+        take(cont, consumed)
+        cursor = cont.state()
+        expected = take(cont, 40)
+        fresh = spec_for(kind).build(seed, name="t", chunk=8)
+        fresh.restore(cursor)
+        assert take(fresh, 40) == expected
+
+    def test_cursor_is_small_and_jsonable(self):
+        import json
+
+        p = spec_for("diurnal").build(1, name="t")
+        take(p, 10)
+        state = p.state()
+        assert set(state) == {"chunk", "offset", "t0"}
+        json.dumps(state)
+
+    def test_offset_beyond_chunk_rejected(self):
+        p = PoissonProcess(10.0, seed=1, chunk=8)
+        with pytest.raises(ValueError, match="cursor"):
+            p.restore({"chunk": 0, "offset": 9, "t0": 0.0})
+
+
+class TestStatistics:
+    def test_poisson_mean_rate(self):
+        rate = 200.0
+        times = take(PoissonProcess(rate, seed=11), 4000)
+        observed = len(times) / times[-1]
+        assert 0.9 * rate < observed < 1.1 * rate
+
+    def test_lognormal_mean_rate(self):
+        rate = 150.0
+        times = take(LogNormalProcess(rate, sigma=1.0, seed=12), 4000)
+        observed = len(times) / times[-1]
+        assert 0.85 * rate < observed < 1.15 * rate
+
+    def test_pareto_tail_index_hill(self):
+        alpha = 1.3
+        p = ParetoProcess(50.0, alpha=alpha, seed=13)
+        times = np.array(take(p, 8000))
+        deltas = np.diff(np.concatenate(([0.0], times)))
+        # Hill estimator over the top decile of inter-arrivals.
+        ordered = np.sort(deltas)[::-1]
+        k = 800
+        hill = np.mean(np.log(ordered[:k] / ordered[k]))
+        assert abs(1.0 / hill - alpha) < 0.3
+
+    def test_pareto_mean_rate(self):
+        rate = 50.0
+        times = take(ParetoProcess(rate, alpha=1.8, seed=14), 6000)
+        observed = len(times) / times[-1]
+        assert 0.85 * rate < observed < 1.15 * rate
+
+    def test_diurnal_period_and_swing(self):
+        period, amplitude, rate = 0.25, 0.8, 2000.0
+        proc = build_process(
+            ArrivalSpec("diurnal", rate=rate, amplitude=amplitude, period=period),
+            seed=15,
+        )
+        horizon = 8 * period
+        times = []
+        for t in proc:
+            if t >= horizon:
+                break
+            times.append(t)
+        # Mean rate lands near the spec's rate despite thinning.
+        observed = len(times) / horizon
+        assert 0.85 * rate < observed < 1.15 * rate
+        # Phase histogram: the sin peak (phase 1/4) beats the trough
+        # (phase 3/4) by a wide margin when amplitude is 0.8.
+        phases = (np.array(times) % period) / period
+        counts, _ = np.histogram(phases, bins=8, range=(0.0, 1.0))
+        peak, trough = counts[2], counts[6]
+        assert peak > 2 * max(trough, 1)
+
+    def test_diurnal_zero_amplitude_is_passthrough(self):
+        base = PoissonProcess(100.0, seed=16, name="t")
+        mod = DiurnalProcess(
+            PoissonProcess(100.0, seed=16, name="t"),
+            amplitude=0.0,
+            period=1.0,
+            seed=16,
+            name="t",
+        )
+        assert take(base, 200) == take(mod, 200)
+
+
+class TestSpecValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown arrival kind"):
+            ArrivalSpec("weibull")
+
+    def test_bad_rate(self):
+        with pytest.raises(ValueError, match="rate"):
+            ArrivalSpec("poisson", rate=0.0)
+
+    def test_pareto_needs_finite_mean(self):
+        with pytest.raises(ValueError, match="alpha"):
+            ArrivalSpec("pareto", alpha=1.0).build(0)
+
+    def test_lognormal_needs_positive_sigma(self):
+        with pytest.raises(ValueError, match="sigma"):
+            ArrivalSpec("lognormal", sigma=0.0).build(0)
+
+    def test_diurnal_amplitude_bounds(self):
+        with pytest.raises(ValueError, match="amplitude"):
+            ArrivalSpec("diurnal", amplitude=1.5).build(0)
+
+    def test_base_only_composes_under_diurnal(self):
+        with pytest.raises(ValueError, match="base"):
+            ArrivalSpec("poisson", base=ArrivalSpec("poisson"))
+
+    def test_diurnal_carrier_composes(self):
+        spec = ArrivalSpec(
+            "diurnal",
+            rate=100.0,
+            amplitude=0.5,
+            period=1.0,
+            base=ArrivalSpec("pareto", alpha=1.6),
+        )
+        proc = spec.build(1, name="t")
+        assert isinstance(proc, DiurnalProcess)
+        assert isinstance(proc.base, ParetoProcess)
+        take(proc, 20)
+
+    def test_scaled_changes_only_rate(self):
+        spec = spec_for("pareto").scaled(42.0)
+        assert spec.rate == 42.0
+        assert spec.alpha == 1.4
+
+    def test_payload_is_jsonable(self):
+        import json
+
+        json.dumps(spec_for("diurnal").payload())

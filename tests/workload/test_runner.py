@@ -1,0 +1,200 @@
+"""Scenario runner: determinism, trace equivalence, crash-resume, fleets."""
+
+import pytest
+
+from repro.resilience.faults import FaultKind, FaultPlan, FaultSpec
+from repro.serving import FleetServingConfig, RunJournal
+from repro.sim.errors import HarnessCrash
+from repro.workload import (
+    SCENARIOS,
+    TraceError,
+    get_scenario,
+    record_trace,
+    run_traffic,
+)
+
+pytestmark = pytest.mark.workload
+
+REQUESTS = 160
+
+
+@pytest.fixture(scope="module")
+def built():
+    return get_scenario("steady").build(REQUESTS)
+
+
+class TestScenarios:
+    def test_canonical_set(self):
+        assert sorted(SCENARIOS) == ["burst", "diurnal", "overload", "steady"]
+
+    def test_unknown_scenario(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            get_scenario("weekend")
+
+    def test_load_normalization(self, built):
+        scenario = built.scenario
+        assert built.offered_rate == pytest.approx(
+            scenario.load * built.service_rate
+        )
+        total = sum(
+            c.arrival.rate for c in built.model.classes
+        )
+        assert total == pytest.approx(built.offered_rate)
+
+    def test_diurnal_period_spans_cycles(self):
+        b = get_scenario("diurnal").build(REQUESTS)
+        duration = b.requests / b.offered_rate
+        for cls in b.model.classes:
+            assert cls.arrival.kind == "diurnal"
+            assert cls.arrival.period == pytest.approx(
+                duration / b.scenario.cycles
+            )
+
+    def test_fingerprint_sensitivity(self, built):
+        assert built.fingerprint() == built.fingerprint()
+        assert built.fingerprint() != built.fingerprint(extra={"policy": "x"})
+        other = get_scenario("steady").build(REQUESTS + 1)
+        assert built.fingerprint() != other.fingerprint()
+
+
+class TestRunTraffic:
+    def test_deterministic_metrics(self, built):
+        a = run_traffic(built, policy="reject").metrics()
+        b = run_traffic(built, policy="reject").metrics()
+        assert a == b
+        assert a["arrivals"] == REQUESTS
+
+    def test_every_arrival_settles(self, built):
+        result = run_traffic(built, policy="reject")
+        assert result.stats.arrivals == REQUESTS
+        assert set(result.stats.classes) == {"batch", "interactive"}
+        per_class = sum(
+            s.arrivals for s in result.stats.classes.values()
+        )
+        assert per_class == REQUESTS
+
+    def test_greedy_baseline_runs(self, built):
+        result = run_traffic(built, policy="greedy")
+        assert result.policy == "greedy"
+        assert result.stats.arrivals == REQUESTS
+        assert result.stats.outcomes.get("shed", 0) == 0
+
+    def test_overload_sheds(self):
+        b = get_scenario("overload").build(REQUESTS)
+        result = run_traffic(b, policy="reject", queue_depth=4)
+        assert result.metrics()["shed_rate"] > 0.0
+
+    def test_journal_is_deterministic(self, built, tmp_path):
+        p1, p2 = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        run_traffic(built, policy="reject", journal_path=p1)
+        run_traffic(built, policy="reject", journal_path=p2)
+        assert p1.read_bytes() == p2.read_bytes()
+
+
+class TestTraceEquivalence:
+    """Satellite: record-then-replay == inline generation, byte for byte."""
+
+    def test_streamed_vs_recorded_journals_identical(self, built, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        record_trace(built.stream(), trace, built.fingerprint())
+        j_inline = tmp_path / "inline.jsonl"
+        j_replay = tmp_path / "replay.jsonl"
+        inline = run_traffic(built, policy="reject", journal_path=j_inline)
+        replay = run_traffic(
+            built, policy="reject", trace_path=trace, journal_path=j_replay
+        )
+        assert j_inline.read_bytes() == j_replay.read_bytes()
+        assert inline.metrics() == replay.metrics()
+
+    def test_foreign_trace_refused(self, built, tmp_path):
+        other = get_scenario("steady").build(REQUESTS + 8)
+        trace = tmp_path / "other.jsonl"
+        record_trace(other.stream(), trace, other.fingerprint())
+        with pytest.raises(TraceError, match="fingerprint"):
+            run_traffic(built, policy="reject", trace_path=trace)
+
+
+class TestCrashResume:
+    def crash_plan(self, built):
+        duration = built.requests / built.offered_rate
+        return FaultPlan(
+            [FaultSpec(FaultKind.HARNESS_CRASH, time=0.4 * duration)]
+        )
+
+    def run(self, built, path, resume=False):
+        return run_traffic(
+            built,
+            policy="reject",
+            plan=self.crash_plan(built),
+            journal_path=path,
+            resume=resume,
+        )
+
+    def test_crash_then_resume_byte_identical(self, built, tmp_path):
+        paths = []
+        for name in ("one", "two"):
+            path = tmp_path / f"{name}.jsonl"
+            with pytest.raises(HarnessCrash):
+                self.run(built, path)
+            result = self.run(built, path, resume=True)
+            assert result.serving.resumed
+            assert result.serving.recovered_entries > 0
+            assert result.stats.arrivals == REQUESTS
+            paths.append(path)
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+
+    def test_resumed_entries_match_uncrashed_reference(self, built, tmp_path):
+        crashed = tmp_path / "crashed.jsonl"
+        with pytest.raises(HarnessCrash):
+            self.run(built, crashed)
+        resumed = self.run(built, crashed, resume=True)
+        reference = run_traffic(
+            built, policy="reject", journal_path=tmp_path / "ref.jsonl"
+        )
+        # The crash plan changes the journal fingerprint (header line),
+        # but every outcome entry must be identical.
+        assert RunJournal(crashed).entries() == RunJournal(
+            tmp_path / "ref.jsonl"
+        ).entries()
+        assert resumed.metrics() == reference.metrics()
+
+
+class TestFleet:
+    def test_device_loss_mid_scenario(self, built):
+        duration = built.requests / built.offered_rate
+        plan = FaultPlan(
+            [FaultSpec(FaultKind.DEVICE_LOSS, time=0.3 * duration, device=1)]
+        )
+        fleet = FleetServingConfig(num_devices=4, detection_latency=1e-3)
+        result = run_traffic(built, policy="reject", fleet=fleet, plan=plan)
+        assert result.stats.arrivals == REQUESTS
+        # The run is deterministic under a fleet too.
+        again = run_traffic(built, policy="reject", fleet=fleet, plan=plan)
+        assert again.metrics() == result.metrics()
+
+
+class TestTelemetry:
+    def test_class_counters_and_tenant_cap(self, built):
+        from repro.telemetry import OVERFLOW_LABEL, OVERFLOW_METRIC, Telemetry
+
+        telemetry = Telemetry()
+        result = run_traffic(
+            built, policy="reject", telemetry=telemetry, tenant_series_cap=4
+        )
+        outcomes = telemetry.registry.get("repro_traffic_outcomes_total")
+        total = sum(v for _, v in outcomes.series())
+        assert total == REQUESTS
+        tenants = telemetry.registry.get("repro_traffic_tenant_requests_total")
+        labels = {key for key, _ in tenants.series()}
+        # The cap admits 4 exact series; the rest aggregate to __other__.
+        assert (OVERFLOW_LABEL, OVERFLOW_LABEL) in labels
+        assert len(labels) <= 5
+        overflow = telemetry.registry.get(OVERFLOW_METRIC)
+        assert overflow is not None
+        assert (
+            overflow.value(metric="repro_traffic_tenant_requests_total")
+            == result.stats.arrivals - sum(
+                v for key, v in tenants.series()
+                if key != (OVERFLOW_LABEL, OVERFLOW_LABEL)
+            )
+        )

@@ -1,0 +1,184 @@
+"""Tenant classes and the merged multi-tenant traffic stream."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workload import ArrivalSpec, TenantClass, TenantModel
+
+from .conftest import BASELINES, SEED, batch_class, interactive_class, two_class_model
+
+pytestmark = pytest.mark.workload
+
+
+def arrivals_of(stream):
+    return list(stream)
+
+
+def key(a):
+    return (a.time, a.type_name, a.tenant, a.tenant_id, a.deadline, a.priority)
+
+
+class TestStream:
+    def test_merged_ordering_and_indexing(self, model):
+        arrivals = arrivals_of(model.stream(BASELINES, limit=300))
+        assert [a.index for a in arrivals] == list(range(300))
+        times = [a.time for a in arrivals]
+        assert times == sorted(times)
+
+    def test_duration_bound(self, model):
+        arrivals = arrivals_of(model.stream(BASELINES, duration=0.05))
+        assert arrivals
+        assert all(a.time < 0.05 for a in arrivals)
+
+    def test_needs_a_bound(self, model):
+        with pytest.raises(ValueError, match="duration and/or"):
+            model.stream(BASELINES)
+
+    def test_deadlines_follow_slo_factor(self, model):
+        for a in arrivals_of(model.stream(BASELINES, limit=200)):
+            if a.tenant == "interactive":
+                assert a.deadline == pytest.approx(
+                    a.time + 4.0 * BASELINES[a.type_name]
+                )
+                assert a.priority == 2
+            else:  # batch: slo_factor 0 disables deadlines
+                assert a.deadline == 0.0
+                assert a.type_name == "needle"
+
+    def test_app_mix_respected(self, model):
+        counts = Counter(
+            a.type_name
+            for a in arrivals_of(model.stream(BASELINES, limit=600))
+            if a.tenant == "interactive"
+        )
+        total = sum(counts.values())
+        assert 0.55 < counts["nn"] / total < 0.85
+        assert set(counts) == {"nn", "gaussian"}
+
+    def test_missing_baseline_rejected(self, model):
+        with pytest.raises(ValueError, match="missing baselines"):
+            model.stream({"nn": 1e-3}, limit=10)
+
+    def test_no_deadline_class_skips_baseline_check(self):
+        # batch has slo_factor=0, so its "needle" baseline is not needed.
+        model = TenantModel(classes=(batch_class(),), seed=SEED)
+        arrivals_of(model.stream({}, limit=20))
+
+
+class TestIndependence:
+    def test_class_substream_unperturbed_by_other_classes(self):
+        merged = arrivals_of(two_class_model().stream(BASELINES, limit=400))
+        solo_model = TenantModel(classes=(interactive_class(),), seed=SEED)
+        solo = arrivals_of(solo_model.stream(BASELINES, limit=400))
+        got = [key(a) for a in merged if a.tenant == "interactive"]
+        want = [key(a) for a in solo][: len(got)]
+        assert got == want
+
+    def test_same_seed_same_stream(self):
+        a = arrivals_of(two_class_model().stream(BASELINES, limit=250))
+        b = arrivals_of(two_class_model().stream(BASELINES, limit=250))
+        assert [key(x) for x in a] == [key(x) for x in b]
+
+    def test_seed_changes_stream(self):
+        a = arrivals_of(two_class_model().stream(BASELINES, limit=100))
+        b = arrivals_of(two_class_model(seed=SEED + 1).stream(BASELINES, limit=100))
+        assert [key(x) for x in a] != [key(x) for x in b]
+
+
+class TestTenantSampling:
+    def test_millions_of_tenants_are_cheap(self):
+        cls = interactive_class(tenants=10_000_000)
+        model = TenantModel(classes=(cls,), seed=SEED)
+        ids = [a.tenant_id for a in model.stream(BASELINES, limit=500)]
+        assert all(0 <= i < 10_000_000 for i in ids)
+        assert len(set(ids)) > 100  # sampled, not collapsed
+
+    def test_zipf_concentrates_on_head_ranks(self):
+        cls = interactive_class(tenants=1000, popularity="zipf", zipf_s=1.5)
+        model = TenantModel(classes=(cls,), seed=SEED)
+        ids = [a.tenant_id for a in model.stream(BASELINES, limit=2000)]
+        head_share = sum(1 for i in ids if i < 10) / len(ids)
+        assert head_share > 0.4  # uniform would give ~0.01
+
+    def test_uniform_spreads(self):
+        cls = interactive_class(tenants=1000, popularity="uniform")
+        model = TenantModel(classes=(cls,), seed=SEED)
+        ids = [a.tenant_id for a in model.stream(BASELINES, limit=2000)]
+        head_share = sum(1 for i in ids if i < 10) / len(ids)
+        assert head_share < 0.05
+
+    def test_single_tenant_is_id_zero(self):
+        cls = batch_class(tenants=1)
+        model = TenantModel(classes=(cls,), seed=SEED)
+        assert all(
+            a.tenant_id == 0 for a in model.stream(BASELINES, limit=50)
+        )
+
+
+class TestCursors:
+    @given(consumed=st.integers(min_value=0, max_value=120))
+    @settings(max_examples=25, deadline=None)
+    def test_restore_never_replays_or_skips(self, consumed):
+        cont = two_class_model().stream(BASELINES, limit=100_000, chunk=16)
+        for _ in range(consumed):
+            next(cont)
+        cursor = cont.state()
+        expected = [next(cont) for _ in range(60)]
+        fresh = two_class_model().stream(BASELINES, limit=100_000, chunk=16)
+        fresh.restore(cursor)
+        got = [next(fresh) for _ in range(60)]
+        assert [key(a) for a in got] == [key(a) for a in expected]
+        assert [a.index for a in got] == [a.index for a in expected]
+
+    def test_cursor_is_jsonable(self, model):
+        import json
+
+        stream = model.stream(BASELINES, limit=100)
+        for _ in range(17):
+            next(stream)
+        json.dumps(stream.state())
+
+    def test_class_count_mismatch_rejected(self, model):
+        stream = model.stream(BASELINES, limit=100)
+        cursor = stream.state()
+        solo = TenantModel(classes=(interactive_class(),), seed=SEED)
+        fresh = solo.stream(BASELINES, limit=100)
+        with pytest.raises(ValueError, match="classes"):
+            fresh.restore(cursor)
+
+
+class TestValidation:
+    def test_class_needs_positive_mix(self):
+        with pytest.raises(ValueError, match="app_mix"):
+            TenantClass(
+                name="x",
+                arrival=ArrivalSpec("poisson"),
+                app_mix=(("nn", 0.0),),
+            )
+
+    def test_bad_popularity(self):
+        with pytest.raises(ValueError, match="popularity"):
+            interactive_class(popularity="powerlaw")
+
+    def test_zipf_exponent_must_exceed_one(self):
+        with pytest.raises(ValueError, match="zipf_s"):
+            interactive_class(zipf_s=1.0)
+
+    def test_tenants_must_be_positive(self):
+        with pytest.raises(ValueError, match="tenants"):
+            interactive_class(tenants=0)
+
+    def test_duplicate_class_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            TenantModel(classes=(batch_class(), batch_class()), seed=0)
+
+    def test_model_type_names_sorted_deduped(self, model):
+        assert model.type_names == ("gaussian", "needle", "nn")
+
+    def test_payload_is_jsonable(self, model):
+        import json
+
+        json.dumps(model.payload())
